@@ -1,0 +1,54 @@
+//! Microbenchmarks of every GED lower bound (the ablation behind
+//! Fig. 15(a): per-pair filtering cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uqsj::ged::bounds::css::CssBound;
+use uqsj::ged::bounds::cstar::CStarBound;
+use uqsj::ged::bounds::label_multiset::LabelMultisetBound;
+use uqsj::ged::bounds::kat::KatBound;
+use uqsj::ged::bounds::partition::ParsBound;
+use uqsj::ged::bounds::path_gram::PathBound;
+use uqsj::ged::bounds::segos::SegosBound;
+use uqsj::ged::bounds::size::SizeBound;
+use uqsj::ged::bounds::LowerBound;
+use uqsj::graph::SymbolTable;
+use uqsj::workload::{aids_like, RandomGraphConfig};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let cfg = RandomGraphConfig { count: 16, vertices: 14, ..Default::default() };
+    let (d, u) = aids_like(&mut table, &cfg, &mut rng);
+
+    let mut group = c.benchmark_group("lower_bounds_uncertain");
+    let bounds: Vec<Box<dyn LowerBound>> = vec![
+        Box::new(SizeBound),
+        Box::new(LabelMultisetBound),
+        Box::new(CssBound),
+        Box::new(CStarBound),
+        Box::new(PathBound),
+        Box::new(SegosBound),
+        Box::new(ParsBound::default()),
+        Box::new(KatBound::default()),
+    ];
+    for b in &bounds {
+        group.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for q in &d {
+                    for g in &u {
+                        acc += u64::from(b.uncertain(&table, black_box(q), black_box(g)));
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of exact and τ-bounded GED (the refinement cost of
+//! Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uqsj::graph::SymbolTable;
+use uqsj::prelude::*;
+use uqsj::workload::{aids_like, RandomGraphConfig};
+
+fn bench_ged(c: &mut Criterion) {
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let cfg = RandomGraphConfig { count: 8, vertices: 8, ..Default::default() };
+    let (d, _) = aids_like(&mut table, &cfg, &mut rng);
+
+    c.bench_function("ged_exact_8v", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &d {
+                for g in &d {
+                    acc += u64::from(ged(&table, black_box(q), black_box(g)).distance);
+                }
+            }
+            acc
+        })
+    });
+
+    for tau in [1u32, 3] {
+        c.bench_function(&format!("ged_bounded_tau{tau}_8v"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for q in &d {
+                    for g in &d {
+                        acc += ged_bounded(&table, black_box(q), black_box(g), tau)
+                            .map_or(0, |r| u64::from(r.distance) + 1);
+                    }
+                }
+                acc
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_ged);
+criterion_main!(benches);

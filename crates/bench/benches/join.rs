@@ -1,0 +1,49 @@
+//! Join-strategy microbenchmarks: CSS-only vs SimJ vs SimJ+opt on a small
+//! ER workload (the per-strategy cost behind Figs. 11–13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uqsj::graph::SymbolTable;
+use uqsj::prelude::*;
+use uqsj::workload::{erdos_renyi, RandomGraphConfig};
+
+fn bench_join(c: &mut Criterion) {
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(21);
+    let cfg = RandomGraphConfig {
+        count: 24,
+        vertices: 10,
+        edges: 18,
+        avg_labels: 3.0,
+        ..Default::default()
+    };
+    let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
+
+    let mut group = c.benchmark_group("sim_join_24x24");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("css_only", JoinStrategy::CssOnly),
+        ("simj", JoinStrategy::SimJ),
+        ("simj_opt", JoinStrategy::SimJOpt { group_count: 8 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| sim_join(&table, &d, &u, JoinParams { tau: 2, alpha: 0.5, strategy }))
+        });
+    }
+    group.bench_function("simj_parallel_4", |b| {
+        b.iter(|| {
+            uqsj::simjoin::sim_join_parallel(&table, &d, &u, JoinParams::simj(2, 0.5), 4)
+        })
+    });
+    group.bench_function("simj_indexed", |b| {
+        b.iter(|| uqsj::simjoin::sim_join_indexed(&table, &d, &u, JoinParams::simj(2, 0.5)))
+    });
+    group.bench_function("topk_1", |b| {
+        b.iter(|| uqsj::simjoin::sim_join_topk(&table, &d, &u, 2, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

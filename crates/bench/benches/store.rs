@@ -1,0 +1,40 @@
+//! RDF store microbenchmarks: load, single-pattern scans, BGP joins (the
+//! Q/A execution substrate of Sec. 2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uqsj::workload::{KbConfig, KnowledgeBase};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_store(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let kb = KnowledgeBase::generate(
+        &KbConfig { entities_per_class: 60, facts_per_entity: 4, ..Default::default() },
+        &mut rng,
+    );
+
+    c.bench_function("store_build", |b| {
+        b.iter(|| {
+            let s = kb.triple_store();
+            black_box(s.len())
+        })
+    });
+
+    let store = kb.triple_store();
+    let ty = store.dict.get("type").unwrap();
+    c.bench_function("scan_by_predicate", |b| {
+        b.iter(|| black_box(store.scan(None, Some(ty), None)).len())
+    });
+
+    let q2 = uqsj::sparql::parse(
+        "SELECT ?x ?u WHERE { ?x type Politician . ?x graduatedFrom ?u . ?u locatedIn ?c . }",
+    )
+    .unwrap();
+    c.bench_function("bgp_three_patterns", |b| {
+        b.iter(|| uqsj::rdf::bgp::evaluate(&store, black_box(&q2)).len())
+    });
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Tree edit distance microbenchmark (the template-matching cost of
+//! Sec. 2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uqsj::nlp::{parse_dependencies, tree_edit_distance};
+
+fn bench_ted(c: &mut Criterion) {
+    let questions = [
+        "Which physicist graduated from CMU?",
+        "Which politician graduated from CIT?",
+        "Which actor from USA is married to Michael Jordan born in a city of NY?",
+        "Give me all movies directed by Francis Ford Coppola",
+        "Who is married to NY?",
+    ];
+    let trees: Vec<_> = questions.iter().map(|q| parse_dependencies(q)).collect();
+
+    c.bench_function("ted_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in &trees {
+                for t in &trees {
+                    acc += u64::from(tree_edit_distance(black_box(a), black_box(t)));
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("dependency_parse", |b| {
+        b.iter(|| {
+            questions
+                .iter()
+                .map(|q| parse_dependencies(black_box(q)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_ted);
+criterion_main!(benches);

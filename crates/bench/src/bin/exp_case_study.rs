@@ -1,0 +1,42 @@
+//! Figs. 10 & 16: case study — matched question/query pairs and the
+//! templates built from them.
+
+use uqsj::pipeline::generate_templates;
+use uqsj::prelude::*;
+use uqsj_bench::{qald, scale};
+
+fn main() {
+    let s = scale();
+    let dataset = qald(s);
+    let result = generate_templates(&dataset, JoinParams::simj(1, 0.8));
+    println!(
+        "Case study (Figs. 10/16) — {} matched pairs, {} templates\n",
+        result.matches.len(),
+        result.library.len()
+    );
+
+    // Print a handful of correct matched pairs with their SPARQL (one per
+    // distinct question).
+    let mut shown = 0;
+    let mut seen_questions = std::collections::BTreeSet::new();
+    for m in &result.matches {
+        if !dataset.pair_is_correct(m.q_index, m.g_index) || !seen_questions.insert(m.g_index) {
+            continue;
+        }
+        println!("Q : {}", dataset.pairs[m.g_index].question);
+        println!(
+            "S : {}",
+            dataset.d_queries[m.q_index].to_string().replace('\n', "\n    ")
+        );
+        println!("   (SimP = {:.2}, GED = {})\n", m.prob, m.mapping.distance);
+        shown += 1;
+        if shown == 3 {
+            break;
+        }
+    }
+
+    println!("--- Templates built from such pairs (Fig. 16) ---\n");
+    for t in result.library.templates().iter().take(4) {
+        println!("{}\n", t);
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 12: effect of the GED threshold τ ∈ [0, 5] on the ER synthetic
+//! workload.
+//!
+//! (a) response time grows with τ (more candidates survive to the
+//! expensive verification); (b) candidate ratio grows with τ, with
+//! SimJ+opt < SimJ < CSS-only at every point.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uqsj::graph::SymbolTable;
+use uqsj::prelude::*;
+use uqsj::workload::{erdos_renyi, RandomGraphConfig};
+use uqsj_bench::{pct, scale, scaled, secs};
+
+fn main() {
+    let s = scale();
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(12);
+    let cfg = RandomGraphConfig {
+        count: scaled(120, s, 40),
+        vertices: 12,
+        edges: 24,
+        avg_labels: 3.0,
+        perturbation: 2,
+        ..Default::default()
+    };
+    let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
+    println!(
+        "Fig. 12 — ER, alpha = 0.5 (|D| = |U| = {}, |V| = {})\n",
+        d.len(),
+        cfg.vertices
+    );
+    println!(
+        "{:>4} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",
+        "tau", "prune(s)", "verify(s)", "total(s)", "CSS", "SimJ", "SimJ+opt", "Real"
+    );
+    for tau in 0..=5u32 {
+        let (_, css) = sim_join(
+            &table,
+            &d,
+            &u,
+            JoinParams { tau, alpha: 0.5, strategy: JoinStrategy::CssOnly },
+        );
+        let (_, simj) = sim_join(&table, &d, &u, JoinParams::simj(tau, 0.5));
+        let (_, opt) = sim_join(
+            &table,
+            &d,
+            &u,
+            JoinParams { tau, alpha: 0.5, strategy: JoinStrategy::SimJOpt { group_count: 8 } },
+        );
+        println!(
+            "{:>4} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",
+            tau,
+            secs(simj.pruning_time),
+            secs(simj.verification_time),
+            secs(simj.response_time()),
+            pct(css.candidate_ratio()),
+            pct(simj.candidate_ratio()),
+            pct(opt.candidate_ratio()),
+            pct(simj.result_ratio()),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 17: effect of the number of relations k — the proportion ρ of
+//! correct patterns having k relations, on the QALD-like and WebQ-like
+//! workloads.
+//!
+//! Paper shape: simple patterns (small k) dominate the correct results;
+//! ρ decreases with k ("if a natural language question is complex, the
+//! generated semantic query graph may be incorrect probably").
+
+use uqsj::pipeline::generate_templates;
+use uqsj::prelude::*;
+use uqsj::workload::DatasetConfig;
+use uqsj_bench::{scale, scaled};
+
+fn main() {
+    let s = scale();
+    for (name, dataset) in [
+        (
+            "QALD-3",
+            uqsj::workload::qald_like(&DatasetConfig {
+                questions: scaled(250, s, 60),
+                distractors: scaled(80, s, 20),
+                max_relations: 5,
+                seed: 17,
+            }),
+        ),
+        (
+            "WebQ",
+            uqsj::workload::webq_like(&DatasetConfig {
+                questions: scaled(350, s, 80),
+                distractors: scaled(300, s, 60),
+                max_relations: 5,
+                seed: 18,
+            }),
+        ),
+    ] {
+        let result = generate_templates(&dataset, JoinParams::simj(1, 0.6));
+        // Correct pairs, bucketed by the question's relation count.
+        let mut correct_by_k = [0usize; 6];
+        let mut total_correct = 0usize;
+        for m in &result.matches {
+            if dataset.pair_is_correct(m.q_index, m.g_index) {
+                let k = dataset.pairs[m.g_index].relations.min(5);
+                correct_by_k[k] += 1;
+                total_correct += 1;
+            }
+        }
+        println!("\nFig. 17 — {name}: proportion of correct patterns by #relations k");
+        println!("{:>3} {:>10} {:>8}", "k", "correct", "rho");
+        for (k, &count) in correct_by_k.iter().enumerate().skip(1) {
+            let rho = if total_correct == 0 {
+                0.0
+            } else {
+                count as f64 / total_correct as f64
+            };
+            println!("{:>3} {:>10} {:>7.1}%", k, count, rho * 100.0);
+        }
+    }
+}

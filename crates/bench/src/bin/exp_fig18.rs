@@ -1,0 +1,64 @@
+//! Fig. 18: failure analysis of the template generation pipeline.
+//!
+//! Paper breakdown: 73% incorrect semantic query graphs (entity linking /
+//! extraction failures), 21% pairs within the GED threshold that do not
+//! share the query intention, 6% other.
+
+use uqsj::pipeline::generate_templates;
+use uqsj::prelude::*;
+use uqsj_bench::{qald, scale};
+
+fn main() {
+    let s = scale();
+    let dataset = qald(s);
+    let result = generate_templates(&dataset, JoinParams::simj(1, 0.6));
+
+    // Failure class 1: questions whose semantic query graph was wrong —
+    // analysis failed outright, or the analyzed graph led to zero correct
+    // matches while a misleading/unknown mention was present.
+    let analysis_failures = dataset.failed.len();
+    let misleading: usize = dataset
+        .pairs
+        .iter()
+        .filter(|p| p.noise == uqsj::workload::questions::NoiseKind::MisleadingSurface)
+        .count();
+
+    // Failure class 2: questions drawn into at least one incorrect pair
+    // within τ (small GED but different intention). Counted per distinct
+    // question so a single noisy question does not inflate the class by
+    // its whole candidate list.
+    let wrong_questions: std::collections::BTreeSet<usize> = result
+        .matches
+        .iter()
+        .filter(|m| !dataset.pair_is_correct(m.q_index, m.g_index))
+        .map(|m| m.g_index)
+        .collect();
+    let wrong_pairs = wrong_questions.len();
+
+    let semantic = analysis_failures + misleading;
+    let total = semantic + wrong_pairs;
+    println!("Fig. 18 — failure analysis ({} error events)\n", total);
+    println!("{:<38} {:>8} {:>8}", "Reason", "count", "ratio");
+    let pct = |x: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            x as f64 / total as f64 * 100.0
+        }
+    };
+    println!(
+        "{:<38} {:>8} {:>7.0}%",
+        "Incorrect semantic query graph",
+        semantic,
+        pct(semantic)
+    );
+    println!(
+        "{:<38} {:>8} {:>7.0}%",
+        "Graph edit distance (wrong intention)",
+        wrong_pairs,
+        pct(wrong_pairs)
+    );
+    println!(
+        "\n(analysis failures: {analysis_failures}; misleading surface forms: {misleading})"
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 9: effect of the similarity probability threshold α ∈ [0.1, 0.9]
+//! at τ = 1 on QALD-like, WebQ-like and MM-like workloads.
+//!
+//! (a) precision vs α — grows with α; MM (closed domain) sits highest.
+//! (b) correct answers |C| vs α — shrinks with α.
+
+use uqsj::pipeline::{generate_templates, join_quality};
+use uqsj::prelude::*;
+use uqsj_bench::{mm, qald, scale, webq};
+
+fn main() {
+    let s = scale();
+    let datasets = [("QALD3", qald(s)), ("WebQ", webq(s)), ("MM", mm(s))];
+    println!("Fig. 9 — tau = 1, alpha sweep\n");
+    println!(
+        "{:>5} | {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
+        "alpha", "P(QALD3)", "P(WebQ)", "P(MM)", "C(QALD3)", "C(WebQ)", "C(MM)"
+    );
+    for i in 1..=9 {
+        let alpha = i as f64 / 10.0;
+        let mut precisions = Vec::new();
+        let mut corrects = Vec::new();
+        for (_, dataset) in &datasets {
+            let result = generate_templates(dataset, JoinParams::simj(1, alpha));
+            let (correct, precision) = join_quality(dataset, &result.matches);
+            precisions.push(precision);
+            corrects.push(correct);
+        }
+        println!(
+            "{:>5.1} | {:>9.2}% {:>9.2}% {:>9.2}% | {:>8} {:>8} {:>8}",
+            alpha,
+            precisions[0] * 100.0,
+            precisions[1] * 100.0,
+            precisions[2] * 100.0,
+            corrects[0],
+            corrects[1],
+            corrects[2]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Scaling: join response time vs |D| (the dimension the paper pushes to
+//! 73,057 queries), comparing the plain nested-loop SimJ against the
+//! size-indexed driver. Result sets are identical (property-tested
+//! elsewhere); only where the structural pruning cost is paid differs.
+
+use uqsj::prelude::*;
+use uqsj::simjoin::sim_join_indexed;
+use uqsj::workload::DatasetConfig;
+use uqsj_bench::{scale, scaled, secs};
+
+fn main() {
+    let s = scale();
+    println!("Join scaling — tau = 1, alpha = 0.8, |U| fixed\n");
+    println!(
+        "{:>7} {:>7} | {:>11} {:>11} | {:>9} {:>9}",
+        "|D|", "|U|", "plain(s)", "indexed(s)", "results", "agree"
+    );
+    for d_target in [250usize, 500, 1000, 2000] {
+        let d_target = scaled(d_target, s, 100);
+        let dataset = uqsj::workload::webq_like(&DatasetConfig {
+            questions: scaled(150, s, 50),
+            distractors: d_target,
+            seed: 53,
+            ..Default::default()
+        });
+        let params = JoinParams::simj(1, 0.8);
+        let started = std::time::Instant::now();
+        let (plain, _) =
+            sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
+        let plain_t = started.elapsed();
+        let started = std::time::Instant::now();
+        let (indexed, _) =
+            sim_join_indexed(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
+        let indexed_t = started.elapsed();
+        let agree = {
+            let key = |m: &JoinMatch| (m.g_index, m.q_index);
+            let mut a: Vec<_> = plain.iter().map(key).collect();
+            a.sort_unstable();
+            let mut b: Vec<_> = indexed.iter().map(key).collect();
+            b.sort_unstable();
+            a == b
+        };
+        println!(
+            "{:>7} {:>7} | {:>11} {:>11} | {:>9} {:>9}",
+            dataset.d_len(),
+            dataset.u_len(),
+            secs(plain_t),
+            secs(indexed_t),
+            plain.len(),
+            agree
+        );
+        assert!(agree, "indexed join diverged from plain join");
+    }
+}

@@ -1,0 +1,54 @@
+//! Table 2: statistics of the data sets.
+//!
+//! Paper values (for shape comparison; our sets are synthetic stand-ins):
+//! QALD3 |U|=200 avg|V|=5.73 avg|E|=4.51 avg|LV|=4.50 |D|=200;
+//! WebQ 5,810 / 6.15 / 5.14 / 4.39 / 73,057; ER 100,000 / 64.86 / 157.07 /
+//! 9.39 / 100,000; SF 100,000 / 63.35 / 88.61 / 13.52 / 100,000;
+//! MM 23,250 / 5.35 / 4.92 / 4.21 / 2,500.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uqsj::graph::SymbolTable;
+use uqsj::workload::{aids_like, erdos_renyi, scale_free, DatasetStats, RandomGraphConfig};
+use uqsj_bench::{mm, qald, scale, scaled, webq};
+
+fn main() {
+    let s = scale();
+    println!("Table 2: statistics of data sets (scale {s})\n");
+    println!("{}", DatasetStats::header());
+
+    let d = qald(s);
+    println!("{}", DatasetStats::compute("QALD3", &d.u_graphs, d.d_len()).row());
+    let d = webq(s);
+    println!("{}", DatasetStats::compute("WebQ", &d.u_graphs, d.d_len()).row());
+
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let er_cfg = RandomGraphConfig {
+        count: scaled(200, s, 50),
+        vertices: 16,
+        edges: 36,
+        avg_labels: 3.0,
+        ..Default::default()
+    };
+    let (er_d, er_u) = erdos_renyi(&mut table, &er_cfg, &mut rng);
+    println!("{}", DatasetStats::compute("ER", &er_u, er_d.len()).row());
+
+    let sf_cfg = RandomGraphConfig {
+        count: scaled(200, s, 50),
+        vertices: 16,
+        edges: 2,
+        avg_labels: 3.0,
+        ..Default::default()
+    };
+    let (sf_d, sf_u) = scale_free(&mut table, &sf_cfg, &mut rng);
+    println!("{}", DatasetStats::compute("SF", &sf_u, sf_d.len()).row());
+
+    let d = mm(s);
+    println!("{}", DatasetStats::compute("MM", &d.u_graphs, d.d_len()).row());
+
+    let aids_cfg = RandomGraphConfig { count: scaled(200, s, 50), vertices: 14, ..Default::default() };
+    let (a_d, a_u) = aids_like(&mut table, &aids_cfg, &mut rng);
+    println!("{}", DatasetStats::compute("AIDS*", &a_u, a_d.len()).row());
+    println!("\n(AIDS* appears in Fig. 15 only; scaled-down synthetic stand-ins throughout.)");
+}

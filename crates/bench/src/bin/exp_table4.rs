@@ -1,0 +1,47 @@
+//! Table 4: Q/A quality using the generated templates versus the
+//! gAnswer-like and DEANNA-like baselines (QALD-style macro
+//! precision/recall/F-1).
+//!
+//! Paper values: our method 0.65/0.65/0.65, gAnswer 0.41, DEANNA 0.21.
+//! The shape to reproduce: templates > gAnswer > DEANNA.
+
+use uqsj::pipeline::generate_templates;
+use uqsj::prelude::*;
+use uqsj::template::baselines::{deanna_like, ganswer_like};
+use uqsj::template::metrics::QaScore;
+use uqsj_bench::{qald, scale};
+
+fn main() {
+    let s = scale();
+    let dataset = qald(s);
+    let store = dataset.kb.triple_store();
+    let result = generate_templates(&dataset, JoinParams::simj(1, 0.6));
+    println!(
+        "Table 4 — Q/A over {} questions with {} templates\n",
+        dataset.pairs.len(),
+        result.library.len()
+    );
+
+    let mut scores = [QaScore::new(), QaScore::new(), QaScore::new()];
+    for pair in &dataset.pairs {
+        let gold: Vec<String> = uqsj::rdf::bgp::evaluate(&store, &pair.sparql)
+            .into_iter()
+            .map(|r| r.join("\t"))
+            .collect();
+        let t = uqsj::template::answer_question(
+            &result.library,
+            &dataset.kb.lexicon,
+            &store,
+            &pair.question,
+            1.0,
+        );
+        scores[0].record(&t.answers, &gold);
+        scores[1].record(&ganswer_like(&dataset.kb.lexicon, &store, &pair.question), &gold);
+        scores[2].record(&deanna_like(&dataset.kb.lexicon, &store, &pair.question), &gold);
+    }
+
+    println!("{:<12} {:>10} {:>10} {:>10}", "Method", "Precision", "Recall", "F-1");
+    for (name, sc) in ["Our method", "gAnswer", "DEANNA"].iter().zip(&scores) {
+        println!("{:<12} {:>10.2} {:>10.2} {:>10.2}", name, sc.precision(), sc.recall(), sc.f1());
+    }
+}

@@ -1,0 +1,46 @@
+//! Run every experiment binary in sequence, producing the full
+//! EXPERIMENTS.md raw output.
+//!
+//! `cargo run --release -p uqsj-bench --bin run_all [-- --scale 1.0]`
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 16] = [
+    "exp_table2",
+    "exp_table3",
+    "exp_fig9",
+    "exp_case_study",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_fig13",
+    "exp_fig14",
+    "exp_fig15",
+    "exp_table4",
+    "exp_table5",
+    "exp_fig17",
+    "exp_ablation_prob",
+    "exp_ablation_split",
+    "exp_holdout",
+    "exp_scale",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    // exp_fig18 shares exp_table3's dataset; run it last.
+    for exp in EXPERIMENTS.iter().chain(["exp_fig18"].iter()) {
+        println!("\n==================== {exp} ====================\n");
+        let status = Command::new(exe_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("{exp} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared helpers for the experiment binaries (one binary per table and
+//! figure of the paper; see DESIGN.md's experiment index).
+//!
+//! Every experiment accepts a `--scale <f64>` argument (default 1.0)
+//! multiplying the default workload sizes, so the full suite runs on a
+//! laptop in minutes at scale 1 and can be pushed towards the paper's
+//! sizes with larger scales.
+
+use uqsj::prelude::*;
+use uqsj::workload::DatasetConfig;
+
+/// Scale factor parsed from `--scale` (or `UQSJ_SCALE`); default 1.0.
+pub fn scale() -> f64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    std::env::var("UQSJ_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scale a count, keeping a sane floor.
+pub fn scaled(base: usize, scale: f64, floor: usize) -> usize {
+    ((base as f64 * scale) as usize).max(floor)
+}
+
+/// The QALD-like workload at the given scale.
+pub fn qald(scale: f64) -> Dataset {
+    uqsj::workload::qald_like(&DatasetConfig {
+        questions: scaled(200, scale, 40),
+        distractors: scaled(80, scale, 20),
+        seed: 3,
+        ..Default::default()
+    })
+}
+
+/// The WebQ-like workload at the given scale (the paper's is
+/// 5,810 × 73,057; scale >= 20 approaches it).
+pub fn webq(scale: f64) -> Dataset {
+    uqsj::workload::webq_like(&DatasetConfig {
+        questions: scaled(300, scale, 60),
+        distractors: scaled(700, scale, 100),
+        seed: 5,
+        ..Default::default()
+    })
+}
+
+/// The MM-like closed-domain workload.
+pub fn mm(scale: f64) -> Dataset {
+    uqsj::workload::mm_like(&DatasetConfig {
+        questions: scaled(250, scale, 50),
+        distractors: scaled(60, scale, 15),
+        seed: 9,
+        ..Default::default()
+    })
+}
+
+/// Pretty seconds.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}

@@ -1,0 +1,70 @@
+//! Edge-label uncertainty by reification — the generalization the paper
+//! sketches in Sec. 3.1.1 ("introduce fictitious vertices to represent
+//! (uncertain) edges").
+//!
+//! A question may be ambiguous in its *relation* as well as its entities:
+//! here "plays for" could paraphrase either `memberOf` (band) or
+//! `playsFor` (team). The edge is reified into a fictitious vertex with
+//! two label alternatives, and the similarity probability against two
+//! candidate SPARQL queries tells them apart.
+//!
+//! Run with: `cargo run --example edge_uncertainty`
+
+use uqsj::graph::reify::{certain_edge, reify_certain, reify_uncertain, UncertainEdge};
+use uqsj::graph::{LabelAlternative, UncertainVertex, VertexId};
+use uqsj::prelude::*;
+
+fn main() {
+    let mut table = SymbolTable::new();
+
+    // Question: "Which musician plays for X?" — the relation is ambiguous.
+    let member_of = table.intern("memberOf");
+    let plays_for = table.intern("playsFor");
+    let vertices = vec![
+        UncertainVertex::certain(table.intern("?x")),
+        UncertainVertex::certain(table.intern("Band")),
+    ];
+    let ambiguous_edge = UncertainEdge {
+        src: VertexId(0),
+        dst: VertexId(1),
+        alternatives: vec![
+            LabelAlternative { label: member_of, prob: 0.8 },
+            LabelAlternative { label: plays_for, prob: 0.2 },
+        ],
+    };
+    let g = reify_uncertain(&mut table, &vertices, &[ambiguous_edge]);
+    println!(
+        "Reified uncertain graph: {} vertices ({} fictitious), {} worlds",
+        g.vertex_count(),
+        1,
+        g.world_count()
+    );
+
+    // Two candidate SPARQL query graphs, reified the same way.
+    let mut q1 = uqsj::graph::Graph::new();
+    let a = q1.add_vertex(table.intern("?y"));
+    let b = q1.add_vertex(table.intern("Band"));
+    q1.add_edge(a, b, member_of);
+    let q1r = {
+        let base = q1.clone();
+        reify_certain(&mut table, &base)
+    };
+
+    let mut q2 = uqsj::graph::Graph::new();
+    let a = q2.add_vertex(table.intern("?y"));
+    let b = q2.add_vertex(table.intern("Team"));
+    q2.add_edge(a, b, plays_for);
+    let q2r = reify_certain(&mut table, &q2);
+
+    for (name, q) in [("memberOf/Band query", &q1r), ("playsFor/Team query", &q2r)] {
+        for tau in [0u32, 1] {
+            let p = similarity_probability(&table, q, &g, tau);
+            println!("SimP_tau={tau}({name}) = {p:.2}");
+        }
+    }
+
+    // The certain-edge helper produces probability-1 fictitious vertices.
+    let plain = certain_edge(VertexId(0), VertexId(1), member_of);
+    assert_eq!(plain.alternatives.len(), 1);
+    println!("\nThe memberOf query dominates at every threshold, as expected.");
+}

@@ -1,0 +1,48 @@
+//! Template generation at workload scale: generates a QALD-like dataset,
+//! runs the SimJ join, builds templates and prints a case study in the
+//! style of Figs. 10/16 of the paper.
+//!
+//! Run with: `cargo run --release --example template_generation`
+
+use uqsj::pipeline::{generate_templates, join_quality};
+use uqsj::prelude::*;
+
+fn main() {
+    let dataset = uqsj::workload::qald_like(&DatasetConfig {
+        questions: 120,
+        distractors: 80,
+        ..Default::default()
+    });
+    println!(
+        "Workload: |U| = {} questions ({} failed analysis), |D| = {} SPARQL queries",
+        dataset.u_len(),
+        dataset.failed.len(),
+        dataset.d_len()
+    );
+
+    let params = JoinParams::simj(1, 0.7);
+    let result = generate_templates(&dataset, params);
+    let (correct, precision) = join_quality(&dataset, &result.matches);
+    println!(
+        "SimJ(tau={}, alpha={}): {} pairs returned, {} correct (precision {:.1}%)",
+        params.tau,
+        params.alpha,
+        result.matches.len(),
+        correct,
+        precision * 100.0
+    );
+    println!(
+        "Pruning: {} structural + {} probabilistic of {} pairs; {} candidates verified",
+        result.stats.pruned_structural,
+        result.stats.pruned_probabilistic,
+        result.stats.pairs_total,
+        result.stats.candidates
+    );
+    println!("\nGenerated {} distinct templates. A sample:\n", result.library.len());
+
+    for t in result.library.templates().iter().take(5) {
+        println!("NL pattern : {}", t.nl_pattern());
+        println!("SPARQL     : {}", t.sparql.to_string().replace('\n', "\n             "));
+        println!("confidence : {:.2}\n", t.confidence);
+    }
+}

@@ -1,0 +1,56 @@
+//! Synthetic uncertain-graph join: the three SimJ strategies on an
+//! Erdős–Rényi workload (a miniature of the Sec. 7.3 efficiency
+//! experiments).
+//!
+//! Run with: `cargo run --release --example uncertain_join`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uqsj::prelude::*;
+use uqsj::workload::{erdos_renyi, RandomGraphConfig};
+
+fn main() {
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(2015);
+    let cfg = RandomGraphConfig {
+        count: 60,
+        vertices: 10,
+        edges: 16,
+        avg_labels: 3.0,
+        perturbation: 2,
+        ..Default::default()
+    };
+    let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
+    println!(
+        "ER workload: |D| = {}, |U| = {}, {} vertices each, avg |L(v)| = {:.1}\n",
+        d.len(),
+        u.len(),
+        cfg.vertices,
+        u.iter().map(|g| g.avg_label_count()).sum::<f64>() / u.len() as f64
+    );
+
+    let tau = 3;
+    let alpha = 0.6;
+    println!("tau = {tau}, alpha = {alpha}");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "strategy", "candidates", "cand. ratio", "results", "pruning", "verification"
+    );
+    for (name, strategy) in [
+        ("CSS only", JoinStrategy::CssOnly),
+        ("SimJ", JoinStrategy::SimJ),
+        ("SimJ+opt", JoinStrategy::SimJOpt { group_count: 8 }),
+    ] {
+        let (matches, stats) =
+            sim_join(&table, &d, &u, JoinParams { tau, alpha, strategy });
+        println!(
+            "{:<10} {:>10} {:>11.2}% {:>10} {:>10.1?} {:>10.1?}",
+            name,
+            stats.candidates,
+            stats.candidate_ratio() * 100.0,
+            matches.len(),
+            stats.pruning_time,
+            stats.verification_time
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! `uqsj-cli` — file-driven access to the template pipeline.
+//!
+//! ```text
+//! uqsj-cli generate --out-dir artifacts [--questions N] [--distractors M]
+//!                   [--tau T] [--alpha A] [--seed S]
+//!     Generate a synthetic workload, run the SimJ join, and write
+//!     artifacts/templates.txt, artifacts/lexicon.txt, artifacts/kb.nt.
+//!
+//! uqsj-cli answer --dir artifacts --question "Which politician ...?"
+//!                 [--min-phi F]
+//!     Load the artifacts and answer a question with the templates.
+//!
+//! uqsj-cli join [--questions N] [--distractors M] [--tau T] [--alpha A]
+//!               [--strategy css|simj|opt]
+//!     Run the join only and print statistics.
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use uqsj::pipeline::{generate_templates, join_quality};
+use uqsj::prelude::*;
+use uqsj::workload::DatasetConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: uqsj-cli <generate|answer|join> [options]");
+        return ExitCode::FAILURE;
+    };
+    let opts = Options::parse(&args[1..]);
+    match command.as_str() {
+        "generate" => generate(&opts),
+        "answer" => answer(&opts),
+        "join" => join(&opts),
+        other => {
+            eprintln!("unknown command {other:?}; expected generate|answer|join");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs.
+struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Self {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            if let Some(key) = k.strip_prefix("--") {
+                if let Some(v) = it.next() {
+                    pairs.push((key.to_owned(), v.clone()));
+                }
+            }
+        }
+        Self { pairs }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn dataset_config(opts: &Options) -> DatasetConfig {
+    DatasetConfig {
+        questions: opts.num("questions", 150),
+        distractors: opts.num("distractors", 80),
+        max_relations: opts.num("max-relations", 3),
+        seed: opts.num("seed", 42),
+    }
+}
+
+fn join_params(opts: &Options) -> JoinParams {
+    let strategy = match opts.get("strategy").unwrap_or("simj") {
+        "css" => JoinStrategy::CssOnly,
+        "opt" => JoinStrategy::SimJOpt { group_count: opts.num("groups", 8) },
+        _ => JoinStrategy::SimJ,
+    };
+    JoinParams { tau: opts.num("tau", 1), alpha: opts.num("alpha", 0.7), strategy }
+}
+
+fn generate(opts: &Options) -> ExitCode {
+    let out_dir = PathBuf::from(opts.get("out-dir").unwrap_or("artifacts"));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let dataset = uqsj::workload::qald_like(&dataset_config(opts));
+    let params = join_params(opts);
+    let result = generate_templates(&dataset, params);
+    let (correct, precision) = join_quality(&dataset, &result.matches);
+    println!(
+        "join: {} pairs, {} correct (precision {:.1}%), {} templates",
+        result.matches.len(),
+        correct,
+        precision * 100.0,
+        result.library.len()
+    );
+
+    let write = |name: &str, contents: String| -> std::io::Result<()> {
+        std::fs::write(out_dir.join(name), contents)
+    };
+    let io = write("templates.txt", uqsj::template::io::to_text(&result.library))
+        .and_then(|()| write("lexicon.txt", uqsj::nlp::lexicon_io::to_text(&dataset.kb.lexicon)))
+        .and_then(|()| {
+            write("kb.nt", uqsj::rdf::ntriples::to_ntriples(&dataset.kb.triple_store()))
+        });
+    if let Err(e) = io {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote templates.txt, lexicon.txt, kb.nt to {}", out_dir.display());
+    ExitCode::SUCCESS
+}
+
+fn read(dir: &Path, name: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(dir.join(name)).map_err(|e| {
+        eprintln!("cannot read {}/{name}: {e}", dir.display());
+        ExitCode::FAILURE
+    })
+}
+
+fn answer(opts: &Options) -> ExitCode {
+    let Some(question) = opts.get("question") else {
+        eprintln!("answer requires --question \"...\"");
+        return ExitCode::FAILURE;
+    };
+    let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
+    let min_phi: f64 = opts.num("min-phi", 1.0);
+
+    let (templates, lexicon, kb) = match (
+        read(&dir, "templates.txt"),
+        read(&dir, "lexicon.txt"),
+        read(&dir, "kb.nt"),
+    ) {
+        (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+        _ => return ExitCode::FAILURE,
+    };
+    let library = match uqsj::template::io::from_text(&templates) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lexicon = match uqsj::nlp::lexicon_io::from_text(&lexicon) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut store = uqsj::rdf::TripleStore::new();
+    if let Err(e) = uqsj::rdf::ntriples::load_str(&mut store, &kb) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+
+    let out = uqsj::template::answer_question(&library, &lexicon, &store, question, min_phi);
+    match out.sparql {
+        Some(sparql) => {
+            println!("template #{} (phi {:.2})", out.template_index.unwrap_or(0), out.phi);
+            println!("{sparql}");
+            if out.answers.is_empty() {
+                println!("(no answers)");
+            }
+            for a in &out.answers {
+                println!("{a}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("no template matched the question");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn join(opts: &Options) -> ExitCode {
+    let dataset = uqsj::workload::qald_like(&dataset_config(opts));
+    let params = join_params(opts);
+    let (matches, stats) = sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
+    let (correct, precision) = join_quality(&dataset, &matches);
+    println!(
+        "pairs {} | structural prunes {} | probabilistic {} | grouped {} | candidates {} ({:.2}%)",
+        stats.pairs_total,
+        stats.pruned_structural,
+        stats.pruned_probabilistic,
+        stats.pruned_grouped,
+        stats.candidates,
+        stats.candidate_ratio() * 100.0
+    );
+    println!(
+        "results {} | correct {} | precision {:.1}% | prune {:?} | verify {:?}",
+        matches.len(),
+        correct,
+        precision * 100.0,
+        stats.pruning_time,
+        stats.verification_time
+    );
+    ExitCode::SUCCESS
+}

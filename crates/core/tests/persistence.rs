@@ -1,0 +1,64 @@
+//! Persistence round-trips at pipeline scale: a mined template library,
+//! the lexicon and the RDF dump must reload into an equivalent Q/A
+//! system (what `uqsj-cli generate` / `answer` rely on).
+
+use uqsj::pipeline::generate_templates;
+use uqsj::prelude::*;
+use uqsj::workload::DatasetConfig;
+
+#[test]
+fn artifacts_roundtrip_preserves_answers() {
+    let dataset = uqsj::workload::qald_like(&DatasetConfig {
+        questions: 50,
+        distractors: 20,
+        seed: 31,
+        ..Default::default()
+    });
+    let result = generate_templates(&dataset, JoinParams::simj(1, 0.6));
+    assert!(result.library.len() > 3);
+    let store = dataset.kb.triple_store();
+
+    // Serialize all three artifacts.
+    let templates_text = uqsj::template::io::to_text(&result.library);
+    let lexicon_text = uqsj::nlp::lexicon_io::to_text(&dataset.kb.lexicon);
+    let kb_text = uqsj::rdf::ntriples::to_ntriples(&store);
+
+    // Reload.
+    let library2 = uqsj::template::io::from_text(&templates_text).expect("templates parse");
+    let lexicon2 = uqsj::nlp::lexicon_io::from_text(&lexicon_text).expect("lexicon parses");
+    let mut store2 = uqsj::rdf::TripleStore::new();
+    uqsj::rdf::ntriples::load_str(&mut store2, &kb_text).expect("kb loads");
+    assert_eq!(library2.len(), result.library.len());
+    assert_eq!(store2.len(), store.len());
+
+    // Every question answered identically by the original and reloaded
+    // systems.
+    for pair in dataset.pairs.iter().take(30) {
+        let a = uqsj::template::answer_question(
+            &result.library,
+            &dataset.kb.lexicon,
+            &store,
+            &pair.question,
+            1.0,
+        );
+        let b =
+            uqsj::template::answer_question(&library2, &lexicon2, &store2, &pair.question, 1.0);
+        assert_eq!(a.answers, b.answers, "answers diverged for {:?}", pair.question);
+        assert_eq!(a.sparql.is_some(), b.sparql.is_some());
+    }
+}
+
+#[test]
+fn template_text_is_stable_under_reserialization() {
+    let dataset = uqsj::workload::qald_like(&DatasetConfig {
+        questions: 40,
+        distractors: 15,
+        seed: 33,
+        ..Default::default()
+    });
+    let result = generate_templates(&dataset, JoinParams::simj(1, 0.7));
+    let text1 = uqsj::template::io::to_text(&result.library);
+    let lib2 = uqsj::template::io::from_text(&text1).unwrap();
+    let text2 = uqsj::template::io::to_text(&lib2);
+    assert_eq!(text1, text2, "serialization must be a fixpoint");
+}

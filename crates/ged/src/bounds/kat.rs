@@ -1,0 +1,217 @@
+//! k-Adjacent-Tree (k-AT) count filter (Wang et al., TKDE'12 — "k-Adjacent
+//! Tree in \[21\]" of the paper's related work).
+//!
+//! Each vertex is summarized by the canonical serialization of its
+//! breadth-limited adjacency tree of depth `k`; similar graphs must share
+//! most trees. A single edit operation perturbs only the trees of
+//! vertices within distance `k` of the edited element — along an optimal
+//! edit path vertex degrees are bounded by `2Δ`, so at most
+//! `B = 2·(2Δ+1)^k` trees change per operation — giving the bound
+//! `lb = ⌈unmatched / B⌉`.
+//!
+//! Trees containing a wildcard label are *jokers*: they conservatively
+//! match any leftover tree on the other side (wildcards substitute for
+//! free, so counting them as mismatches would be unsound).
+
+use crate::bounds::LowerBound;
+use uqsj_graph::{Graph, SymbolTable, VertexId};
+
+/// Canonical serialization of the depth-`k` adjacency tree at `v`.
+/// Returns the string and whether any wildcard label occurs in it.
+pub fn kat_string(table: &SymbolTable, g: &Graph, v: VertexId, k: usize) -> (String, bool) {
+    let mut wild = table.is_wildcard(g.label(v));
+    let mut s = String::new();
+    s.push_str(table.name(g.label(v)));
+    if k == 0 {
+        return (s, wild);
+    }
+    let mut children: Vec<String> = Vec::new();
+    for e in g.out_edges(v) {
+        let (sub, w) = kat_string(table, g, e.dst, k - 1);
+        wild |= w || table.is_wildcard(e.label);
+        children.push(format!(">{}:{}", table.name(e.label), sub));
+    }
+    for e in g.in_edges(v) {
+        let (sub, w) = kat_string(table, g, e.src, k - 1);
+        wild |= w || table.is_wildcard(e.label);
+        children.push(format!("<{}:{}", table.name(e.label), sub));
+    }
+    children.sort_unstable();
+    s.push('(');
+    s.push_str(&children.join(","));
+    s.push(')');
+    (s, wild)
+}
+
+/// Number of `q` trees with no counterpart in `g` under the joker rule.
+fn unmatched_trees(table: &SymbolTable, q: &Graph, g: &Graph, k: usize) -> usize {
+    let collect = |graph: &Graph| -> (Vec<String>, usize) {
+        let mut ground = Vec::new();
+        let mut jokers = 0usize;
+        for v in graph.vertices() {
+            let (s, wild) = kat_string(table, graph, v, k);
+            if wild {
+                jokers += 1;
+            } else {
+                ground.push(s);
+            }
+        }
+        ground.sort_unstable();
+        (ground, jokers)
+    };
+    let (qg, qj) = collect(q);
+    let (gg, gj) = collect(g);
+    // Multiset intersection of ground trees.
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0;
+    while i < qg.len() && j < gg.len() {
+        match qg[i].cmp(&gg[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    // Leftover ground q-trees may still be absorbed by g's jokers; q's
+    // own jokers always match.
+    let q_rest = qg.len() - inter;
+    let _ = qj; // q's jokers always match something and never count
+    q_rest.saturating_sub(gj)
+}
+
+/// The k-AT GED lower bound.
+pub fn lb_ged_kat(table: &SymbolTable, q: &Graph, g: &Graph, k: usize) -> u32 {
+    let unmatched = unmatched_trees(table, q, g, k);
+    let max_deg = q
+        .vertices()
+        .map(|v| q.degree(v))
+        .chain(g.vertices().map(|v| g.degree(v)))
+        .max()
+        .unwrap_or(0);
+    let budget = 2 * (2 * max_deg + 1).pow(k as u32).max(1);
+    (unmatched.div_ceil(budget)) as u32
+}
+
+/// [`LowerBound`] adapter with depth 2 (structure-only for uncertain
+/// graphs).
+#[derive(Clone, Copy, Debug)]
+pub struct KatBound {
+    /// Tree depth `k`.
+    pub depth: usize,
+}
+
+impl Default for KatBound {
+    fn default() -> Self {
+        Self { depth: 2 }
+    }
+}
+
+impl LowerBound for KatBound {
+    fn name(&self) -> &'static str {
+        "kAT"
+    }
+
+    fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+        lb_ged_kat(table, q, g, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::ged;
+    use uqsj_graph::GraphBuilder;
+
+    #[test]
+    fn identical_graphs_zero() {
+        let mut t = SymbolTable::new();
+        let mk = |t: &mut SymbolTable| {
+            let mut b = GraphBuilder::new(t);
+            b.vertex("a", "A");
+            b.vertex("b", "B");
+            b.vertex("c", "C");
+            b.edge("a", "b", "p");
+            b.edge("b", "c", "q");
+            b.into_graph()
+        };
+        let q = mk(&mut t);
+        let g = mk(&mut t);
+        for k in [1usize, 2, 3] {
+            assert_eq!(lb_ged_kat(&t, &q, &g, k), 0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn serialization_is_order_independent() {
+        let mut t = SymbolTable::new();
+        let mut b1 = GraphBuilder::new(&mut t);
+        b1.vertex("a", "A");
+        b1.vertex("b", "B");
+        b1.vertex("c", "C");
+        b1.edge("a", "b", "p");
+        b1.edge("a", "c", "q");
+        let g1 = b1.into_graph();
+        let mut b2 = GraphBuilder::new(&mut t);
+        b2.vertex("a", "A");
+        b2.vertex("c", "C");
+        b2.vertex("b", "B");
+        b2.edge("a", "c", "q");
+        b2.edge("a", "b", "p");
+        let g2 = b2.into_graph();
+        let (s1, _) = kat_string(&t, &g1, VertexId(0), 2);
+        let (s2, _) = kat_string(&t, &g2, VertexId(0), 2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn wildcards_make_jokers() {
+        let mut t = SymbolTable::new();
+        let mut b1 = GraphBuilder::new(&mut t);
+        b1.vertex("a", "?x");
+        let q = b1.into_graph();
+        let mut b2 = GraphBuilder::new(&mut t);
+        b2.vertex("a", "Z");
+        let g = b2.into_graph();
+        // ged(q, g) = 0 (wildcard substitutes freely); the bound must not
+        // exceed it.
+        assert_eq!(ged(&t, &q, &g).distance, 0);
+        assert_eq!(lb_ged_kat(&t, &q, &g, 2), 0);
+    }
+
+    #[test]
+    fn kat_is_admissible_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut t = SymbolTable::new();
+        let labels = ["A", "B", "?x"].map(|l| t.intern(l));
+        let elabels = ["p", "q"].map(|l| t.intern(l));
+        let mut rng = SmallRng::seed_from_u64(29);
+        for _ in 0..80 {
+            let mk = |rng: &mut SmallRng| {
+                let n = rng.gen_range(1..5);
+                let mut g = Graph::new();
+                for _ in 0..n {
+                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        if s != d && rng.gen_bool(0.3) {
+                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                        }
+                    }
+                }
+                g
+            };
+            let q = mk(&mut rng);
+            let g = mk(&mut rng);
+            let exact = ged(&t, &q, &g).distance;
+            for k in [1usize, 2] {
+                let lb = lb_ged_kat(&t, &q, &g, k);
+                assert!(lb <= exact, "kat(k={k}) lb={lb} > exact={exact}");
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Partition-based lower bound (Zhao et al., PVLDB'13 — "Pars", \[30\] in
+//! the paper).
+//!
+//! The query graph is decomposed into vertex-disjoint connected partitions
+//! (each partition keeps the edges internal to it; cross-partition edges
+//! belong to no partition). Any single edit operation can damage at most
+//! one partition, so the number of partitions that are *not* structurally
+//! contained (label-aware subgraph isomorphic) in the other graph is a
+//! valid GED lower bound.
+
+use crate::bounds::LowerBound;
+use uqsj_graph::{Graph, SymbolTable, VertexId};
+
+/// One partition: vertices (ids into the source graph) and internal edges
+/// (indexes into the source graph's edge list).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Member vertices.
+    pub vertices: Vec<VertexId>,
+    /// Indexes of internal edges.
+    pub edges: Vec<usize>,
+}
+
+/// Decompose `g` into connected partitions of at most `max_size` vertices
+/// by BFS chunking.
+pub fn partition_graph(g: &Graph, max_size: usize) -> Vec<Partition> {
+    assert!(max_size >= 1);
+    let n = g.vertex_count();
+    let mut assigned = vec![false; n];
+    let mut part_of = vec![usize::MAX; n];
+    let mut parts: Vec<Vec<VertexId>> = Vec::new();
+    for start in 0..n {
+        if assigned[start] {
+            continue;
+        }
+        let mut current = Vec::with_capacity(max_size);
+        let mut frontier = vec![start];
+        assigned[start] = true;
+        while let Some(v) = frontier.pop() {
+            part_of[v] = parts.len();
+            current.push(VertexId(v as u32));
+            if current.len() == max_size {
+                break;
+            }
+            let vid = VertexId(v as u32);
+            for e in g.out_edges(vid).chain(g.in_edges(vid)) {
+                for u in [e.src, e.dst] {
+                    if !assigned[u.index()] {
+                        assigned[u.index()] = true;
+                        frontier.push(u.index());
+                    }
+                }
+            }
+        }
+        // Vertices still in the frontier belong to a later partition.
+        for v in frontier {
+            assigned[v] = false;
+        }
+        parts.push(current);
+    }
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(pi, vertices)| {
+            let edges = g
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| part_of[e.src.index()] == pi && part_of[e.dst.index()] == pi)
+                .map(|(i, _)| i)
+                .collect();
+            Partition { vertices, edges }
+        })
+        .collect()
+}
+
+/// Test whether a partition of `q` is label-aware subgraph-isomorphic to
+/// `g` (backtracking; partitions are tiny by construction).
+pub fn partition_contained(
+    table: &SymbolTable,
+    q: &Graph,
+    part: &Partition,
+    g: &Graph,
+) -> bool {
+    let k = part.vertices.len();
+    let mut mapping: Vec<Option<VertexId>> = vec![None; k];
+    let mut used = vec![false; g.vertex_count()];
+    // Internal edges grouped by local endpoint indexes.
+    let local: std::collections::HashMap<u32, usize> = part
+        .vertices
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.0, i))
+        .collect();
+    let edges: Vec<(usize, usize, uqsj_graph::Symbol)> = part
+        .edges
+        .iter()
+        .map(|&ei| {
+            let e = &q.edges()[ei];
+            (local[&e.src.0], local[&e.dst.0], e.label)
+        })
+        .collect();
+
+    #[allow(clippy::too_many_arguments)] // recursive search state
+    fn backtrack(
+        table: &SymbolTable,
+        i: usize,
+        part: &Partition,
+        q: &Graph,
+        g: &Graph,
+        edges: &[(usize, usize, uqsj_graph::Symbol)],
+        mapping: &mut Vec<Option<VertexId>>,
+        used: &mut Vec<bool>,
+    ) -> bool {
+        if i == part.vertices.len() {
+            return true;
+        }
+        let ql = q.label(part.vertices[i]);
+        for cand in g.vertices() {
+            if used[cand.index()] || !uqsj_graph::labels_match(table, ql, g.label(cand)) {
+                continue;
+            }
+            // Check edges touching i whose other endpoint is mapped.
+            let ok = edges.iter().all(|&(s, d, l)| {
+                let (ms, md) = (
+                    if s == i { Some(cand) } else { mapping[s] },
+                    if d == i { Some(cand) } else { mapping[d] },
+                );
+                match (ms, md) {
+                    (Some(a), Some(b)) if s == i || d == i => g
+                        .edge_labels_between(a, b)
+                        .iter()
+                        .any(|&el| uqsj_graph::labels_match(table, l, el)),
+                    _ => true,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            mapping[i] = Some(cand);
+            used[cand.index()] = true;
+            if backtrack(table, i + 1, part, q, g, edges, mapping, used) {
+                return true;
+            }
+            mapping[i] = None;
+            used[cand.index()] = false;
+        }
+        false
+    }
+
+    backtrack(table, 0, part, q, g, &edges, &mut mapping, &mut used)
+}
+
+/// The partition-based lower bound: the number of partitions of `q` (of
+/// size at most `max_size`) not contained in `g`.
+pub fn lb_ged_partition(table: &SymbolTable, q: &Graph, g: &Graph, max_size: usize) -> u32 {
+    partition_graph(q, max_size)
+        .iter()
+        .filter(|p| !partition_contained(table, q, p, g))
+        .count() as u32
+}
+
+/// [`LowerBound`] adapter with partition size 2 (structure-only for
+/// uncertain graphs).
+#[derive(Clone, Copy, Debug)]
+pub struct ParsBound {
+    /// Maximum partition size.
+    pub max_size: usize,
+}
+
+impl Default for ParsBound {
+    fn default() -> Self {
+        Self { max_size: 2 }
+    }
+}
+
+impl LowerBound for ParsBound {
+    fn name(&self) -> &'static str {
+        "Pars"
+    }
+
+    fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+        lb_ged_partition(table, q, g, self.max_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::ged;
+    use uqsj_graph::GraphBuilder;
+
+    #[test]
+    fn partitions_cover_all_vertices_disjointly() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        for i in 0..7 {
+            b.vertex(&format!("v{i}"), "A");
+        }
+        for i in 0..6 {
+            b.edge(&format!("v{i}"), &format!("v{}", i + 1), "p");
+        }
+        let g = b.into_graph();
+        let parts = partition_graph(&g, 3);
+        let mut seen = [false; 7];
+        for p in &parts {
+            assert!(p.vertices.len() <= 3);
+            for v in &p.vertices {
+                assert!(!seen[v.index()], "vertex in two partitions");
+                seen[v.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn containment_finds_identity() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("a", "A");
+        b.vertex("b", "B");
+        b.edge("a", "b", "p");
+        let g = b.into_graph();
+        let parts = partition_graph(&g, 2);
+        for p in &parts {
+            assert!(partition_contained(&t, &g, p, &g));
+        }
+        assert_eq!(lb_ged_partition(&t, &g, &g, 2), 0);
+    }
+
+    #[test]
+    fn pars_is_admissible_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut t = SymbolTable::new();
+        let labels = ["A", "B", "C"].map(|l| t.intern(l));
+        let elabels = ["p", "q"].map(|l| t.intern(l));
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..60 {
+            let mk = |rng: &mut SmallRng| {
+                let n = rng.gen_range(1..5);
+                let mut g = Graph::new();
+                for _ in 0..n {
+                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        if s != d && rng.gen_bool(0.3) {
+                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                        }
+                    }
+                }
+                g
+            };
+            let q = mk(&mut rng);
+            let g = mk(&mut rng);
+            for size in [1, 2, 3] {
+                let lb = lb_ged_partition(&t, &q, &g, size);
+                let exact = ged(&t, &q, &g).distance;
+                assert!(lb <= exact, "pars lb={lb} > exact={exact} (size {size})");
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Path q-gram count filter (Zhao et al., ICDE'12 — "paths in \[31\]").
+//!
+//! Every edge contributes one 1-path gram `(l(src), l(edge), l(dst))`.
+//! A single edit operation destroys or alters at most `D` grams, where
+//! `D = max(1, Δ)` and `Δ` is the maximum vertex degree across both graphs
+//! (a vertex-label substitution touches every incident path). Hence if
+//! `ged(q, g) = k`, the two gram multisets share at least
+//! `max(|P_q|, |P_g|) − k·D` grams, giving the lower bound
+//! `lb = ⌈(max(|P_q|, |P_g|) − common) / D⌉`.
+
+use crate::bounds::LowerBound;
+use uqsj_graph::{Graph, Symbol, SymbolTable};
+
+/// The multiset of 1-path grams of a graph, sorted.
+pub fn path_grams(g: &Graph) -> Vec<(Symbol, Symbol, Symbol)> {
+    let mut grams: Vec<(Symbol, Symbol, Symbol)> = g
+        .edges()
+        .iter()
+        .map(|e| (g.label(e.src), e.label, g.label(e.dst)))
+        .collect();
+    grams.sort_unstable();
+    grams
+}
+
+/// Number of common grams; wildcard-containing grams are matched
+/// conservatively (they count as common with any remaining gram).
+fn common_grams(
+    table: &SymbolTable,
+    a: &[(Symbol, Symbol, Symbol)],
+    b: &[(Symbol, Symbol, Symbol)],
+) -> usize {
+    type Gram = (Symbol, Symbol, Symbol);
+    let has_wild =
+        |g: &Gram| table.is_wildcard(g.0) || table.is_wildcard(g.1) || table.is_wildcard(g.2);
+    let (aw, an): (Vec<&Gram>, Vec<&Gram>) = a.iter().partition(|g| has_wild(g));
+    let (bw, bn): (Vec<&Gram>, Vec<&Gram>) = b.iter().partition(|g| has_wild(g));
+    // Exact intersection of fully-ground grams.
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0;
+    while i < an.len() && j < bn.len() {
+        match an[i].cmp(bn[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    // Wildcard grams conservatively match anything left over.
+    let a_rest = an.len() - inter;
+    let b_rest = bn.len() - inter;
+    let x = aw.len().min(b_rest);
+    let z = bw.len().min(a_rest);
+    let y = (aw.len() - x).min(bw.len() - z);
+    inter + x + z + y
+}
+
+/// The path-gram GED lower bound.
+pub fn lb_ged_path(table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+    let pq = path_grams(q);
+    let pg = path_grams(g);
+    let common = common_grams(table, &pq, &pg);
+    let deficit = pq.len().max(pg.len()) - common;
+    let max_deg = q
+        .vertices()
+        .map(|v| q.degree(v))
+        .chain(g.vertices().map(|v| g.degree(v)))
+        .max()
+        .unwrap_or(0);
+    let d = max_deg.max(1);
+    (deficit.div_ceil(d)) as u32
+}
+
+/// [`LowerBound`] adapter (structure-only for uncertain graphs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathBound;
+
+impl LowerBound for PathBound {
+    fn name(&self) -> &'static str {
+        "Path"
+    }
+
+    fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+        lb_ged_path(table, q, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::ged;
+    use uqsj_graph::{GraphBuilder, VertexId};
+
+    #[test]
+    fn identical_graphs_zero() {
+        let mut t = SymbolTable::new();
+        let mk = |t: &mut SymbolTable| {
+            let mut b = GraphBuilder::new(t);
+            b.vertex("a", "A");
+            b.vertex("b", "B");
+            b.edge("a", "b", "p");
+            b.into_graph()
+        };
+        let q = mk(&mut t);
+        let g = mk(&mut t);
+        assert_eq!(lb_ged_path(&t, &q, &g), 0);
+    }
+
+    #[test]
+    fn detects_label_difference() {
+        let mut t = SymbolTable::new();
+        let mut b1 = GraphBuilder::new(&mut t);
+        b1.vertex("a", "A");
+        b1.vertex("b", "B");
+        b1.edge("a", "b", "p");
+        let q = b1.into_graph();
+        let mut b2 = GraphBuilder::new(&mut t);
+        b2.vertex("a", "A");
+        b2.vertex("b", "C");
+        b2.edge("a", "b", "p");
+        let g = b2.into_graph();
+        assert!(lb_ged_path(&t, &q, &g) >= 1);
+    }
+
+    #[test]
+    fn path_is_admissible_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut t = SymbolTable::new();
+        let labels = ["A", "B", "?x"].map(|l| t.intern(l));
+        let elabels = ["p", "q"].map(|l| t.intern(l));
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..80 {
+            let mk = |rng: &mut SmallRng| {
+                let n = rng.gen_range(1..5);
+                let mut g = Graph::new();
+                for _ in 0..n {
+                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        if s != d && rng.gen_bool(0.3) {
+                            g.add_edge(
+                                VertexId(s as u32),
+                                VertexId(d as u32),
+                                elabels[rng.gen_range(0..2)],
+                            );
+                        }
+                    }
+                }
+                g
+            };
+            let q = mk(&mut rng);
+            let g = mk(&mut rng);
+            let lb = lb_ged_path(&t, &q, &g);
+            let exact = ged(&t, &q, &g).distance;
+            assert!(lb <= exact, "path lb={lb} > exact={exact}");
+        }
+    }
+}

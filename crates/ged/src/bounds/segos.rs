@@ -1,0 +1,127 @@
+//! SEGOS-style cascaded star filter (Wang et al., ICDE'12 — \[22\] in the
+//! paper).
+//!
+//! SEGOS organizes star structures in a two-level inverted index and
+//! cascades a cheap count-based filter before the exact star-mapping
+//! (Hungarian) distance. Operating per pair (as the join here does), the
+//! cascade becomes: (1) a coarse *unmatched-star count* filter — stars of
+//! `q` with no compatible star anywhere in `g` must be edited; (2) if the
+//! coarse bound cannot decide, the exact c-star assignment bound. The
+//! returned bound is the maximum of the two stages.
+
+use crate::bounds::cstar::{lb_ged_cstar, star_distance, stars};
+use crate::bounds::LowerBound;
+use uqsj_graph::{Graph, SymbolTable};
+
+/// Stage 1: stars of `q` with no zero-distance counterpart in `g`, scaled
+/// by the per-operation star budget. Every unmatched star of `q` must have
+/// been touched by some edit operation, and one operation touches at most
+/// `2Δ+1` stars of `q` (a vertex relabel reaches its neighbors, whose
+/// degree along an optimal edit path is bounded by the sum of their `q`
+/// and `g` degrees), so `⌈unmatched / max(4, 2Δ+1)⌉` is a valid bound.
+pub fn lb_ged_star_count(table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+    let sq = stars(q);
+    let sg = stars(g);
+    let unmatched = sq
+        .iter()
+        .filter(|a| !sg.iter().any(|b| star_distance(table, a, b) == 0))
+        .count();
+    let max_deg = q
+        .vertices()
+        .map(|v| q.degree(v))
+        .chain(g.vertices().map(|v| g.degree(v)))
+        .max()
+        .unwrap_or(0);
+    let denom = 4usize.max(2 * max_deg + 1);
+    unmatched.div_ceil(denom) as u32
+}
+
+/// The cascaded SEGOS-style bound.
+pub fn lb_ged_segos(table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+    let coarse = lb_ged_star_count(table, q, g);
+    let fine = lb_ged_cstar(table, q, g);
+    coarse.max(fine)
+}
+
+/// [`LowerBound`] adapter (structure-only for uncertain graphs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SegosBound;
+
+impl LowerBound for SegosBound {
+    fn name(&self) -> &'static str {
+        "SEGOS"
+    }
+
+    fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+        lb_ged_segos(table, q, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::ged;
+    use uqsj_graph::{GraphBuilder, VertexId};
+
+    #[test]
+    fn identical_graphs_zero() {
+        let mut t = SymbolTable::new();
+        let mk = |t: &mut SymbolTable| {
+            let mut b = GraphBuilder::new(t);
+            b.vertex("a", "A");
+            b.vertex("b", "B");
+            b.edge("a", "b", "p");
+            b.into_graph()
+        };
+        let q = mk(&mut t);
+        let g = mk(&mut t);
+        assert_eq!(lb_ged_segos(&t, &q, &g), 0);
+    }
+
+    #[test]
+    fn segos_dominates_cstar_stage() {
+        let mut t = SymbolTable::new();
+        let mut b1 = GraphBuilder::new(&mut t);
+        b1.vertex("a", "A");
+        b1.vertex("b", "B");
+        b1.edge("a", "b", "p");
+        let q = b1.into_graph();
+        let mut b2 = GraphBuilder::new(&mut t);
+        b2.vertex("a", "X");
+        b2.vertex("b", "Y");
+        b2.edge("a", "b", "r");
+        let g = b2.into_graph();
+        assert!(lb_ged_segos(&t, &q, &g) >= lb_ged_cstar(&t, &q, &g));
+    }
+
+    #[test]
+    fn segos_is_admissible_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut t = SymbolTable::new();
+        let labels = ["A", "B", "C"].map(|l| t.intern(l));
+        let elabels = ["p", "q"].map(|l| t.intern(l));
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..60 {
+            let mk = |rng: &mut SmallRng| {
+                let n = rng.gen_range(1..5);
+                let mut g = uqsj_graph::Graph::new();
+                for _ in 0..n {
+                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        if s != d && rng.gen_bool(0.3) {
+                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                        }
+                    }
+                }
+                g
+            };
+            let q = mk(&mut rng);
+            let g = mk(&mut rng);
+            let lb = lb_ged_segos(&t, &q, &g);
+            let exact = ged(&t, &q, &g).distance;
+            assert!(lb <= exact, "segos lb={lb} > exact={exact}");
+        }
+    }
+}

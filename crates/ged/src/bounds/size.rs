@@ -1,0 +1,55 @@
+//! Vertex/edge-count global filter (Zeng et al., VLDB'09 — \[29\] in the
+//! paper): editing cannot change counts faster than one per operation.
+
+use crate::bounds::LowerBound;
+use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+
+/// `| |V(q)| - |V(g)| | + | |E(q)| - |E(g)| |`.
+pub fn lb_ged_size(q: &Graph, g: &Graph) -> u32 {
+    let dv = (q.vertex_count() as i64 - g.vertex_count() as i64).unsigned_abs() as u32;
+    let de = (q.edge_count() as i64 - g.edge_count() as i64).unsigned_abs() as u32;
+    dv + de
+}
+
+/// [`LowerBound`] adapter. The structure of an uncertain graph is certain,
+/// so this bound needs no structure-only lift.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SizeBound;
+
+impl LowerBound for SizeBound {
+    fn name(&self) -> &'static str {
+        "Size"
+    }
+
+    fn certain(&self, _table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
+        lb_ged_size(q, g)
+    }
+
+    fn uncertain(&self, _table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> u32 {
+        let dv = (q.vertex_count() as i64 - g.vertex_count() as i64).unsigned_abs() as u32;
+        let de = (q.edge_count() as i64 - g.edge_count() as i64).unsigned_abs() as u32;
+        dv + de
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::ged;
+    use uqsj_graph::GraphBuilder;
+
+    #[test]
+    fn size_bound_examples() {
+        let mut t = SymbolTable::new();
+        let mut b1 = GraphBuilder::new(&mut t);
+        b1.vertex("a", "A");
+        let q = b1.into_graph();
+        let mut b2 = GraphBuilder::new(&mut t);
+        b2.vertex("a", "A");
+        b2.vertex("b", "B");
+        b2.edge("a", "b", "p");
+        let g = b2.into_graph();
+        assert_eq!(lb_ged_size(&q, &g), 2);
+        assert!(lb_ged_size(&q, &g) <= ged(&t, &q, &g).distance);
+    }
+}

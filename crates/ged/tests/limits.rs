@@ -1,0 +1,82 @@
+//! Limit and failure-mode tests: documented panics fire, and the search
+//! behaves at its boundaries.
+
+use uqsj_graph::{Graph, SymbolTable};
+
+#[test]
+#[should_panic(expected = "up to 128 vertices")]
+fn astar_rejects_oversized_graphs() {
+    let mut t = SymbolTable::new();
+    let l = t.intern("A");
+    let small = {
+        let mut g = Graph::new();
+        g.add_vertex(l);
+        g
+    };
+    let mut big = Graph::new();
+    for _ in 0..129 {
+        big.add_vertex(l);
+    }
+    let _ = uqsj_ged::ged(&t, &small, &big);
+}
+
+#[test]
+fn astar_handles_exactly_128_distinct_vertices() {
+    // 128 distinctly-labeled vertices: at τ = 0 every wrong assignment
+    // costs immediately, so the search follows the single zero-cost path.
+    // (With *identical* labels the zero-cost tie space is combinatorial —
+    // that regime is what the filtering bounds exist to avoid.)
+    let mut t = SymbolTable::new();
+    let labels: Vec<_> = (0..128).map(|i| t.intern(&format!("L{i}"))).collect();
+    let mk = || {
+        let mut g = Graph::new();
+        for &l in &labels {
+            g.add_vertex(l);
+        }
+        g
+    };
+    let (a, b) = (mk(), mk());
+    let r = uqsj_ged::ged_bounded(&t, &a, &b, 0).expect("identical graphs");
+    assert_eq!(r.distance, 0);
+}
+
+#[test]
+fn world_count_saturates_instead_of_overflowing() {
+    use uqsj_graph::{LabelAlternative, UncertainGraph, UncertainVertex};
+    let mut t = SymbolTable::new();
+    let mut g = UncertainGraph::new();
+    // 200 vertices with 4 alternatives each: 4^200 >> u128::MAX.
+    let alts: Vec<LabelAlternative> = (0..4)
+        .map(|i| LabelAlternative { label: t.intern(&format!("L{i}")), prob: 0.25 })
+        .collect();
+    for _ in 0..200 {
+        g.add_vertex(UncertainVertex { alternatives: alts.clone() });
+    }
+    assert_eq!(g.world_count(), u128::MAX, "must saturate");
+}
+
+#[test]
+fn bounded_search_at_tau_zero_is_isomorphism_mod_wildcards() {
+    // τ=0 decision doubles as a labeled-isomorphism test — used by the
+    // "matches modulo entity phrases" correctness judgment.
+    let mut t = SymbolTable::new();
+    let a_lbl = t.intern("A");
+    let b_lbl = t.intern("B");
+    let p = t.intern("p");
+    let mut g1 = Graph::new();
+    let x = g1.add_vertex(a_lbl);
+    let y = g1.add_vertex(b_lbl);
+    g1.add_edge(x, y, p);
+    // Same graph with vertex order swapped.
+    let mut g2 = Graph::new();
+    let y2 = g2.add_vertex(b_lbl);
+    let x2 = g2.add_vertex(a_lbl);
+    g2.add_edge(x2, y2, p);
+    assert!(uqsj_ged::ged_bounded(&t, &g1, &g2, 0).is_some());
+    // And a non-isomorphic variant fails.
+    let mut g3 = Graph::new();
+    let x3 = g3.add_vertex(a_lbl);
+    let y3 = g3.add_vertex(b_lbl);
+    g3.add_edge(y3, x3, p); // reversed edge
+    assert!(uqsj_ged::ged_bounded(&t, &g1, &g3, 0).is_none());
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the GED machinery: every lower bound must be
+//! admissible (never exceed the exact distance), the CSS bound must
+//! dominate the label-multiset bound (Theorem 2 of the paper), and the
+//! uncertain CSS bound must hold uniformly over possible worlds
+//! (Theorem 3).
+
+use proptest::prelude::*;
+use uqsj_ged::astar::ged;
+use uqsj_ged::bounds::css::{lb_ged_css_certain, lb_ged_css_uncertain};
+use uqsj_ged::bounds::cstar::lb_ged_cstar;
+use uqsj_ged::bounds::label_multiset::lb_ged_label_multiset;
+use uqsj_ged::bounds::kat::lb_ged_kat;
+use uqsj_ged::bounds::partition::lb_ged_partition;
+use uqsj_ged::bounds::path_gram::lb_ged_path;
+use uqsj_ged::bounds::segos::lb_ged_segos;
+use uqsj_ged::bounds::size::lb_ged_size;
+use uqsj_graph::{Graph, LabelAlternative, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
+
+const VLABELS: [&str; 5] = ["A", "B", "C", "D", "?x"];
+const ELABELS: [&str; 3] = ["p", "q", "r"];
+
+/// Strategy: a small random labeled digraph described as
+/// (vertex label indexes, edges (src, dst, edge label index)).
+fn graph_strategy(max_v: usize) -> impl Strategy<Value = (Vec<u8>, Vec<(u8, u8, u8)>)> {
+    (1..=max_v).prop_flat_map(move |n| {
+        let vertices = prop::collection::vec(0u8..VLABELS.len() as u8, n);
+        let edges = prop::collection::vec(
+            (0..n as u8, 0..n as u8, 0u8..ELABELS.len() as u8),
+            0..=(n * 2).min(6),
+        );
+        (vertices, edges)
+    })
+}
+
+fn build(table: &mut SymbolTable, vl: &[u8], el: &[(u8, u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for &v in vl {
+        let s = table.intern(VLABELS[v as usize]);
+        g.add_vertex(s);
+    }
+    for &(s, d, l) in el {
+        if s != d {
+            let sym = table.intern(ELABELS[l as usize]);
+            g.add_edge(VertexId(s as u32), VertexId(d as u32), sym);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_certain_bounds_are_admissible(
+        a in graph_strategy(4),
+        b in graph_strategy(4),
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build(&mut t, &a.0, &a.1);
+        let g = build(&mut t, &b.0, &b.1);
+        let exact = ged(&t, &q, &g).distance;
+        prop_assert!(lb_ged_size(&q, &g) <= exact, "size bound");
+        prop_assert!(lb_ged_label_multiset(&t, &q, &g) <= exact, "LM bound");
+        prop_assert!(lb_ged_css_certain(&t, &q, &g) <= exact, "CSS bound");
+        prop_assert!(lb_ged_cstar(&t, &q, &g) <= exact, "c-star bound");
+        prop_assert!(lb_ged_path(&t, &q, &g) <= exact, "path bound");
+        prop_assert!(lb_ged_segos(&t, &q, &g) <= exact, "SEGOS bound");
+        for size in [1usize, 2, 3] {
+            prop_assert!(lb_ged_partition(&t, &q, &g, size) <= exact, "Pars bound size {size}");
+        }
+        for k in [1usize, 2] {
+            prop_assert!(lb_ged_kat(&t, &q, &g, k) <= exact, "k-AT bound depth {k}");
+        }
+    }
+
+    #[test]
+    fn theorem2_css_dominates_label_multiset(
+        a in graph_strategy(5),
+        b in graph_strategy(5),
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build(&mut t, &a.0, &a.1);
+        let g = build(&mut t, &b.0, &b.1);
+        prop_assert!(
+            lb_ged_css_certain(&t, &q, &g) >= lb_ged_label_multiset(&t, &q, &g),
+            "Theorem 2 violated"
+        );
+    }
+
+    #[test]
+    fn ged_is_symmetric_and_zero_on_identity(
+        a in graph_strategy(4),
+        b in graph_strategy(4),
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build(&mut t, &a.0, &a.1);
+        let g = build(&mut t, &b.0, &b.1);
+        let d_qg = ged(&t, &q, &g).distance;
+        let d_gq = ged(&t, &g, &q).distance;
+        prop_assert_eq!(d_qg, d_gq, "GED must be symmetric");
+        prop_assert_eq!(ged(&t, &q, &q).distance, 0, "self distance");
+    }
+
+    #[test]
+    fn bounded_ged_agrees_with_exact(
+        a in graph_strategy(4),
+        b in graph_strategy(4),
+        tau in 0u32..6,
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build(&mut t, &a.0, &a.1);
+        let g = build(&mut t, &b.0, &b.1);
+        let exact = ged(&t, &q, &g).distance;
+        match uqsj_ged::ged_bounded(&t, &q, &g, tau) {
+            Some(r) => {
+                prop_assert_eq!(r.distance, exact);
+                prop_assert!(exact <= tau);
+            }
+            None => prop_assert!(exact > tau),
+        }
+    }
+
+    #[test]
+    fn theorem3_uncertain_css_holds_in_every_world(
+        a in graph_strategy(3),
+        b in graph_strategy(3),
+        extra in prop::collection::vec((0u8..4, 0u8..4), 0..3),
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build(&mut t, &a.0, &a.1);
+        let base = build(&mut t, &b.0, &b.1);
+        // Make `base` uncertain by giving some vertices extra labels.
+        let mut u = UncertainGraph::new();
+        for v in base.vertices() {
+            let mut alts = vec![LabelAlternative { label: base.label(v), prob: 0.5 }];
+            for &(vi, li) in &extra {
+                if vi as usize == v.index() && alts.len() < 3 {
+                    let l = t.intern(VLABELS[li as usize]);
+                    if alts.iter().all(|a| a.label != l) {
+                        alts.push(LabelAlternative { label: l, prob: 0.5 / 2.0 });
+                    }
+                }
+            }
+            u.add_vertex(UncertainVertex { alternatives: alts });
+        }
+        for e in base.edges() {
+            u.add_edge(e.src, e.dst, e.label);
+        }
+        let lb = lb_ged_css_uncertain(&t, &q, &u);
+        for w in u.possible_worlds() {
+            let exact = ged(&t, &q, &w.graph).distance;
+            prop_assert!(lb <= exact, "Theorem 3 violated: lb={} exact={}", lb, exact);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Ergonomic string-based construction of graphs for tests, examples and
+//! workload generators.
+
+use crate::certain::{Graph, VertexId};
+use crate::interner::SymbolTable;
+use crate::uncertain::{LabelAlternative, UncertainGraph, UncertainVertex};
+use std::collections::HashMap;
+
+/// Builds a [`Graph`] (and optionally an [`UncertainGraph`]) from string
+/// labels, interning through a shared [`SymbolTable`].
+///
+/// Vertices are identified by a caller-chosen string key, so edges can be
+/// declared before worrying about vertex ids:
+///
+/// ```
+/// use uqsj_graph::{GraphBuilder, SymbolTable};
+/// let mut table = SymbolTable::new();
+/// let mut b = GraphBuilder::new(&mut table);
+/// b.vertex("x", "?x");
+/// b.vertex("c", "City");
+/// b.edge("x", "c", "locatedIn");
+/// let g = b.into_graph();
+/// assert_eq!(g.vertex_count(), 2);
+/// ```
+pub struct GraphBuilder<'t> {
+    table: &'t mut SymbolTable,
+    graph: Graph,
+    uncertain: UncertainGraph,
+    keys: HashMap<String, VertexId>,
+}
+
+impl<'t> GraphBuilder<'t> {
+    /// Start building with the given symbol table.
+    pub fn new(table: &'t mut SymbolTable) -> Self {
+        Self { table, graph: Graph::new(), uncertain: UncertainGraph::new(), keys: HashMap::new() }
+    }
+
+    /// Declare a certain vertex with key `key` and label `label`.
+    /// Re-declaring an existing key is an error.
+    ///
+    /// # Panics
+    /// Panics if `key` was already declared.
+    pub fn vertex(&mut self, key: &str, label: &str) -> VertexId {
+        let sym = self.table.intern(label);
+        let id = self.graph.add_vertex(sym);
+        let uid = self.uncertain.add_certain_vertex(sym);
+        debug_assert_eq!(id, uid);
+        let prev = self.keys.insert(key.to_owned(), id);
+        assert!(prev.is_none(), "duplicate vertex key {key:?}");
+        id
+    }
+
+    /// Declare an uncertain vertex with alternatives `(label, prob)`.
+    /// In the certain view the highest-probability label is used.
+    ///
+    /// # Panics
+    /// Panics if `key` is duplicated or `alts` is empty.
+    pub fn uncertain_vertex(&mut self, key: &str, alts: &[(&str, f64)]) -> VertexId {
+        assert!(!alts.is_empty(), "uncertain vertex needs alternatives");
+        let alternatives: Vec<LabelAlternative> = alts
+            .iter()
+            .map(|(l, p)| LabelAlternative { label: self.table.intern(l), prob: *p })
+            .collect();
+        let best = alternatives
+            .iter()
+            .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("NaN probability"))
+            .expect("non-empty")
+            .label;
+        let id = self.graph.add_vertex(best);
+        let uid = self.uncertain.add_vertex(UncertainVertex { alternatives });
+        debug_assert_eq!(id, uid);
+        let prev = self.keys.insert(key.to_owned(), id);
+        assert!(prev.is_none(), "duplicate vertex key {key:?}");
+        id
+    }
+
+    /// Add a directed edge between two declared keys.
+    ///
+    /// # Panics
+    /// Panics if either key is undeclared.
+    pub fn edge(&mut self, src: &str, dst: &str, label: &str) {
+        let s = *self.keys.get(src).unwrap_or_else(|| panic!("unknown vertex key {src:?}"));
+        let d = *self.keys.get(dst).unwrap_or_else(|| panic!("unknown vertex key {dst:?}"));
+        let l = self.table.intern(label);
+        self.graph.add_edge(s, d, l);
+        self.uncertain.add_edge(s, d, l);
+    }
+
+    /// Vertex id for a declared key.
+    pub fn id(&self, key: &str) -> Option<VertexId> {
+        self.keys.get(key).copied()
+    }
+
+    /// Finish, returning the certain graph (uncertain vertices collapse to
+    /// their most probable label).
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Finish, returning the uncertain graph.
+    pub fn into_uncertain(self) -> UncertainGraph {
+        self.uncertain
+    }
+
+    /// Finish, returning both views.
+    pub fn into_both(self) -> (Graph, UncertainGraph) {
+        (self.graph, self.uncertain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_views() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "?x");
+        b.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+        b.edge("x", "m", "spouse");
+        let (g, u) = b.into_both();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(u.world_count(), 2);
+        // Certain view picks the most probable alternative.
+        assert_eq!(t.name(g.label(crate::VertexId(1))), "NBA_Player");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex key")]
+    fn rejects_duplicate_keys() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "?x");
+        b.vertex("x", "?y");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown vertex key")]
+    fn rejects_unknown_edge_endpoint() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "?x");
+        b.edge("x", "nope", "p");
+    }
+}

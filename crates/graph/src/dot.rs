@@ -1,0 +1,83 @@
+//! Graphviz `dot` export, for debugging and for rendering the case-study
+//! figures (Figs. 2–4 of the paper).
+
+use crate::certain::Graph;
+use crate::interner::SymbolTable;
+use crate::uncertain::UncertainGraph;
+use std::fmt::Write as _;
+
+/// Render a certain graph in Graphviz `dot` syntax.
+pub fn graph_to_dot(g: &Graph, table: &SymbolTable, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    for v in g.vertices() {
+        let _ = writeln!(s, "  v{} [label=\"{}\"];", v.0, escape(table.name(g.label(v))));
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            s,
+            "  v{} -> v{} [label=\"{}\"];",
+            e.src.0,
+            e.dst.0,
+            escape(table.name(e.label))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render an uncertain graph; each vertex shows all alternatives with
+/// probabilities, as in Fig. 2(b) of the paper.
+pub fn uncertain_to_dot(g: &UncertainGraph, table: &SymbolTable, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    for (i, v) in g.vertices().iter().enumerate() {
+        let label = v
+            .alternatives
+            .iter()
+            .map(|a| format!("{}:{:.2}", escape(table.name(a.label)), a.prob))
+            .collect::<Vec<_>>()
+            .join("\\n");
+        let _ = writeln!(s, "  v{i} [label=\"{label}\"];");
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            s,
+            "  v{} -> v{} [label=\"{}\"];",
+            e.src.0,
+            e.dst.0,
+            escape(table.name(e.label))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn dot_output_contains_labels() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "?x");
+        b.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+        b.edge("x", "m", "spouse");
+        let (g, u) = b.into_both();
+        let d1 = graph_to_dot(&g, &t, "q");
+        assert!(d1.contains("?x") && d1.contains("spouse"));
+        let d2 = uncertain_to_dot(&u, &t, "g");
+        assert!(d2.contains("NBA_Player:0.60") && d2.contains("Actor:0.40"));
+    }
+
+    #[test]
+    fn escaping_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

@@ -1,0 +1,59 @@
+//! Graph substrate for the uncertain graph similarity join system.
+//!
+//! This crate provides the two graph models of the paper:
+//!
+//! * [`Graph`] — a *certain* labeled directed graph. SPARQL queries in the
+//!   workload `D` are represented this way (Sec. 3.2 of the paper).
+//! * [`UncertainGraph`] — an uncertain graph (Def. 2): the structure is
+//!   fixed, every vertex carries one or more mutually exclusive labels each
+//!   with an existence probability. Natural-language questions are
+//!   represented this way after entity linking.
+//!
+//! Labels are interned in a [`SymbolTable`]; labels whose name begins with
+//! `?` or `_:` are *wildcards* (SPARQL variables) and compare equal to any
+//! other label, as prescribed in Sec. 2.1 of the paper ("all the labels
+//! starting with `?` can match any vertex label").
+//!
+//! The possible-world semantics of Def. 3 is exposed through
+//! [`UncertainGraph::possible_worlds`], an exact iterator over materialized
+//! [`Graph`] instances together with their appearance probabilities.
+
+pub mod interner;
+pub mod certain;
+pub mod uncertain;
+pub mod builder;
+pub mod dot;
+pub mod reify;
+
+pub use builder::GraphBuilder;
+pub use reify::{reify_certain, reify_uncertain, UncertainEdge};
+pub use certain::{Edge, Graph, VertexId};
+pub use interner::{Symbol, SymbolTable};
+pub use uncertain::{LabelAlternative, PossibleWorld, PossibleWorldIter, UncertainGraph, UncertainVertex};
+
+/// Compare two labels under the wildcard rule of the paper.
+///
+/// Two labels match if they are the same symbol, or if either one is a
+/// wildcard (a SPARQL variable such as `?x`). Wildcard status is a property
+/// of the symbol recorded at interning time.
+#[inline]
+pub fn labels_match(table: &SymbolTable, a: Symbol, b: Symbol) -> bool {
+    a == b || table.is_wildcard(a) || table.is_wildcard(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let mut t = SymbolTable::new();
+        let x = t.intern("?x");
+        let a = t.intern("Actor");
+        let b = t.intern("City");
+        assert!(labels_match(&t, x, a));
+        assert!(labels_match(&t, a, x));
+        assert!(labels_match(&t, a, a));
+        assert!(!labels_match(&t, a, b));
+    }
+}

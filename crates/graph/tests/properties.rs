@@ -1,0 +1,124 @@
+//! Property tests of the possible-world model (Defs. 2 and 3).
+
+use proptest::prelude::*;
+use uqsj_graph::{
+    Graph, LabelAlternative, SymbolTable, UncertainGraph, UncertainVertex, VertexId,
+};
+
+const LABELS: [&str; 5] = ["A", "B", "C", "D", "?x"];
+
+#[derive(Clone, Debug)]
+struct RawGraph {
+    vertices: Vec<Vec<u8>>,
+    edges: Vec<(u8, u8, u8)>,
+}
+
+fn raw_strategy() -> impl Strategy<Value = RawGraph> {
+    (1usize..5).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..LABELS.len() as u8, 1..4), n),
+            prop::collection::vec((0..n as u8, 0..n as u8, 0u8..3), 0..6),
+        )
+            .prop_map(|(vertices, edges)| RawGraph { vertices, edges })
+    })
+}
+
+fn build(t: &mut SymbolTable, raw: &RawGraph) -> UncertainGraph {
+    let mut g = UncertainGraph::new();
+    for alts in &raw.vertices {
+        let mut labels = alts.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        let p = 1.0 / labels.len() as f64;
+        g.add_vertex(UncertainVertex {
+            alternatives: labels
+                .iter()
+                .map(|&l| LabelAlternative { label: t.intern(LABELS[l as usize]), prob: p })
+                .collect(),
+        });
+    }
+    for &(s, d, l) in &raw.edges {
+        if s != d {
+            let sym = t.intern(&format!("e{l}"));
+            g.add_edge(VertexId(s as u32), VertexId(d as u32), sym);
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn world_probabilities_sum_to_total_mass(raw in raw_strategy()) {
+        let mut t = SymbolTable::new();
+        let g = build(&mut t, &raw);
+        let expected: f64 = g.vertices().iter().map(UncertainVertex::mass).product();
+        let total: f64 = g.possible_worlds().map(|w| w.prob).sum();
+        prop_assert!((total - expected).abs() < 1e-9, "{} vs {}", total, expected);
+    }
+
+    #[test]
+    fn world_count_matches_enumeration(raw in raw_strategy()) {
+        let mut t = SymbolTable::new();
+        let g = build(&mut t, &raw);
+        prop_assert_eq!(g.world_count(), g.possible_worlds().count() as u128);
+    }
+
+    #[test]
+    fn worlds_preserve_structure_and_are_distinct(raw in raw_strategy()) {
+        let mut t = SymbolTable::new();
+        let g = build(&mut t, &raw);
+        let mut seen = std::collections::HashSet::new();
+        for w in g.possible_worlds() {
+            prop_assert_eq!(w.graph.vertex_count(), g.vertex_count());
+            prop_assert_eq!(w.graph.edge_count(), g.edge_count());
+            prop_assert!(seen.insert(w.choice.clone()), "duplicate world");
+            // The chosen label really is the alternative named by choice.
+            for (i, &c) in w.choice.iter().enumerate() {
+                let expected = g.vertices()[i].alternatives[c as usize].label;
+                prop_assert_eq!(w.graph.label(VertexId(i as u32)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sequence_is_sorted_and_consistent(raw in raw_strategy()) {
+        let mut t = SymbolTable::new();
+        let g = build(&mut t, &raw);
+        let degrees = g.sorted_degrees();
+        prop_assert!(degrees.windows(2).all(|w| w[0] >= w[1]), "not sorted");
+        prop_assert_eq!(
+            degrees.iter().sum::<u32>() as usize,
+            2 * g.edge_count(),
+            "handshake lemma"
+        );
+        // Certain view of any world has the same degree sequence.
+        if let Some(w) = g.possible_worlds().next() {
+            prop_assert_eq!(w.graph.sorted_degrees(), degrees);
+        }
+    }
+
+    #[test]
+    fn from_certain_is_inverse_of_single_world(raw in raw_strategy()) {
+        let mut t = SymbolTable::new();
+        let g = build(&mut t, &raw);
+        let w = g.possible_worlds().next().unwrap();
+        let lifted = UncertainGraph::from_certain(&w.graph);
+        prop_assert_eq!(lifted.world_count(), 1);
+        let back = lifted.possible_worlds().next().unwrap();
+        prop_assert_eq!(back.graph, w.graph);
+    }
+}
+
+/// The same invariants exercised once on a plain certain graph, to pin
+/// down the degenerate case.
+#[test]
+fn certain_graph_has_exactly_one_world() {
+    let mut t = SymbolTable::new();
+    let mut g = Graph::new();
+    let a = g.add_vertex(t.intern("A"));
+    let b = g.add_vertex(t.intern("B"));
+    g.add_edge(a, b, t.intern("p"));
+    let u = UncertainGraph::from_certain(&g);
+    assert_eq!(u.world_count(), 1);
+    assert_eq!(u.possible_worlds().next().unwrap().prob, 1.0);
+}

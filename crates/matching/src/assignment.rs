@@ -1,0 +1,166 @@
+//! Hungarian (Kuhn–Munkres) algorithm for the minimum-cost assignment
+//! problem, on an `n × n` cost matrix of `u64` costs.
+//!
+//! Used by the c-star lower bound of Zeng et al. (star mapping distance μ)
+//! and by the bipartite GED heuristic.
+
+/// Solve the min-cost assignment problem for a square cost matrix.
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`. Returns the
+/// minimum total cost and the column assigned to each row.
+///
+/// Implementation: O(n³) shortest augmenting path formulation with
+/// potentials (Jonker–Volgenant style).
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn hungarian(cost: &[Vec<u64>]) -> (u64, Vec<usize>) {
+    let n = cost.len();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+    const INF: i128 = i128::MAX / 4;
+
+    // 1-indexed potentials and matching, per the classic formulation.
+    let mut u = vec![0i128; n + 1];
+    let mut v = vec![0i128; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] as i128 - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total: u64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (total, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let (c, a) = hungarian(&[]);
+        assert_eq!(c, 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn identity_is_optimal() {
+        let cost = vec![vec![0, 9, 9], vec![9, 0, 9], vec![9, 9, 0]];
+        let (c, a) = hungarian(&cost);
+        assert_eq!(c, 0);
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Known optimum: 250+400+200 = 850? Standard example:
+        let cost = vec![
+            vec![250, 400, 350],
+            vec![400, 600, 350],
+            vec![200, 400, 250],
+        ];
+        let (c, _) = hungarian(&cost);
+        assert_eq!(c, 950); // 400 + 350 + 200
+    }
+
+    /// Exhaustive check against all permutations for small matrices.
+    fn brute(cost: &[Vec<u64>]) -> u64 {
+        fn rec(cost: &[Vec<u64>], i: usize, used: &mut Vec<bool>) -> u64 {
+            let n = cost.len();
+            if i == n {
+                return 0;
+            }
+            let mut best = u64::MAX;
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    let sub = rec(cost, i + 1, used);
+                    if sub != u64::MAX {
+                        best = best.min(cost[i][j] + sub);
+                    }
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        rec(cost, 0, &mut vec![false; cost.len()])
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_matrices() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..7);
+            let cost: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..50)).collect())
+                .collect();
+            let (c, a) = hungarian(&cost);
+            assert_eq!(c, brute(&cost), "matrix {cost:?}");
+            // Assignment is a permutation.
+            let mut seen = vec![false; n];
+            for &j in &a {
+                assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+    }
+}

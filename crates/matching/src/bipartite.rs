@@ -1,0 +1,218 @@
+//! Hopcroft–Karp maximum cardinality bipartite matching.
+
+/// Adjacency-list representation of a bipartite graph with `n_left` and
+/// `n_right` vertices.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    n_right: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl BipartiteGraph {
+    /// Create a bipartite graph with the given side sizes and no edges.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        Self { n_right, adj: vec![Vec::new(); n_left] }
+    }
+
+    /// Add an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(r < self.n_right, "right endpoint out of range");
+        self.adj[l].push(r as u32);
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+}
+
+const NIL: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Maximum cardinality matching via Hopcroft–Karp. Returns the matching
+/// size and, for each left vertex, its matched right vertex (or `None`).
+pub fn hopcroft_karp(g: &BipartiteGraph) -> (usize, Vec<Option<usize>>) {
+    let nl = g.n_left();
+    let nr = g.n_right();
+    let mut match_l = vec![NIL; nl];
+    let mut match_r = vec![NIL; nr];
+    let mut dist = vec![INF; nl];
+    let mut queue = Vec::with_capacity(nl);
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: layer free left vertices.
+        queue.clear();
+        for l in 0..nl {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push(l as u32);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found = false;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let l = queue[qi] as usize;
+            qi += 1;
+            for &r in &g.adj[l] {
+                let m = match_r[r as usize];
+                if m == NIL {
+                    found = true;
+                } else if dist[m as usize] == INF {
+                    dist[m as usize] = dist[l] + 1;
+                    queue.push(m);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // DFS phase: find vertex-disjoint augmenting paths.
+        fn dfs(
+            l: usize,
+            g: &BipartiteGraph,
+            dist: &mut [u32],
+            match_l: &mut [u32],
+            match_r: &mut [u32],
+        ) -> bool {
+            for i in 0..g.adj[l].len() {
+                let r = g.adj[l][i] as usize;
+                let m = match_r[r];
+                if m == NIL
+                    || (dist[m as usize] == dist[l] + 1
+                        && dfs(m as usize, g, dist, match_l, match_r))
+                {
+                    match_l[l] = r as u32;
+                    match_r[r] = l as u32;
+                    return true;
+                }
+            }
+            dist[l] = INF;
+            false
+        }
+        for l in 0..nl {
+            if match_l[l] == NIL && dfs(l, g, &mut dist, &mut match_l, &mut match_r) {
+                size += 1;
+            }
+        }
+    }
+
+    let pairing = match_l
+        .iter()
+        .map(|&r| if r == NIL { None } else { Some(r as usize) })
+        .collect();
+    (size, pairing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 3);
+        let (size, pairing) = hopcroft_karp(&g);
+        assert_eq!(size, 0);
+        assert!(pairing.iter().all(|p| p.is_none()));
+    }
+
+    #[test]
+    fn perfect_matching() {
+        let mut g = BipartiteGraph::new(3, 3);
+        for i in 0..3 {
+            g.add_edge(i, (i + 1) % 3);
+        }
+        let (size, _) = hopcroft_karp(&g);
+        assert_eq!(size, 3);
+    }
+
+    #[test]
+    fn contended_right_vertex() {
+        // Both left vertices want right 0; only one can have it.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let (size, _) = hopcroft_karp(&g);
+        assert_eq!(size, 1);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // l0-{r0,r1}, l1-{r0}: greedy could match l0-r0 and strand l1.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let (size, pairing) = hopcroft_karp(&g);
+        assert_eq!(size, 2);
+        assert_eq!(pairing[1], Some(0));
+        assert_eq!(pairing[0], Some(1));
+    }
+
+    #[test]
+    fn rectangular_sides() {
+        let mut g = BipartiteGraph::new(5, 2);
+        for l in 0..5 {
+            g.add_edge(l, 0);
+            g.add_edge(l, 1);
+        }
+        let (size, _) = hopcroft_karp(&g);
+        assert_eq!(size, 2);
+    }
+
+    /// Brute force matching size by trying all permutations (small cases).
+    fn brute(g: &BipartiteGraph) -> usize {
+        fn rec(g: &BipartiteGraph, l: usize, used: &mut Vec<bool>) -> usize {
+            if l == g.n_left() {
+                return 0;
+            }
+            // Skip l.
+            let mut best = rec(g, l + 1, used);
+            for &r in &g.adj[l] {
+                if !used[r as usize] {
+                    used[r as usize] = true;
+                    best = best.max(1 + rec(g, l + 1, used));
+                    used[r as usize] = false;
+                }
+            }
+            best
+        }
+        rec(g, 0, &mut vec![false; g.n_right()])
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let nl = rng.gen_range(0..6);
+            let nr = rng.gen_range(0..6);
+            let mut g = BipartiteGraph::new(nl, nr);
+            for l in 0..nl {
+                for r in 0..nr {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(l, r);
+                    }
+                }
+            }
+            let (size, pairing) = hopcroft_karp(&g);
+            assert_eq!(size, brute(&g), "mismatch on {g:?}");
+            // Pairing must be consistent: distinct right vertices.
+            let mut seen = vec![false; nr];
+            for p in pairing.into_iter().flatten() {
+                assert!(!seen[p], "right vertex used twice");
+                seen[p] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Matching algorithms used by the GED lower bounds.
+//!
+//! * [`hopcroft_karp`] — maximum cardinality bipartite matching, used to
+//!   compute `λ_V(q, g)` over the vertex-label bipartite graph of Def. 10
+//!   of the paper (the paper cites the Hungarian algorithm \[10\]; for the
+//!   unweighted cardinality problem Hopcroft–Karp is the standard choice
+//!   and returns the same value in `O(E√V)`).
+//! * [`hungarian`] — minimum-cost assignment, used by the c-star lower
+//!   bound of Zeng et al. (VLDB'09) and by the bipartite GED heuristic of
+//!   Riesen & Bunke.
+
+pub mod bipartite;
+pub mod assignment;
+
+pub use assignment::hungarian;
+pub use bipartite::{hopcroft_karp, BipartiteGraph};

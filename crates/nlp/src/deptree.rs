@@ -1,0 +1,232 @@
+//! Syntactic dependency trees and a rule-based parser for the question
+//! grammar.
+//!
+//! The paper uses dependency trees in one place only: template matching,
+//! where a question's tree is aligned to the tree of each template's NL
+//! part by tree edit distance (Sec. 2.2, Fig. 5). The trees produced here
+//! mirror the Stanford-style analysis of Fig. 5: `root` is the main
+//! verb/relation head, the WH-word is a `det` of the subject noun, the
+//! subject is `nsubj` of the root, prepositions hang off the root with
+//! their objects as `pobj`.
+
+use crate::token::tokenize;
+
+/// One node of a dependency tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepNode {
+    /// The word (or `<_>` for a template slot).
+    pub word: String,
+    /// Dependency label to the parent (`root` for the root).
+    pub relation: String,
+    /// Child indexes, in surface order.
+    pub children: Vec<usize>,
+}
+
+/// An ordered labeled dependency tree stored as an arena.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DepTree {
+    /// Nodes; index 0 is unused unless it is the root.
+    pub nodes: Vec<DepNode>,
+    /// Root index.
+    pub root: usize,
+}
+
+impl DepTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Postorder traversal of node indexes (what Zhang–Shasha consumes).
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        fn rec(t: &DepTree, n: usize, out: &mut Vec<usize>) {
+            for &c in &t.nodes[n].children {
+                rec(t, c, out);
+            }
+            out.push(n);
+        }
+        if !self.nodes.is_empty() {
+            rec(self, self.root, &mut out);
+        }
+        out
+    }
+
+    /// Node label used by tree edit distance: `word/relation`, lowercase.
+    pub fn label(&self, n: usize) -> String {
+        format!(
+            "{}/{}",
+            self.nodes[n].word.to_lowercase(),
+            self.nodes[n].relation
+        )
+    }
+}
+
+const WH_WORDS: [&str; 5] = ["which", "who", "what", "where", "whom"];
+const VERBISH: [&str; 12] = [
+    "graduated", "born", "married", "directed", "located", "is", "was", "are", "give", "wrote",
+    "founded", "starring",
+];
+const PREPOSITIONS: [&str; 7] = ["from", "in", "of", "to", "by", "at", "on"];
+
+/// Rule-based dependency parse of a question (or of a template NL part —
+/// slot tokens `<_>` parse as nouns).
+pub fn parse_dependencies(text: &str) -> DepTree {
+    let tokens = tokenize(text);
+    parse_dependency_tokens(&tokens)
+}
+
+/// Parse pre-tokenized input.
+pub fn parse_dependency_tokens(tokens: &[String]) -> DepTree {
+    let mut tree = DepTree::default();
+    if tokens.is_empty() {
+        return tree;
+    }
+    let lower: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
+
+    // Find the main verb: the first verb-ish token after the first noun.
+    let root_pos = lower
+        .iter()
+        .position(|t| VERBISH.contains(&t.as_str()))
+        .unwrap_or(0);
+
+    // Arena construction: one node per token, then wire heads.
+    for t in tokens {
+        tree.nodes.push(DepNode { word: t.clone(), relation: String::new(), children: Vec::new() });
+    }
+    let n = tokens.len();
+    let mut head: Vec<Option<usize>> = vec![None; n];
+    let mut rel: Vec<&str> = vec!["dep"; n];
+
+    rel[root_pos] = "root";
+    let mut last_prep: Option<usize> = None;
+    let mut subject: Option<usize> = None;
+
+    for i in 0..n {
+        if i == root_pos {
+            continue;
+        }
+        let t = lower[i].as_str();
+        if t == "?" {
+            head[i] = Some(root_pos);
+            rel[i] = "punct";
+        } else if WH_WORDS.contains(&t) {
+            // Determiner of the following noun if any, else nsubj of root.
+            if i + 1 < n && !WH_WORDS.contains(&lower[i + 1].as_str()) && i + 1 != root_pos {
+                head[i] = Some(i + 1);
+                rel[i] = "det";
+            } else {
+                head[i] = Some(root_pos);
+                rel[i] = "nsubj";
+                subject = Some(i);
+            }
+        } else if PREPOSITIONS.contains(&t) {
+            head[i] = Some(root_pos);
+            rel[i] = "prep";
+            last_prep = Some(i);
+        } else {
+            // Noun-ish token: subject before the root, otherwise object of
+            // the last preposition (pobj) or direct object of the root.
+            if i < root_pos && subject.is_none() {
+                head[i] = Some(root_pos);
+                rel[i] = "nsubj";
+                subject = Some(i);
+            } else if let Some(p) = last_prep {
+                head[i] = Some(p);
+                rel[i] = "pobj";
+            } else {
+                head[i] = Some(root_pos);
+                rel[i] = "dobj";
+            }
+        }
+    }
+
+    // Multi-word names: successive pobj/dobj tokens with the same head
+    // form a compound chain onto their predecessor.
+    let orig_rel = rel.clone();
+    let orig_head = head.clone();
+    for i in 1..n {
+        if (orig_rel[i] == "pobj" || orig_rel[i] == "dobj")
+            && orig_rel[i - 1] == orig_rel[i]
+            && orig_head[i] == orig_head[i - 1]
+        {
+            head[i] = Some(i - 1);
+            rel[i] = "compound";
+        }
+    }
+
+    for i in 0..n {
+        tree.nodes[i].relation = rel[i].to_owned();
+        if i != root_pos {
+            let h = head[i].unwrap_or(root_pos);
+            tree.nodes[h].children.push(i);
+        }
+    }
+    tree.root = root_pos;
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig5_question_shape() {
+        // "Which physicist graduated from CMU?" per Fig. 5: root =
+        // graduated, nsubj = physicist with det which, prep from, pobj CMU.
+        let t = parse_dependencies("Which physicist graduated from CMU?");
+        let root = &t.nodes[t.root];
+        assert_eq!(root.word, "graduated");
+        let nsubj = t
+            .nodes
+            .iter()
+            .position(|x| x.relation == "nsubj")
+            .expect("nsubj");
+        assert_eq!(t.nodes[nsubj].word, "physicist");
+        let det = t.nodes.iter().position(|x| x.relation == "det").expect("det");
+        assert_eq!(t.nodes[det].word, "Which");
+        let prep = t.nodes.iter().position(|x| x.relation == "prep").expect("prep");
+        assert_eq!(t.nodes[prep].word, "from");
+        let pobj = t.nodes.iter().position(|x| x.relation == "pobj").expect("pobj");
+        assert_eq!(t.nodes[pobj].word, "CMU");
+    }
+
+    #[test]
+    fn slot_tokens_parse_like_nouns() {
+        let a = parse_dependencies("Which physicist graduated from CMU?");
+        let b = parse_dependencies("Which SLOT0 graduated from SLOT1?");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.nodes[a.root].word, b.nodes[b.root].word);
+    }
+
+    #[test]
+    fn postorder_visits_all_nodes_once() {
+        let t = parse_dependencies("Which actor from USA is married to Michael Jordan?");
+        let po = t.postorder();
+        assert_eq!(po.len(), t.len());
+        let mut seen = vec![false; t.len()];
+        for i in po {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = parse_dependencies("");
+        assert!(t.is_empty());
+        assert!(t.postorder().is_empty());
+    }
+
+    #[test]
+    fn multiword_names_compound() {
+        let t = parse_dependencies("Which movie directed by Francis Ford Coppola?");
+        let compounds = t.nodes.iter().filter(|x| x.relation == "compound").count();
+        assert_eq!(compounds, 2); // Ford, Coppola onto Francis
+    }
+}

@@ -1,0 +1,33 @@
+//! Natural-language question processing — the substrate standing in for
+//! the Stanford parser, the entity linker \[4\] and the relation
+//! paraphrasing of gAnswer \[33\] used by the paper.
+//!
+//! * [`lexicon`] — the linguistic knowledge the pipeline runs on: class
+//!   nouns, relation phrases per predicate, and ambiguous entity surface
+//!   forms with linking confidences.
+//! * [`token`] — tokenizer and longest-match phrase scanning.
+//! * [`deptree`] — syntactic dependency trees and a rule-based parser for
+//!   the question grammar (Sec. 2.2 uses dependency trees only for
+//!   template/question alignment, which this supports).
+//! * [`ted`] — Zhang–Shasha ordered tree edit distance for ranking
+//!   template/question alignments.
+//! * [`align`] — token-level alignment with slots, used for slot filling
+//!   and the matching proportion φ (Appendix F.2).
+//! * [`semantic`] — semantic relation extraction, semantic query graphs
+//!   (Def. 1) and the uncertain graph construction of Sec. 2.1 Step 1.
+
+pub mod lexicon;
+pub mod lexicon_io;
+pub mod token;
+pub mod pos;
+pub mod deptree;
+pub mod ted;
+pub mod align;
+pub mod semantic;
+
+pub use align::{align_with_slots, matching_proportion};
+pub use deptree::{parse_dependencies, DepTree};
+pub use lexicon::{EntityCandidate, Lexicon, PredicateInfo};
+pub use semantic::{analyze_question, QuestionAnalysis, VertexInfo};
+pub use ted::tree_edit_distance;
+pub use token::tokenize;

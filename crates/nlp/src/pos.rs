@@ -1,0 +1,123 @@
+//! Lexicon-assisted part-of-speech tagging for the question grammar.
+//!
+//! The dependency parser needs only a coarse tag set; tagging is
+//! rule-based with an optional lexicon pass (words known as class nouns
+//! tag as nouns, words inside relation phrases as verbs/prepositions).
+
+use crate::lexicon::Lexicon;
+
+/// Coarse part-of-speech tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PosTag {
+    /// WH-words: which, who, what, where, whom.
+    Wh,
+    /// Verbs and verb-ish participles (graduated, married, directed, …).
+    Verb,
+    /// Prepositions: from, in, of, to, by, at, on.
+    Prep,
+    /// Determiners/articles: a, an, the.
+    Det,
+    /// Copulas and auxiliaries: is, was, are, were, been.
+    Aux,
+    /// Conjunctions: and.
+    Conj,
+    /// Everything noun-ish (entities, class nouns, unknown words).
+    Noun,
+    /// `?` and other punctuation tokens.
+    Punct,
+}
+
+const WH_WORDS: [&str; 5] = ["which", "who", "what", "where", "whom"];
+const VERBS: [&str; 14] = [
+    "graduated", "born", "married", "directed", "located", "give", "wrote", "founded",
+    "starring", "studied", "working", "employed", "recorded", "performed",
+];
+const PREPOSITIONS: [&str; 7] = ["from", "in", "of", "to", "by", "at", "on"];
+const DETERMINERS: [&str; 3] = ["a", "an", "the"];
+const AUXILIARIES: [&str; 5] = ["is", "was", "are", "were", "been"];
+
+/// Tag a single lowercase token without lexicon context.
+pub fn tag_word(word: &str) -> PosTag {
+    if word == "?" || word.chars().all(|c| !c.is_alphanumeric()) {
+        PosTag::Punct
+    } else if WH_WORDS.contains(&word) {
+        PosTag::Wh
+    } else if AUXILIARIES.contains(&word) {
+        PosTag::Aux
+    } else if word == "and" {
+        PosTag::Conj
+    } else if VERBS.contains(&word) {
+        PosTag::Verb
+    } else if PREPOSITIONS.contains(&word) {
+        PosTag::Prep
+    } else if DETERMINERS.contains(&word) {
+        PosTag::Det
+    } else {
+        PosTag::Noun
+    }
+}
+
+/// Tag a token sequence. With a lexicon, words appearing as class nouns
+/// are forced to [`PosTag::Noun`] and first words of relation phrases
+/// to [`PosTag::Verb`] — which disambiguates e.g. "playing" (verb in
+/// "playing in") against unknown nouns.
+pub fn tag_tokens(tokens: &[String], lexicon: Option<&Lexicon>) -> Vec<PosTag> {
+    tokens
+        .iter()
+        .map(|t| {
+            let lower = t.to_lowercase();
+            if let Some(lex) = lexicon {
+                if lex.class_of_noun(&lower).is_some() {
+                    return PosTag::Noun;
+                }
+                let first_of_phrase = lex
+                    .predicates
+                    .iter()
+                    .flat_map(|p| p.phrases.iter())
+                    .any(|phrase| phrase.split_whitespace().next() == Some(lower.as_str()));
+                if first_of_phrase && tag_word(&lower) == PosTag::Noun {
+                    return PosTag::Verb;
+                }
+            }
+            tag_word(&lower)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::paper_lexicon;
+    use crate::token::tokenize;
+
+    #[test]
+    fn tags_the_fig5_question() {
+        let tokens = tokenize("Which physicist graduated from CMU?");
+        let tags = tag_tokens(&tokens, None);
+        assert_eq!(
+            tags,
+            vec![PosTag::Wh, PosTag::Noun, PosTag::Verb, PosTag::Prep, PosTag::Noun, PosTag::Punct]
+        );
+    }
+
+    #[test]
+    fn lexicon_forces_relation_heads_to_verbs() {
+        let lex = paper_lexicon();
+        let tokens = tokenize("Which singer playing in Band 3?");
+        // Without a lexicon "playing" is an unknown noun; add the phrase.
+        let mut lex = lex;
+        lex.add_predicate("memberOf", &["playing in"]);
+        let tags = tag_tokens(&tokens, Some(&lex));
+        assert_eq!(tags[2], PosTag::Verb);
+    }
+
+    #[test]
+    fn copulas_and_conjunctions() {
+        assert_eq!(tag_word("is"), PosTag::Aux);
+        assert_eq!(tag_word("and"), PosTag::Conj);
+        assert_eq!(tag_word("the"), PosTag::Det);
+        assert_eq!(tag_word("of"), PosTag::Prep);
+        assert_eq!(tag_word("zanzibar"), PosTag::Noun);
+        assert_eq!(tag_word("?"), PosTag::Punct);
+    }
+}

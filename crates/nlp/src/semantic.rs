@@ -1,0 +1,470 @@
+//! Semantic relation extraction and uncertain graph generation
+//! (Sec. 2.1, Step 1 of the paper).
+//!
+//! A question is scanned for relation phrases, entity surface forms and
+//! class nouns (longest match against the [`Lexicon`]); the semantic
+//! relations `⟨rel, arg1, arg2⟩` assemble into the semantic query graph of
+//! Def. 1. Entity arguments are then linked, and each becomes an uncertain
+//! vertex labeled by the *classes* of its candidate entities with the
+//! linker's confidences — exactly the construction of Fig. 2.
+//!
+//! Chaining rule (matching the paper's running example): a relation phrase
+//! that immediately follows an argument attaches to that argument
+//! ("… married to **Michael Jordan** born in …" hangs `born in` off the
+//! Jordan vertex); an intervening copula/conjunction re-anchors it at the
+//! question variable ("… from USA **is** married to …").
+
+use crate::deptree::{parse_dependency_tokens, DepTree};
+use crate::lexicon::{EntityCandidate, Lexicon};
+use crate::token::{span_phrase, tokenize};
+use std::fmt;
+use uqsj_graph::{LabelAlternative, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
+
+/// What a vertex of the semantic query graph denotes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VertexInfo {
+    /// The question variable (`?x`) or an auxiliary variable.
+    Variable(String),
+    /// A class mentioned by a noun ("actor" → `Actor`).
+    ClassMention {
+        /// The noun as it appeared.
+        noun: String,
+        /// The resolved class.
+        class: String,
+    },
+    /// An entity mention, with its linking candidates.
+    EntityMention {
+        /// Surface phrase as it appeared.
+        phrase: String,
+        /// Linking candidates (class + confidence).
+        candidates: Vec<EntityCandidate>,
+    },
+}
+
+/// One semantic relation `⟨rel, arg1, arg2⟩` (an edge of the semantic
+/// query graph): `arg1 --predicate--> arg2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemanticRelation {
+    /// Predicate local name.
+    pub predicate: String,
+    /// Source vertex index.
+    pub arg1: usize,
+    /// Target vertex index.
+    pub arg2: usize,
+}
+
+/// Why a question could not be analyzed — the failure classes of the
+/// paper's failure analysis (Fig. 18).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The sentence matches no supported question pattern.
+    NoPattern,
+    /// An argument phrase could not be linked to any entity or class.
+    UnknownArgument(String),
+    /// No relation phrase found where one was required.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoPattern => write!(f, "unsupported question pattern"),
+            AnalysisError::UnknownArgument(p) => write!(f, "cannot link argument {p:?}"),
+            AnalysisError::UnknownRelation(p) => write!(f, "no relation phrase near {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The full analysis of one question.
+#[derive(Clone, Debug)]
+pub struct QuestionAnalysis {
+    /// Original tokens.
+    pub tokens: Vec<String>,
+    /// Dependency tree (for template ranking).
+    pub dep_tree: DepTree,
+    /// Semantic query graph vertices.
+    pub vertices: Vec<VertexInfo>,
+    /// Semantic query graph edges.
+    pub relations: Vec<SemanticRelation>,
+    /// Token span `[start, end)` of each entity/class mention:
+    /// `(vertex, start, end)` — used to cut slots into the NL template.
+    pub mention_spans: Vec<(usize, usize, usize)>,
+}
+
+impl QuestionAnalysis {
+    /// Build the uncertain graph (Def. 2) of this analysis. Vertex `i` of
+    /// the graph corresponds to `self.vertices[i]`.
+    pub fn uncertain_graph(&self, table: &mut SymbolTable) -> UncertainGraph {
+        let mut g = UncertainGraph::new();
+        for v in &self.vertices {
+            match v {
+                VertexInfo::Variable(name) => {
+                    let sym = table.intern(name);
+                    g.add_certain_vertex(sym);
+                }
+                VertexInfo::ClassMention { class, .. } => {
+                    let sym = table.intern(class);
+                    g.add_certain_vertex(sym);
+                }
+                VertexInfo::EntityMention { candidates, .. } => {
+                    // Merge candidates sharing a class.
+                    let mut alts: Vec<LabelAlternative> = Vec::new();
+                    for c in candidates {
+                        let sym = table.intern(&c.class);
+                        if let Some(a) = alts.iter_mut().find(|a| a.label == sym) {
+                            a.prob += c.prob;
+                        } else {
+                            alts.push(LabelAlternative { label: sym, prob: c.prob });
+                        }
+                    }
+                    g.add_vertex(UncertainVertex { alternatives: alts });
+                }
+            }
+        }
+        for r in &self.relations {
+            let sym = table.intern(&r.predicate);
+            g.add_edge(VertexId(r.arg1 as u32), VertexId(r.arg2 as u32), sym);
+        }
+        g
+    }
+
+    /// Number of relations excluding the `type` edge from the question
+    /// variable (the `k` of Fig. 17).
+    pub fn relation_count(&self) -> usize {
+        self.relations.iter().filter(|r| r.predicate != "type").count()
+    }
+}
+
+const FILLERS: [&str; 9] = ["is", "was", "are", "were", "that", "who", "also", "and", "been"];
+const ARTICLES: [&str; 3] = ["a", "an", "the"];
+
+/// Analyze a question against the lexicon.
+///
+/// ```
+/// use uqsj_nlp::lexicon::paper_lexicon;
+/// let lex = paper_lexicon();
+/// let a = uqsj_nlp::analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
+/// assert_eq!(a.relations.len(), 2); // type + graduatedFrom
+/// let mut table = uqsj_graph::SymbolTable::new();
+/// let g = a.uncertain_graph(&mut table);
+/// assert_eq!(g.world_count(), 2); // CIT is ambiguous (university/company)
+/// ```
+pub fn analyze_question(lex: &Lexicon, text: &str) -> Result<QuestionAnalysis, AnalysisError> {
+    let tokens = tokenize(text);
+    let dep_tree = parse_dependency_tokens(&tokens);
+    let lower: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
+    let mut vertices: Vec<VertexInfo> = Vec::new();
+    let mut relations: Vec<SemanticRelation> = Vec::new();
+    let mut mention_spans: Vec<(usize, usize, usize)> = Vec::new();
+    let max_words = lex.max_phrase_words().max(4);
+
+    let mut i = 0usize;
+    // --- Inverse pattern: "Who/What is the <noun> of <arg>?" — the
+    // entity is the subject (the paper's "What is the ruling party in
+    // Lisbon?" shape). ---
+    if lower.len() >= 6
+        && (lower[0] == "who" || lower[0] == "what")
+        && lower[1] == "is"
+        && lower[2] == "the"
+    {
+        // Longest inverse-noun match starting at token 3.
+        let mut found: Option<(usize, String)> = None;
+        for w in (1..=3usize.min(lower.len() - 3)).rev() {
+            let phrase = span_phrase(&lower[3..3 + w]);
+            if let Some(p) = lex.inverse_predicate(&phrase) {
+                found = Some((w, p.to_owned()));
+                break;
+            }
+        }
+        if let Some((w, predicate)) = found {
+            let mut j = 3 + w;
+            if j < lower.len() && (lower[j] == "of" || lower[j] == "in") {
+                j += 1;
+                while j < lower.len() && ARTICLES.contains(&lower[j].as_str()) {
+                    j += 1;
+                }
+                // Argument: entity surface form or class mention.
+                let mut arg: Option<(usize, VertexInfo)> = None;
+                for aw in (1..=max_words.min(lower.len() - j)).rev() {
+                    let phrase = span_phrase(&lower[j..j + aw]);
+                    if let Some(cands) = lex.link(&phrase) {
+                        arg = Some((
+                            aw,
+                            VertexInfo::EntityMention {
+                                phrase: tokens[j..j + aw].join(" "),
+                                candidates: cands.to_vec(),
+                            },
+                        ));
+                        break;
+                    }
+                }
+                if arg.is_none() {
+                    if let Some(class) = lex.class_of_noun(&lower[j]) {
+                        arg = Some((
+                            1,
+                            VertexInfo::ClassMention {
+                                noun: tokens[j].clone(),
+                                class: class.to_owned(),
+                            },
+                        ));
+                    }
+                }
+                let Some((aw, info)) = arg else {
+                    return Err(AnalysisError::UnknownArgument(tokens[j].clone()));
+                };
+                let var = vertices.len();
+                vertices.push(VertexInfo::Variable("?x".into()));
+                let av = vertices.len();
+                vertices.push(info);
+                mention_spans.push((av, j, j + aw));
+                relations.push(SemanticRelation { predicate, arg1: av, arg2: var });
+                return Ok(QuestionAnalysis {
+                    tokens,
+                    dep_tree,
+                    vertices,
+                    relations,
+                    mention_spans,
+                });
+            }
+        }
+    }
+
+    // --- Question head: determine the variable and optional class. ---
+    let var = vertices.len();
+    if i < lower.len() && (lower[i] == "which" || lower[i] == "what") && i + 1 < lower.len() {
+        if let Some(class) = lex.class_of_noun(&lower[i + 1]) {
+            vertices.push(VertexInfo::Variable("?x".into()));
+            let cv = vertices.len();
+            vertices.push(VertexInfo::ClassMention {
+                noun: tokens[i + 1].clone(),
+                class: class.to_owned(),
+            });
+            relations.push(SemanticRelation { predicate: "type".into(), arg1: var, arg2: cv });
+            mention_spans.push((cv, i + 1, i + 2));
+            i += 2;
+        } else {
+            vertices.push(VertexInfo::Variable("?x".into()));
+            i += 1;
+        }
+    } else if i < lower.len() && (lower[i] == "who" || lower[i] == "what" || lower[i] == "where") {
+        vertices.push(VertexInfo::Variable("?x".into()));
+        i += 1;
+    } else if lower.len() >= 4 && lower[0] == "give" && lower[1] == "me" && lower[2] == "all" {
+        if let Some(class) = lex.class_of_noun(&lower[3]) {
+            vertices.push(VertexInfo::Variable("?x".into()));
+            let cv = vertices.len();
+            vertices.push(VertexInfo::ClassMention {
+                noun: tokens[3].clone(),
+                class: class.to_owned(),
+            });
+            relations.push(SemanticRelation { predicate: "type".into(), arg1: var, arg2: cv });
+            mention_spans.push((cv, 3, 4));
+            i = 4;
+        } else {
+            vertices.push(VertexInfo::Variable("?x".into()));
+            i = 3;
+        }
+    } else {
+        return Err(AnalysisError::NoPattern);
+    }
+
+    // --- Relation/argument loop. ---
+    // `chain_target`: vertex a relation attaches to if it follows an
+    // argument immediately; reset to the variable by fillers.
+    let mut chain_target = var;
+    while i < lower.len() {
+        if lower[i] == "?" {
+            i += 1;
+            continue;
+        }
+        if FILLERS.contains(&lower[i].as_str()) {
+            chain_target = var;
+            i += 1;
+            continue;
+        }
+        // Longest relation-phrase match.
+        let mut rel: Option<(usize, String)> = None; // (words consumed, predicate)
+        for w in (1..=max_words.min(lower.len() - i)).rev() {
+            let phrase = span_phrase(&lower[i..i + w]);
+            if let Some(p) = lex.predicate_of_phrase(&phrase) {
+                rel = Some((w, p.to_owned()));
+                break;
+            }
+        }
+        let Some((w, predicate)) = rel else {
+            return Err(AnalysisError::UnknownRelation(tokens[i].clone()));
+        };
+        i += w;
+        // Skip articles before the argument.
+        while i < lower.len() && ARTICLES.contains(&lower[i].as_str()) {
+            i += 1;
+        }
+        if i >= lower.len() || lower[i] == "?" {
+            return Err(AnalysisError::UnknownArgument("<end of question>".into()));
+        }
+        // Argument: longest entity surface form, else a class noun.
+        let mut arg: Option<(usize, VertexInfo)> = None;
+        for w in (1..=max_words.min(lower.len() - i)).rev() {
+            let phrase = span_phrase(&lower[i..i + w]);
+            if let Some(cands) = lex.link(&phrase) {
+                arg = Some((
+                    w,
+                    VertexInfo::EntityMention {
+                        phrase: tokens[i..i + w].join(" "),
+                        candidates: cands.to_vec(),
+                    },
+                ));
+                break;
+            }
+        }
+        if arg.is_none() {
+            if let Some(class) = lex.class_of_noun(&lower[i]) {
+                arg = Some((
+                    1,
+                    VertexInfo::ClassMention { noun: tokens[i].clone(), class: class.to_owned() },
+                ));
+            }
+        }
+        let Some((aw, info)) = arg else {
+            return Err(AnalysisError::UnknownArgument(tokens[i].clone()));
+        };
+        let av = vertices.len();
+        vertices.push(info);
+        mention_spans.push((av, i, i + aw));
+        relations.push(SemanticRelation { predicate, arg1: chain_target, arg2: av });
+        i += aw;
+        // Absent a filler, the next relation chains off this argument.
+        chain_target = av;
+    }
+
+    if relations.is_empty() {
+        return Err(AnalysisError::NoPattern);
+    }
+    Ok(QuestionAnalysis { tokens, dep_tree, vertices, relations, mention_spans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::paper_lexicon;
+
+    #[test]
+    fn analyzes_the_running_example() {
+        // Fig. 2: "Which actor from USA is married to Michael Jordan born
+        // in a city of NY?"
+        let lex = paper_lexicon();
+        let a = analyze_question(
+            &lex,
+            "Which actor from USA is married to Michael Jordan born in a city of NY?",
+        )
+        .unwrap();
+        // Vertices: ?x, Actor, USA, Michael Jordan, city, NY.
+        assert_eq!(a.vertices.len(), 6);
+        // Relations: type, from(birthPlace), spouse, born-in(birthPlace),
+        // of(locatedIn).
+        assert_eq!(a.relations.len(), 5);
+        let preds: Vec<&str> = a.relations.iter().map(|r| r.predicate.as_str()).collect();
+        assert_eq!(preds, vec!["type", "birthPlace", "spouse", "birthPlace", "locatedIn"]);
+        // Chaining: "born in" attaches to the Jordan vertex (3), not ?x.
+        assert_eq!(a.relations[3].arg1, 3);
+        // "of NY" chains off the city vertex (4).
+        assert_eq!(a.relations[4].arg1, 4);
+        // "is married to" re-anchors at ?x because of the copula.
+        assert_eq!(a.relations[2].arg1, 0);
+        assert_eq!(a.relation_count(), 4);
+    }
+
+    #[test]
+    fn uncertain_graph_matches_fig2() {
+        let lex = paper_lexicon();
+        let a = analyze_question(
+            &lex,
+            "Which actor from USA is married to Michael Jordan born in a city of NY?",
+        )
+        .unwrap();
+        let mut t = SymbolTable::new();
+        let g = a.uncertain_graph(&mut t);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        // 3 alternatives for Michael Jordan × 2 for NY = 6 worlds.
+        assert_eq!(g.world_count(), 6);
+        // Highest-probability world is 0.6 × 0.7 = 0.42 (Example 2).
+        let best = g.possible_worlds().map(|w| w.prob).fold(f64::MIN, f64::max);
+        assert!((best - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyzes_the_politician_question() {
+        // Fig. 4: "Which politician graduated from CIT?"
+        let lex = paper_lexicon();
+        let a = analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
+        assert_eq!(a.vertices.len(), 3);
+        assert_eq!(a.relations.len(), 2);
+        let mut t = SymbolTable::new();
+        let g = a.uncertain_graph(&mut t);
+        assert_eq!(g.world_count(), 2); // University 0.8 / Company 0.2
+    }
+
+    #[test]
+    fn give_me_all_pattern() {
+        let lex = paper_lexicon();
+        let a =
+            analyze_question(&lex, "Give me all movies directed by Francis Ford Coppola").unwrap();
+        assert_eq!(a.relations.len(), 2);
+        assert_eq!(a.relations[1].predicate, "director");
+    }
+
+    #[test]
+    fn unknown_entity_is_reported() {
+        let lex = paper_lexicon();
+        let err =
+            analyze_question(&lex, "Which politician graduated from Hogwarts?").unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownArgument(_)));
+    }
+
+    #[test]
+    fn unknown_pattern_is_reported() {
+        let lex = paper_lexicon();
+        let err = analyze_question(&lex, "Do you like cheese?").unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::NoPattern | AnalysisError::UnknownRelation(_)
+        ));
+    }
+
+    #[test]
+    fn inverse_pattern_makes_entity_the_subject() {
+        // "Who is the spouse of Michael Jordan?" → ⟨MJ⟩ --spouse--> ?x.
+        let lex = paper_lexicon();
+        let a = analyze_question(&lex, "Who is the spouse of Michael Jordan?").unwrap();
+        assert_eq!(a.relations.len(), 1);
+        let r = &a.relations[0];
+        assert_eq!(r.predicate, "spouse");
+        assert!(matches!(a.vertices[r.arg1], VertexInfo::EntityMention { .. }));
+        assert!(matches!(a.vertices[r.arg2], VertexInfo::Variable(_)));
+        // Entity ambiguity flows into the uncertain graph as usual.
+        let mut t = SymbolTable::new();
+        let g = a.uncertain_graph(&mut t);
+        assert_eq!(g.world_count(), 3);
+    }
+
+    #[test]
+    fn inverse_pattern_with_multiword_noun() {
+        let lex = paper_lexicon();
+        let a = analyze_question(&lex, "What is the birth place of Michael Jordan?").unwrap();
+        assert_eq!(a.relations[0].predicate, "birthPlace");
+    }
+
+    #[test]
+    fn mention_spans_cover_the_right_tokens() {
+        let lex = paper_lexicon();
+        let a = analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
+        // Spans: (class vertex, 1..2), (entity vertex, 4..5).
+        assert_eq!(a.mention_spans.len(), 2);
+        let (v, s, e) = a.mention_spans[1];
+        assert_eq!(&a.tokens[s..e].join(" "), "CIT");
+        assert!(matches!(a.vertices[v], VertexInfo::EntityMention { .. }));
+    }
+}

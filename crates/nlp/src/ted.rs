@@ -1,0 +1,191 @@
+//! Zhang–Shasha ordered tree edit distance.
+//!
+//! Used to pick, for a new question, the template whose dependency tree
+//! aligns best (minimum TED), per Sec. 2.2 of the paper. Unit costs:
+//! insert 1, delete 1, relabel 1 (0 when labels are equal; a template
+//! slot label matches any word with the same dependency relation).
+
+use crate::deptree::DepTree;
+
+/// Tree edit distance between two dependency trees.
+///
+/// Labels are `word/relation` pairs; slot words (`<_>` or `slotN`) match
+/// any word carrying the same relation.
+///
+/// ```
+/// use uqsj_nlp::{parse_dependencies, tree_edit_distance};
+/// let q = parse_dependencies("Which physicist graduated from CMU?");
+/// let t = parse_dependencies("Which SLOT0 graduated from SLOT1?");
+/// assert_eq!(tree_edit_distance(&q, &t), 0); // Fig. 5 alignment
+/// ```
+pub fn tree_edit_distance(a: &DepTree, b: &DepTree) -> u32 {
+    let fa = Flat::new(a);
+    let fb = Flat::new(b);
+    zhang_shasha(&fa, &fb)
+}
+
+/// A tree flattened to postorder arrays for Zhang–Shasha.
+struct Flat {
+    /// `labels[i]` — label of the i-th postorder node.
+    labels: Vec<(String, String)>, // (word lowercase, relation)
+    /// `lml[i]` — postorder index of the leftmost leaf of the subtree
+    /// rooted at i.
+    lml: Vec<usize>,
+    /// Keyroots in increasing postorder.
+    keyroots: Vec<usize>,
+}
+
+impl Flat {
+    fn new(t: &DepTree) -> Self {
+        let order = t.postorder();
+        let n = order.len();
+        let mut pos_of = vec![0usize; t.len().max(1)];
+        for (i, &node) in order.iter().enumerate() {
+            pos_of[node] = i;
+        }
+        let mut labels = Vec::with_capacity(n);
+        let mut lml = vec![0usize; n];
+        for (i, &node) in order.iter().enumerate() {
+            let d = &t.nodes[node];
+            labels.push((d.word.to_lowercase(), d.relation.clone()));
+            // Leftmost leaf: descend through first children.
+            let mut cur = node;
+            while let Some(&first) = t.nodes[cur].children.first() {
+                cur = first;
+            }
+            lml[i] = pos_of[cur];
+        }
+        // Keyroots: nodes with no parent, or not the leftmost child —
+        // equivalently, the last node with each distinct lml value.
+        let mut keyroots = Vec::new();
+        for i in 0..n {
+            let is_last = (i + 1..n).all(|j| lml[j] != lml[i]);
+            if is_last {
+                keyroots.push(i);
+            }
+        }
+        Flat { labels, lml, keyroots }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+fn is_slot(word: &str) -> bool {
+    word == "<_>" || (word.starts_with("slot") && word[4..].chars().all(|c| c.is_ascii_digit()))
+}
+
+fn relabel_cost(a: &(String, String), b: &(String, String)) -> u32 {
+    if a.1 == b.1 && (a.0 == b.0 || is_slot(&a.0) || is_slot(&b.0)) {
+        0
+    } else {
+        1
+    }
+}
+
+fn zhang_shasha(a: &Flat, b: &Flat) -> u32 {
+    let (na, nb) = (a.len(), b.len());
+    if na == 0 {
+        return nb as u32;
+    }
+    if nb == 0 {
+        return na as u32;
+    }
+    let mut td = vec![vec![0u32; nb]; na];
+
+    for &i in &a.keyroots {
+        for &j in &b.keyroots {
+            // Forest distance over [lml(i)..i] x [lml(j)..j].
+            let (li, lj) = (a.lml[i], b.lml[j]);
+            let (m, n) = (i - li + 2, j - lj + 2);
+            let mut fd = vec![vec![0u32; n]; m];
+            for x in 1..m {
+                fd[x][0] = fd[x - 1][0] + 1;
+            }
+            for y in 1..n {
+                fd[0][y] = fd[0][y - 1] + 1;
+            }
+            for x in 1..m {
+                for y in 1..n {
+                    let (ai, bj) = (li + x - 1, lj + y - 1);
+                    if a.lml[ai] == li && b.lml[bj] == lj {
+                        let sub = fd[x - 1][y - 1] + relabel_cost(&a.labels[ai], &b.labels[bj]);
+                        fd[x][y] = sub.min(fd[x - 1][y] + 1).min(fd[x][y - 1] + 1);
+                        td[ai][bj] = fd[x][y];
+                    } else {
+                        let (pai, pbj) = (a.lml[ai] - li, b.lml[bj] - lj);
+                        let cross = fd[pai][pbj] + td[ai][bj];
+                        fd[x][y] = cross.min(fd[x - 1][y] + 1).min(fd[x][y - 1] + 1);
+                    }
+                }
+            }
+        }
+    }
+    td[na - 1][nb - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deptree::parse_dependencies;
+
+    #[test]
+    fn identical_trees_have_zero_distance() {
+        let a = parse_dependencies("Which physicist graduated from CMU?");
+        let b = parse_dependencies("Which physicist graduated from CMU?");
+        assert_eq!(tree_edit_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn slots_match_words_fig5() {
+        // Fig. 5: the template tree aligns perfectly once slots absorb the
+        // concrete words.
+        let q = parse_dependencies("Which physicist graduated from CMU?");
+        let t = parse_dependencies("Which SLOT0 graduated from SLOT1?");
+        assert_eq!(tree_edit_distance(&q, &t), 0);
+    }
+
+    #[test]
+    fn different_roots_cost() {
+        let a = parse_dependencies("Which physicist graduated from CMU?");
+        let b = parse_dependencies("Which physicist born in CMU?");
+        let d = tree_edit_distance(&a, &b);
+        assert!(d >= 1, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = parse_dependencies("Which actor from USA is married to Michael Jordan?");
+        let b = parse_dependencies("Which politician graduated from CIT?");
+        assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn empty_tree_distance_is_size() {
+        let a = parse_dependencies("");
+        let b = parse_dependencies("Who is married to NY?");
+        assert_eq!(tree_edit_distance(&a, &b), b.len() as u32);
+        assert_eq!(tree_edit_distance(&b, &a), b.len() as u32);
+        assert_eq!(tree_edit_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let ts = [
+            parse_dependencies("Which physicist graduated from CMU?"),
+            parse_dependencies("Which politician graduated from CIT?"),
+            parse_dependencies("Who is married to Michael Jordan?"),
+        ];
+        for a in &ts {
+            for b in &ts {
+                for c in &ts {
+                    let ab = tree_edit_distance(a, b);
+                    let bc = tree_edit_distance(b, c);
+                    let ac = tree_edit_distance(a, c);
+                    assert!(ac <= ab + bc, "triangle violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Tokenization and longest-match phrase scanning.
+
+/// Split a question into word tokens. Punctuation is dropped except `?`,
+/// which becomes its own token (templates keep it).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' || c == '\'' || c == '-' {
+            word.push(c);
+        } else {
+            if !word.is_empty() {
+                tokens.push(std::mem::take(&mut word));
+            }
+            if c == '?' {
+                tokens.push("?".to_owned());
+            }
+        }
+    }
+    if !word.is_empty() {
+        tokens.push(word);
+    }
+    tokens
+}
+
+/// Join a token span back into a lowercase phrase for lexicon lookup.
+pub fn span_phrase(tokens: &[String]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_lowercase())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words_and_keeps_question_mark() {
+        let t = tokenize("Which politician graduated from CIT?");
+        assert_eq!(t, vec!["Which", "politician", "graduated", "from", "CIT", "?"]);
+    }
+
+    #[test]
+    fn keeps_underscores_and_hyphens() {
+        let t = tokenize("New_York-based");
+        assert_eq!(t, vec!["New_York-based"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert_eq!(tokenize("?!?"), vec!["?", "?"]);
+    }
+
+    #[test]
+    fn span_phrase_lowercases() {
+        let t = tokenize("Michael Jordan");
+        assert_eq!(span_phrase(&t), "michael jordan");
+    }
+}

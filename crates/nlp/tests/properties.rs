@@ -1,0 +1,92 @@
+//! Property tests for the NLP substrate: tokenizer invariants, tree edit
+//! distance metric properties, and alignment consistency.
+
+use proptest::prelude::*;
+use uqsj_nlp::align::{align_with_slots, matching_proportion, partial_align_with_slots, SLOT_TOKEN};
+use uqsj_nlp::deptree::parse_dependency_tokens;
+use uqsj_nlp::ted::tree_edit_distance;
+use uqsj_nlp::token::tokenize;
+
+const WORDS: [&str; 10] =
+    ["which", "actor", "from", "usa", "married", "to", "jordan", "born", "in", "city"];
+
+fn sentence_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(0usize..WORDS.len(), 1..10)
+        .prop_map(|ix| ix.into_iter().map(|i| WORDS[i].to_owned()).collect())
+}
+
+proptest! {
+    #[test]
+    fn tokenizer_never_emits_empty_tokens(s in "[ -~]{0,60}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t == "?" || t.chars().any(|c| c.is_alphanumeric() || c == '\'' || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_joined_output(s in "[a-zA-Z ?]{0,60}") {
+        let once = tokenize(&s);
+        let twice = tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ted_is_a_semimetric(a in sentence_strategy(), b in sentence_strategy()) {
+        let ta = parse_dependency_tokens(&a);
+        let tb = parse_dependency_tokens(&b);
+        prop_assert_eq!(tree_edit_distance(&ta, &ta), 0, "identity");
+        prop_assert_eq!(tree_edit_distance(&ta, &tb), tree_edit_distance(&tb, &ta), "symmetry");
+        // TED is bounded by delete-all + insert-all.
+        prop_assert!(tree_edit_distance(&ta, &tb) <= (ta.len() + tb.len()) as u32);
+    }
+
+    #[test]
+    fn ted_triangle_inequality(
+        a in sentence_strategy(),
+        b in sentence_strategy(),
+        c in sentence_strategy(),
+    ) {
+        let ta = parse_dependency_tokens(&a);
+        let tb = parse_dependency_tokens(&b);
+        let tc = parse_dependency_tokens(&c);
+        let ab = tree_edit_distance(&ta, &tb);
+        let bc = tree_edit_distance(&tb, &tc);
+        let ac = tree_edit_distance(&ta, &tc);
+        prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    #[test]
+    fn full_alignment_implies_phi_one(
+        words in prop::collection::vec(0usize..WORDS.len(), 2..8),
+        slot_at in 0usize..8,
+    ) {
+        // Build a template from the sentence by slotting one position.
+        let question: Vec<String> = words.iter().map(|&i| WORDS[i].to_owned()).collect();
+        let slot_at = slot_at % question.len();
+        let mut template = question.clone();
+        template[slot_at] = SLOT_TOKEN.to_owned();
+        let slots = align_with_slots(&template, &question).expect("must align");
+        prop_assert_eq!(slots.len(), 1);
+        prop_assert_eq!(&slots[0], &question[slot_at..slot_at + 1]);
+        let phi = matching_proportion(&template, &question);
+        prop_assert!((phi - 1.0).abs() < 1e-12);
+        // Partial alignment agrees on full matches.
+        let (pphi, pslots) = partial_align_with_slots(&template, &question).expect("partial");
+        prop_assert!((pphi - 1.0).abs() < 1e-12);
+        prop_assert_eq!(pslots, slots);
+    }
+
+    #[test]
+    fn partial_phi_never_exceeds_one(
+        t_words in prop::collection::vec(0usize..WORDS.len(), 1..6),
+        q_words in prop::collection::vec(0usize..WORDS.len(), 1..10),
+    ) {
+        let template: Vec<String> = t_words.iter().map(|&i| WORDS[i].to_owned()).collect();
+        let question: Vec<String> = q_words.iter().map(|&i| WORDS[i].to_owned()).collect();
+        if let Some((phi, slots)) = partial_align_with_slots(&template, &question) {
+            prop_assert!(phi > 0.0 && phi <= 1.0 + 1e-12);
+            prop_assert!(slots.is_empty()); // template had no slots
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Basic-graph-pattern evaluation over the triple store.
+//!
+//! The evaluator orders patterns greedily by estimated selectivity (fewest
+//! matching triples given already-bound variables), then performs
+//! index-nested-loop joins with backtracking. This is the classical
+//! strategy of RDF-3x-style engines, scaled to the in-memory store.
+
+use crate::dict::TermId;
+use crate::store::TripleStore;
+use std::collections::HashMap;
+use uqsj_sparql::{SparqlQuery, Term};
+
+/// One solution: variable name → bound term.
+pub type Bindings = HashMap<String, TermId>;
+
+/// Evaluate a query; returns the projected rows (decoded strings, one
+/// column per `SELECT` variable; all variables if `SELECT *`).
+///
+/// ```
+/// let mut store = uqsj_rdf::TripleStore::new();
+/// store.insert("Alice", "type", "Artist");
+/// store.insert("Alice", "graduatedFrom", "Harvard_University");
+/// store.ensure_indexes();
+/// let q = uqsj_sparql::parse(
+///     "SELECT ?p WHERE { ?p type Artist . ?p graduatedFrom Harvard_University }",
+/// ).unwrap();
+/// assert_eq!(uqsj_rdf::bgp::evaluate(&store, &q), vec![vec!["Alice".to_string()]]);
+/// ```
+pub fn evaluate(store: &TripleStore, query: &SparqlQuery) -> Vec<Vec<String>> {
+    let solutions = solutions(store, query);
+    let projection: Vec<String> = if query.select.is_empty() {
+        let mut vars: Vec<String> = solutions
+            .first()
+            .map(|b| b.keys().cloned().collect())
+            .unwrap_or_default();
+        vars.sort();
+        vars
+    } else {
+        query.select.clone()
+    };
+    let mut rows: Vec<Vec<String>> = solutions
+        .into_iter()
+        .map(|b| {
+            projection
+                .iter()
+                .map(|v| {
+                    b.get(v)
+                        .map(|&id| store.dict.decode(id).to_owned())
+                        .unwrap_or_default()
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+/// All variable bindings satisfying the pattern.
+pub fn solutions(store: &TripleStore, query: &SparqlQuery) -> Vec<Bindings> {
+    // Resolve constant terms up front; a constant not in the dictionary
+    // means no results.
+    #[derive(Clone)]
+    enum Slot {
+        Const(TermId),
+        Var(String),
+    }
+    let resolve = |t: &Term| -> Option<Slot> {
+        match t {
+            Term::Var(v) => Some(Slot::Var(v.clone())),
+            Term::Iri(x) | Term::Literal(x) => store.dict.get(x).map(Slot::Const),
+        }
+    };
+    let mut patterns = Vec::with_capacity(query.triples.len());
+    for t in &query.triples {
+        match (resolve(&t.subject), resolve(&t.predicate), resolve(&t.object)) {
+            (Some(s), Some(p), Some(o)) => patterns.push([s, p, o]),
+            _ => return Vec::new(),
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut bindings: Bindings = HashMap::new();
+    let mut used = vec![false; patterns.len()];
+
+    fn bound(slot: &Slot, b: &Bindings) -> Option<TermId>
+    where
+        Slot: Sized,
+    {
+        match slot {
+            Slot::Const(id) => Some(*id),
+            Slot::Var(v) => b.get(v).copied(),
+        }
+    }
+
+    fn recurse(
+        store: &TripleStore,
+        patterns: &[[Slot; 3]],
+        used: &mut Vec<bool>,
+        bindings: &mut Bindings,
+        results: &mut Vec<Bindings>,
+    ) {
+        // Pick the most selective unused pattern.
+        let next = (0..patterns.len())
+            .filter(|&i| !used[i])
+            .min_by_key(|&i| {
+                let [s, p, o] = &patterns[i];
+                store.count(bound(s, bindings), bound(p, bindings), bound(o, bindings))
+            });
+        let Some(i) = next else {
+            results.push(bindings.clone());
+            return;
+        };
+        used[i] = true;
+        let [s, p, o] = &patterns[i];
+        let matches = store.scan(bound(s, bindings), bound(p, bindings), bound(o, bindings));
+        for (ms, mp, mo) in matches {
+            let mut added: Vec<&String> = Vec::new();
+            let mut ok = true;
+            for (slot, val) in [(s, ms), (p, mp), (o, mo)] {
+                if let Slot::Var(v) = slot {
+                    match bindings.get(v) {
+                        Some(&existing) if existing != val => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(v.clone(), val);
+                            added.push(v);
+                        }
+                    }
+                }
+            }
+            if ok {
+                recurse(store, patterns, used, bindings, results);
+            }
+            for v in added {
+                bindings.remove(v);
+            }
+        }
+        used[i] = false;
+    }
+
+    recurse(store, &patterns, &mut used, &mut bindings, &mut results);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_sparql::parse;
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("Alice", "type", "Artist");
+        s.insert("Alice", "graduatedFrom", "Harvard_University");
+        s.insert("Bob", "type", "Artist");
+        s.insert("Bob", "graduatedFrom", "MIT");
+        s.insert("Carol", "type", "Politician");
+        s.insert("Carol", "graduatedFrom", "Harvard_University");
+        s.insert("Harvard_University", "type", "University");
+        s.ensure_indexes();
+        s
+    }
+
+    #[test]
+    fn answers_the_papers_intro_query() {
+        let s = store();
+        let q = parse(
+            "SELECT ?person WHERE { ?person type Artist . ?person graduatedFrom Harvard_University . }",
+        )
+        .unwrap();
+        let rows = evaluate(&s, &q);
+        assert_eq!(rows, vec![vec!["Alice".to_string()]]);
+    }
+
+    #[test]
+    fn join_over_shared_variable() {
+        let s = store();
+        let q = parse(
+            "SELECT ?person ?school WHERE { ?person graduatedFrom ?school . ?school type University . }",
+        )
+        .unwrap();
+        let rows = evaluate(&s, &q);
+        assert_eq!(rows.len(), 2); // Alice + Carol, both Harvard
+        assert!(rows.iter().all(|r| r[1] == "Harvard_University"));
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty() {
+        let s = store();
+        let q = parse("SELECT ?x WHERE { ?x type Dragon . }").unwrap();
+        assert!(evaluate(&s, &q).is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_within_triple() {
+        let mut s = TripleStore::new();
+        s.insert("a", "knows", "a");
+        s.insert("a", "knows", "b");
+        s.ensure_indexes();
+        let q = parse("SELECT ?x WHERE { ?x knows ?x . }").unwrap();
+        let rows = evaluate(&s, &q);
+        assert_eq!(rows, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn select_star_projects_all_variables_sorted() {
+        let s = store();
+        let q = parse("SELECT * WHERE { ?p graduatedFrom ?u . ?u type University }").unwrap();
+        let rows = evaluate(&s, &q);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2); // ?p, ?u
+    }
+
+    #[test]
+    fn results_are_deduplicated() {
+        let mut s = TripleStore::new();
+        s.insert("a", "p", "b");
+        s.insert("a", "p", "c");
+        s.ensure_indexes();
+        let q = parse("SELECT ?x WHERE { ?x p ?y . }").unwrap();
+        assert_eq!(evaluate(&s, &q).len(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Dictionary encoding: RDF terms (strings) to dense [`TermId`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dictionary-encoded RDF term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional term dictionary.
+#[derive(Default, Clone)]
+pub struct Dictionary {
+    map: HashMap<String, u32>,
+    terms: Vec<String>,
+}
+
+impl Dictionary {
+    /// New empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode (interning if new).
+    pub fn encode(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.map.get(term) {
+            return TermId(id);
+        }
+        let id = u32::try_from(self.terms.len()).expect("dictionary overflow");
+        self.map.insert(term.to_owned(), id);
+        self.terms.push(term.to_owned());
+        TermId(id)
+    }
+
+    /// Look up without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.map.get(term).copied().map(TermId)
+    }
+
+    /// Decode.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn decode(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dictionary").field("len", &self.terms.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let a = d.encode("Harvard_University");
+        let b = d.encode("Harvard_University");
+        assert_eq!(a, b);
+        assert_eq!(d.decode(a), "Harvard_University");
+        assert_eq!(d.len(), 1);
+        assert!(d.get("missing").is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! In-memory RDF triple store — the substrate standing in for
+//! Jena/RDF-3x/gStore in the Q/A-with-templates stage (Sec. 2.2: "any
+//! SPARQL query engine can be used to answer the SPARQL query").
+//!
+//! * [`dict`] — dictionary encoding of terms to dense ids.
+//! * [`store`] — triple storage with SPO/POS/OSP sorted indexes and
+//!   single-pattern lookup.
+//! * [`bgp`] — basic-graph-pattern evaluation by selectivity-ordered
+//!   index nested-loop joins, answering the SPARQL subset.
+//! * [`ntriples`] — a line-based N-Triples-style loader.
+
+pub mod dict;
+pub mod store;
+pub mod bgp;
+pub mod ntriples;
+
+pub use dict::{Dictionary, TermId};
+pub use store::TripleStore;
+pub use bgp::Bindings;

@@ -1,0 +1,227 @@
+//! Triple storage with three sorted permutation indexes.
+//!
+//! Every lookup pattern (any subset of S/P/O bound) is answered by a
+//! binary-searched range scan over the best of the SPO, POS and OSP
+//! orderings — the classical RDF-3x layout, reduced to the three
+//! permutations the BGP evaluator needs.
+
+use crate::dict::{Dictionary, TermId};
+
+/// A dictionary-encoded triple.
+pub type Triple = (TermId, TermId, TermId);
+
+/// The store: dictionary plus indexed triples. Indexes are rebuilt lazily
+/// after inserts.
+pub struct TripleStore {
+    /// Term dictionary.
+    pub dict: Dictionary,
+    triples: Vec<Triple>,
+    spo: Vec<Triple>,
+    pos: Vec<Triple>,
+    osp: Vec<Triple>,
+    dirty: bool,
+}
+
+impl Default for TripleStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TripleStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self {
+            dict: Dictionary::new(),
+            triples: Vec::new(),
+            spo: Vec::new(),
+            pos: Vec::new(),
+            osp: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    /// Insert a triple of strings.
+    pub fn insert(&mut self, s: &str, p: &str, o: &str) {
+        let t = (self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        self.triples.push(t);
+        self.dirty = true;
+    }
+
+    /// Insert an encoded triple.
+    pub fn insert_ids(&mut self, t: Triple) {
+        self.triples.push(t);
+        self.dirty = true;
+    }
+
+    /// Number of stored triples (including duplicates).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// (Re)build indexes if needed.
+    pub fn ensure_indexes(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.spo = self.triples.clone();
+        self.spo.sort_unstable();
+        self.pos = self.triples.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        self.pos.sort_unstable();
+        self.osp = self.triples.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        self.osp.sort_unstable();
+        self.dirty = false;
+    }
+
+    /// All triples matching the pattern (bound components are `Some`).
+    /// Results are in arbitrary order. Requires indexes to be built;
+    /// builds them on the fly if the store is mutable — callers holding
+    /// only `&self` must call [`Self::ensure_indexes`] first.
+    ///
+    /// # Panics
+    /// Panics if indexes are stale (insert since last
+    /// [`Self::ensure_indexes`]).
+    pub fn scan(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        assert!(!self.dirty, "call ensure_indexes() after inserting");
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = (s, p, o);
+                if self.spo.binary_search(&t).is_ok() {
+                    vec![t]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => range2(&self.spo, s, p),
+            (Some(s), None, None) => range1(&self.spo, s),
+            (Some(s), None, Some(o)) => range2(&self.osp, o, s)
+                .into_iter()
+                .map(|(o, s, p)| (s, p, o))
+                .collect(),
+            (None, Some(p), Some(o)) => range2(&self.pos, p, o)
+                .into_iter()
+                .map(|(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => range1(&self.pos, p)
+                .into_iter()
+                .map(|(p, o, s)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => range1(&self.osp, o)
+                .into_iter()
+                .map(|(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.clone(),
+        }
+    }
+
+    /// Count matches for a pattern without materializing (used for join
+    /// ordering by selectivity).
+    pub fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        assert!(!self.dirty, "call ensure_indexes() after inserting");
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.binary_search(&(s, p, o)).is_ok()),
+            (Some(s), Some(p), None) => range2_len(&self.spo, s, p),
+            (Some(s), None, None) => range1_len(&self.spo, s),
+            (Some(s), None, Some(o)) => range2_len(&self.osp, o, s),
+            (None, Some(p), Some(o)) => range2_len(&self.pos, p, o),
+            (None, Some(p), None) => range1_len(&self.pos, p),
+            (None, None, Some(o)) => range1_len(&self.osp, o),
+            (None, None, None) => self.spo.len(),
+        }
+    }
+}
+
+fn bounds1(index: &[Triple], a: TermId) -> (usize, usize) {
+    let lo = index.partition_point(|&(x, _, _)| x < a);
+    let hi = index.partition_point(|&(x, _, _)| x <= a);
+    (lo, hi)
+}
+
+fn bounds2(index: &[Triple], a: TermId, b: TermId) -> (usize, usize) {
+    let lo = index.partition_point(|&(x, y, _)| (x, y) < (a, b));
+    let hi = index.partition_point(|&(x, y, _)| (x, y) <= (a, b));
+    (lo, hi)
+}
+
+fn range1(index: &[Triple], a: TermId) -> Vec<Triple> {
+    let (lo, hi) = bounds1(index, a);
+    index[lo..hi].to_vec()
+}
+
+fn range1_len(index: &[Triple], a: TermId) -> usize {
+    let (lo, hi) = bounds1(index, a);
+    hi - lo
+}
+
+fn range2(index: &[Triple], a: TermId, b: TermId) -> Vec<Triple> {
+    let (lo, hi) = bounds2(index, a, b);
+    index[lo..hi].to_vec()
+}
+
+fn range2_len(index: &[Triple], a: TermId, b: TermId) -> usize {
+    let (lo, hi) = bounds2(index, a, b);
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("Alice", "type", "Artist");
+        s.insert("Alice", "graduatedFrom", "Harvard_University");
+        s.insert("Bob", "type", "Artist");
+        s.insert("Bob", "graduatedFrom", "MIT");
+        s.insert("Carol", "type", "Politician");
+        s.ensure_indexes();
+        s
+    }
+
+    #[test]
+    fn scans_by_every_pattern_shape() {
+        let s = store();
+        let ty = s.dict.get("type").unwrap();
+        let artist = s.dict.get("Artist").unwrap();
+        let alice = s.dict.get("Alice").unwrap();
+        assert_eq!(s.scan(None, Some(ty), Some(artist)).len(), 2);
+        assert_eq!(s.scan(Some(alice), None, None).len(), 2);
+        assert_eq!(s.scan(None, Some(ty), None).len(), 3);
+        assert_eq!(s.scan(None, None, Some(artist)).len(), 2);
+        assert_eq!(s.scan(Some(alice), Some(ty), Some(artist)).len(), 1);
+        assert_eq!(s.scan(None, None, None).len(), 5);
+    }
+
+    #[test]
+    fn counts_agree_with_scans() {
+        let s = store();
+        let ty = s.dict.get("type").unwrap();
+        let artist = s.dict.get("Artist").unwrap();
+        for (a, b, c) in [
+            (None, Some(ty), Some(artist)),
+            (None, Some(ty), None),
+            (None, None, None),
+        ] {
+            assert_eq!(s.count(a, b, c), s.scan(a, b, c).len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ensure_indexes")]
+    fn stale_index_panics() {
+        let mut s = store();
+        s.insert("Dave", "type", "Artist");
+        let ty = s.dict.get("type").unwrap();
+        let _ = s.scan(None, Some(ty), None);
+    }
+}

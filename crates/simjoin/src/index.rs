@@ -1,0 +1,152 @@
+//! A size-signature index over the certain side `D`: the vertex/edge
+//! count lower bound (Zeng et al.) prunes any pair with
+//! `||V(q)|−|V(g)|| + ||E(q)|−|E(g)|| > τ`, so for a given uncertain
+//! graph only queries inside a small size window need the (more
+//! expensive) CSS bound at all. The index turns the quadratic
+//! cross-product scan into per-question window lookups — the kind of
+//! engineering the paper's 73,057-query workload demands.
+
+use crate::join::{join_pair, JoinMatch, JoinParams};
+use crate::stats::JoinStats;
+use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+
+/// The index: query ids sorted by vertex count, with edge counts kept for
+/// the second component of the size bound.
+pub struct JoinIndex<'a> {
+    d: &'a [Graph],
+    /// `(vertex_count, edge_count, index into d)` sorted by vertex count.
+    by_size: Vec<(u32, u32, u32)>,
+}
+
+impl<'a> JoinIndex<'a> {
+    /// Build the index over `d`.
+    pub fn build(d: &'a [Graph]) -> Self {
+        let mut by_size: Vec<(u32, u32, u32)> = d
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.vertex_count() as u32, g.edge_count() as u32, i as u32))
+            .collect();
+        by_size.sort_unstable();
+        Self { d, by_size }
+    }
+
+    /// Query ids whose size bound against `(v, e)` is within `tau`.
+    pub fn candidates(&self, v: u32, e: u32, tau: u32) -> impl Iterator<Item = usize> + '_ {
+        let lo = self.by_size.partition_point(|&(qv, _, _)| qv + tau < v);
+        let hi = self.by_size.partition_point(|&(qv, _, _)| qv <= v + tau);
+        self.by_size[lo..hi]
+            .iter()
+            .filter(move |&&(qv, qe, _)| qv.abs_diff(v) + qe.abs_diff(e) <= tau)
+            .map(|&(_, _, i)| i as usize)
+    }
+
+    /// The indexed side.
+    pub fn queries(&self) -> &'a [Graph] {
+        self.d
+    }
+}
+
+/// SimJ over `d × u` using the size index to skip hopeless pairs before
+/// any bound computation. Returns the same result set as
+/// [`crate::sim_join`]; `stats.pruned_structural` absorbs the
+/// index-skipped pairs (they are structurally pruned, just cheaper).
+pub fn sim_join_indexed(
+    table: &SymbolTable,
+    d: &[Graph],
+    u: &[UncertainGraph],
+    params: JoinParams,
+) -> (Vec<JoinMatch>, JoinStats) {
+    let index = JoinIndex::build(d);
+    let mut out = Vec::new();
+    let mut stats = JoinStats::default();
+    for (gi, g) in u.iter().enumerate() {
+        let v = g.vertex_count() as u32;
+        let e = g.edge_count() as u32;
+        let mut hits = 0u64;
+        for qi in index.candidates(v, e, params.tau) {
+            hits += 1;
+            join_pair(table, qi, &d[qi], gi, g, params, &mut out, &mut stats);
+        }
+        // Account for pairs the window never touched.
+        let skipped = d.len() as u64 - hits;
+        stats.pairs_total += skipped;
+        stats.pruned_structural += skipped;
+    }
+    out.sort_by_key(|m| (m.g_index, m.q_index));
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::sim_join;
+    use uqsj_graph::GraphBuilder;
+
+    fn workload(t: &mut SymbolTable) -> (Vec<Graph>, Vec<UncertainGraph>) {
+        let mut d = Vec::new();
+        for n in 1..6usize {
+            let mut b = GraphBuilder::new(t);
+            for i in 0..n {
+                b.vertex(&format!("v{i}"), "A");
+            }
+            for i in 0..n.saturating_sub(1) {
+                b.edge(&format!("v{i}"), &format!("v{}", i + 1), "p");
+            }
+            d.push(b.into_graph());
+        }
+        let mut u = Vec::new();
+        for n in [2usize, 4] {
+            let mut b = GraphBuilder::new(t);
+            for i in 0..n {
+                b.uncertain_vertex(&format!("v{i}"), &[("A", 0.6), ("B", 0.4)]);
+            }
+            for i in 0..n - 1 {
+                b.edge(&format!("v{i}"), &format!("v{}", i + 1), "p");
+            }
+            u.push(b.into_uncertain());
+        }
+        (d, u)
+    }
+
+    #[test]
+    fn index_window_is_exactly_the_size_bound() {
+        let mut t = SymbolTable::new();
+        let (d, _) = workload(&mut t);
+        let index = JoinIndex::build(&d);
+        for tau in 0..4u32 {
+            for (v, e) in [(2u32, 1u32), (4, 3), (1, 0)] {
+                let mut got: Vec<usize> = index.candidates(v, e, tau).collect();
+                got.sort_unstable();
+                let expected: Vec<usize> = d
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| {
+                        (q.vertex_count() as u32).abs_diff(v)
+                            + (q.edge_count() as u32).abs_diff(e)
+                            <= tau
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(got, expected, "tau={tau} v={v} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_join_matches_plain_join() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        for tau in 0..3u32 {
+            let params = JoinParams::simj(tau, 0.3);
+            let (plain, pstats) = sim_join(&t, &d, &u, params);
+            let (indexed, istats) = sim_join_indexed(&t, &d, &u, params);
+            let key = |m: &JoinMatch| (m.g_index, m.q_index);
+            let mut a: Vec<_> = plain.iter().map(key).collect();
+            a.sort_unstable();
+            let b: Vec<_> = indexed.iter().map(key).collect();
+            assert_eq!(a, b, "tau={tau}");
+            assert_eq!(pstats.pairs_total, istats.pairs_total);
+            assert_eq!(pstats.results, istats.results);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The SimJ procedure (Algorithm 1) and its group-optimized variant
+//! (Algorithm 2).
+
+use crate::stats::JoinStats;
+use std::time::Instant;
+use uqsj_ged::astar::GedResult;
+use uqsj_ged::bounds::css::{css_terms_uncertain, lb_ged_css_uncertain};
+use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+use uqsj_uncertain::groups::{ub_simp_grouped, verify_simp_groups};
+use uqsj_uncertain::prob::verify_simp;
+use uqsj_uncertain::prob_bound::ub_simp_with_terms;
+
+/// Which pruning pipeline to run (the three lines of Figs. 11–14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// CSS structural pruning only.
+    CssOnly,
+    /// CSS + Markov probabilistic pruning (Algorithm 1).
+    SimJ,
+    /// CSS + group-refined probabilistic pruning (Algorithm 2) with the
+    /// given group budget `GN`.
+    SimJOpt {
+        /// Maximum number of possible-world groups per uncertain graph.
+        group_count: usize,
+    },
+}
+
+/// Join parameters: the GED threshold τ and probability threshold α of
+/// Def. 7, plus the pruning strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinParams {
+    /// GED threshold τ.
+    pub tau: u32,
+    /// Similarity probability threshold α ∈ (0, 1].
+    pub alpha: f64,
+    /// Pruning pipeline.
+    pub strategy: JoinStrategy,
+}
+
+impl JoinParams {
+    /// Algorithm-1 parameters (`SimJ`) with the paper's defaults.
+    pub fn simj(tau: u32, alpha: f64) -> Self {
+        Self { tau, alpha, strategy: JoinStrategy::SimJ }
+    }
+}
+
+/// One qualifying pair `⟨q, g⟩` with `SimP_τ(q, g) >= α`.
+#[derive(Clone, Debug)]
+pub struct JoinMatch {
+    /// Index into `D`.
+    pub q_index: usize,
+    /// Index into `U`.
+    pub g_index: usize,
+    /// The (possibly early-exited, always `>= α`) similarity probability.
+    pub prob: f64,
+    /// GED mapping (q vertex → world vertex) of the most probable
+    /// qualifying world — the input to template generation.
+    pub mapping: GedResult,
+    /// Probability of that world.
+    pub world_prob: f64,
+}
+
+/// Run SimJ over `d × u`. Returns the qualifying pairs and the join
+/// statistics.
+pub fn sim_join(
+    table: &SymbolTable,
+    d: &[Graph],
+    u: &[UncertainGraph],
+    params: JoinParams,
+) -> (Vec<JoinMatch>, JoinStats) {
+    let mut out = Vec::new();
+    let mut stats = JoinStats::default();
+    for (gi, g) in u.iter().enumerate() {
+        for (qi, q) in d.iter().enumerate() {
+            join_pair(table, qi, q, gi, g, params, &mut out, &mut stats);
+        }
+    }
+    (out, stats)
+}
+
+/// Process a single pair; shared by the sequential and parallel drivers.
+#[allow(clippy::too_many_arguments)] // the join loop's full context
+pub(crate) fn join_pair(
+    table: &SymbolTable,
+    qi: usize,
+    q: &Graph,
+    gi: usize,
+    g: &UncertainGraph,
+    params: JoinParams,
+    out: &mut Vec<JoinMatch>,
+    stats: &mut JoinStats,
+) {
+    stats.pairs_total += 1;
+    let pruning_started = Instant::now();
+
+    // Structural filter (Algorithm 1, lines 3-4).
+    if lb_ged_css_uncertain(table, q, g) > params.tau {
+        stats.pruned_structural += 1;
+        stats.pruning_time += pruning_started.elapsed();
+        return;
+    }
+
+    // Probabilistic filter(s) (lines 5-6 / Algorithm 2).
+    let mut groups = None;
+    match params.strategy {
+        JoinStrategy::CssOnly => {}
+        JoinStrategy::SimJ => {
+            let terms = css_terms_uncertain(table, q, g);
+            if ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha {
+                stats.pruned_probabilistic += 1;
+                stats.pruning_time += pruning_started.elapsed();
+                return;
+            }
+        }
+        JoinStrategy::SimJOpt { group_count } => {
+            let terms = css_terms_uncertain(table, q, g);
+            if ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha {
+                stats.pruned_probabilistic += 1;
+                stats.pruning_time += pruning_started.elapsed();
+                return;
+            }
+            let (ub, parts) = ub_simp_grouped(table, q, g, params.tau, group_count);
+            if ub < params.alpha {
+                stats.pruned_grouped += 1;
+                stats.pruning_time += pruning_started.elapsed();
+                return;
+            }
+            groups = Some(parts);
+        }
+    }
+    stats.pruning_time += pruning_started.elapsed();
+
+    // Refinement (lines 7-15).
+    stats.candidates += 1;
+    let verification_started = Instant::now();
+    let outcome = match &groups {
+        Some(parts) => verify_simp_groups(table, q, g, params.tau, params.alpha, parts),
+        None => verify_simp(table, q, g, params.tau, params.alpha),
+    };
+    stats.verification_time += verification_started.elapsed();
+    stats.worlds_verified += outcome.worlds_verified as u64;
+    if outcome.passed {
+        stats.results += 1;
+        let mapping = outcome
+            .best_mapping
+            .expect("a passing pair has at least one qualifying world");
+        out.push(JoinMatch {
+            q_index: qi,
+            g_index: gi,
+            prob: outcome.prob,
+            mapping,
+            world_prob: outcome.best_world_prob,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_graph::GraphBuilder;
+
+    fn workload(t: &mut SymbolTable) -> (Vec<Graph>, Vec<UncertainGraph>) {
+        // q0: which Actor from Country (matches g0 loosely)
+        let mut b = GraphBuilder::new(t);
+        b.vertex("x", "?x");
+        b.vertex("a", "Actor");
+        b.vertex("c", "Country");
+        b.edge("x", "a", "type");
+        b.edge("x", "c", "birthPlace");
+        let q0 = b.into_graph();
+        // q1: totally different and bigger
+        let mut b = GraphBuilder::new(t);
+        for i in 0..6 {
+            b.vertex(&format!("v{i}"), "Film");
+        }
+        for i in 0..5 {
+            b.edge(&format!("v{i}"), &format!("v{}", i + 1), "starring");
+        }
+        let q1 = b.into_graph();
+
+        // g0: uncertain version of q0
+        let mut b = GraphBuilder::new(t);
+        b.vertex("x", "?who");
+        b.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+        b.vertex("c", "Country");
+        b.edge("x", "m", "type");
+        b.edge("x", "c", "birthPlace");
+        let g0 = b.into_uncertain();
+        // g1: small unrelated graph
+        let mut b = GraphBuilder::new(t);
+        b.vertex("x", "?x");
+        b.vertex("b", "Band");
+        b.edge("x", "b", "memberOf");
+        let g1 = b.into_uncertain();
+
+        (vec![q0, q1], vec![g0, g1])
+    }
+
+    #[test]
+    fn join_finds_the_similar_pair() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let (matches, stats) = sim_join(&t, &d, &u, JoinParams::simj(1, 0.9));
+        assert_eq!(stats.pairs_total, 4);
+        assert!(matches.iter().any(|m| m.q_index == 0 && m.g_index == 0));
+        // The big film chain should never match the small questions.
+        assert!(matches.iter().all(|m| m.q_index != 1));
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let collect = |strategy| {
+            let (m, _) = sim_join(&t, &d, &u, JoinParams { tau: 1, alpha: 0.3, strategy });
+            let mut pairs: Vec<(usize, usize)> =
+                m.iter().map(|x| (x.q_index, x.g_index)).collect();
+            pairs.sort_unstable();
+            pairs
+        };
+        let css = collect(JoinStrategy::CssOnly);
+        let simj = collect(JoinStrategy::SimJ);
+        let opt = collect(JoinStrategy::SimJOpt { group_count: 4 });
+        assert_eq!(css, simj, "pruning must not change results");
+        assert_eq!(simj, opt, "grouping must not change results");
+    }
+
+    #[test]
+    fn stronger_strategies_have_fewer_candidates() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let candidates = |strategy| {
+            sim_join(&t, &d, &u, JoinParams { tau: 0, alpha: 0.9, strategy }).1.candidates
+        };
+        let css = candidates(JoinStrategy::CssOnly);
+        let simj = candidates(JoinStrategy::SimJ);
+        let opt = candidates(JoinStrategy::SimJOpt { group_count: 4 });
+        assert!(simj <= css);
+        assert!(opt <= simj);
+    }
+
+    #[test]
+    fn alpha_monotonicity() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let count = |alpha| sim_join(&t, &d, &u, JoinParams::simj(1, alpha)).0.len();
+        assert!(count(0.1) >= count(0.5));
+        assert!(count(0.5) >= count(0.95));
+    }
+
+    #[test]
+    fn tau_monotonicity() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let count = |tau| sim_join(&t, &d, &u, JoinParams::simj(tau, 0.5)).0.len();
+        assert!(count(0) <= count(1));
+        assert!(count(1) <= count(3));
+    }
+}

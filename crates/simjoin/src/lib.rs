@@ -1,0 +1,28 @@
+//! SimJ: the similarity join between a set `D` of certain graphs (SPARQL
+//! queries) and a set `U` of uncertain graphs (natural-language
+//! questions), Def. 7 of the paper.
+//!
+//! The join follows the filtering-and-refinement framework of Sec. 3.3 in
+//! three configurations matching the paper's efficiency experiments
+//! (Sec. 7.3):
+//!
+//! * `CSS only` — structural pruning with the CSS bound (Theorem 3), then
+//!   verification.
+//! * `SimJ` — CSS pruning plus the Markov probabilistic filter
+//!   (Theorem 4): Algorithm 1.
+//! * `SimJ+opt` — additionally partitions possible worlds into groups
+//!   with the cost model of Sec. 6.2 for a tighter probability bound and
+//!   group-pruned verification: Algorithm 2.
+
+pub mod join;
+pub mod stats;
+pub mod parallel;
+pub mod filter_eval;
+pub mod topk;
+pub mod index;
+
+pub use index::{sim_join_indexed, JoinIndex};
+pub use join::{sim_join, JoinMatch, JoinParams, JoinStrategy};
+pub use parallel::sim_join_parallel;
+pub use stats::JoinStats;
+pub use topk::{sim_join_topk, TopKMatch};

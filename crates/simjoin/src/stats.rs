@@ -1,0 +1,94 @@
+//! Join instrumentation: everything the efficiency experiments report.
+
+use std::time::Duration;
+
+/// Counters and timers accumulated over one join run.
+#[derive(Clone, Debug, Default)]
+pub struct JoinStats {
+    /// `|D| × |U|`.
+    pub pairs_total: u64,
+    /// Pairs discarded by the CSS structural filter (Theorem 3).
+    pub pruned_structural: u64,
+    /// Pairs discarded by the single-group Markov filter (Theorem 4).
+    pub pruned_probabilistic: u64,
+    /// Pairs discarded by the group-refined bound (Algorithm 2).
+    pub pruned_grouped: u64,
+    /// Pairs that reached verification.
+    pub candidates: u64,
+    /// Pairs verified with `SimP_τ >= α`.
+    pub results: u64,
+    /// Possible worlds on which A\* ran.
+    pub worlds_verified: u64,
+    /// Time spent in the pruning phase.
+    pub pruning_time: Duration,
+    /// Time spent in the refinement (verification) phase.
+    pub verification_time: Duration,
+}
+
+impl JoinStats {
+    /// Candidate ratio: candidates / total pairs (the y-axis of
+    /// Figs. 11(b), 12(b), 13(b), 14(b), 15(b)).
+    pub fn candidate_ratio(&self) -> f64 {
+        if self.pairs_total == 0 {
+            return 0.0;
+        }
+        self.candidates as f64 / self.pairs_total as f64
+    }
+
+    /// Result ratio: results / total pairs ("Real" series in the figures).
+    pub fn result_ratio(&self) -> f64 {
+        if self.pairs_total == 0 {
+            return 0.0;
+        }
+        self.results as f64 / self.pairs_total as f64
+    }
+
+    /// Total response time (pruning + verification).
+    pub fn response_time(&self) -> Duration {
+        self.pruning_time + self.verification_time
+    }
+
+    /// Merge another run's counters into this one (used by the parallel
+    /// driver; wall-clock times add, which matches the paper's
+    /// single-threaded reporting).
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.pairs_total += other.pairs_total;
+        self.pruned_structural += other.pruned_structural;
+        self.pruned_probabilistic += other.pruned_probabilistic;
+        self.pruned_grouped += other.pruned_grouped;
+        self.candidates += other.candidates;
+        self.results += other.results;
+        self.worlds_verified += other.worlds_verified;
+        self.pruning_time += other.pruning_time;
+        self.verification_time += other.verification_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = JoinStats { pairs_total: 200, candidates: 10, results: 4, ..Default::default() };
+        assert!((s.candidate_ratio() - 0.05).abs() < 1e-12);
+        assert!((s.result_ratio() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_join_has_zero_ratios() {
+        let s = JoinStats::default();
+        assert_eq!(s.candidate_ratio(), 0.0);
+        assert_eq!(s.result_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = JoinStats { pairs_total: 5, candidates: 2, ..Default::default() };
+        let b = JoinStats { pairs_total: 7, candidates: 1, results: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.pairs_total, 12);
+        assert_eq!(a.candidates, 3);
+        assert_eq!(a.results, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Abstract syntax for the SPARQL subset.
+
+use std::fmt;
+
+/// An RDF term as it appears in a basic graph pattern.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// `?name`.
+    Var(String),
+    /// An IRI; stored by local name (angle brackets and prefixes are
+    /// resolved away at parse time).
+    Iri(String),
+    /// A plain literal.
+    Literal(String),
+}
+
+impl Term {
+    /// The label this term contributes to the query graph: variables keep
+    /// their `?name` (a wildcard), IRIs/literals their text.
+    pub fn label(&self) -> String {
+        match self {
+            Term::Var(v) => format!("?{v}"),
+            Term::Iri(i) => i.clone(),
+            Term::Literal(l) => l.clone(),
+        }
+    }
+
+    /// Whether this is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{v}"),
+            Term::Iri(i) => write!(f, "{i}"),
+            Term::Literal(l) => write!(f, "\"{l}\""),
+        }
+    }
+}
+
+/// One triple pattern.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject.
+    pub subject: Term,
+    /// Predicate.
+    pub predicate: Term,
+    /// Object.
+    pub object: Term,
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A parsed `SELECT` query over one basic graph pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparqlQuery {
+    /// Projected variable names (without `?`); empty means `SELECT *`.
+    pub select: Vec<String>,
+    /// The basic graph pattern.
+    pub triples: Vec<Triple>,
+}
+
+impl fmt::Display for SparqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.select.is_empty() {
+            write!(f, "*")?;
+        } else {
+            let vars: Vec<String> = self.select.iter().map(|v| format!("?{v}")).collect();
+            write!(f, "{}", vars.join(" "))?;
+        }
+        writeln!(f, " WHERE {{")?;
+        for t in &self.triples {
+            writeln!(f, "  {t} .")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_labels() {
+        assert_eq!(Term::Var("x".into()).label(), "?x");
+        assert_eq!(Term::Iri("Actor".into()).label(), "Actor");
+        assert_eq!(Term::Literal("NY".into()).label(), "NY");
+        assert!(Term::Var("x".into()).is_var());
+        assert!(!Term::Iri("a".into()).is_var());
+    }
+
+    #[test]
+    fn query_display_roundtrips_through_parser() {
+        let q = SparqlQuery {
+            select: vec!["person".into()],
+            triples: vec![Triple {
+                subject: Term::Var("person".into()),
+                predicate: Term::Iri("type".into()),
+                object: Term::Iri("Artist".into()),
+            }],
+        };
+        let text = q.to_string();
+        let reparsed = crate::parse(&text).unwrap();
+        assert_eq!(q, reparsed);
+    }
+}

@@ -1,0 +1,97 @@
+//! Conversion of a parsed SPARQL query to the certain query graph used on
+//! the `D` side of the join (Sec. 3.2: "It is straightforward to represent
+//! each SPARQL query ... as a certain graph").
+//!
+//! Subjects and objects become vertices (shared by term identity);
+//! predicates become directed edge labels. The vertex → term table is kept
+//! so template generation can map slots back to SPARQL text.
+
+use crate::ast::{SparqlQuery, Term};
+use uqsj_graph::{Graph, SymbolTable, VertexId};
+
+/// A query graph with its provenance.
+#[derive(Clone, Debug)]
+pub struct QueryGraph {
+    /// The certain graph (vertex labels are term labels; variables are
+    /// wildcards).
+    pub graph: Graph,
+    /// `terms[v.index()]` — the term behind each vertex.
+    pub terms: Vec<Term>,
+}
+
+/// Build the query graph of `query`, interning labels in `table`.
+pub fn query_graph(table: &mut SymbolTable, query: &SparqlQuery) -> QueryGraph {
+    let mut graph = Graph::new();
+    let mut terms: Vec<Term> = Vec::new();
+    let vertex_of = |graph: &mut Graph, terms: &mut Vec<Term>, table: &mut SymbolTable, t: &Term| -> VertexId {
+        if let Some(i) = terms.iter().position(|x| x == t) {
+            return VertexId(i as u32);
+        }
+        let sym = table.intern(&t.label());
+        let id = graph.add_vertex(sym);
+        terms.push(t.clone());
+        id
+    };
+    for triple in &query.triples {
+        let s = vertex_of(&mut graph, &mut terms, table, &triple.subject);
+        let o = vertex_of(&mut graph, &mut terms, table, &triple.object);
+        let p = table.intern(&triple.predicate.label());
+        graph.add_edge(s, o, p);
+    }
+    QueryGraph { graph, terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn shared_subjects_become_one_vertex() {
+        let q = parse(
+            "SELECT ?person WHERE {\n\
+             ?person type Artist .\n\
+             ?person graduatedFrom Harvard_University .\n\
+             }",
+        )
+        .unwrap();
+        let mut t = SymbolTable::new();
+        let qg = query_graph(&mut t, &q);
+        assert_eq!(qg.graph.vertex_count(), 3); // ?person, Artist, Harvard
+        assert_eq!(qg.graph.edge_count(), 2);
+        // ?person is a wildcard vertex.
+        let v0 = qg.graph.label(VertexId(0));
+        assert!(t.is_wildcard(v0));
+        assert_eq!(qg.terms[0], Term::Var("person".into()));
+    }
+
+    #[test]
+    fn variable_predicates_are_wildcard_edges() {
+        let q = parse("SELECT ?x WHERE { ?x ?p ?y . }").unwrap();
+        let mut t = SymbolTable::new();
+        let qg = query_graph(&mut t, &q);
+        assert_eq!(qg.graph.edge_count(), 1);
+        assert!(t.is_wildcard(qg.graph.edges()[0].label));
+    }
+
+    #[test]
+    fn paper_running_example_q2_shape() {
+        // q2 of Fig. 3 (second SPARQL query in the workload).
+        let q = parse(
+            "SELECT ?person1 WHERE {\n\
+             ?person1 type Actor .\n\
+             ?person1 birthPlace United_States .\n\
+             ?person2 spouse ?person1 .\n\
+             ?person2 type NBA_star .\n\
+             ?person2 birthPlace New_York_City .\n\
+             }",
+        )
+        .unwrap();
+        let mut t = SymbolTable::new();
+        let qg = query_graph(&mut t, &q);
+        // Vertices: ?person1, Actor, United_States, ?person2, NBA_star,
+        // New_York_City.
+        assert_eq!(qg.graph.vertex_count(), 6);
+        assert_eq!(qg.graph.edge_count(), 5);
+    }
+}

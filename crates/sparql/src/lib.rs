@@ -1,0 +1,18 @@
+//! A SPARQL subset sufficient for the paper's workloads: `SELECT`
+//! queries over OPT-free basic graph patterns (footnote 3 of the paper:
+//! "We focus on the basic graph patterns of OPT-free SPARQL queries").
+//!
+//! * [`ast`] — terms, triples and queries.
+//! * [`parser`] — a hand-written recursive-descent parser with positioned
+//!   errors.
+//! * [`graph`] — conversion of a parsed query to the certain query graph
+//!   of the join (`D` side), keeping the vertex → term correspondence so
+//!   template generation can substitute slots back into SPARQL text.
+
+pub mod ast;
+pub mod parser;
+pub mod graph;
+
+pub use ast::{SparqlQuery, Term, Triple};
+pub use graph::{query_graph, QueryGraph};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,328 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := prefix* SELECT projection WHERE '{' triples '}'
+//! prefix  := PREFIX name ':' '<' iri '>'
+//! projection := '*' | var+
+//! triples := triple ('.' triple)* '.'?
+//! triple  := term term term
+//! term    := var | '<' iri '>' | prefixed | word | string
+//! ```
+//!
+//! Prefixed names and full IRIs are reduced to their local names — the
+//! workloads identify entities/predicates by local name, matching how the
+//! paper's figures print them (`type`, `Harvard_University`, …).
+
+use crate::ast::{SparqlQuery, Term, Triple};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a query string.
+///
+/// ```
+/// let q = uqsj_sparql::parse(
+///     "SELECT ?person WHERE { ?person type Artist . ?person graduatedFrom Harvard_University }",
+/// ).unwrap();
+/// assert_eq!(q.select, vec!["person".to_string()]);
+/// assert_eq!(q.triples.len(), 2);
+/// ```
+pub fn parse(input: &str) -> Result<SparqlQuery, ParseError> {
+    Parser { input: input.as_bytes(), pos: 0, prefixes: HashMap::new() }.query()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser<'_> {
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.input.get(self.pos) {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                while self.pos < self.input.len() && self.input[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if end <= self.input.len()
+            && self.input[self.pos..end].eq_ignore_ascii_case(kw.as_bytes())
+            && end
+                .checked_sub(0)
+                .map(|e| self.input.get(e).is_none_or(|c| !is_name_byte(*c)))
+                .unwrap_or(true)
+        {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(is_name_byte) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn query(&mut self) -> Result<SparqlQuery, ParseError> {
+        while self.eat_keyword("PREFIX") {
+            let p = self.name()?;
+            self.expect_char(b':')?;
+            self.expect_char(b'<')?;
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c != b'>') {
+                self.pos += 1;
+            }
+            let iri = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            self.expect_char(b'>')?;
+            self.prefixes.insert(p, iri);
+        }
+        if !self.eat_keyword("SELECT") {
+            return self.error("expected SELECT");
+        }
+        let mut select = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'*') {
+            self.pos += 1;
+        } else {
+            while self.peek() == Some(b'?') {
+                self.pos += 1;
+                select.push(self.name()?);
+                self.skip_ws();
+            }
+            if select.is_empty() {
+                return self.error("expected '*' or at least one ?variable");
+            }
+        }
+        if !self.eat_keyword("WHERE") {
+            return self.error("expected WHERE");
+        }
+        self.expect_char(b'{')?;
+        let mut triples = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                break;
+            }
+            if self.peek().is_none() {
+                return self.error("unterminated graph pattern");
+            }
+            let subject = self.term()?;
+            let predicate = self.term()?;
+            let object = self.term()?;
+            triples.push(Triple { subject, predicate, object });
+            self.skip_ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+            }
+        }
+        if triples.is_empty() {
+            return self.error("empty graph pattern");
+        }
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return self.error("trailing input after query");
+        }
+        Ok(SparqlQuery { select, triples })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'?') => {
+                self.pos += 1;
+                Ok(Term::Var(self.name()?))
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'>') {
+                    self.pos += 1;
+                }
+                if self.peek().is_none() {
+                    return self.error("unterminated IRI");
+                }
+                let iri = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Term::Iri(local_name(&iri).to_owned()))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'"') {
+                    self.pos += 1;
+                }
+                if self.peek().is_none() {
+                    return self.error("unterminated literal");
+                }
+                let lit = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Term::Literal(lit))
+            }
+            Some(c) if is_name_byte(c) => {
+                let first = self.name()?;
+                if self.peek() == Some(b':') {
+                    // Prefixed name: prefix must be declared; only the
+                    // local part is kept.
+                    self.pos += 1;
+                    if !self.prefixes.contains_key(&first) && first != "rdf" && first != "rdfs" {
+                        return self.error(format!("undeclared prefix '{first}'"));
+                    }
+                    let local = self.name()?;
+                    Ok(Term::Iri(local))
+                } else {
+                    Ok(Term::Iri(first))
+                }
+            }
+            _ => self.error("expected a term"),
+        }
+    }
+}
+
+fn is_name_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+/// Local name of a full IRI: the part after the last `/` or `#`.
+pub fn local_name(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_intro_query() {
+        let q = parse(
+            "SELECT ?person WHERE {\n\
+             ?person rdf:type Artist .\n\
+             ?person graduatedFrom Harvard_University .\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec!["person"]);
+        assert_eq!(q.triples.len(), 2);
+        assert_eq!(q.triples[0].predicate, Term::Iri("type".into()));
+        assert_eq!(q.triples[1].object, Term::Iri("Harvard_University".into()));
+    }
+
+    #[test]
+    fn parses_full_iris_to_local_names() {
+        let q = parse(
+            "SELECT ?x WHERE { ?x <http://dbpedia.org/ontology/birthPlace> <http://dbpedia.org/resource/New_York_City> . }",
+        )
+        .unwrap();
+        assert_eq!(q.triples[0].predicate, Term::Iri("birthPlace".into()));
+        assert_eq!(q.triples[0].object, Term::Iri("New_York_City".into()));
+    }
+
+    #[test]
+    fn parses_prefix_declarations() {
+        let q = parse(
+            "PREFIX dbo: <http://dbpedia.org/ontology/>\n\
+             SELECT ?x WHERE { ?x dbo:director ?d . }",
+        )
+        .unwrap();
+        assert_eq!(q.triples[0].predicate, Term::Iri("director".into()));
+    }
+
+    #[test]
+    fn rejects_undeclared_prefix() {
+        let err = parse("SELECT ?x WHERE { ?x nope:thing ?y . }").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn parses_literals_and_star() {
+        let q = parse("SELECT * WHERE { ?x label \"New York\" }").unwrap();
+        assert!(q.select.is_empty());
+        assert_eq!(q.triples[0].object, Term::Literal("New York".into()));
+    }
+
+    #[test]
+    fn multiple_triples_with_optional_final_dot() {
+        let q = parse("SELECT ?a WHERE { ?a p ?b . ?b q ?c }").unwrap();
+        assert_eq!(q.triples.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("SELECT ?x FROM { }").unwrap_err();
+        assert!(err.message.contains("WHERE"));
+        assert!(err.offset >= 9);
+    }
+
+    #[test]
+    fn rejects_empty_pattern_and_trailing_junk() {
+        assert!(parse("SELECT ?x WHERE { }").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x p ?y . } garbage").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse("# a comment\nSELECT ?x WHERE { ?x p ?y . # inline\n }").unwrap();
+        assert_eq!(q.triples.len(), 1);
+    }
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(local_name("http://a/b/C"), "C");
+        assert_eq!(local_name("http://a#frag"), "frag");
+        assert_eq!(local_name("bare"), "bare");
+    }
+}

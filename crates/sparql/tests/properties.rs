@@ -1,0 +1,64 @@
+//! Property tests: the SPARQL pretty-printer and parser round-trip, and
+//! the query graph respects term sharing.
+
+use proptest::prelude::*;
+use uqsj_sparql::{parse, query_graph, SparqlQuery, Term, Triple};
+
+const NAMES: [&str; 6] = ["Artist", "City", "type", "birthPlace", "Harvard_University", "p0"];
+const VARS: [&str; 3] = ["x", "y", "person"];
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0usize..VARS.len()).prop_map(|i| Term::Var(VARS[i].into())),
+        (0usize..NAMES.len()).prop_map(|i| Term::Iri(NAMES[i].into())),
+        (0usize..NAMES.len()).prop_map(|i| Term::Literal(format!("lit {}", NAMES[i]))),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = SparqlQuery> {
+    (
+        prop::collection::vec(0usize..VARS.len(), 1..3),
+        prop::collection::vec((term_strategy(), 0usize..NAMES.len(), term_strategy()), 1..5),
+    )
+        .prop_map(|(select, triples)| SparqlQuery {
+            select: {
+                let mut s: Vec<String> = select.into_iter().map(|i| VARS[i].to_owned()).collect();
+                s.dedup();
+                s
+            },
+            triples: triples
+                .into_iter()
+                .map(|(s, p, o)| Triple {
+                    subject: s,
+                    predicate: Term::Iri(NAMES[p].into()),
+                    object: o,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(q in query_strategy()) {
+        let text = q.to_string();
+        let parsed = parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn query_graph_vertex_count_equals_distinct_terms(q in query_strategy()) {
+        let mut table = uqsj_graph::SymbolTable::new();
+        let qg = query_graph(&mut table, &q);
+        let mut distinct: Vec<&Term> = Vec::new();
+        for t in &q.triples {
+            for term in [&t.subject, &t.object] {
+                if !distinct.contains(&term) {
+                    distinct.push(term);
+                }
+            }
+        }
+        prop_assert_eq!(qg.graph.vertex_count(), distinct.len());
+        prop_assert_eq!(qg.graph.edge_count(), q.triples.len());
+        prop_assert_eq!(qg.terms.len(), distinct.len());
+    }
+}

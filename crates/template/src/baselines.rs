@@ -1,0 +1,161 @@
+//! Baseline Q/A systems for the Table 4 comparison.
+//!
+//! * [`ganswer_like`] — a template-free graph-data-driven translator in
+//!   the spirit of gAnswer \[33\]: build the semantic query graph, link
+//!   every entity mention to its top candidate, emit SPARQL directly.
+//! * [`deanna_like`] — a cruder joint-disambiguation translator in the
+//!   spirit of DEANNA \[23\], reduced to entity/class spotting: relation
+//!   phrases are not interpreted, so the query constrains only the type
+//!   and an unlabeled connection (`?x ?p Entity`), which costs precision.
+//!
+//! Both are deliberately simplified stand-ins (the originals are closed
+//! source); DESIGN.md records the substitution. What matters for the
+//! reproduction is the *relative* behaviour the paper reports: templates
+//! dominate gAnswer, which dominates DEANNA.
+
+use uqsj_nlp::semantic::{analyze_question, VertexInfo};
+use uqsj_nlp::Lexicon;
+use uqsj_rdf::TripleStore;
+use uqsj_sparql::{SparqlQuery, Term, Triple};
+
+/// gAnswer-like answering: semantic query graph → SPARQL (top-1 linking).
+pub fn ganswer_like(lexicon: &Lexicon, store: &TripleStore, question: &str) -> Vec<String> {
+    let Ok(analysis) = analyze_question(lexicon, question) else {
+        return Vec::new();
+    };
+    // Map semantic vertices to SPARQL terms.
+    let mut terms: Vec<Term> = Vec::with_capacity(analysis.vertices.len());
+    let mut var_counter = 0usize;
+    for v in &analysis.vertices {
+        terms.push(match v {
+            VertexInfo::Variable(_) => {
+                var_counter += 1;
+                if var_counter == 1 {
+                    Term::Var("x".into())
+                } else {
+                    Term::Var(format!("v{var_counter}"))
+                }
+            }
+            VertexInfo::ClassMention { class, .. } => Term::Iri(class.clone()),
+            VertexInfo::EntityMention { candidates, .. } => {
+                let top = candidates
+                    .iter()
+                    .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"));
+                match top {
+                    Some(c) => Term::Iri(c.entity.clone()),
+                    None => return Vec::new(),
+                }
+            }
+        });
+    }
+    let triples: Vec<Triple> = analysis
+        .relations
+        .iter()
+        .map(|r| Triple {
+            subject: terms[r.arg1].clone(),
+            predicate: Term::Iri(r.predicate.clone()),
+            object: terms[r.arg2].clone(),
+        })
+        .collect();
+    if triples.is_empty() {
+        return Vec::new();
+    }
+    let q = SparqlQuery { select: vec!["x".into()], triples };
+    uqsj_rdf::bgp::evaluate(store, &q)
+        .into_iter()
+        .map(|row| row.join("\t"))
+        .collect()
+}
+
+/// DEANNA-like answering: entity/class spotting with an uninterpreted
+/// predicate.
+pub fn deanna_like(lexicon: &Lexicon, store: &TripleStore, question: &str) -> Vec<String> {
+    let Ok(analysis) = analyze_question(lexicon, question) else {
+        return Vec::new();
+    };
+    let mut triples: Vec<Triple> = Vec::new();
+    let var = Term::Var("x".into());
+    let mut wildcard = 0usize;
+    for v in &analysis.vertices {
+        match v {
+            VertexInfo::Variable(_) => {}
+            VertexInfo::ClassMention { class, .. } => triples.push(Triple {
+                subject: var.clone(),
+                predicate: Term::Iri("type".into()),
+                object: Term::Iri(class.clone()),
+            }),
+            VertexInfo::EntityMention { candidates, .. } => {
+                // Joint disambiguation reduced to "take the top
+                // candidate", connected by an unconstrained predicate.
+                if let Some(c) = candidates
+                    .iter()
+                    .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"))
+                {
+                    wildcard += 1;
+                    triples.push(Triple {
+                        subject: var.clone(),
+                        predicate: Term::Var(format!("p{wildcard}")),
+                        object: Term::Iri(c.entity.clone()),
+                    });
+                }
+            }
+        }
+    }
+    if triples.is_empty() {
+        return Vec::new();
+    }
+    let q = SparqlQuery { select: vec!["x".into()], triples };
+    uqsj_rdf::bgp::evaluate(store, &q)
+        .into_iter()
+        .map(|row| row.join("\t"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Lexicon, TripleStore) {
+        let mut lex = uqsj_nlp::lexicon::paper_lexicon();
+        lex.add_class("physicist", "Physicist");
+        lex.add_surface_form(
+            "mit",
+            vec![uqsj_nlp::EntityCandidate {
+                entity: "MIT".into(),
+                class: "University".into(),
+                prob: 1.0,
+            }],
+        );
+        lex.add_predicate("almaMater", &["educated at"]);
+        let mut s = TripleStore::new();
+        s.insert("Alice", "type", "Physicist");
+        s.insert("Alice", "graduatedFrom", "MIT");
+        s.insert("Bob", "type", "Physicist");
+        s.insert("Bob", "almaMater", "MIT");
+        s.ensure_indexes();
+        (lex, s)
+    }
+
+    #[test]
+    fn ganswer_like_answers_direct_questions() {
+        let (lex, store) = setup();
+        let a = ganswer_like(&lex, &store, "Which physicist graduated from MIT?");
+        assert_eq!(a, vec!["Alice".to_string()]);
+    }
+
+    #[test]
+    fn deanna_like_overmatches_without_relations() {
+        let (lex, store) = setup();
+        let a = deanna_like(&lex, &store, "Which physicist graduated from MIT?");
+        // The uninterpreted predicate matches both graduatedFrom and
+        // almaMater — lower precision, exactly the baseline's weakness.
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn both_fail_gracefully_on_unparseable_input() {
+        let (lex, store) = setup();
+        assert!(ganswer_like(&lex, &store, "gibberish sentence here").is_empty());
+        assert!(deanna_like(&lex, &store, "gibberish sentence here").is_empty());
+    }
+}

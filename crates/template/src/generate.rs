@@ -1,0 +1,178 @@
+//! Template generation from one similar graph pair (Sec. 2.1, Step 3 /
+//! Fig. 4 of the paper).
+//!
+//! Given a question analysis (the `g` side), a SPARQL query (the `q`
+//! side), and the GED vertex mapping between their join graphs, every
+//! entity/class *mention* of the question whose vertex maps onto a
+//! constant of the query becomes a paired slot: the mention's tokens are
+//! replaced by `<_>` in the NL pattern and the constant is replaced by a
+//! slot placeholder in the SPARQL pattern, preserving the correspondence.
+
+use crate::template::{slot_term, SlotBinding, Template};
+use uqsj_ged::astar::GedResult;
+use uqsj_nlp::align::SLOT_TOKEN;
+use uqsj_nlp::semantic::QuestionAnalysis;
+use uqsj_sparql::{SparqlQuery, Term};
+
+/// Everything needed to build one template.
+pub struct TemplateSource<'a> {
+    /// The question analysis (g side of the matched pair).
+    pub analysis: &'a QuestionAnalysis,
+    /// The matched SPARQL query (q side).
+    pub query: &'a SparqlQuery,
+    /// SPARQL term behind each vertex of the query's join graph.
+    pub query_terms: &'a [Term],
+    /// GED mapping from query-graph vertices to question-graph vertices.
+    pub mapping: &'a GedResult,
+    /// Similarity probability of the pair.
+    pub confidence: f64,
+}
+
+/// Build a template; `None` when no mention binds into the query (such a
+/// pair carries no reusable structure).
+pub fn generate_template(src: &TemplateSource<'_>) -> Option<Template> {
+    // Invert the q→g mapping to g→q.
+    let g_vertex_count = src.analysis.vertices.len();
+    let mut g_to_q: Vec<Option<usize>> = vec![None; g_vertex_count];
+    for (qv, image) in src.mapping.mapping.iter().enumerate() {
+        if let Some(gv) = image {
+            if gv.index() < g_vertex_count {
+                g_to_q[gv.index()] = Some(qv);
+            }
+        }
+    }
+
+    let mut sparql = src.query.clone();
+    let mut nl_tokens: Vec<String> = Vec::new();
+    let mut slots: Vec<SlotBinding> = Vec::new();
+    let mut bound = 0usize;
+
+    // Mention spans are in token order; walk the tokens, cutting slots.
+    let mut cursor = 0usize;
+    for &(g_vertex, start, end) in &src.analysis.mention_spans {
+        while cursor < start {
+            nl_tokens.push(src.analysis.tokens[cursor].clone());
+            cursor += 1;
+        }
+        let slot_id = slots.len();
+        nl_tokens.push(SLOT_TOKEN.to_owned());
+        cursor = end;
+
+        // Which SPARQL constant does this mention map to?
+        let binding = g_to_q[g_vertex]
+            .and_then(|qv| src.query_terms.get(qv))
+            .filter(|term| !term.is_var())
+            .cloned();
+        match binding {
+            Some(term) => {
+                let placeholder = slot_term(slot_id);
+                let mut replaced = false;
+                for triple in &mut sparql.triples {
+                    for t in [&mut triple.subject, &mut triple.object] {
+                        if *t == term {
+                            *t = placeholder.clone();
+                            replaced = true;
+                        }
+                    }
+                }
+                if replaced {
+                    bound += 1;
+                    slots.push(SlotBinding::Bound);
+                } else {
+                    slots.push(SlotBinding::Unbound);
+                }
+            }
+            None => slots.push(SlotBinding::Unbound),
+        }
+    }
+    while cursor < src.analysis.tokens.len() {
+        nl_tokens.push(src.analysis.tokens[cursor].clone());
+        cursor += 1;
+    }
+
+    if bound == 0 {
+        return None;
+    }
+    Some(Template::new(nl_tokens, sparql, slots, src.confidence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_graph::SymbolTable;
+    use uqsj_nlp::lexicon::paper_lexicon;
+    use uqsj_nlp::semantic::analyze_question;
+    use uqsj_sparql::parse;
+
+    /// Reproduce the paper's Fig. 4: question "which politician graduated
+    /// from CIT?" joined with the Artist/Harvard query q1 yields the
+    /// template "Which <_> graduated from <_>?" with two SPARQL slots.
+    #[test]
+    fn reproduces_figure4() {
+        let lex = paper_lexicon();
+        let analysis =
+            analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
+        let mut table = SymbolTable::new();
+        let g = analysis.uncertain_graph(&mut table);
+
+        // q1 of the paper.
+        let query = parse(
+            "SELECT ?person WHERE { ?person type Artist . ?person graduatedFrom Harvard_University . }",
+        )
+        .unwrap();
+        // Build q's join graph with class abstraction by hand: Artist and
+        // Harvard_University(→University) mirror the paper's Fig. 3.
+        let mut q_graph = uqsj_graph::Graph::new();
+        let v_person = q_graph.add_vertex(table.intern("?person"));
+        let v_artist = q_graph.add_vertex(table.intern("Artist"));
+        let v_univ = q_graph.add_vertex(table.intern("University"));
+        q_graph.add_edge(v_person, v_artist, table.intern("type"));
+        q_graph.add_edge(v_person, v_univ, table.intern("graduatedFrom"));
+        let query_terms = vec![
+            uqsj_sparql::Term::Var("person".into()),
+            uqsj_sparql::Term::Iri("Artist".into()),
+            uqsj_sparql::Term::Iri("Harvard_University".into()),
+        ];
+
+        // Verify the pair with SimP and take the best-world mapping, as
+        // the join would.
+        let outcome = uqsj_uncertain::verify_simp(&table, &q_graph, &g, 2, 0.1);
+        assert!(outcome.passed);
+        let mapping = outcome.best_mapping.unwrap();
+
+        let template = generate_template(&TemplateSource {
+            analysis: &analysis,
+            query: &query,
+            query_terms: &query_terms,
+            mapping: &mapping,
+            confidence: outcome.prob,
+        })
+        .expect("template");
+
+        assert_eq!(template.nl_pattern(), "Which <_> graduated from <_> ?");
+        let text = template.sparql.to_string();
+        assert!(text.contains("__SLOT_0__"), "{text}");
+        assert!(text.contains("__SLOT_1__"), "{text}");
+        assert!(!text.contains("Artist") && !text.contains("Harvard_University"), "{text}");
+        assert_eq!(template.slots, vec![SlotBinding::Bound, SlotBinding::Bound]);
+    }
+
+    #[test]
+    fn unbound_when_nothing_maps() {
+        let lex = paper_lexicon();
+        let analysis = analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
+        // A mapping that deletes every query vertex binds nothing.
+        let mapping = GedResult { distance: 99, mapping: vec![None, None, None] };
+        let query = parse("SELECT ?p WHERE { ?p type Artist . }").unwrap();
+        let query_terms =
+            vec![uqsj_sparql::Term::Var("p".into()), uqsj_sparql::Term::Iri("Artist".into())];
+        let src = TemplateSource {
+            analysis: &analysis,
+            query: &query,
+            query_terms: &query_terms,
+            mapping: &mapping,
+            confidence: 0.5,
+        };
+        assert!(generate_template(&src).is_none());
+    }
+}

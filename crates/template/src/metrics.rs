@@ -1,0 +1,114 @@
+//! QALD-style evaluation measures (Appendix F.2 of the paper):
+//! per-question precision and recall, macro-averaged, with the F-measure
+//! computed from the averages.
+
+use std::collections::BTreeSet;
+
+/// Accumulator over questions.
+#[derive(Clone, Debug, Default)]
+pub struct QaScore {
+    precisions: Vec<f64>,
+    recalls: Vec<f64>,
+}
+
+impl QaScore {
+    /// New empty score.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one question's system answers against the gold answers.
+    ///
+    /// QALD convention: empty system answers score 0/0 unless the gold is
+    /// also empty (then 1/1).
+    pub fn record<S: AsRef<str>, G: AsRef<str>>(&mut self, system: &[S], gold: &[G]) {
+        let sys: BTreeSet<&str> = system.iter().map(AsRef::as_ref).collect();
+        let gld: BTreeSet<&str> = gold.iter().map(AsRef::as_ref).collect();
+        if gld.is_empty() && sys.is_empty() {
+            self.precisions.push(1.0);
+            self.recalls.push(1.0);
+            return;
+        }
+        let correct = sys.intersection(&gld).count() as f64;
+        self.precisions.push(if sys.is_empty() { 0.0 } else { correct / sys.len() as f64 });
+        self.recalls.push(if gld.is_empty() { 0.0 } else { correct / gld.len() as f64 });
+    }
+
+    /// Number of questions recorded.
+    pub fn len(&self) -> usize {
+        self.precisions.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.precisions.is_empty()
+    }
+
+    /// Macro-averaged precision.
+    pub fn precision(&self) -> f64 {
+        avg(&self.precisions)
+    }
+
+    /// Macro-averaged recall.
+    pub fn recall(&self) -> f64 {
+        avg(&self.recalls)
+    }
+
+    /// F-measure of the averaged precision/recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn avg(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_answers() {
+        let mut s = QaScore::new();
+        s.record(&["a", "b"], &["a", "b"]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_answers() {
+        let mut s = QaScore::new();
+        s.record(&["a", "x"], &["a", "b"]); // P=0.5 R=0.5
+        s.record::<&str, _>(&[], &["a"]); // P=0 R=0
+        assert!((s.precision() - 0.25).abs() < 1e-12);
+        assert!((s.recall() - 0.25).abs() < 1e-12);
+        assert!((s.f1() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_gold_and_empty_system_is_correct() {
+        let mut s = QaScore::new();
+        s.record::<&str, &str>(&[], &[]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut s = QaScore::new();
+        s.record(&["a", "a", "a"], &["a"]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+}

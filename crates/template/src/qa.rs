@@ -1,0 +1,353 @@
+//! Q/A with templates (Sec. 2.2 of the paper): template matching by
+//! dependency-tree edit distance, slot filling by alignment, entity
+//! linking, and SPARQL execution.
+
+use crate::template::{slot_index, SlotBinding, Template};
+use uqsj_nlp::align::{align_with_slots, partial_align_with_slots};
+use uqsj_nlp::deptree::parse_dependency_tokens;
+use uqsj_nlp::ted::tree_edit_distance;
+use uqsj_nlp::token::tokenize;
+use uqsj_nlp::Lexicon;
+use uqsj_rdf::TripleStore;
+use uqsj_sparql::{SparqlQuery, Term};
+
+/// A deduplicated set of templates.
+#[derive(Debug, Default)]
+pub struct TemplateLibrary {
+    templates: Vec<Template>,
+}
+
+impl TemplateLibrary {
+    /// Empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a template; returns `false` (and keeps the higher-confidence
+    /// copy) when an identical pattern pair already exists.
+    pub fn add(&mut self, t: Template) -> bool {
+        let key = t.dedup_key();
+        if let Some(existing) = self.templates.iter_mut().find(|x| x.dedup_key() == key) {
+            if t.confidence > existing.confidence {
+                existing.confidence = t.confidence;
+            }
+            return false;
+        }
+        self.templates.push(t);
+        true
+    }
+
+    /// Number of distinct templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The templates.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+}
+
+/// Result of answering one question.
+#[derive(Clone, Debug, Default)]
+pub struct QaOutcome {
+    /// The instantiated SPARQL query, if a template applied.
+    pub sparql: Option<SparqlQuery>,
+    /// Decoded answers.
+    pub answers: Vec<String>,
+    /// Index of the chosen template.
+    pub template_index: Option<usize>,
+    /// Matching proportion φ of the chosen alignment.
+    pub phi: f64,
+}
+
+/// Answer a question with the library. `min_phi` is the Table-5 knob:
+/// `1.0` requires a full template match; lower values admit partial
+/// matches ("we can also generate SPARQL queries based on this partial
+/// match", Appendix F.2).
+pub fn answer_question(
+    library: &TemplateLibrary,
+    lexicon: &Lexicon,
+    store: &TripleStore,
+    question: &str,
+    min_phi: f64,
+) -> QaOutcome {
+    let tokens = tokenize(question);
+    if tokens.is_empty() {
+        return QaOutcome::default();
+    }
+    let question_tree = parse_dependency_tokens(&tokens);
+
+    // Rank candidates: full alignments first (φ = 1), then partial ones
+    // by φ; ties broken by dependency-tree edit distance, then template
+    // confidence (Sec. 2.2: "find a template's dependency tree that best
+    // aligns with the dependency tree of the ... question").
+    #[allow(clippy::type_complexity)]
+    let mut candidates: Vec<(usize, f64, u32, Vec<Vec<String>>)> = Vec::new();
+    for (i, t) in library.templates().iter().enumerate() {
+        if let Some(slots) = align_with_slots(&t.nl_tokens, &tokens) {
+            let ted = tree_edit_distance(&t.dep_tree, &question_tree);
+            candidates.push((i, 1.0, ted, slots));
+        } else if min_phi < 1.0 {
+            if let Some((phi, slots)) = partial_align_with_slots(&t.nl_tokens, &tokens) {
+                if phi + 1e-12 >= min_phi {
+                    let ted = tree_edit_distance(&t.dep_tree, &question_tree);
+                    candidates.push((i, phi, ted, slots));
+                }
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("phi is finite")
+            .then(a.2.cmp(&b.2))
+            .then(
+                library.templates()[b.0]
+                    .confidence
+                    .partial_cmp(&library.templates()[a.0].confidence)
+                    .expect("confidence is finite"),
+            )
+    });
+
+    for (i, phi, _, slots) in candidates {
+        let template = &library.templates()[i];
+        if let Some((sparql, answers)) = fill_and_execute(template, &slots, lexicon, store) {
+            return QaOutcome { sparql: Some(sparql), answers, template_index: Some(i), phi };
+        }
+    }
+    QaOutcome::default()
+}
+
+/// Instantiate and execute, disambiguating entity slots against the
+/// knowledge base: candidate combinations are tried in descending joint
+/// confidence and the first non-empty result wins; if every combination
+/// is empty, the most confident instantiation is returned. This is where
+/// template-based Q/A beats direct translation — the SPARQL pattern
+/// supplies enough context to reject linkings the data contradicts.
+fn fill_and_execute(
+    template: &Template,
+    slot_phrases: &[Vec<String>],
+    lexicon: &Lexicon,
+    store: &TripleStore,
+) -> Option<(SparqlQuery, Vec<String>)> {
+    // Ranked candidate lists per slot (entities by confidence, or the
+    // class resolution).
+    let mut options: Vec<Vec<(String, f64)>> = Vec::with_capacity(slot_phrases.len());
+    for (i, phrase_tokens) in slot_phrases.iter().enumerate() {
+        if template.slots.get(i) != Some(&SlotBinding::Bound) {
+            options.push(vec![(String::new(), 1.0)]); // unused slot
+            continue;
+        }
+        let phrase = phrase_tokens.join(" ");
+        let mut cands: Vec<(String, f64)> = match lexicon.link(&phrase) {
+            Some(cs) => cs.iter().map(|c| (c.entity.clone(), c.prob)).collect(),
+            None => match lexicon.class_of_noun(&phrase) {
+                Some(class) => vec![(class.to_owned(), 1.0)],
+                None => return None,
+            },
+        };
+        cands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite confidence"));
+        cands.truncate(3);
+        options.push(cands);
+    }
+    // Enumerate combinations in descending joint confidence (small
+    // product space: <= 3^slots, slots are few).
+    let mut combos: Vec<(Vec<usize>, f64)> = vec![(vec![0; options.len()], 1.0)];
+    for (s, opts) in options.iter().enumerate() {
+        let mut next = Vec::with_capacity(combos.len() * opts.len());
+        for (choice, p) in &combos {
+            for (ci, (_, cp)) in opts.iter().enumerate() {
+                let mut c = choice.clone();
+                c[s] = ci;
+                next.push((c, p * cp));
+            }
+        }
+        combos = next;
+    }
+    combos.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite confidence"));
+
+    let mut fallback: Option<(SparqlQuery, Vec<String>)> = None;
+    for (choice, _) in combos {
+        let mut sparql = template.sparql.clone();
+        for triple in &mut sparql.triples {
+            for t in [&mut triple.subject, &mut triple.object] {
+                if let Some(i) = slot_index(t) {
+                    if template.slots.get(i) != Some(&SlotBinding::Bound) {
+                        return None; // placeholder without a usable slot
+                    }
+                    *t = Term::Iri(options[i][choice[i]].0.clone());
+                }
+            }
+        }
+        let answers: Vec<String> = uqsj_rdf::bgp::evaluate(store, &sparql)
+            .into_iter()
+            .map(|row| row.join("\t"))
+            .collect();
+        if !answers.is_empty() {
+            return Some((sparql, answers));
+        }
+        if fallback.is_none() {
+            fallback = Some((sparql, answers));
+        }
+    }
+    fallback
+}
+
+/// Instantiate a template's SPARQL with linked slot phrases. Entity
+/// phrases link to their most confident candidate; class nouns resolve to
+/// their class. Fails if any *bound* slot cannot be linked.
+pub fn fill_slots(
+    template: &Template,
+    slot_phrases: &[Vec<String>],
+    lexicon: &Lexicon,
+) -> Option<SparqlQuery> {
+    if slot_phrases.len() != template.slot_count() {
+        return None;
+    }
+    let mut sparql = template.sparql.clone();
+    for triple in &mut sparql.triples {
+        for t in [&mut triple.subject, &mut triple.object] {
+            if let Some(i) = slot_index(t) {
+                if template.slots.get(i) != Some(&SlotBinding::Bound) {
+                    return None; // placeholder without a usable slot
+                }
+                let phrase = slot_phrases[i].join(" ");
+                let linked = link_phrase(lexicon, &phrase)?;
+                *t = Term::Iri(linked);
+            }
+        }
+    }
+    Some(sparql)
+}
+
+/// Entity-link a slot phrase: top-confidence entity, else class noun.
+fn link_phrase(lexicon: &Lexicon, phrase: &str) -> Option<String> {
+    if let Some(cands) = lexicon.link(phrase) {
+        return cands
+            .iter()
+            .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"))
+            .map(|c| c.entity.clone());
+    }
+    lexicon.class_of_noun(phrase).map(str::to_owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::slot_term;
+    use uqsj_nlp::align::SLOT_TOKEN;
+    use uqsj_sparql::Triple;
+
+    fn library() -> TemplateLibrary {
+        // "Which <_> graduated from <_> ?" →
+        // SELECT ?x { ?x type SLOT0 . ?x graduatedFrom SLOT1 }
+        let sparql = SparqlQuery {
+            select: vec!["x".into()],
+            triples: vec![
+                Triple {
+                    subject: Term::Var("x".into()),
+                    predicate: Term::Iri("type".into()),
+                    object: slot_term(0),
+                },
+                Triple {
+                    subject: Term::Var("x".into()),
+                    predicate: Term::Iri("graduatedFrom".into()),
+                    object: slot_term(1),
+                },
+            ],
+        };
+        let t = Template::new(
+            vec![
+                "Which".into(),
+                SLOT_TOKEN.into(),
+                "graduated".into(),
+                "from".into(),
+                SLOT_TOKEN.into(),
+                "?".into(),
+            ],
+            sparql,
+            vec![SlotBinding::Bound, SlotBinding::Bound],
+            0.9,
+        );
+        let mut lib = TemplateLibrary::new();
+        assert!(lib.add(t));
+        lib
+    }
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("Alice", "type", "Physicist");
+        s.insert("Alice", "graduatedFrom", "Carnegie_Mellon_University");
+        s.insert("Bob", "type", "Physicist");
+        s.insert("Bob", "graduatedFrom", "Harvard_University");
+        s.ensure_indexes();
+        s
+    }
+
+    #[test]
+    fn answers_example1_of_the_paper() {
+        let lib = library();
+        let lex = uqsj_nlp::lexicon::paper_lexicon();
+        let mut lex = lex;
+        lex.add_class("physicist", "Physicist");
+        let store = store();
+        let out = answer_question(&lib, &lex, &store, "Which physicist graduated from CMU?", 1.0);
+        assert_eq!(out.answers, vec!["Alice".to_string()]);
+        assert!((out.phi - 1.0).abs() < 1e-12);
+        let sparql = out.sparql.unwrap().to_string();
+        assert!(sparql.contains("Physicist"), "{sparql}");
+        assert!(sparql.contains("Carnegie_Mellon_University"), "{sparql}");
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let lib = library();
+        let lex = uqsj_nlp::lexicon::paper_lexicon();
+        let store = store();
+        let out = answer_question(&lib, &lex, &store, "Name every mountain on Mars", 1.0);
+        assert!(out.sparql.is_none());
+        assert!(out.answers.is_empty());
+    }
+
+    #[test]
+    fn partial_match_mode_answers_with_trailing_noise() {
+        let lib = library();
+        let mut lex = uqsj_nlp::lexicon::paper_lexicon();
+        lex.add_class("physicist", "Physicist");
+        let store = store();
+        let q = "Which physicist graduated from CMU please tell me now quickly";
+        let strict = answer_question(&lib, &lex, &store, q, 1.0);
+        assert!(strict.sparql.is_none(), "full match should fail");
+        let lenient = answer_question(&lib, &lex, &store, q, 0.5);
+        assert_eq!(lenient.answers, vec!["Alice".to_string()]);
+        assert!(lenient.phi < 1.0);
+    }
+
+    #[test]
+    fn dedup_keeps_highest_confidence() {
+        let mut lib = library();
+        let t2 = {
+            let t = &lib.templates()[0];
+            let mut c = t.clone();
+            c.confidence = 0.99;
+            c
+        };
+        assert!(!lib.add(t2));
+        assert_eq!(lib.len(), 1);
+        assert!((lib.templates()[0].confidence - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlinkable_slot_fails_gracefully() {
+        let lib = library();
+        let lex = uqsj_nlp::lexicon::paper_lexicon(); // no "physicist" class
+        let store = store();
+        let out = answer_question(&lib, &lex, &store, "Which warlock graduated from CMU?", 1.0);
+        assert!(out.sparql.is_none());
+    }
+}

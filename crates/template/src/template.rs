@@ -1,0 +1,126 @@
+//! The template type (Fig. 4(d) of the paper): a natural-language pattern
+//! with slots paired with a SPARQL pattern with slots, plus the mapping
+//! between the two sides.
+
+use std::fmt;
+use uqsj_nlp::align::SLOT_TOKEN;
+use uqsj_nlp::deptree::{parse_dependency_tokens, DepTree};
+use uqsj_sparql::{SparqlQuery, Term};
+
+/// Marker prefix used for slot placeholders inside the SPARQL pattern.
+pub const SPARQL_SLOT_PREFIX: &str = "__SLOT_";
+
+/// Placeholder term for slot `i`.
+pub fn slot_term(i: usize) -> Term {
+    Term::Iri(format!("{SPARQL_SLOT_PREFIX}{i}__"))
+}
+
+/// If `t` is a slot placeholder, its index.
+pub fn slot_index(t: &Term) -> Option<usize> {
+    match t {
+        Term::Iri(x) => x
+            .strip_prefix(SPARQL_SLOT_PREFIX)
+            .and_then(|s| s.strip_suffix("__"))
+            .and_then(|s| s.parse().ok()),
+        _ => None,
+    }
+}
+
+/// How one NL slot binds into the SPARQL pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotBinding {
+    /// The slot fills entity/class positions in the SPARQL pattern
+    /// (replaced by the linked entity at answer time).
+    Bound,
+    /// The phrase appears in the question but has no SPARQL position
+    /// (e.g. its vertex was deleted by the edit mapping); it is matched
+    /// but discarded.
+    Unbound,
+}
+
+/// A question-answering template.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Template {
+    /// NL pattern tokens; slots are [`SLOT_TOKEN`].
+    pub nl_tokens: Vec<String>,
+    /// SPARQL pattern with [`slot_term`] placeholders.
+    pub sparql: SparqlQuery,
+    /// Binding of each slot, in NL order.
+    pub slots: Vec<SlotBinding>,
+    /// Dependency tree of the NL pattern (for TED ranking).
+    pub dep_tree: DepTree,
+    /// Similarity probability of the pair that produced this template
+    /// (used to break ranking ties: higher-confidence templates first).
+    pub confidence: f64,
+}
+
+impl Template {
+    /// Construct, parsing the NL pattern's dependency tree.
+    pub fn new(nl_tokens: Vec<String>, sparql: SparqlQuery, slots: Vec<SlotBinding>, confidence: f64) -> Self {
+        // Slot tokens are parsed as SLOTi words so the dep parser treats
+        // them as nouns and TED can match them against any word.
+        let parse_tokens: Vec<String> = nl_tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| if t == SLOT_TOKEN { format!("SLOT{i}") } else { t.clone() })
+            .collect();
+        let dep_tree = parse_dependency_tokens(&parse_tokens);
+        Self { nl_tokens, sparql, slots, dep_tree, confidence }
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The NL pattern as text ("Which <_> graduated from <_> ?").
+    pub fn nl_pattern(&self) -> String {
+        self.nl_tokens.join(" ")
+    }
+
+    /// Deduplication key: NL pattern + SPARQL pattern text.
+    pub fn dedup_key(&self) -> (String, String) {
+        (self.nl_pattern(), self.sparql.to_string())
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.nl_pattern())?;
+        write!(f, "{}", self.sparql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_sparql::Triple;
+
+    #[test]
+    fn slot_term_roundtrip() {
+        assert_eq!(slot_index(&slot_term(3)), Some(3));
+        assert_eq!(slot_index(&Term::Iri("Actor".into())), None);
+        assert_eq!(slot_index(&Term::Var("x".into())), None);
+    }
+
+    #[test]
+    fn template_pattern_and_tree() {
+        let sparql = SparqlQuery {
+            select: vec!["x".into()],
+            triples: vec![Triple {
+                subject: Term::Var("x".into()),
+                predicate: Term::Iri("type".into()),
+                object: slot_term(0),
+            }],
+        };
+        let t = Template::new(
+            vec!["Which".into(), SLOT_TOKEN.into(), "graduated".into(), "from".into(), SLOT_TOKEN.into(), "?".into()],
+            sparql,
+            vec![SlotBinding::Bound, SlotBinding::Bound],
+            0.9,
+        );
+        assert_eq!(t.nl_pattern(), "Which <_> graduated from <_> ?");
+        assert_eq!(t.slot_count(), 2);
+        assert_eq!(t.dep_tree.len(), 6);
+    }
+}

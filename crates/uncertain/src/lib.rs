@@ -1,0 +1,19 @@
+//! Similarity probability under possible-world semantics, the
+//! probabilistic pruning bound and the cost-based possible-world-group
+//! optimization.
+//!
+//! * [`prob`] — exact `SimP_τ(q, g)` (Def. 6) by enumeration with
+//!   per-world filtering and early termination against the threshold `α`
+//!   (the refinement phase of Algorithm 1, lines 7–15).
+//! * [`prob_bound`] — the Markov upper bound on `SimP_τ(q, g)`
+//!   (Lemmas 5/6 and Theorem 4): the probabilistic pruning filter.
+//! * [`groups`] — possible-world groups, the two split heuristics of
+//!   Sec. 6.2 and the cost model that picks between them (Algorithm 2).
+
+pub mod prob;
+pub mod prob_bound;
+pub mod groups;
+
+pub use groups::{partition_groups, ub_simp_grouped, PossibleWorldGroup, SplitHeuristic};
+pub use prob::{similarity_probability, verify_simp, VerifyOutcome};
+pub use prob_bound::{ub_simp, ub_simp_exact_tail};

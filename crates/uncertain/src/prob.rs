@@ -1,0 +1,225 @@
+//! Exact similarity probability `SimP_τ(q, g)` (Def. 6) and the
+//! verification routine of Algorithm 1.
+//!
+//! ```text
+//! SimP_τ(q, g) = Σ_{pw(g) ∈ PW(g)}  Pr{ pw(g) | ged(q, pw(g)) <= τ }
+//! ```
+//!
+//! Enumeration is exponential in the number of ambiguous vertices, so the
+//! verifier (a) filters each world with the certain CSS bound before
+//! running A\*, (b) uses the τ-bounded A\* rather than the exact distance,
+//! and (c) terminates early once the accumulated probability reaches `α`
+//! or the remaining mass cannot reach it.
+
+use uqsj_ged::astar::{ged_bounded, GedResult};
+use uqsj_ged::bounds::css::lb_ged_css_certain;
+use uqsj_ged::upper::ged_upper_bipartite;
+use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+
+/// Decide whether one materialized world is within τ of `q`, returning
+/// the *optimal* witnessing mapping. The cheap bipartite upper bound is
+/// computed first: a zero-cost assignment is already optimal and skips
+/// A\* entirely, and any bound below τ tightens the A\* search limit
+/// (pruning the open list harder) while still yielding the exact
+/// distance and mapping — which template generation depends on.
+pub(crate) fn world_within_tau(
+    table: &SymbolTable,
+    q: &Graph,
+    world: &Graph,
+    tau: u32,
+) -> Option<GedResult> {
+    let ub = ged_upper_bipartite(table, q, world);
+    if ub.distance == 0 {
+        return Some(ub);
+    }
+    let limit = tau.min(ub.distance);
+    ged_bounded(table, q, world, limit)
+}
+
+/// Outcome of verifying one `(q, g)` candidate pair.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// `SimP_τ(q, g)`; exact unless an early exit fired, in which case it
+    /// is a certified one-sided value (see [`VerifyOutcome::passed`]).
+    pub prob: f64,
+    /// Whether `SimP_τ(q, g) >= α` — this field is always exact.
+    pub passed: bool,
+    /// The GED mapping of the highest-probability world within τ, if any
+    /// world qualified. This is the mapping template generation consumes
+    /// (Sec. 2.1, Step 3).
+    pub best_mapping: Option<GedResult>,
+    /// Probability of the world that produced `best_mapping`.
+    pub best_world_prob: f64,
+    /// Number of worlds on which A\* actually ran (after the per-world
+    /// CSS filter) — reported by the efficiency experiments.
+    pub worlds_verified: usize,
+}
+
+/// Exact `SimP_τ(q, g)` by full enumeration (no early exit).
+///
+/// ```
+/// use uqsj_graph::{GraphBuilder, SymbolTable};
+/// let mut t = SymbolTable::new();
+/// let mut b = GraphBuilder::new(&mut t);
+/// b.vertex("x", "?x");
+/// b.vertex("a", "Actor");
+/// b.edge("x", "a", "type");
+/// let q = b.into_graph();
+/// let mut b = GraphBuilder::new(&mut t);
+/// b.vertex("x", "?y");
+/// b.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+/// b.edge("x", "m", "type");
+/// let g = b.into_uncertain();
+/// // Only the Actor world (probability 0.4) matches exactly.
+/// let p = uqsj_uncertain::similarity_probability(&t, &q, &g, 0);
+/// assert!((p - 0.4).abs() < 1e-9);
+/// ```
+pub fn similarity_probability(table: &SymbolTable, q: &Graph, g: &UncertainGraph, tau: u32) -> f64 {
+    verify_simp(table, q, g, tau, f64::INFINITY).prob
+}
+
+/// Verify whether `SimP_τ(q, g) >= alpha`, with early termination in both
+/// directions. Pass `alpha = f64::INFINITY` to force full enumeration and
+/// an exact probability.
+pub fn verify_simp(
+    table: &SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    tau: u32,
+    alpha: f64,
+) -> VerifyOutcome {
+    let mut acc = 0.0f64;
+    // Total mass of all worlds (<= 1 when some labels carry slack).
+    let total_mass: f64 = g.vertices().iter().map(|v| v.mass()).product();
+    let mut remaining = total_mass;
+    let mut best_mapping: Option<GedResult> = None;
+    let mut best_world_prob = 0.0f64;
+    let mut worlds_verified = 0usize;
+    let early = alpha.is_finite();
+
+    // Verifying high-probability worlds first makes both early exits
+    // trigger sooner (the pass exit accumulates mass fastest; the fail
+    // exit sheds `remaining` fastest). Only worth materializing for
+    // moderate world counts.
+    let worlds: Box<dyn Iterator<Item = uqsj_graph::PossibleWorld>> =
+        if early && g.world_count() <= 4096 {
+            let mut all: Vec<_> = g.possible_worlds().collect();
+            all.sort_by(|a, b| b.prob.partial_cmp(&a.prob).expect("finite probability"));
+            Box::new(all.into_iter())
+        } else {
+            Box::new(g.possible_worlds())
+        };
+
+    for world in worlds {
+        remaining -= world.prob;
+        // Per-world structural filter (Algorithm 1, line 9).
+        if lb_ged_css_certain(table, q, &world.graph) <= tau {
+            worlds_verified += 1;
+            if let Some(result) = world_within_tau(table, q, &world.graph, tau) {
+                acc += world.prob;
+                if world.prob > best_world_prob {
+                    best_world_prob = world.prob;
+                    best_mapping = Some(result);
+                }
+            }
+        }
+        if early {
+            if acc >= alpha {
+                // Keep scanning only if we still lack a mapping; we have
+                // one whenever acc > 0, so we can stop.
+                return VerifyOutcome {
+                    prob: acc,
+                    passed: true,
+                    best_mapping,
+                    best_world_prob,
+                    worlds_verified,
+                };
+            }
+            if acc + remaining < alpha {
+                return VerifyOutcome {
+                    prob: acc,
+                    passed: false,
+                    best_mapping,
+                    best_world_prob,
+                    worlds_verified,
+                };
+            }
+        }
+    }
+    VerifyOutcome { prob: acc, passed: acc >= alpha, best_mapping, best_world_prob, worlds_verified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_graph::GraphBuilder;
+
+    /// The running example of the paper (Example 3): SimP_4(q2, g1) should
+    /// sum the probabilities of the worlds within GED 4.
+    fn example_pair(t: &mut SymbolTable) -> (Graph, UncertainGraph) {
+        // q: ?x --type--> Actor, ?x --birthPlace--> Country
+        let mut bq = GraphBuilder::new(t);
+        bq.vertex("x", "?x");
+        bq.vertex("a", "Actor");
+        bq.vertex("c", "Country");
+        bq.edge("x", "a", "type");
+        bq.edge("x", "c", "birthPlace");
+        let q = bq.into_graph();
+        // g: ?y --type--> {NBA_Player 0.6, Actor 0.4}, ?y --birthPlace--> Country
+        let mut bg = GraphBuilder::new(t);
+        bg.vertex("y", "?y");
+        bg.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+        bg.vertex("c", "Country");
+        bg.edge("y", "m", "type");
+        bg.edge("y", "c", "birthPlace");
+        let g = bg.into_uncertain();
+        (q, g)
+    }
+
+    #[test]
+    fn simp_sums_passing_world_probabilities() {
+        let mut t = SymbolTable::new();
+        let (q, g) = example_pair(&mut t);
+        // tau = 0: only the Actor world (prob 0.4) matches exactly.
+        let p0 = similarity_probability(&t, &q, &g, 0);
+        assert!((p0 - 0.4).abs() < 1e-9, "got {p0}");
+        // tau = 1: both worlds pass (NBA_Player needs one substitution).
+        let p1 = similarity_probability(&t, &q, &g, 1);
+        assert!((p1 - 1.0).abs() < 1e-9, "got {p1}");
+    }
+
+    #[test]
+    fn verify_threshold_and_mapping() {
+        let mut t = SymbolTable::new();
+        let (q, g) = example_pair(&mut t);
+        let out = verify_simp(&t, &q, &g, 0, 0.3);
+        assert!(out.passed);
+        assert!(out.best_mapping.is_some());
+        let out2 = verify_simp(&t, &q, &g, 0, 0.5);
+        assert!(!out2.passed);
+    }
+
+    #[test]
+    fn early_exit_pass_is_sound() {
+        let mut t = SymbolTable::new();
+        let (q, g) = example_pair(&mut t);
+        // alpha far below the exact probability: must pass, and the
+        // reported probability is a valid lower estimate.
+        let out = verify_simp(&t, &q, &g, 1, 0.1);
+        assert!(out.passed);
+        assert!(out.prob >= 0.1);
+    }
+
+    #[test]
+    fn certain_graph_has_simp_zero_or_one() {
+        let mut t = SymbolTable::new();
+        let mut bq = GraphBuilder::new(&mut t);
+        bq.vertex("a", "A");
+        let q = bq.into_graph();
+        let mut bg = GraphBuilder::new(&mut t);
+        bg.vertex("a", "B");
+        let g = bg.into_uncertain();
+        assert_eq!(similarity_probability(&t, &q, &g, 0), 0.0);
+        assert_eq!(similarity_probability(&t, &q, &g, 1), 1.0);
+    }
+}

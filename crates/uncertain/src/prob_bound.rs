@@ -1,0 +1,279 @@
+//! Probabilistic pruning: the Markov upper bound on the similarity
+//! probability (Sec. 5, Lemmas 5/6, Theorem 4).
+//!
+//! A possible world can only satisfy `ged(q, pw(g)) <= τ` if its common
+//! vertex-label count satisfies `λ_V(q, pw(g)) >= C(q, g) − τ`, where
+//! `C(q, g) = |V| + |E| − λ_E + dif/2` collects the structural CSS terms.
+//! Relaxing the matching variables `x_i` to independent indicator
+//! variables `y_i` (`y_i = 1` iff the label chosen at vertex `v_i` appears
+//! anywhere in `q`) and applying Markov's inequality yields
+//!
+//! ```text
+//! SimP_τ(q, g) <= E(Y) / (C(q, g) − τ),    Y = Σ_i y_i .
+//! ```
+
+use uqsj_ged::bounds::css::{css_terms_uncertain, CssTerms};
+use uqsj_graph::{Graph, Symbol, SymbolTable, UncertainGraph};
+
+
+/// `E(y_i)` for one uncertain vertex: the probability mass of its
+/// alternatives whose label matches *some* vertex label of `q` under the
+/// wildcard rule.
+fn expected_y(table: &SymbolTable, q_labels: &[Symbol], alts: &[(Symbol, f64)]) -> f64 {
+    alts.iter()
+        .filter(|(l, _)| q_labels.iter().any(|&ql| uqsj_graph::labels_match(table, *l, ql)))
+        .map(|(_, p)| *p)
+        .sum()
+}
+
+/// `E(Y) = Σ_i E(y_i)` over all vertices of `g`.
+pub fn expected_y_total(table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> f64 {
+    let q_labels = q.vertex_labels();
+    g.vertices()
+        .iter()
+        .map(|v| {
+            let alts: Vec<(Symbol, f64)> =
+                v.alternatives.iter().map(|a| (a.label, a.prob)).collect();
+            expected_y(table, q_labels, &alts)
+        })
+        .sum()
+}
+
+/// The wildcard-refined expectation `E(Z)` and wildcard count `W_q`.
+///
+/// A maximum matching can use each *wildcard* vertex of `q` at most once,
+/// so `λ_V(q, pw(g)) <= W_q + Z(pw(g))`, where `z_i = 1` iff vertex `v_i`
+/// of `g` could match a **non-wildcard** vertex of `q` (its chosen label
+/// equals one of `q`'s ground labels, or is itself a variable). This is
+/// the sharper accounting behind the paper's Example 4 (`E(Y) = 5` on a
+/// 10-vertex graph with 5 variables) and it is what lets the filter bite
+/// when `q` contains variables — with naive wildcard matching every
+/// `E(y_i)` saturates at 1 and the bound is vacuous.
+pub fn expected_z_total(table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> (f64, u32) {
+    let ground: Vec<Symbol> = q
+        .vertex_labels()
+        .iter()
+        .copied()
+        .filter(|&l| !table.is_wildcard(l))
+        .collect();
+    let wq = (q.vertex_count() - ground.len()) as u32;
+    let ez = g
+        .vertices()
+        .iter()
+        .map(|v| {
+            v.alternatives
+                .iter()
+                .filter(|a| {
+                    table.is_wildcard(a.label) || ground.contains(&a.label)
+                })
+                .map(|a| a.prob)
+                .sum::<f64>()
+        })
+        .sum();
+    (ez, wq)
+}
+
+/// Theorem 4: upper bound on `SimP_τ(q, g)`, clamped to `[0, 1]`. When
+/// `C(q, g) − τ <= 0` Markov's inequality is vacuous and `1.0` is
+/// returned. Returns the minimum of the plain bound `E(Y)/(C−τ)` and the
+/// wildcard-refined bound `E(Z)/(C−τ−W_q)`.
+pub fn ub_simp(table: &SymbolTable, q: &Graph, g: &UncertainGraph, tau: u32) -> f64 {
+    let terms = css_terms_uncertain(table, q, g);
+    ub_simp_with_terms(table, q, g, tau, &terms)
+}
+
+/// Same as [`ub_simp`] with precomputed [`CssTerms`] (shared with the
+/// structural filter in the join inner loop).
+pub fn ub_simp_with_terms(
+    table: &SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    tau: u32,
+    terms: &CssTerms,
+) -> f64 {
+    let t = terms.c_value() - i64::from(tau);
+    if t <= 0 {
+        return 1.0;
+    }
+    let ey = expected_y_total(table, q, g);
+    let plain = ey / t as f64;
+    let (ez, wq) = expected_z_total(table, q, g);
+    let tz = t - i64::from(wq);
+    let refined = if tz <= 0 { 1.0 } else { ez / tz as f64 };
+    plain.min(refined).clamp(0.0, 1.0)
+}
+
+/// Exact tail probability `Pr{Σ_i Bernoulli(p_i) >= t}` of a
+/// Poisson–binomial distribution, by the standard O(n·t) convolution DP.
+pub fn poisson_binomial_tail(probs: &[f64], t: i64) -> f64 {
+    if t <= 0 {
+        return 1.0;
+    }
+    let t = t as usize;
+    if t > probs.len() {
+        return 0.0;
+    }
+    // dist[k] = Pr{exactly k successes so far}, capped at t ("t or more"
+    // mass accumulates in the last bucket).
+    let mut dist = vec![0.0f64; t + 1];
+    dist[0] = 1.0;
+    for &p in probs {
+        for k in (0..=t).rev() {
+            let up = if k == 0 { 0.0 } else { dist[k - 1] * p };
+            let stay = if k == t { dist[k] } else { dist[k] * (1.0 - p) };
+            dist[k] = stay + up;
+        }
+    }
+    dist[t].clamp(0.0, 1.0)
+}
+
+/// The "exact tail" probabilistic bound — the tightening the paper defers
+/// to future work ("we also consider correlations among variables x_i
+/// directly and derive tight upper bounds by the law of total
+/// probability"). The independent indicators `y_i` (and the
+/// wildcard-refined `z_i`) have an exactly computable Poisson–binomial
+/// tail, which dominates the Markov estimate:
+///
+/// ```text
+/// SimP_τ(q, g) <= min( Pr{Y >= C−τ}, Pr{Z >= C−τ−W_q} )
+/// ```
+///
+/// Always `<=` [`ub_simp`] and `>=` the exact similarity probability.
+pub fn ub_simp_exact_tail(table: &SymbolTable, q: &Graph, g: &UncertainGraph, tau: u32) -> f64 {
+    let terms = css_terms_uncertain(table, q, g);
+    let t = terms.c_value() - i64::from(tau);
+    if t <= 0 {
+        return 1.0;
+    }
+    let q_labels = q.vertex_labels();
+    // Per-vertex success probabilities for Y (wildcard matching).
+    let py: Vec<f64> = g
+        .vertices()
+        .iter()
+        .map(|v| {
+            v.alternatives
+                .iter()
+                .filter(|a| {
+                    q_labels.iter().any(|&ql| uqsj_graph::labels_match(table, a.label, ql))
+                })
+                .map(|a| a.prob)
+                .sum::<f64>()
+                .min(1.0)
+        })
+        .collect();
+    let tail_y = poisson_binomial_tail(&py, t);
+    // Per-vertex success probabilities for Z (ground-label matching).
+    let ground: Vec<Symbol> =
+        q_labels.iter().copied().filter(|&l| !table.is_wildcard(l)).collect();
+    let wq = (q.vertex_count() - ground.len()) as i64;
+    let pz: Vec<f64> = g
+        .vertices()
+        .iter()
+        .map(|v| {
+            v.alternatives
+                .iter()
+                .filter(|a| table.is_wildcard(a.label) || ground.contains(&a.label))
+                .map(|a| a.prob)
+                .sum::<f64>()
+                .min(1.0)
+        })
+        .collect();
+    let tail_z = poisson_binomial_tail(&pz, t - wq);
+    tail_y.min(tail_z).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::similarity_probability;
+    use uqsj_graph::GraphBuilder;
+
+    #[test]
+    fn poisson_binomial_matches_binomial() {
+        // 4 fair coins: Pr{>=2} = 11/16.
+        let p = [0.5; 4];
+        assert!((poisson_binomial_tail(&p, 2) - 11.0 / 16.0).abs() < 1e-12);
+        assert_eq!(poisson_binomial_tail(&p, 0), 1.0);
+        assert_eq!(poisson_binomial_tail(&p, 5), 0.0);
+        assert!((poisson_binomial_tail(&p, 4) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_tail_dominated_by_markov_and_dominates_simp() {
+        let mut t = SymbolTable::new();
+        let mut bq = GraphBuilder::new(&mut t);
+        bq.vertex("x", "?x");
+        bq.vertex("a", "Actor");
+        bq.edge("x", "a", "type");
+        let q = bq.into_graph();
+        let mut bg = GraphBuilder::new(&mut t);
+        bg.vertex("y", "?y");
+        bg.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+        bg.uncertain_vertex("n", &[("City", 0.5), ("State", 0.5)]);
+        bg.edge("y", "m", "type");
+        bg.edge("m", "n", "birthPlace");
+        let g = bg.into_uncertain();
+        for tau in 0..4u32 {
+            let exact = similarity_probability(&t, &q, &g, tau);
+            let markov = ub_simp(&t, &q, &g, tau);
+            let tail = ub_simp_exact_tail(&t, &q, &g, tau);
+            assert!(tail + 1e-12 >= exact, "tau={tau}: tail {tail} < exact {exact}");
+            assert!(tail <= markov + 1e-12, "tau={tau}: tail {tail} > markov {markov}");
+        }
+    }
+
+    #[test]
+    fn bound_is_one_when_vacuous() {
+        let mut t = SymbolTable::new();
+        let mut bq = GraphBuilder::new(&mut t);
+        bq.vertex("a", "A");
+        let q = bq.into_graph();
+        let mut bg = GraphBuilder::new(&mut t);
+        bg.vertex("a", "A");
+        let g = bg.into_uncertain();
+        // Identical graphs: C = 1 + 0 - 0 + 0 = 1, tau = 4 => vacuous.
+        assert_eq!(ub_simp(&t, &q, &g, 4), 1.0);
+    }
+
+    #[test]
+    fn bound_dominates_exact_probability() {
+        let mut t = SymbolTable::new();
+        let mut bq = GraphBuilder::new(&mut t);
+        bq.vertex("x", "?x");
+        bq.vertex("a", "Actor");
+        bq.edge("x", "a", "type");
+        let q = bq.into_graph();
+        let mut bg = GraphBuilder::new(&mut t);
+        bg.vertex("y", "?y");
+        bg.uncertain_vertex("m", &[("NBA_Player", 0.6), ("Actor", 0.4)]);
+        bg.edge("y", "m", "type");
+        let g = bg.into_uncertain();
+        for tau in 0..4 {
+            let exact = similarity_probability(&t, &q, &g, tau);
+            let ub = ub_simp(&t, &q, &g, tau);
+            assert!(ub + 1e-12 >= exact, "tau={tau}: ub={ub} < exact={exact}");
+        }
+    }
+
+    #[test]
+    fn dissimilar_pair_gets_small_bound() {
+        // In the spirit of Example 4: a structurally larger mismatch gives
+        // an upper bound below common thresholds.
+        let mut t = SymbolTable::new();
+        let mut bq = GraphBuilder::new(&mut t);
+        bq.vertex("a", "A");
+        let q = bq.into_graph();
+        let mut bg = GraphBuilder::new(&mut t);
+        for i in 0..6 {
+            bg.uncertain_vertex(&format!("v{i}"), &[("X", 0.5), ("Y", 0.5)]);
+        }
+        for i in 0..5 {
+            bg.edge(&format!("v{i}"), &format!("v{}", i + 1), "p");
+        }
+        let g = bg.into_uncertain();
+        let ub = ub_simp(&t, &q, &g, 1);
+        assert!(ub < 0.6, "expected strong pruning, got {ub}");
+        // And it is still an upper bound.
+        assert!(ub >= similarity_probability(&t, &q, &g, 1));
+    }
+}

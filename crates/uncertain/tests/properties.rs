@@ -1,0 +1,149 @@
+//! Property tests: the Markov bound (Theorem 4) and its grouped
+//! refinement (Algorithm 2) must dominate the exact similarity
+//! probability, and grouped verification must agree with plain
+//! enumeration.
+
+use proptest::prelude::*;
+use uqsj_graph::{Graph, LabelAlternative, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
+use uqsj_uncertain::groups::{partition_groups, verify_simp_groups, SplitHeuristic};
+use uqsj_uncertain::{similarity_probability, ub_simp, ub_simp_exact_tail, ub_simp_grouped};
+
+const VLABELS: [&str; 5] = ["A", "B", "C", "D", "?x"];
+const ELABELS: [&str; 2] = ["p", "q"];
+
+#[derive(Clone, Debug)]
+struct RawUncertain {
+    vertices: Vec<Vec<u8>>, // label indexes per vertex (1..=3 alternatives)
+    edges: Vec<(u8, u8, u8)>,
+}
+
+fn uncertain_strategy(max_v: usize) -> impl Strategy<Value = RawUncertain> {
+    (1..=max_v).prop_flat_map(move |n| {
+        let vertices = prop::collection::vec(
+            prop::collection::vec(0u8..VLABELS.len() as u8, 1..=3),
+            n,
+        );
+        let edges = prop::collection::vec(
+            (0..n as u8, 0..n as u8, 0u8..ELABELS.len() as u8),
+            0..=(n * 2).min(4),
+        );
+        (vertices, edges).prop_map(|(vertices, edges)| RawUncertain { vertices, edges })
+    })
+}
+
+fn graph_strategy(max_v: usize) -> impl Strategy<Value = (Vec<u8>, Vec<(u8, u8, u8)>)> {
+    (1..=max_v).prop_flat_map(move |n| {
+        (
+            prop::collection::vec(0u8..VLABELS.len() as u8, n),
+            prop::collection::vec((0..n as u8, 0..n as u8, 0u8..ELABELS.len() as u8), 0..=4),
+        )
+    })
+}
+
+fn build_certain(t: &mut SymbolTable, vl: &[u8], el: &[(u8, u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for &v in vl {
+        let s = t.intern(VLABELS[v as usize]);
+        g.add_vertex(s);
+    }
+    for &(s, d, l) in el {
+        if s != d {
+            let sym = t.intern(ELABELS[l as usize]);
+            g.add_edge(VertexId(s as u32), VertexId(d as u32), sym);
+        }
+    }
+    g
+}
+
+fn build_uncertain(t: &mut SymbolTable, raw: &RawUncertain) -> UncertainGraph {
+    let mut g = UncertainGraph::new();
+    for alts in &raw.vertices {
+        // Dedup labels; spread probability uniformly.
+        let mut labels: Vec<u8> = alts.clone();
+        labels.dedup();
+        labels.sort_unstable();
+        labels.dedup();
+        let p = 1.0 / labels.len() as f64;
+        g.add_vertex(UncertainVertex {
+            alternatives: labels
+                .iter()
+                .map(|&l| LabelAlternative { label: t.intern(VLABELS[l as usize]), prob: p })
+                .collect(),
+        });
+    }
+    for &(s, d, l) in &raw.edges {
+        if s != d {
+            let sym = t.intern(ELABELS[l as usize]);
+            g.add_edge(VertexId(s as u32), VertexId(d as u32), sym);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn markov_bound_dominates_exact(
+        a in graph_strategy(3),
+        b in uncertain_strategy(3),
+        tau in 0u32..4,
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build_certain(&mut t, &a.0, &a.1);
+        let g = build_uncertain(&mut t, &b);
+        let exact = similarity_probability(&t, &q, &g, tau);
+        let ub = ub_simp(&t, &q, &g, tau);
+        prop_assert!(ub + 1e-9 >= exact, "ub={} exact={}", ub, exact);
+    }
+
+    #[test]
+    fn exact_tail_sits_between_simp_and_markov(
+        a in graph_strategy(3),
+        b in uncertain_strategy(3),
+        tau in 0u32..4,
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build_certain(&mut t, &a.0, &a.1);
+        let g = build_uncertain(&mut t, &b);
+        let exact = similarity_probability(&t, &q, &g, tau);
+        let markov = ub_simp(&t, &q, &g, tau);
+        let tail = ub_simp_exact_tail(&t, &q, &g, tau);
+        prop_assert!(tail + 1e-9 >= exact, "tail={} exact={}", tail, exact);
+        prop_assert!(tail <= markov + 1e-9, "tail={} markov={}", tail, markov);
+    }
+
+    #[test]
+    fn grouped_bound_dominates_exact(
+        a in graph_strategy(3),
+        b in uncertain_strategy(3),
+        tau in 0u32..4,
+        gn in 1usize..6,
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build_certain(&mut t, &a.0, &a.1);
+        let g = build_uncertain(&mut t, &b);
+        let exact = similarity_probability(&t, &q, &g, tau);
+        let (ub, _) = ub_simp_grouped(&t, &q, &g, tau, gn);
+        prop_assert!(ub + 1e-9 >= exact, "gn={} ub={} exact={}", gn, ub, exact);
+    }
+
+    #[test]
+    fn grouped_verification_agrees_with_enumeration(
+        a in graph_strategy(3),
+        b in uncertain_strategy(3),
+        tau in 0u32..4,
+        gn in 1usize..6,
+    ) {
+        let mut t = SymbolTable::new();
+        let q = build_certain(&mut t, &a.0, &a.1);
+        let g = build_uncertain(&mut t, &b);
+        let exact = similarity_probability(&t, &q, &g, tau);
+        for h in [SplitHeuristic::HighestMass, SplitHeuristic::MostLabels] {
+            let groups = partition_groups(&t, &q, &g, tau, gn, h);
+            let out = verify_simp_groups(&t, &q, &g, tau, f64::INFINITY, &groups);
+            prop_assert!((out.prob - exact).abs() < 1e-9,
+                "heuristic {:?}: grouped={} exact={}", h, out.prob, exact);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The curated paper-examples dataset: the running examples of Figs. 2–5
+//! and the case study of Fig. 10, assembled into a real (tiny) workload
+//! with a consistent knowledge base — so the concrete scenarios the paper
+//! walks through are executable end to end.
+
+use crate::datasets::{assemble_dataset, Dataset};
+use crate::kb::{KbEntity, KnowledgeBase};
+use crate::questions::{NoiseKind, QaPair};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uqsj_nlp::{EntityCandidate, Lexicon};
+use uqsj_sparql::parse;
+
+fn entity(name: &str, class: &str, surface: &str) -> KbEntity {
+    KbEntity { name: name.to_owned(), class: class.to_owned(), surface: surface.to_owned() }
+}
+
+/// The lexicon of the paper's examples: ambiguous "Michael Jordan", "NY"
+/// and "CIT" (Figs. 2 and 4), plus everything the case-study questions
+/// need.
+pub fn paper_kb() -> KnowledgeBase {
+    let mut lex = Lexicon::new();
+    for (noun, class) in [
+        ("actor", "Actor"),
+        ("politician", "Politician"),
+        ("physicist", "Physicist"),
+        ("city", "City"),
+        ("movie", "Film"),
+        ("movies", "Film"),
+        ("software", "Software"),
+    ] {
+        lex.add_class(noun, class);
+    }
+    lex.add_predicate("birthPlace", &["from", "born in"]);
+    lex.add_predicate("spouse", &["married to"]);
+    lex.add_predicate("locatedIn", &["of", "located in", "in"]);
+    lex.add_predicate("graduatedFrom", &["graduated from"]);
+    lex.add_predicate("director", &["directed by"]);
+    lex.add_predicate("leaderParty", &["ruled by"]);
+    lex.add_predicate("developer", &["developed by"]);
+    lex.add_predicate("foundationPlace", &["founded in"]);
+    lex.add_class("organization", "Organisation");
+    lex.add_class("organizations", "Organisation");
+    lex.add_inverse_noun("spouse", "spouse");
+    lex.add_inverse_noun("birth place", "birthPlace");
+    lex.add_inverse_noun("ruling party", "leaderParty");
+
+    lex.add_surface_form(
+        "michael jordan",
+        vec![
+            EntityCandidate { entity: "Michael_Jordan".into(), class: "NBA_Player".into(), prob: 0.6 },
+            EntityCandidate { entity: "Michael_I_Jordan".into(), class: "Professor".into(), prob: 0.3 },
+            EntityCandidate { entity: "Michael_B_Jordan".into(), class: "Actor".into(), prob: 0.1 },
+        ],
+    );
+    lex.add_surface_form(
+        "ny",
+        vec![
+            EntityCandidate { entity: "New_York".into(), class: "State".into(), prob: 0.7 },
+            EntityCandidate { entity: "New_York_City".into(), class: "City".into(), prob: 0.3 },
+        ],
+    );
+    lex.add_surface_form(
+        "cit",
+        vec![
+            EntityCandidate {
+                entity: "California_Institute_of_Technology".into(),
+                class: "University".into(),
+                prob: 0.8,
+            },
+            EntityCandidate { entity: "CIT_Group".into(), class: "Company".into(), prob: 0.2 },
+        ],
+    );
+    for (surface, name, class) in [
+        ("california", "California", "State"),
+        ("usa", "United_States", "Country"),
+        ("cmu", "Carnegie_Mellon_University", "University"),
+        ("francis ford coppola", "Francis_Ford_Coppola", "Director"),
+        ("lisbon", "Lisbon", "City"),
+        ("harvard", "Harvard_University", "University"),
+    ] {
+        lex.add_surface_form(
+            surface,
+            vec![EntityCandidate { entity: name.into(), class: class.into(), prob: 1.0 }],
+        );
+    }
+
+    let entities = vec![
+        entity("Michael_Jordan", "NBA_Player", "Michael Jordan"),
+        entity("Michael_I_Jordan", "Professor", "Michael Jordan"),
+        entity("Michael_B_Jordan", "Actor", "Michael Jordan"),
+        entity("New_York", "State", "NY"),
+        entity("New_York_City", "City", "NY"),
+        entity("United_States", "Country", "USA"),
+        entity("California_Institute_of_Technology", "University", "CIT"),
+        entity("CIT_Group", "Company", "CIT"),
+        entity("Carnegie_Mellon_University", "University", "CMU"),
+        entity("Harvard_University", "University", "Harvard"),
+        entity("Francis_Ford_Coppola", "Director", "Francis Ford Coppola"),
+        entity("Lisbon", "City", "Lisbon"),
+        entity("Alice_Actor", "Actor", "Alice Actor"),
+        entity("Paula_Politician", "Politician", "Paula Politician"),
+        entity("Pete_Physicist", "Physicist", "Pete Physicist"),
+        entity("The_Godfather", "Film", "The Godfather"),
+        entity("The_Conversation", "Film", "The Conversation"),
+        entity("Green_Party", "Party", "Green Party"),
+        entity("California", "State", "California"),
+        entity("Acme_Corp", "Organisation", "Acme Corp"),
+        entity("AcmeOS", "Software", "AcmeOS"),
+    ];
+    let f = |s: &str, p: &str, o: &str| (s.to_owned(), p.to_owned(), o.to_owned());
+    let facts = vec![
+        f("Alice_Actor", "birthPlace", "United_States"),
+        f("Alice_Actor", "spouse", "Michael_Jordan"),
+        f("Michael_Jordan", "spouse", "Alice_Actor"),
+        f("Michael_Jordan", "birthPlace", "New_York_City"),
+        f("New_York_City", "locatedIn", "New_York"),
+        f("Paula_Politician", "graduatedFrom", "California_Institute_of_Technology"),
+        f("Pete_Physicist", "graduatedFrom", "Carnegie_Mellon_University"),
+        f("The_Godfather", "director", "Francis_Ford_Coppola"),
+        f("The_Conversation", "director", "Francis_Ford_Coppola"),
+        f("Lisbon", "leaderParty", "Green_Party"),
+        f("Acme_Corp", "foundationPlace", "California"),
+        f("AcmeOS", "developer", "Acme_Corp"),
+    ];
+    KnowledgeBase::from_parts(entities, facts, lex)
+}
+
+/// The paper's questions with their gold SPARQL.
+pub fn paper_questions() -> Vec<QaPair> {
+    let pair = |question: &str, sparql: &str, relations: usize| QaPair {
+        question: question.to_owned(),
+        sparql: parse(sparql).expect("curated SPARQL parses"),
+        relations,
+        noise: NoiseKind::Clean,
+        entities: Vec::new(),
+    };
+    vec![
+        pair(
+            "Which actor from USA married to Michael Jordan born in a city of NY?",
+            "SELECT ?x WHERE { ?x type Actor . ?x birthPlace United_States . \
+             ?x spouse Michael_Jordan . Michael_Jordan birthPlace New_York_City . \
+             New_York_City locatedIn New_York . }",
+            4,
+        ),
+        pair(
+            "Which politician graduated from CIT?",
+            "SELECT ?x WHERE { ?x type Politician . \
+             ?x graduatedFrom California_Institute_of_Technology . }",
+            1,
+        ),
+        pair(
+            "Which physicist graduated from CMU?",
+            "SELECT ?x WHERE { ?x type Physicist . ?x graduatedFrom Carnegie_Mellon_University . }",
+            1,
+        ),
+        pair(
+            "Give me all movies directed by Francis Ford Coppola?",
+            "SELECT ?x WHERE { ?x type Film . ?x director Francis_Ford_Coppola . }",
+            1,
+        ),
+        pair(
+            "Which software developed by organization founded in California?",
+            "SELECT ?x WHERE { ?x type Software . ?x developer ?c . \
+             ?c type Organisation . ?c foundationPlace California . }",
+            2,
+        ),
+        pair(
+            "What is the ruling party of Lisbon?",
+            "SELECT ?x WHERE { Lisbon leaderParty ?x . }",
+            1,
+        ),
+        pair(
+            "Who is the spouse of Michael Jordan?",
+            "SELECT ?x WHERE { Michael_Jordan spouse ?x . }",
+            1,
+        ),
+    ]
+}
+
+/// Assemble the curated workload (no random distractors; the gold queries
+/// of the different questions distract each other, as in QALD).
+pub fn paper_dataset() -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(2015);
+    assemble_dataset(paper_kb(), paper_questions(), 0, 4, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_curated_question_analyzes() {
+        let d = paper_dataset();
+        assert!(d.failed.is_empty(), "failures: {:?}", d.failed);
+        assert_eq!(d.pairs.len(), paper_questions().len());
+    }
+
+    #[test]
+    fn every_curated_gold_query_is_answerable() {
+        let kb = paper_kb();
+        let store = kb.triple_store();
+        for q in paper_questions() {
+            let rows = uqsj_rdf::bgp::evaluate(&store, &q.sparql);
+            assert!(!rows.is_empty(), "unanswerable: {}", q.question);
+        }
+    }
+
+    #[test]
+    fn running_example_produces_the_fig2_uncertain_graph() {
+        let d = paper_dataset();
+        let g = &d.u_graphs[0];
+        // Fig. 2: 6 vertices, 5 edges, 3×2 = 6 possible worlds, the most
+        // likely with probability 0.42.
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.world_count(), 6);
+        let best = g.possible_worlds().map(|w| w.prob).fold(f64::MIN, f64::max);
+        assert!((best - 0.42).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,331 @@
+//! The named workloads of the paper's evaluation, materialized for the
+//! join: QALD-like, WebQ-like (open domain) and MM-like (closed
+//! music/movies domain).
+//!
+//! A dataset carries both join sides (`d_graphs` certain, `u_graphs`
+//! uncertain), the provenance of every graph, the gold SPARQL of every
+//! question, and the correctness judgment of Sec. 7.1.2: a returned pair
+//! `⟨q, n⟩` is *correct* iff `q` matches the manually issued gold query
+//! of `n` "except for entity phrases".
+
+use crate::kb::{KbConfig, KnowledgeBase};
+use crate::questions::{generate_pairs, QaPair, QuestionConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+use uqsj_nlp::{analyze_question, QuestionAnalysis};
+use uqsj_sparql::{SparqlQuery, Term, Triple};
+
+/// Dataset shaping parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetConfig {
+    /// Number of natural-language questions (|U| before analysis drops).
+    pub questions: usize,
+    /// Number of *extra* distractor SPARQL queries beyond the gold ones.
+    pub distractors: usize,
+    /// Maximum relations per question.
+    pub max_relations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self { questions: 100, distractors: 150, max_relations: 3, seed: 42 }
+    }
+}
+
+/// A fully materialized workload.
+pub struct Dataset {
+    /// Shared symbol table for every graph.
+    pub table: SymbolTable,
+    /// The knowledge base.
+    pub kb: KnowledgeBase,
+    /// Generated question/gold pairs, aligned with `u_graphs` /
+    /// `analyses` by index (questions that failed analysis are dropped
+    /// and recorded in `failed`).
+    pub pairs: Vec<QaPair>,
+    /// Question analyses.
+    pub analyses: Vec<QuestionAnalysis>,
+    /// Uncertain graphs (`U`).
+    pub u_graphs: Vec<UncertainGraph>,
+    /// SPARQL workload (`D`): gold queries first, then distractors.
+    pub d_queries: Vec<SparqlQuery>,
+    /// Certain join graphs of `d_queries`.
+    pub d_graphs: Vec<Graph>,
+    /// SPARQL term behind each vertex of each `d_graphs[i]`.
+    pub d_terms: Vec<Vec<Term>>,
+    /// For each question, the index of its gold query in `d_queries`.
+    pub gold_of: Vec<usize>,
+    /// Questions that failed analysis, with the failure message
+    /// (Fig. 18's raw material).
+    pub failed: Vec<(QaPair, String)>,
+}
+
+impl Dataset {
+    /// |U| actually joined.
+    pub fn u_len(&self) -> usize {
+        self.u_graphs.len()
+    }
+
+    /// |D|.
+    pub fn d_len(&self) -> usize {
+        self.d_graphs.len()
+    }
+
+    /// The correctness judgment of Sec. 7.1.2: does returned query
+    /// `d_queries[qi]` match the gold query of question `gi` modulo
+    /// entity phrases?
+    pub fn pair_is_correct(&self, qi: usize, gi: usize) -> bool {
+        queries_match_modulo_entities(&self.kb, &self.d_queries[qi], &self.pairs[gi].sparql)
+    }
+}
+
+/// Compare two queries after replacing every entity constant by one shared
+/// slot wildcard; equal shapes (GED 0) count as a match.
+pub fn queries_match_modulo_entities(
+    kb: &KnowledgeBase,
+    a: &SparqlQuery,
+    b: &SparqlQuery,
+) -> bool {
+    let mut t = SymbolTable::new();
+    let ga = shape_graph(kb, &mut t, a);
+    let gb = shape_graph(kb, &mut t, b);
+    if ga.vertex_count() != gb.vertex_count() || ga.edge_count() != gb.edge_count() {
+        return false;
+    }
+    uqsj_ged::ged_bounded(&t, &ga, &gb, 0).is_some()
+}
+
+/// The "shape" of a query: entities → the `?slot` wildcard; classes and
+/// predicates kept.
+fn shape_graph(kb: &KnowledgeBase, t: &mut SymbolTable, q: &SparqlQuery) -> Graph {
+    let mut g = Graph::new();
+    let mut seen: Vec<(Term, uqsj_graph::VertexId)> = Vec::new();
+    let mut vertex_of = |g: &mut Graph, t: &mut SymbolTable, term: &Term| {
+        if let Some((_, id)) = seen.iter().find(|(x, _)| x == term) {
+            return *id;
+        }
+        let label = match term {
+            Term::Var(v) => format!("?{v}"),
+            Term::Iri(x) | Term::Literal(x) => {
+                if kb.class_of(x).is_some() {
+                    // An entity: slot it out.
+                    "?slot".to_owned()
+                } else {
+                    // A class or unknown constant: keep.
+                    x.clone()
+                }
+            }
+        };
+        let sym = t.intern(&label);
+        let id = g.add_vertex(sym);
+        seen.push((term.clone(), id));
+        id
+    };
+    for tr in &q.triples {
+        let s = vertex_of(&mut g, t, &tr.subject);
+        let o = vertex_of(&mut g, t, &tr.object);
+        let p = t.intern(&tr.predicate.label());
+        g.add_edge(s, o, p);
+    }
+    g
+}
+
+/// Build a dataset over a KB configuration.
+pub fn build_dataset(kb_cfg: &KbConfig, cfg: &DatasetConfig) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let kb = KnowledgeBase::generate(kb_cfg, &mut rng);
+    let raw_pairs = generate_pairs(
+        &kb,
+        &QuestionConfig {
+            count: cfg.questions,
+            max_relations: cfg.max_relations,
+            ..QuestionConfig::default()
+        },
+        &mut rng,
+    );
+    assemble_dataset(kb, raw_pairs, cfg.distractors, cfg.max_relations, &mut rng)
+}
+
+/// Materialize both join sides for an explicit question set over an
+/// explicit knowledge base (shared by the generators and the curated
+/// paper-examples dataset).
+pub fn assemble_dataset(
+    kb: KnowledgeBase,
+    raw_pairs: Vec<QaPair>,
+    distractors: usize,
+    max_relations: usize,
+    rng: &mut SmallRng,
+) -> Dataset {
+    let mut table = SymbolTable::new();
+    let mut pairs = Vec::new();
+    let mut analyses = Vec::new();
+    let mut u_graphs = Vec::new();
+    let mut d_queries: Vec<SparqlQuery> = Vec::new();
+    let mut d_graphs = Vec::new();
+    let mut d_terms = Vec::new();
+    let mut gold_of = Vec::new();
+    let mut failed = Vec::new();
+
+    for p in raw_pairs {
+        match analyze_question(&kb.lexicon, &p.question) {
+            Ok(a) => {
+                let g = a.uncertain_graph(&mut table);
+                // The gold query joins D (deduplicated by text).
+                let idx = d_queries
+                    .iter()
+                    .position(|q| *q == p.sparql)
+                    .unwrap_or_else(|| {
+                        d_queries.push(p.sparql.clone());
+                        let (g, terms) = kb.join_graph_with_terms(&mut table, &p.sparql);
+                        d_graphs.push(g);
+                        d_terms.push(terms);
+                        d_queries.len() - 1
+                    });
+                gold_of.push(idx);
+                u_graphs.push(g);
+                analyses.push(a);
+                pairs.push(p);
+            }
+            Err(e) => failed.push((p, e.to_string())),
+        }
+    }
+
+    // Distractor queries: random fact-based queries that are *not* gold
+    // for any question (the DBpedia-log stand-in).
+    let mut guard = 0;
+    while d_queries.len() < gold_of.iter().copied().max().map_or(0, |m| m + 1) + distractors
+        && guard < distractors * 30
+    {
+        guard += 1;
+        let Some(q) = random_query(&kb, max_relations, rng) else { continue };
+        if d_queries.contains(&q) {
+            continue;
+        }
+        let (g, terms) = kb.join_graph_with_terms(&mut table, &q);
+        d_graphs.push(g);
+        d_terms.push(terms);
+        d_queries.push(q);
+    }
+
+    Dataset { table, kb, pairs, analyses, u_graphs, d_queries, d_graphs, d_terms, gold_of, failed }
+}
+
+/// A random conjunctive query over the KB (used as distractor).
+fn random_query(kb: &KnowledgeBase, max_relations: usize, rng: &mut SmallRng) -> Option<SparqlQuery> {
+    let anchor = &kb.entities[rng.gen_range(0..kb.entities.len())];
+    let facts = kb.facts_of(&anchor.name);
+    if facts.is_empty() {
+        return None;
+    }
+    let var = Term::Var("x".into());
+    let mut triples = vec![Triple {
+        subject: var.clone(),
+        predicate: Term::Iri("type".into()),
+        object: Term::Iri(anchor.class.clone()),
+    }];
+    let k = rng.gen_range(1..=max_relations);
+    for _ in 0..k {
+        let (_, p, o) = kb.facts[facts[rng.gen_range(0..facts.len())]].clone();
+        let t = Triple { subject: var.clone(), predicate: Term::Iri(p), object: Term::Iri(o) };
+        if !triples.contains(&t) {
+            triples.push(t);
+        }
+    }
+    if triples.len() < 2 {
+        return None;
+    }
+    Some(SparqlQuery { select: vec!["x".into()], triples })
+}
+
+/// QALD-like workload: small |U| = |D|-ish, open domain.
+pub fn qald_like(cfg: &DatasetConfig) -> Dataset {
+    build_dataset(&KbConfig::default(), cfg)
+}
+
+/// WebQ-like workload: larger question set joined against a much larger
+/// query log (scaled down from the paper's 5,810 × 73,057 — see
+/// EXPERIMENTS.md).
+pub fn webq_like(cfg: &DatasetConfig) -> Dataset {
+    build_dataset(
+        &KbConfig { entities_per_class: 40, ambiguous_forms: 150, ..KbConfig::default() },
+        cfg,
+    )
+}
+
+/// MM-like workload: closed music/movies domain (the paper observes
+/// higher precision here because "both natural language questions and
+/// SPARQL queries focus on similar topics").
+pub fn mm_like(cfg: &DatasetConfig) -> Dataset {
+    build_dataset(
+        &KbConfig {
+            domain: &["Film", "Band", "Album", "Actor", "Singer", "Director"],
+            entities_per_class: 40,
+            ambiguous_forms: 40,
+            ..KbConfig::default()
+        },
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        qald_like(&DatasetConfig { questions: 40, distractors: 30, ..Default::default() })
+    }
+
+    #[test]
+    fn dataset_is_internally_consistent() {
+        let d = small();
+        assert_eq!(d.pairs.len(), d.u_graphs.len());
+        assert_eq!(d.pairs.len(), d.gold_of.len());
+        assert_eq!(d.d_queries.len(), d.d_graphs.len());
+        assert!(d.d_len() > 0 && d.u_len() > 0);
+        // Every gold index is valid.
+        assert!(d.gold_of.iter().all(|&i| i < d.d_len()));
+    }
+
+    #[test]
+    fn gold_pairs_are_judged_correct() {
+        let d = small();
+        for (gi, &qi) in d.gold_of.iter().enumerate() {
+            assert!(d.pair_is_correct(qi, gi), "gold pair {gi} judged incorrect");
+        }
+    }
+
+    #[test]
+    fn different_shapes_are_judged_incorrect() {
+        let d = small();
+        // Find two questions with different relation counts; their gold
+        // queries cannot match modulo entities.
+        let mut by_k: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for (gi, p) in d.pairs.iter().enumerate() {
+            by_k.entry(p.relations).or_insert(gi);
+        }
+        let ks: Vec<usize> = by_k.keys().copied().collect();
+        if ks.len() >= 2 {
+            let a = by_k[&ks[0]];
+            let b = by_k[&ks[1]];
+            assert!(!d.pair_is_correct(d.gold_of[a], b));
+        }
+    }
+
+    #[test]
+    fn mm_dataset_stays_in_domain() {
+        let d = mm_like(&DatasetConfig { questions: 20, distractors: 10, ..Default::default() });
+        for e in &d.kb.entities {
+            assert!(["Film", "Band", "Album", "Actor", "Singer", "Director"]
+                .contains(&e.class.as_str()));
+        }
+    }
+
+    #[test]
+    fn some_questions_fail_analysis_for_failure_study() {
+        let d = qald_like(&DatasetConfig { questions: 150, distractors: 10, ..Default::default() });
+        assert!(!d.failed.is_empty(), "noise should produce analysis failures");
+    }
+}

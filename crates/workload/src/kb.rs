@@ -1,0 +1,458 @@
+//! The synthetic knowledge base.
+//!
+//! Entities are organized by class; each class has one question noun.
+//! Predicates carry relation phrases and a type signature (which classes
+//! may appear as subject/object), so generated facts, questions and
+//! SPARQL queries agree with each other and with the RDF store.
+//!
+//! Ambiguity — the whole reason the join is *uncertain* — is injected by
+//! sharing surface forms across entities of different classes, with
+//! linking confidences (Sec. 2.1: "an argument ... may be linked to
+//! multiple entities associated with different existence confidences").
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+use uqsj_nlp::{EntityCandidate, Lexicon};
+use uqsj_rdf::TripleStore;
+use uqsj_sparql::{SparqlQuery, Term};
+use uqsj_graph::{Graph, SymbolTable};
+
+/// Static class table: (class, question noun).
+pub const CLASSES: [(&str, &str); 26] = [
+    ("Actor", "actor"),
+    ("Politician", "politician"),
+    ("Scientist", "scientist"),
+    ("Writer", "writer"),
+    ("Singer", "singer"),
+    ("Director", "director"),
+    ("City", "city"),
+    ("Country", "country"),
+    ("State", "state"),
+    ("University", "university"),
+    ("Company", "company"),
+    ("Film", "movie"),
+    ("Band", "band"),
+    ("Album", "album"),
+    ("Book", "book"),
+    ("Team", "team"),
+    ("Stadium", "stadium"),
+    ("River", "river"),
+    ("Mountain", "mountain"),
+    ("Museum", "museum"),
+    ("Language", "language"),
+    ("Airline", "airline"),
+    ("Newspaper", "newspaper"),
+    ("Lake", "lake"),
+    ("Party", "party"),
+    ("Festival", "festival"),
+];
+
+/// Person-like classes (can marry, graduate, be born somewhere).
+pub const PERSON_CLASSES: [&str; 6] =
+    ["Actor", "Politician", "Scientist", "Writer", "Singer", "Director"];
+
+/// Predicate table: (name, phrases, subject classes, object classes).
+/// `subject classes` empty means any person-like class.
+pub struct PredicateSpec {
+    /// Local name.
+    pub name: &'static str,
+    /// NL phrases.
+    pub phrases: &'static [&'static str],
+    /// Allowed subject classes (empty = person-like).
+    pub subjects: &'static [&'static str],
+    /// Allowed object classes.
+    pub objects: &'static [&'static str],
+    /// Noun phrase for the inverse question shape ("Who is the ⟨noun⟩ of
+    /// E?"), when the predicate reads naturally that way.
+    pub inverse_noun: Option<&'static str>,
+}
+
+/// The full predicate inventory.
+pub const PREDICATES: [PredicateSpec; 18] = [
+    PredicateSpec { name: "birthPlace", phrases: &["born in", "from"], subjects: &[], objects: &["City", "Country", "State"], inverse_noun: Some("birth place") },
+    PredicateSpec { name: "spouse", phrases: &["married to"], subjects: &[], objects: &["Actor", "Politician", "Scientist", "Writer", "Singer", "Director"], inverse_noun: Some("spouse") },
+    PredicateSpec { name: "graduatedFrom", phrases: &["graduated from", "studied at"], subjects: &[], objects: &["University"], inverse_noun: None },
+    PredicateSpec { name: "worksFor", phrases: &["working for", "employed by"], subjects: &[], objects: &["Company"], inverse_noun: None },
+    PredicateSpec { name: "locatedIn", phrases: &["located in", "of"], subjects: &["City", "University", "Company", "Stadium", "Museum", "Mountain", "River"], objects: &["City", "Country", "State"], inverse_noun: None },
+    PredicateSpec { name: "director", phrases: &["directed by"], subjects: &["Film"], objects: &["Director"], inverse_noun: Some("director") },
+    PredicateSpec { name: "starring", phrases: &["starring"], subjects: &["Film"], objects: &["Actor", "Singer"], inverse_noun: None },
+    PredicateSpec { name: "author", phrases: &["written by"], subjects: &["Book"], objects: &["Writer"], inverse_noun: Some("author") },
+    PredicateSpec { name: "artist", phrases: &["recorded by", "performed by"], subjects: &["Album"], objects: &["Band", "Singer"], inverse_noun: None },
+    PredicateSpec { name: "memberOf", phrases: &["playing in", "member of"], subjects: &["Singer", "Actor"], objects: &["Band", "Team"], inverse_noun: None },
+    PredicateSpec { name: "homeGround", phrases: &["playing at"], subjects: &["Team"], objects: &["Stadium"], inverse_noun: Some("home ground") },
+    PredicateSpec { name: "foundedBy", phrases: &["founded by"], subjects: &["Company", "University"], objects: &["Politician", "Scientist", "Writer"], inverse_noun: Some("founder") },
+    PredicateSpec { name: "spokenIn", phrases: &["spoken in"], subjects: &["Language"], objects: &["Country"], inverse_noun: None },
+    PredicateSpec { name: "hub", phrases: &["flying out of", "based at"], subjects: &["Airline"], objects: &["City"], inverse_noun: None },
+    PredicateSpec { name: "publishedIn", phrases: &["published in", "printed in"], subjects: &["Newspaper"], objects: &["City", "Country"], inverse_noun: None },
+    PredicateSpec { name: "flowsInto", phrases: &["flowing into"], subjects: &["River"], objects: &["Lake", "River"], inverse_noun: None },
+    PredicateSpec { name: "memberOfParty", phrases: &["belonging to", "affiliated with"], subjects: &["Politician"], objects: &["Party"], inverse_noun: Some("party") },
+    PredicateSpec { name: "heldIn", phrases: &["held in", "celebrated in"], subjects: &["Festival"], objects: &["City", "Country"], inverse_noun: None },
+];
+
+/// KB generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KbConfig {
+    /// Entities generated per class.
+    pub entities_per_class: usize,
+    /// Number of shared (ambiguous) surface-form groups.
+    pub ambiguous_forms: usize,
+    /// Candidates per ambiguous form (`avg |L(v)|` knob, Fig. 14).
+    pub labels_per_form: usize,
+    /// Facts generated per entity (expected).
+    pub facts_per_entity: usize,
+    /// Restrict to a closed domain (the MM workload): only these classes
+    /// are populated when non-empty.
+    pub domain: &'static [&'static str],
+}
+
+impl Default for KbConfig {
+    fn default() -> Self {
+        Self {
+            entities_per_class: 30,
+            ambiguous_forms: 110,
+            labels_per_form: 4,
+            facts_per_entity: 3,
+            domain: &[],
+        }
+    }
+}
+
+/// One entity.
+#[derive(Clone, Debug)]
+pub struct KbEntity {
+    /// Unique name (`Actor_17`).
+    pub name: String,
+    /// Its class.
+    pub class: String,
+    /// The surface form used in questions (may be shared).
+    pub surface: String,
+}
+
+/// The generated knowledge base.
+pub struct KnowledgeBase {
+    /// All entities.
+    pub entities: Vec<KbEntity>,
+    /// Facts: (subject entity, predicate, object entity).
+    pub facts: Vec<(String, String, String)>,
+    /// The lexicon for question analysis.
+    pub lexicon: Lexicon,
+    /// Class of each entity name.
+    class_of: HashMap<String, String>,
+    /// Entities indexed by class.
+    by_class: HashMap<String, Vec<usize>>,
+    /// Facts indexed by subject.
+    facts_by_subject: HashMap<String, Vec<usize>>,
+}
+
+impl KnowledgeBase {
+    /// Generate a KB.
+    pub fn generate(cfg: &KbConfig, rng: &mut SmallRng) -> Self {
+        let classes: Vec<(&str, &str)> = CLASSES
+            .iter()
+            .filter(|(c, _)| cfg.domain.is_empty() || cfg.domain.contains(c))
+            .copied()
+            .collect();
+        let mut lexicon = Lexicon::new();
+        for (class, noun) in &classes {
+            lexicon.add_class(noun, class);
+        }
+        for p in &PREDICATES {
+            lexicon.add_predicate(p.name, p.phrases);
+            if let Some(noun) = p.inverse_noun {
+                lexicon.add_inverse_noun(noun, p.name);
+            }
+        }
+
+        // Entities with unique surface forms by default.
+        let mut entities = Vec::new();
+        let mut by_class: HashMap<String, Vec<usize>> = HashMap::new();
+        for (class, _) in &classes {
+            for i in 0..cfg.entities_per_class {
+                let name = format!("{class}_{i}");
+                let surface = format!("{class} {i}");
+                by_class.entry((*class).to_owned()).or_default().push(entities.len());
+                entities.push(KbEntity {
+                    name,
+                    class: (*class).to_owned(),
+                    surface,
+                });
+            }
+        }
+
+        // Ambiguous surface-form groups: one shared phrase resolving to
+        // several entities of (preferably) different classes.
+        let mut grouped: Vec<usize> = (0..entities.len()).collect();
+        grouped.shuffle(rng);
+        let mut cursor = 0usize;
+        for gi in 0..cfg.ambiguous_forms {
+            let k = cfg.labels_per_form.max(2);
+            if cursor + k > grouped.len() {
+                break;
+            }
+            let members = &grouped[cursor..cursor + k];
+            cursor += k;
+            let phrase = format!("Name{gi}");
+            // Dirichlet-ish confidences: random positive weights,
+            // normalized, sorted descending for realism.
+            let mut weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            weights.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+            for (&ei, _) in members.iter().zip(&weights) {
+                entities[ei].surface = phrase.clone();
+            }
+            let candidates: Vec<EntityCandidate> = members
+                .iter()
+                .zip(&weights)
+                .map(|(&ei, &prob)| EntityCandidate {
+                    entity: entities[ei].name.clone(),
+                    class: entities[ei].class.clone(),
+                    prob,
+                })
+                .collect();
+            lexicon.add_surface_form(&phrase, candidates);
+        }
+        // Unambiguous surface forms for everything not in a group.
+        for e in &entities {
+            if lexicon.link(&e.surface).is_none() {
+                lexicon.add_surface_form(
+                    &e.surface,
+                    vec![EntityCandidate { entity: e.name.clone(), class: e.class.clone(), prob: 1.0 }],
+                );
+            }
+        }
+
+        let class_of: HashMap<String, String> =
+            entities.iter().map(|e| (e.name.clone(), e.class.clone())).collect();
+
+        // Facts respecting predicate signatures.
+        let person_classes: Vec<&str> = PERSON_CLASSES
+            .iter()
+            .filter(|c| cfg.domain.is_empty() || cfg.domain.contains(c))
+            .copied()
+            .collect();
+        let mut facts = Vec::new();
+        let mut facts_by_subject: HashMap<String, Vec<usize>> = HashMap::new();
+        for (ei, e) in entities.iter().enumerate() {
+            let applicable: Vec<&PredicateSpec> = PREDICATES
+                .iter()
+                .filter(|p| {
+                    let subj_ok = if p.subjects.is_empty() {
+                        person_classes.contains(&e.class.as_str())
+                    } else {
+                        p.subjects.contains(&e.class.as_str())
+                    };
+                    subj_ok
+                        && p.objects
+                            .iter()
+                            .any(|c| by_class.get(*c).is_some_and(|v| !v.is_empty()))
+                })
+                .collect();
+            if applicable.is_empty() {
+                continue;
+            }
+            for _ in 0..cfg.facts_per_entity {
+                let p = applicable[rng.gen_range(0..applicable.len())];
+                let obj_classes: Vec<&&str> = p
+                    .objects
+                    .iter()
+                    .filter(|c| by_class.get(**c).is_some_and(|v| !v.is_empty()))
+                    .collect();
+                let oc = obj_classes[rng.gen_range(0..obj_classes.len())];
+                let pool = &by_class[*oc];
+                let mut oi = pool[rng.gen_range(0..pool.len())];
+                if entities[oi].name == e.name {
+                    oi = pool[(pool.iter().position(|&x| x == oi).unwrap() + 1) % pool.len()];
+                    if entities[oi].name == e.name {
+                        continue;
+                    }
+                }
+                facts_by_subject.entry(e.name.clone()).or_default().push(facts.len());
+                facts.push((e.name.clone(), p.name.to_owned(), entities[oi].name.clone()));
+            }
+            let _ = ei;
+        }
+
+        KnowledgeBase { entities, facts, lexicon, class_of, by_class, facts_by_subject }
+    }
+
+    /// Assemble a knowledge base from explicit parts (used by the curated
+    /// paper-examples dataset and by tests); index maps are derived.
+    pub fn from_parts(
+        entities: Vec<KbEntity>,
+        facts: Vec<(String, String, String)>,
+        lexicon: Lexicon,
+    ) -> Self {
+        let class_of: HashMap<String, String> =
+            entities.iter().map(|e| (e.name.clone(), e.class.clone())).collect();
+        let mut by_class: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, e) in entities.iter().enumerate() {
+            by_class.entry(e.class.clone()).or_default().push(i);
+        }
+        let mut facts_by_subject: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, (s, _, _)) in facts.iter().enumerate() {
+            facts_by_subject.entry(s.clone()).or_default().push(i);
+        }
+        KnowledgeBase { entities, facts, lexicon, class_of, by_class, facts_by_subject }
+    }
+
+    /// Class of an entity name, if known.
+    pub fn class_of(&self, entity: &str) -> Option<&str> {
+        self.class_of.get(entity).map(String::as_str)
+    }
+
+    /// Entities of a class.
+    pub fn entities_of_class(&self, class: &str) -> &[usize] {
+        self.by_class.get(class).map_or(&[], Vec::as_slice)
+    }
+
+    /// Facts whose subject is `entity` (indexes into [`Self::facts`]).
+    pub fn facts_of(&self, entity: &str) -> &[usize] {
+        self.facts_by_subject.get(entity).map_or(&[], Vec::as_slice)
+    }
+
+    /// Surface form of an entity.
+    pub fn surface_of(&self, entity: &str) -> Option<&str> {
+        self.entities.iter().find(|e| e.name == entity).map(|e| e.surface.as_str())
+    }
+
+    /// Load every fact (plus `type` triples) into an RDF store.
+    pub fn triple_store(&self) -> TripleStore {
+        let mut store = TripleStore::new();
+        for e in &self.entities {
+            store.insert(&e.name, "type", &e.class);
+        }
+        for (s, p, o) in &self.facts {
+            store.insert(s, p, o);
+        }
+        store.ensure_indexes();
+        store
+    }
+
+    /// Build the join-side graph of a SPARQL query per the convention of
+    /// Fig. 3: entity vertices are labeled with their *class* (the
+    /// abstraction that lets questions and queries about different
+    /// entities still match), class objects of `type` edges keep their
+    /// class label, variables stay wildcards.
+    pub fn join_graph(&self, table: &mut SymbolTable, query: &SparqlQuery) -> Graph {
+        self.join_graph_with_terms(table, query).0
+    }
+
+    /// Like [`Self::join_graph`], additionally returning the SPARQL term
+    /// behind each vertex — the provenance template generation needs to
+    /// map GED-matched vertices back to positions in the query text.
+    pub fn join_graph_with_terms(
+        &self,
+        table: &mut SymbolTable,
+        query: &SparqlQuery,
+    ) -> (Graph, Vec<Term>) {
+        let mut g = Graph::new();
+        let mut terms: Vec<Term> = Vec::new();
+        let mut vertex_of = |g: &mut Graph, table: &mut SymbolTable, t: &Term, kb: &Self| {
+            if let Some(i) = terms.iter().position(|x| x == t) {
+                return uqsj_graph::VertexId(i as u32);
+            }
+            let label = match t {
+                Term::Var(v) => format!("?{v}"),
+                Term::Iri(x) | Term::Literal(x) => {
+                    kb.class_of(x).map(str::to_owned).unwrap_or_else(|| x.clone())
+                }
+            };
+            let sym = table.intern(&label);
+            let id = g.add_vertex(sym);
+            terms.push(t.clone());
+            id
+        };
+        for tr in &query.triples {
+            let s = vertex_of(&mut g, table, &tr.subject, self);
+            let o = vertex_of(&mut g, table, &tr.object, self);
+            let p = table.intern(&tr.predicate.label());
+            g.add_edge(s, o, p);
+        }
+        (g, terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn kb() -> KnowledgeBase {
+        let mut rng = SmallRng::seed_from_u64(1);
+        KnowledgeBase::generate(&KbConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn generates_entities_and_facts() {
+        let kb = kb();
+        assert_eq!(kb.entities.len(), CLASSES.len() * 30);
+        assert!(!kb.facts.is_empty());
+        // Every fact respects the predicate signature.
+        for (s, p, o) in &kb.facts {
+            let spec = PREDICATES.iter().find(|x| x.name == p).unwrap();
+            let sc = kb.class_of(s).unwrap();
+            let oc = kb.class_of(o).unwrap();
+            if spec.subjects.is_empty() {
+                assert!(PERSON_CLASSES.contains(&sc));
+            } else {
+                assert!(spec.subjects.contains(&sc));
+            }
+            assert!(spec.objects.contains(&oc), "{p} object {oc}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_forms_have_multiple_candidates() {
+        let kb = kb();
+        let ambiguous = kb
+            .lexicon
+            .surface_forms
+            .values()
+            .filter(|c| c.len() >= 2)
+            .count();
+        assert!(ambiguous >= 50, "got {ambiguous}");
+        for cands in kb.lexicon.surface_forms.values() {
+            let total: f64 = cands.iter().map(|c| c.prob).sum();
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn triple_store_answers_type_queries() {
+        let kb = kb();
+        let store = kb.triple_store();
+        let q = uqsj_sparql::parse("SELECT ?x WHERE { ?x type Actor . }").unwrap();
+        let rows = uqsj_rdf::bgp::evaluate(&store, &q);
+        assert_eq!(rows.len(), 30);
+    }
+
+    #[test]
+    fn join_graph_abstracts_entities_to_classes() {
+        let kb = kb();
+        let q = uqsj_sparql::parse(
+            "SELECT ?x WHERE { ?x type Actor . ?x graduatedFrom University_3 . }",
+        )
+        .unwrap();
+        let mut t = SymbolTable::new();
+        let g = kb.join_graph(&mut t, &q);
+        assert_eq!(g.vertex_count(), 3);
+        let labels: Vec<&str> =
+            g.vertex_labels().iter().map(|&s| t.name(s)).collect();
+        assert!(labels.contains(&"University"), "{labels:?}");
+        assert!(labels.contains(&"Actor"));
+        assert!(labels.contains(&"?x"));
+    }
+
+    #[test]
+    fn closed_domain_restricts_classes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = KbConfig { domain: &["Film", "Band", "Album", "Actor", "Singer", "Director"], ..KbConfig::default() };
+        let kb = KnowledgeBase::generate(&cfg, &mut rng);
+        assert!(kb.entities.iter().all(|e| cfg.domain.contains(&e.class.as_str())));
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic knowledge base and workload generation.
+//!
+//! The paper evaluates on DBpedia + QALD-3, WebQuestions + DBpedia query
+//! logs, a proprietary music/movies ("MM") workload, the AIDS chemical
+//! dataset and two synthetic graph families (ER, SF). None of the real
+//! resources ship with this reproduction, so this crate generates
+//! statistical stand-ins (see DESIGN.md, "Substitutions"):
+//!
+//! * [`kb`] — a synthetic knowledge base: classes with nouns, predicates
+//!   with relation phrases, entities with (deliberately ambiguous) surface
+//!   forms, and facts. It exports the [`uqsj_nlp::Lexicon`] that drives
+//!   question analysis and an RDF triple store for Q/A evaluation.
+//! * [`questions`] — question/SPARQL pair generation over the KB, with
+//!   controlled relation counts `k` and noise (the paper's failure modes).
+//! * [`datasets`] — the named workloads (QALD-like, WebQ-like, MM-like)
+//!   with both join sides materialized, plus gold pairs and the
+//!   correctness judgment ("matches modulo entity phrases", Sec. 7.1.2).
+//! * [`rand_graphs`] — ER, scale-free (SF) and AIDS-like uncertain graph
+//!   generators for the efficiency experiments.
+//! * [`stats`] — the dataset statistics of Table 2.
+
+pub mod kb;
+pub mod questions;
+pub mod datasets;
+pub mod curated;
+pub mod rand_graphs;
+pub mod stats;
+
+pub use curated::paper_dataset;
+pub use datasets::{mm_like, qald_like, webq_like, Dataset, DatasetConfig};
+pub use kb::{KbConfig, KnowledgeBase};
+pub use questions::{generate_pairs, QaPair, QuestionConfig};
+pub use rand_graphs::{aids_like, erdos_renyi, scale_free, RandomGraphConfig};
+pub use stats::DatasetStats;

@@ -1,0 +1,372 @@
+//! Question / gold-SPARQL pair generation.
+//!
+//! Questions are generated *from KB facts*, so their gold SPARQL queries
+//! are answerable over the triple store. The surface syntax follows the
+//! schemas the NLP pipeline understands:
+//!
+//! ```text
+//! Which <noun> <phrase> <Entity> [and <phrase> <Entity>]*          (star)
+//! Which <noun> <phrase> <E1> <phrase> <E2>                        (chain)
+//! Who <phrase> <Entity> ?
+//! Give me all <noun> <phrase> <Entity>
+//! ```
+//!
+//! Noise injection reproduces the paper's failure modes (Fig. 18):
+//! `MisleadingSurface` questions use an ambiguous phrase whose dominant
+//! linking candidate is *wrong* (→ incorrect semantic query graph), and
+//! `UnknownPhrase` questions contain an out-of-lexicon argument.
+
+use crate::kb::{KnowledgeBase, PREDICATES};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use uqsj_sparql::{SparqlQuery, Term, Triple};
+
+/// Noise class of a generated question.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// Clean question.
+    Clean,
+    /// Contains an ambiguous surface form whose most likely candidate is
+    /// not the intended entity.
+    MisleadingSurface,
+    /// Contains a phrase the lexicon does not know.
+    UnknownPhrase,
+}
+
+/// One generated pair.
+#[derive(Clone, Debug)]
+pub struct QaPair {
+    /// The natural-language question.
+    pub question: String,
+    /// The gold SPARQL query.
+    pub sparql: SparqlQuery,
+    /// Number of (non-`type`) relations (the `k` of Fig. 17).
+    pub relations: usize,
+    /// Noise class.
+    pub noise: NoiseKind,
+    /// The entity names mentioned, in question order (for evaluation).
+    pub entities: Vec<String>,
+}
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QuestionConfig {
+    /// Number of pairs.
+    pub count: usize,
+    /// Maximum relations per question.
+    pub max_relations: usize,
+    /// Fraction of questions with a misleading ambiguous mention.
+    pub misleading_rate: f64,
+    /// Fraction with an unknown phrase.
+    pub unknown_rate: f64,
+}
+
+impl Default for QuestionConfig {
+    fn default() -> Self {
+        Self { count: 100, max_relations: 3, misleading_rate: 0.12, unknown_rate: 0.06 }
+    }
+}
+
+/// Generate `cfg.count` pairs over `kb`.
+pub fn generate_pairs(kb: &KnowledgeBase, cfg: &QuestionConfig, rng: &mut SmallRng) -> Vec<QaPair> {
+    let mut out = Vec::with_capacity(cfg.count);
+    let mut guard = 0usize;
+    while out.len() < cfg.count && guard < cfg.count * 50 {
+        guard += 1;
+        if let Some(pair) = generate_one(kb, cfg, rng) {
+            out.push(pair);
+        }
+    }
+    out
+}
+
+fn phrase_for(rng: &mut SmallRng, predicate: &str) -> &'static str {
+    let spec = PREDICATES
+        .iter()
+        .find(|p| p.name == predicate)
+        .expect("fact predicates come from the inventory");
+    spec.phrases[rng.gen_range(0..spec.phrases.len())]
+}
+
+fn generate_one(kb: &KnowledgeBase, cfg: &QuestionConfig, rng: &mut SmallRng) -> Option<QaPair> {
+    // Anchor: an entity with at least one fact.
+    let anchor = &kb.entities[rng.gen_range(0..kb.entities.len())];
+    let anchor_facts = kb.facts_of(&anchor.name);
+    if anchor_facts.is_empty() {
+        return None;
+    }
+
+    // Inverse schema (~1 in 6 questions): "Who is the <noun> of <E>?"
+    // asks for the object of one of the anchor's facts; the entity is the
+    // SPARQL subject.
+    if rng.gen_bool(0.17) {
+        let fi = anchor_facts[rng.gen_range(0..anchor_facts.len())];
+        let (s, p, _) = kb.facts[fi].clone();
+        let noun = PREDICATES
+            .iter()
+            .find(|spec| spec.name == p)
+            .and_then(|spec| spec.inverse_noun);
+        if let Some(noun) = noun {
+            let surface = kb.surface_of(&s)?.to_owned();
+            // "Who" when the answer is a person, "What" otherwise.
+            let person_answer = PREDICATES
+                .iter()
+                .find(|spec| spec.name == p)
+                .is_some_and(|spec| {
+                    spec.objects.iter().any(|c| crate::kb::PERSON_CLASSES.contains(c))
+                });
+            let wh = if person_answer { "Who" } else { "What" };
+            let question = format!("{wh} is the {noun} of {surface}?");
+            let triples = vec![Triple {
+                subject: Term::Iri(s.clone()),
+                predicate: Term::Iri(p),
+                object: Term::Var("x".into()),
+            }];
+            return Some(QaPair {
+                question,
+                sparql: SparqlQuery { select: vec!["x".into()], triples },
+                relations: 1,
+                noise: NoiseKind::Clean,
+                entities: vec![s],
+            });
+        }
+    }
+    let noun = crate::kb::CLASSES
+        .iter()
+        .find(|(c, _)| *c == anchor.class)
+        .map(|(_, n)| *n)?;
+
+    let k = rng.gen_range(1..=cfg.max_relations);
+    let mut text_parts: Vec<String> = Vec::new();
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut entities: Vec<String> = Vec::new();
+    let var = Term::Var("x".into());
+    triples.push(Triple {
+        subject: var.clone(),
+        predicate: Term::Iri("type".into()),
+        object: Term::Iri(anchor.class.clone()),
+    });
+
+    let head_style = rng.gen_range(0..3u8);
+    match head_style {
+        0 => text_parts.push(format!("Which {noun}")),
+        1 => text_parts.push(format!("Give me all {noun}")),
+        _ => text_parts.push(format!("Which {noun}")),
+    }
+
+    // First relation always hangs off the variable (a fact of the
+    // anchor); subsequent ones either also hang off the variable (star,
+    // joined by "and") or chain off the previous object.
+    let mut chain_subject: Option<String> = None; // entity name of chain head
+    let mut added = 0usize;
+    let mut first = true;
+    while added < k {
+        let (subj_name, fact) = match &chain_subject {
+            None => {
+                let fi = anchor_facts[rng.gen_range(0..anchor_facts.len())];
+                (None, &kb.facts[fi])
+            }
+            Some(name) => {
+                let facts = kb.facts_of(name);
+                if facts.is_empty() {
+                    // Cannot chain further; fall back to a star relation.
+                    chain_subject = None;
+                    continue;
+                }
+                let fi = facts[rng.gen_range(0..facts.len())];
+                (Some(name.clone()), &kb.facts[fi])
+            }
+        };
+        let (s, p, o) = fact.clone();
+        let phrase = phrase_for(rng, &p);
+        let surface = kb.surface_of(&o)?.to_owned();
+        let subject_term = match &subj_name {
+            None => var.clone(),
+            Some(name) => Term::Iri(name.clone()),
+        };
+        // Avoid duplicate triples.
+        let t = Triple {
+            subject: subject_term,
+            predicate: Term::Iri(p.clone()),
+            object: Term::Iri(o.clone()),
+        };
+        if triples.contains(&t) {
+            if added == 0 {
+                return None;
+            }
+            break;
+        }
+        triples.push(t);
+        entities.push(o.clone());
+        let _ = s;
+
+        if first {
+            text_parts.push(format!("{phrase} {surface}"));
+            first = false;
+        } else if subj_name.is_some() {
+            // Chained relation: no filler, directly after the argument.
+            text_parts.push(format!("{phrase} {surface}"));
+        } else {
+            text_parts.push(format!("and {phrase} {surface}"));
+        }
+        added += 1;
+
+        // Decide how the next relation (if any) attaches.
+        chain_subject = if rng.gen_bool(0.4) { Some(o) } else { None };
+    }
+    if added == 0 {
+        return None;
+    }
+
+    let mut question = text_parts.join(" ");
+    question.push('?');
+
+    // Noise injection.
+    let roll: f64 = rng.gen();
+    let mut noise = NoiseKind::Clean;
+    if roll < cfg.unknown_rate {
+        // Replace the first mentioned surface with an unknown phrase.
+        if let Some(first_entity) = entities.first() {
+            if let Some(surface) = kb.surface_of(first_entity) {
+                question = question.replacen(surface, "Zanzibar Prime", 1);
+                noise = NoiseKind::UnknownPhrase;
+            }
+        }
+    } else if roll < cfg.unknown_rate + cfg.misleading_rate {
+        // Swap the first mention for an ambiguous surface form whose top
+        // candidate has a different class than the intended object.
+        if let Some(first_entity) = entities.first().cloned() {
+            let target_class = kb.class_of(&first_entity)?.to_owned();
+            let misleading = kb.lexicon.surface_forms.iter().find(|(_, cands)| {
+                cands.len() >= 2
+                    && cands[0].class != target_class
+                    && cands.iter().any(|c| c.class == target_class)
+            });
+            if let Some((phrase, cands)) = misleading {
+                if let Some(surface) = kb.surface_of(&first_entity) {
+                    // Make the question point at this group's entity of
+                    // the right class, but through the misleading phrase.
+                    let intended = cands.iter().find(|c| c.class == target_class)?;
+                    let phrase = phrase.clone();
+                    let intended_entity = intended.entity.clone();
+                    question = question.replacen(surface, &phrase, 1);
+                    // Gold SPARQL now targets the intended entity.
+                    for t in &mut triples {
+                        if t.object == Term::Iri(first_entity.clone()) {
+                            t.object = Term::Iri(intended_entity.clone());
+                        }
+                    }
+                    entities[0] = intended_entity;
+                    noise = NoiseKind::MisleadingSurface;
+                }
+            }
+        }
+    }
+
+    Some(QaPair {
+        question,
+        sparql: SparqlQuery { select: vec!["x".into()], triples },
+        relations: added,
+        noise,
+        entities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KbConfig;
+    use rand::SeedableRng;
+    use uqsj_nlp::analyze_question;
+
+    fn setup() -> (KnowledgeBase, Vec<QaPair>) {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let kb = KnowledgeBase::generate(&KbConfig::default(), &mut rng);
+        let pairs = generate_pairs(
+            &kb,
+            &QuestionConfig { count: 120, ..QuestionConfig::default() },
+            &mut rng,
+        );
+        (kb, pairs)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (_, pairs) = setup();
+        assert_eq!(pairs.len(), 120);
+    }
+
+    #[test]
+    fn clean_questions_analyze_successfully() {
+        let (kb, pairs) = setup();
+        let mut ok = 0;
+        let mut clean = 0;
+        for p in &pairs {
+            if p.noise == NoiseKind::Clean {
+                clean += 1;
+                if analyze_question(&kb.lexicon, &p.question).is_ok() {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(clean > 0);
+        assert!(
+            ok as f64 / clean as f64 > 0.95,
+            "only {ok}/{clean} clean questions analyzable"
+        );
+    }
+
+    #[test]
+    fn gold_sparql_is_answerable() {
+        let (kb, pairs) = setup();
+        let store = kb.triple_store();
+        let mut answered = 0;
+        let mut total = 0;
+        for p in pairs.iter().filter(|p| p.noise == NoiseKind::Clean).take(40) {
+            total += 1;
+            if !uqsj_rdf::bgp::evaluate(&store, &p.sparql).is_empty() {
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, total, "gold queries must have answers");
+    }
+
+    #[test]
+    fn unknown_phrase_questions_fail_analysis() {
+        let (kb, pairs) = setup();
+        for p in pairs.iter().filter(|p| p.noise == NoiseKind::UnknownPhrase) {
+            assert!(
+                analyze_question(&kb.lexicon, &p.question).is_err(),
+                "expected failure on {:?}",
+                p.question
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_questions_are_generated_and_analyzable() {
+        let (kb, pairs) = setup();
+        let inverse: Vec<&QaPair> = pairs
+            .iter()
+            .filter(|p| p.question.starts_with("Who is the") || p.question.starts_with("What is the"))
+            .collect();
+        assert!(!inverse.is_empty(), "no inverse questions generated");
+        let store = kb.triple_store();
+        for p in &inverse {
+            let a = analyze_question(&kb.lexicon, &p.question)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", p.question));
+            // Entity is the subject of the single relation.
+            assert_eq!(a.relations.len(), 1);
+            // Gold is answerable.
+            assert!(!uqsj_rdf::bgp::evaluate(&store, &p.sparql).is_empty());
+        }
+    }
+
+    #[test]
+    fn relation_counts_within_bounds() {
+        let (_, pairs) = setup();
+        assert!(pairs.iter().all(|p| (1..=3).contains(&p.relations)));
+        // Some multi-relation questions exist.
+        assert!(pairs.iter().any(|p| p.relations >= 2));
+    }
+}

@@ -1,0 +1,377 @@
+//! Random graph generators for the efficiency experiments: ER,
+//! scale-free (SF, power-law degrees via preferential attachment — the
+//! paper used `gengraph_win`), and an AIDS-like family of small labeled
+//! molecule graphs for the filter comparison (Fig. 15).
+//!
+//! Each generator produces a matched pair of sets: a certain set `D` and
+//! an uncertain set `U`. Uncertain graphs are derived by perturbing
+//! certain ones (a few label/edge edits) and then blurring vertex labels
+//! into `avg_labels` alternatives, so the join has non-trivial results at
+//! small τ — mirroring how the paper's synthetic joins behave.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use uqsj_graph::{Graph, LabelAlternative, Symbol, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomGraphConfig {
+    /// Graphs per side.
+    pub count: usize,
+    /// Vertices per graph.
+    pub vertices: usize,
+    /// Edges per graph (ER) or edges per new vertex (SF).
+    pub edges: usize,
+    /// Vertex label pool size.
+    pub label_pool: usize,
+    /// Edge label pool size.
+    pub edge_label_pool: usize,
+    /// Average alternatives per *uncertain* vertex (`|L(v)|`, Fig. 14).
+    pub avg_labels: f64,
+    /// Fraction of vertices that are uncertain (carry more than one
+    /// label). The paper's synthetic sets are uncertain everywhere, which
+    /// makes exact verification astronomically expensive; a fraction
+    /// keeps the possible-world count laptop-scale (see EXPERIMENTS.md).
+    pub uncertain_fraction: f64,
+    /// Edit operations applied when deriving an uncertain graph from a
+    /// certain one (keeps some pairs within small τ).
+    pub perturbation: usize,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        Self {
+            count: 100,
+            vertices: 16,
+            edges: 32,
+            label_pool: 10,
+            edge_label_pool: 4,
+            avg_labels: 3.0,
+            uncertain_fraction: 0.3,
+            perturbation: 2,
+        }
+    }
+}
+
+fn label_pool(table: &mut SymbolTable, prefix: &str, n: usize) -> Vec<Symbol> {
+    (0..n).map(|i| table.intern(&format!("{prefix}{i}"))).collect()
+}
+
+/// One ER graph: `vertices` vertices, `edges` random distinct ordered
+/// pairs.
+fn er_graph(
+    cfg: &RandomGraphConfig,
+    vlabels: &[Symbol],
+    elabels: &[Symbol],
+    rng: &mut SmallRng,
+) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..cfg.vertices {
+        g.add_vertex(vlabels[rng.gen_range(0..vlabels.len())]);
+    }
+    let mut placed = std::collections::HashSet::new();
+    let mut guard = 0;
+    while placed.len() < cfg.edges && guard < cfg.edges * 20 {
+        guard += 1;
+        let s = rng.gen_range(0..cfg.vertices) as u32;
+        let d = rng.gen_range(0..cfg.vertices) as u32;
+        if s != d && placed.insert((s, d)) {
+            g.add_edge(VertexId(s), VertexId(d), elabels[rng.gen_range(0..elabels.len())]);
+        }
+    }
+    g
+}
+
+/// One SF graph by preferential attachment (`edges` links per new
+/// vertex), yielding a power-law degree distribution.
+fn sf_graph(
+    cfg: &RandomGraphConfig,
+    vlabels: &[Symbol],
+    elabels: &[Symbol],
+    rng: &mut SmallRng,
+) -> Graph {
+    let m = cfg.edges.max(1).min(cfg.vertices.saturating_sub(1)).max(1);
+    let mut g = Graph::new();
+    // Degree-weighted endpoint list for preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for v in 0..cfg.vertices {
+        g.add_vertex(vlabels[rng.gen_range(0..vlabels.len())]);
+        if v == 0 {
+            endpoints.push(0);
+            continue;
+        }
+        let mut targets = std::collections::HashSet::new();
+        let links = m.min(v);
+        let mut guard = 0;
+        while targets.len() < links && guard < links * 30 {
+            guard += 1;
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if pick as usize != v {
+                targets.insert(pick);
+            }
+        }
+        for t in targets {
+            g.add_edge(VertexId(v as u32), VertexId(t), elabels[rng.gen_range(0..elabels.len())]);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// AIDS-like molecule graph: small, sparse, bounded degree, drawn from a
+/// large "atom" label pool.
+fn molecule_graph(
+    vertices: usize,
+    vlabels: &[Symbol],
+    elabels: &[Symbol],
+    rng: &mut SmallRng,
+) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..vertices {
+        // Skewed label distribution like real molecules (C/H dominate).
+        let li = if rng.gen_bool(0.6) {
+            rng.gen_range(0..3.min(vlabels.len()))
+        } else {
+            rng.gen_range(0..vlabels.len())
+        };
+        g.add_vertex(vlabels[li]);
+    }
+    // A random spanning tree (attaching to one of the four most recent
+    // vertices keeps degrees molecule-like) plus a few extra bonds.
+    for v in 1..vertices {
+        let u = rng.gen_range(v.saturating_sub(4)..v);
+        g.add_edge(
+            VertexId(u as u32),
+            VertexId(v as u32),
+            elabels[rng.gen_range(0..elabels.len())],
+        );
+    }
+    let extra = vertices / 5;
+    for _ in 0..extra {
+        let s = rng.gen_range(0..vertices) as u32;
+        let d = rng.gen_range(0..vertices) as u32;
+        if s != d && g.degree(VertexId(s)) < 4 && g.degree(VertexId(d)) < 4 {
+            g.add_edge(VertexId(s), VertexId(d), elabels[rng.gen_range(0..elabels.len())]);
+        }
+    }
+    g
+}
+
+/// Derive an uncertain graph from a certain one: apply `perturbation`
+/// random label edits, then blur each vertex into ~`avg_labels`
+/// alternatives (the original label keeps the highest probability).
+fn uncertainize(
+    base: &Graph,
+    cfg: &RandomGraphConfig,
+    vlabels: &[Symbol],
+    rng: &mut SmallRng,
+) -> UncertainGraph {
+    let mut labels: Vec<Symbol> = base.vertex_labels().to_vec();
+    for _ in 0..cfg.perturbation {
+        if labels.is_empty() {
+            break;
+        }
+        let v = rng.gen_range(0..labels.len());
+        labels[v] = vlabels[rng.gen_range(0..vlabels.len())];
+    }
+    let mut g = UncertainGraph::new();
+    for &l in &labels {
+        // Only a fraction of vertices are ambiguous; ambiguous ones draw
+        // a label count around `avg_labels` (uniform on
+        // `[2, 2·avg − 2]`, expectation `avg`) so graphs carry the
+        // heterogeneous linking profiles real entity linkers produce —
+        // which is also what lets the group-split heuristics of Sec. 6.2
+        // make different choices.
+        let n = if rng.gen_bool(cfg.uncertain_fraction.clamp(0.0, 1.0)) {
+            let hi = ((cfg.avg_labels * 2.0 - 2.0).round() as usize).max(2);
+            rng.gen_range(2..=hi).min(vlabels.len())
+        } else {
+            1
+        };
+        let mut alts = vec![l];
+        let mut guard = 0;
+        while alts.len() < n && guard < n * 30 {
+            guard += 1;
+            let cand = vlabels[rng.gen_range(0..vlabels.len())];
+            if !alts.contains(&cand) {
+                alts.push(cand);
+            }
+        }
+        // Original label dominates with a varying confidence; the rest
+        // share the remainder equally.
+        let k = alts.len();
+        let alternatives = if k == 1 {
+            vec![LabelAlternative { label: alts[0], prob: 1.0 }]
+        } else {
+            let dominant = rng.gen_range(0.4..0.8);
+            let rest = (1.0 - dominant) / (k - 1) as f64;
+            alts.iter()
+                .enumerate()
+                .map(|(i, &label)| LabelAlternative {
+                    label,
+                    prob: if i == 0 { dominant } else { rest },
+                })
+                .collect()
+        };
+        g.add_vertex(UncertainVertex { alternatives });
+    }
+    for e in base.edges() {
+        g.add_edge(e.src, e.dst, e.label);
+    }
+    g
+}
+
+/// Generate an ER dataset: `(D, U)`.
+pub fn erdos_renyi(
+    table: &mut SymbolTable,
+    cfg: &RandomGraphConfig,
+    rng: &mut SmallRng,
+) -> (Vec<Graph>, Vec<UncertainGraph>) {
+    let vl = label_pool(table, "L", cfg.label_pool);
+    let el = label_pool(table, "e", cfg.edge_label_pool);
+    build_pair_sets(cfg, rng, &vl, |cfg, rng| er_graph(cfg, &vl, &el, rng))
+}
+
+/// Generate an SF dataset: `(D, U)`.
+pub fn scale_free(
+    table: &mut SymbolTable,
+    cfg: &RandomGraphConfig,
+    rng: &mut SmallRng,
+) -> (Vec<Graph>, Vec<UncertainGraph>) {
+    let vl = label_pool(table, "L", cfg.label_pool);
+    let el = label_pool(table, "e", cfg.edge_label_pool);
+    build_pair_sets(cfg, rng, &vl, |cfg, rng| sf_graph(cfg, &vl, &el, rng))
+}
+
+/// Generate an AIDS-like dataset: `(D, U)` of small molecule graphs over
+/// ~45 atom labels.
+pub fn aids_like(
+    table: &mut SymbolTable,
+    cfg: &RandomGraphConfig,
+    rng: &mut SmallRng,
+) -> (Vec<Graph>, Vec<UncertainGraph>) {
+    let vl = label_pool(table, "Atom", 45);
+    let el = label_pool(table, "bond", 3);
+    let vertices = cfg.vertices;
+    build_pair_sets(cfg, rng, &vl, |cfg, rng| {
+        let n = rng.gen_range((vertices / 2).max(2)..=vertices);
+        let _ = cfg;
+        molecule_graph(n, &vl, &el, rng)
+    })
+}
+
+fn build_pair_sets(
+    cfg: &RandomGraphConfig,
+    rng: &mut SmallRng,
+    vlabels: &[Symbol],
+    mut make: impl FnMut(&RandomGraphConfig, &mut SmallRng) -> Graph,
+) -> (Vec<Graph>, Vec<UncertainGraph>) {
+    let mut d = Vec::with_capacity(cfg.count);
+    let mut u = Vec::with_capacity(cfg.count);
+    for _ in 0..cfg.count {
+        let g = make(cfg, rng);
+        u.push(uncertainize(&g, cfg, vlabels, rng));
+        d.push(g);
+    }
+    (d, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_respects_sizes() {
+        let mut t = SymbolTable::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = RandomGraphConfig { count: 10, vertices: 12, edges: 20, ..Default::default() };
+        let (d, u) = erdos_renyi(&mut t, &cfg, &mut rng);
+        assert_eq!(d.len(), 10);
+        assert_eq!(u.len(), 10);
+        for g in &d {
+            assert_eq!(g.vertex_count(), 12);
+            assert!(g.edge_count() <= 20);
+        }
+        for g in &u {
+            assert_eq!(g.vertex_count(), 12);
+            assert!(g.avg_label_count() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sf_has_skewed_degrees() {
+        let mut t = SymbolTable::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = RandomGraphConfig { count: 5, vertices: 40, edges: 2, ..Default::default() };
+        let (d, _) = scale_free(&mut t, &cfg, &mut rng);
+        // Max degree should be well above the mean for a power-law-ish
+        // distribution.
+        for g in &d {
+            let degrees = g.sorted_degrees();
+            let max = degrees[0] as f64;
+            let mean = degrees.iter().sum::<u32>() as f64 / degrees.len() as f64;
+            assert!(max >= 2.0 * mean, "max={max} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn aids_like_is_small_and_bounded_degree() {
+        let mut t = SymbolTable::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = RandomGraphConfig { count: 20, vertices: 12, ..Default::default() };
+        let (d, u) = aids_like(&mut t, &cfg, &mut rng);
+        assert_eq!(d.len(), 20);
+        for g in &d {
+            assert!(g.vertex_count() <= 12);
+            assert!(g.vertices().all(|v| g.degree(v) <= 5));
+        }
+        let _ = u;
+    }
+
+    #[test]
+    fn uncertain_avg_labels_tracks_config() {
+        let mut t = SymbolTable::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        for target in [2.0f64, 4.0] {
+            let cfg = RandomGraphConfig {
+                count: 20,
+                vertices: 10,
+                avg_labels: target,
+                uncertain_fraction: 1.0,
+                label_pool: 12,
+                ..Default::default()
+            };
+            let (_, u) = erdos_renyi(&mut t, &cfg, &mut rng);
+            let avg: f64 =
+                u.iter().map(|g| g.avg_label_count()).sum::<f64>() / u.len() as f64;
+            assert!((avg - target).abs() < 0.6, "target={target} got={avg}");
+        }
+    }
+
+    #[test]
+    fn perturbed_pairs_stay_close() {
+        // The diagonal pairs (d[i], u[i]) should often be within a small
+        // GED, so synthetic joins return non-trivial results.
+        let mut t = SymbolTable::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cfg = RandomGraphConfig {
+            count: 8,
+            vertices: 6,
+            edges: 8,
+            perturbation: 1,
+            avg_labels: 2.0,
+            ..Default::default()
+        };
+        let (d, u) = erdos_renyi(&mut t, &cfg, &mut rng);
+        let mut close = 0;
+        for (q, g) in d.iter().zip(&u) {
+            let lb = uqsj_ged::lb_ged_css_uncertain(&t, q, g);
+            if lb <= 2 {
+                close += 1;
+            }
+        }
+        assert!(close >= 4, "only {close}/8 diagonal pairs pass the filter");
+    }
+}

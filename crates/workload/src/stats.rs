@@ -1,0 +1,80 @@
+//! Dataset statistics (Table 2 of the paper).
+
+use uqsj_graph::UncertainGraph;
+
+/// The row shape of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// |U|.
+    pub u_count: usize,
+    /// Average |V| over U.
+    pub avg_v: f64,
+    /// Average |E| over U.
+    pub avg_e: f64,
+    /// Average |L_V| (alternatives per vertex) over U.
+    pub avg_lv: f64,
+    /// |D|.
+    pub d_count: usize,
+}
+
+impl DatasetStats {
+    /// Compute the row for one workload.
+    pub fn compute(name: &str, u: &[UncertainGraph], d_count: usize) -> Self {
+        let n = u.len().max(1) as f64;
+        Self {
+            name: name.to_owned(),
+            u_count: u.len(),
+            avg_v: u.iter().map(|g| g.vertex_count()).sum::<usize>() as f64 / n,
+            avg_e: u.iter().map(|g| g.edge_count()).sum::<usize>() as f64 / n,
+            avg_lv: u.iter().map(UncertainGraph::avg_label_count).sum::<f64>() / n,
+            d_count,
+        }
+    }
+
+    /// Render as one row of the Table-2-style report.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<8} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8}",
+            self.name, self.u_count, self.avg_v, self.avg_e, self.avg_lv, self.d_count
+        )
+    }
+
+    /// The table header.
+    pub fn header() -> String {
+        format!(
+            "{:<8} {:>7} {:>8} {:>8} {:>8} {:>8}",
+            "Dataset", "|U|", "avg.|V|", "avg.|E|", "avg.|LV|", "|D|"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_graph::{GraphBuilder, SymbolTable};
+
+    #[test]
+    fn computes_averages() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("a", "A");
+        b.uncertain_vertex("b", &[("B", 0.5), ("C", 0.5)]);
+        b.edge("a", "b", "p");
+        let g = b.into_uncertain();
+        let s = DatasetStats::compute("toy", &[g], 7);
+        assert_eq!(s.u_count, 1);
+        assert_eq!(s.d_count, 7);
+        assert!((s.avg_v - 2.0).abs() < 1e-12);
+        assert!((s.avg_e - 1.0).abs() < 1e-12);
+        assert!((s.avg_lv - 1.5).abs() < 1e-12);
+        assert!(s.row().contains("toy"));
+    }
+
+    #[test]
+    fn empty_set_is_safe() {
+        let s = DatasetStats::compute("empty", &[], 0);
+        assert_eq!(s.avg_v, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Workload invariants across random seeds: every dataset the generators
+//! emit must be internally consistent, answerable, and joinable.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uqsj_graph::SymbolTable;
+use uqsj_workload::{
+    erdos_renyi, qald_like, scale_free, DatasetConfig, KbConfig, KnowledgeBase,
+    RandomGraphConfig,
+};
+
+#[test]
+fn datasets_are_consistent_across_seeds() {
+    for seed in [1u64, 99, 12345] {
+        let d = qald_like(&DatasetConfig { questions: 30, distractors: 15, seed, ..Default::default() });
+        assert_eq!(d.pairs.len(), d.u_graphs.len());
+        assert_eq!(d.pairs.len(), d.analyses.len());
+        assert_eq!(d.d_queries.len(), d.d_graphs.len());
+        assert_eq!(d.d_queries.len(), d.d_terms.len());
+        for (qg, terms) in d.d_graphs.iter().zip(&d.d_terms) {
+            assert_eq!(qg.vertex_count(), terms.len(), "term provenance mismatch");
+        }
+        // Uncertain graphs stay enumerable.
+        for g in &d.u_graphs {
+            assert!(g.world_count() <= 1 << 16, "world explosion: {}", g.world_count());
+            let mass: f64 = g.possible_worlds().map(|w| w.prob).sum();
+            assert!(mass <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn every_clean_gold_query_is_answerable_on_its_kb() {
+    // Misleading-surface questions deliberately re-point their gold query
+    // at an entity of the right class that the facts may not support —
+    // only the clean questions carry the answerability guarantee.
+    let d = qald_like(&DatasetConfig { questions: 40, distractors: 10, seed: 7, ..Default::default() });
+    let store = d.kb.triple_store();
+    for (i, pair) in d
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.noise == uqsj_workload::questions::NoiseKind::Clean)
+    {
+        let rows = uqsj_rdf::bgp::evaluate(&store, &pair.sparql);
+        assert!(!rows.is_empty(), "gold query {i} unanswerable: {}", pair.sparql);
+    }
+}
+
+#[test]
+fn kb_lexicon_covers_every_question_surface() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let kb = KnowledgeBase::generate(&KbConfig::default(), &mut rng);
+    // Every entity has a surface form the linker resolves, and the
+    // resolution includes the entity itself.
+    for e in &kb.entities {
+        let cands = kb.lexicon.link(&e.surface).unwrap_or_else(|| {
+            panic!("no linking for surface {:?}", e.surface)
+        });
+        assert!(
+            cands.iter().any(|c| c.entity == e.name),
+            "surface {:?} does not resolve to {:?}",
+            e.surface,
+            e.name
+        );
+    }
+}
+
+#[test]
+fn random_graph_generators_are_deterministic_per_seed() {
+    let mk = |seed: u64| {
+        let mut t = SymbolTable::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = RandomGraphConfig { count: 5, vertices: 8, edges: 12, ..Default::default() };
+        erdos_renyi(&mut t, &cfg, &mut rng)
+    };
+    let (d1, u1) = mk(11);
+    let (d2, u2) = mk(11);
+    assert_eq!(d1, d2);
+    assert_eq!(u1, u2);
+    let (d3, _) = mk(12);
+    assert_ne!(d1, d3, "different seeds should differ");
+}
+
+#[test]
+fn scale_free_generator_is_connected_enough() {
+    let mut t = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let cfg = RandomGraphConfig { count: 10, vertices: 20, edges: 2, ..Default::default() };
+    let (d, _) = scale_free(&mut t, &cfg, &mut rng);
+    for g in &d {
+        // Preferential attachment links every non-seed vertex.
+        let isolated = g.vertices().filter(|&v| g.degree(v) == 0).count();
+        assert!(isolated <= 1, "{isolated} isolated vertices");
+    }
+}
