@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use uqsj::ged::bounds::css::CssBound;
 use uqsj::ged::bounds::cstar::CStarBound;
-use uqsj::ged::bounds::label_multiset::LabelMultisetBound;
 use uqsj::ged::bounds::kat::KatBound;
+use uqsj::ged::bounds::label_multiset::LabelMultisetBound;
 use uqsj::ged::bounds::partition::ParsBound;
 use uqsj::ged::bounds::path_gram::PathBound;
 use uqsj::ged::bounds::segos::SegosBound;

@@ -2,10 +2,10 @@
 //! Q/A execution substrate of Sec. 2.2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use uqsj::workload::{KbConfig, KnowledgeBase};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::hint::black_box;
+use uqsj::workload::{KbConfig, KnowledgeBase};
 
 fn bench_store(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(31);

@@ -28,12 +28,7 @@ fn bench_ted(c: &mut Criterion) {
     });
 
     c.bench_function("dependency_parse", |b| {
-        b.iter(|| {
-            questions
-                .iter()
-                .map(|q| parse_dependencies(black_box(q)).len())
-                .sum::<usize>()
-        })
+        b.iter(|| questions.iter().map(|q| parse_dependencies(black_box(q)).len()).sum::<usize>())
     });
 }
 

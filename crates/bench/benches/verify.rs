@@ -33,7 +33,8 @@ fn bench_verify(c: &mut Criterion) {
             let mut hits = 0u32;
             for q in &d {
                 for w in &worlds {
-                    hits += u32::from(ged_bounded(&table, black_box(q), black_box(w), tau).is_some());
+                    hits +=
+                        u32::from(ged_bounded(&table, black_box(q), black_box(w), tau).is_some());
                 }
             }
             hits

@@ -62,10 +62,7 @@ fn main() {
                 }
             }
         }
-        println!(
-            "{:>5.1} {:>14} {:>14} {:>14} {:>12}",
-            alpha, markov, tail, grouped, unsound
-        );
+        println!("{:>5.1} {:>14} {:>14} {:>14} {:>12}", alpha, markov, tail, grouped, unsound);
         assert_eq!(unsound, 0, "a probabilistic bound pruned a real result");
     }
     println!("\n(The exact tail dominates Markov; grouping adds structural group pruning.)");

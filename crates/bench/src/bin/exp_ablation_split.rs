@@ -43,17 +43,13 @@ fn main() {
         "Split-heuristic ablation — SF, tau = {tau}, {} CSS-surviving pairs\n",
         survivors.len()
     );
-    println!(
-        "{:>4} {:>14} {:>14} {:>14}",
-        "GN", "HighestMass", "MostLabels", "cost model"
-    );
+    println!("{:>4} {:>14} {:>14} {:>14}", "GN", "HighestMass", "MostLabels", "cost model");
     for gn in [2usize, 4, 8, 16] {
         let mut sums = [0.0f64; 3];
         for &(q, g) in &survivors {
             let terms = css_terms_uncertain(&table, q, g);
-            for (i, h) in [SplitHeuristic::HighestMass, SplitHeuristic::MostLabels]
-                .into_iter()
-                .enumerate()
+            for (i, h) in
+                [SplitHeuristic::HighestMass, SplitHeuristic::MostLabels].into_iter().enumerate()
             {
                 let groups = partition_groups(&table, q, g, tau, gn, h);
                 let ub: f64 = groups

@@ -24,10 +24,7 @@ fn main() {
             continue;
         }
         println!("Q : {}", dataset.pairs[m.g_index].question);
-        println!(
-            "S : {}",
-            dataset.d_queries[m.q_index].to_string().replace('\n', "\n    ")
-        );
+        println!("S : {}", dataset.d_queries[m.q_index].to_string().replace('\n', "\n    "));
         println!("   (SimP = {:.2}, GED = {})\n", m.prob, m.mapping.distance);
         shown += 1;
         if shown == 3 {

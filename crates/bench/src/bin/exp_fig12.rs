@@ -25,11 +25,7 @@ fn main() {
         ..Default::default()
     };
     let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
-    println!(
-        "Fig. 12 — ER, alpha = 0.5 (|D| = |U| = {}, |V| = {})\n",
-        d.len(),
-        cfg.vertices
-    );
+    println!("Fig. 12 — ER, alpha = 0.5 (|D| = |U| = {}, |V| = {})\n", d.len(), cfg.vertices);
     println!(
         "{:>4} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",
         "tau", "prune(s)", "verify(s)", "total(s)", "CSS", "SimJ", "SimJ+opt", "Real"

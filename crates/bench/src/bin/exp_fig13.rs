@@ -26,10 +26,7 @@ fn main() {
     };
     let (d, u) = scale_free(&mut table, &cfg, &mut rng);
     let (tau, alpha) = (2u32, 0.5);
-    println!(
-        "Fig. 13 — SF, tau = {tau}, alpha = {alpha} (|D| = |U| = {})\n",
-        d.len()
-    );
+    println!("Fig. 13 — SF, tau = {tau}, alpha = {alpha} (|D| = |U| = {})\n", d.len());
 
     // Reference lines (GN-insensitive).
     let (_, css) =

@@ -45,10 +45,8 @@ fn main() {
         "tau", "Path t(s)", "SEGOS t(s)", "Pars t(s)", "CSS t(s)", "Path", "SEGOS", "Pars", "CSS"
     );
     for tau in 0..=5u32 {
-        let reports: Vec<_> = filters
-            .iter()
-            .map(|f| evaluate_filter(&table, &d, &u, tau, f.as_ref()))
-            .collect();
+        let reports: Vec<_> =
+            filters.iter().map(|f| evaluate_filter(&table, &d, &u, tau, f.as_ref())).collect();
         println!(
             "{:>4} | {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9}",
             tau,

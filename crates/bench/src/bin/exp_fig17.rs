@@ -47,11 +47,7 @@ fn main() {
         println!("\nFig. 17 — {name}: proportion of correct patterns by #relations k");
         println!("{:>3} {:>10} {:>8}", "k", "correct", "rho");
         for (k, &count) in correct_by_k.iter().enumerate().skip(1) {
-            let rho = if total_correct == 0 {
-                0.0
-            } else {
-                count as f64 / total_correct as f64
-            };
+            let rho = if total_correct == 0 { 0.0 } else { count as f64 / total_correct as f64 };
             println!("{:>3} {:>10} {:>7.1}%", k, count, rho * 100.0);
         }
     }

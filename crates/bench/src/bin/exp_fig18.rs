@@ -46,19 +46,12 @@ fn main() {
             x as f64 / total as f64 * 100.0
         }
     };
-    println!(
-        "{:<38} {:>8} {:>7.0}%",
-        "Incorrect semantic query graph",
-        semantic,
-        pct(semantic)
-    );
+    println!("{:<38} {:>8} {:>7.0}%", "Incorrect semantic query graph", semantic, pct(semantic));
     println!(
         "{:<38} {:>8} {:>7.0}%",
         "Graph edit distance (wrong intention)",
         wrong_pairs,
         pct(wrong_pairs)
     );
-    println!(
-        "\n(analysis failures: {analysis_failures}; misleading surface forms: {misleading})"
-    );
+    println!("\n(analysis failures: {analysis_failures}; misleading surface forms: {misleading})");
 }

@@ -11,15 +11,15 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use uqsj::nlp::Lexicon;
 use uqsj::prelude::*;
+use uqsj::rdf::TripleStore;
 use uqsj::simjoin::sim_join;
 use uqsj::template::baselines::{deanna_like, ganswer_like};
 use uqsj::template::metrics::QaScore;
 use uqsj::template::{generate_template, TemplateLibrary, TemplateSource};
 use uqsj::workload::datasets::assemble_dataset;
 use uqsj::workload::{generate_pairs, KbConfig, KnowledgeBase, QaPair, QuestionConfig};
-use uqsj::rdf::TripleStore;
-use uqsj::nlp::Lexicon;
 use uqsj_bench::{scale, scaled};
 
 fn score_templates(
@@ -36,8 +36,7 @@ fn score_templates(
             .into_iter()
             .map(|r| r.join("\t"))
             .collect();
-        let out =
-            uqsj::template::answer_question(library, lexicon, store, &pair.question, min_phi);
+        let out = uqsj::template::answer_question(library, lexicon, store, &pair.question, min_phi);
         answered += usize::from(out.sparql.is_some());
         score.record(&out.answers, &gold);
     }
@@ -87,8 +86,7 @@ fn main() {
         );
         let kb_clone =
             KnowledgeBase::from_parts(kb.entities.clone(), kb.facts.clone(), kb.lexicon.clone());
-        let train =
-            assemble_dataset(kb_clone, train_pairs, scaled(60, s, 15), 3, &mut train_rng);
+        let train = assemble_dataset(kb_clone, train_pairs, scaled(60, s, 15), 3, &mut train_rng);
         let (matches, _) =
             sim_join(&train.table, &train.d_graphs, &train.u_graphs, JoinParams::simj(1, 0.6));
         let mut library = TemplateLibrary::new();

@@ -25,8 +25,7 @@ fn main() {
         });
         let params = JoinParams::simj(1, 0.8);
         let started = std::time::Instant::now();
-        let (plain, _) =
-            sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
+        let (plain, _) = sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
         let plain_t = started.elapsed();
         let started = std::time::Instant::now();
         let (indexed, _) =

@@ -47,7 +47,8 @@ fn main() {
     let d = mm(s);
     println!("{}", DatasetStats::compute("MM", &d.u_graphs, d.d_len()).row());
 
-    let aids_cfg = RandomGraphConfig { count: scaled(200, s, 50), vertices: 14, ..Default::default() };
+    let aids_cfg =
+        RandomGraphConfig { count: scaled(200, s, 50), vertices: 14, ..Default::default() };
     let (a_d, a_u) = aids_like(&mut table, &aids_cfg, &mut rng);
     println!("{}", DatasetStats::compute("AIDS*", &a_u, a_d.len()).row());
     println!("\n(AIDS* appears in Fig. 15 only; scaled-down synthetic stand-ins throughout.)");

@@ -17,7 +17,10 @@ fn main() {
             dataset.u_len(),
             dataset.d_len()
         );
-        println!("{:>4} {:>8} {:>11} {:>10} {:>10}", "tau", "|R|", "precision", "time(s)", "templates");
+        println!(
+            "{:>4} {:>8} {:>11} {:>10} {:>10}",
+            "tau", "|R|", "precision", "time(s)", "templates"
+        );
         for tau in 0..=2u32 {
             let params = JoinParams::simj(tau, 0.9);
             let result = generate_templates(&dataset, params);

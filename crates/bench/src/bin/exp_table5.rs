@@ -14,11 +14,7 @@ use uqsj::prelude::*;
 use uqsj::template::metrics::QaScore;
 use uqsj_bench::{qald, scale};
 
-const TAILS: [&str; 3] = [
-    " can you tell me",
-    " I would like to know",
-    " if you know it",
-];
+const TAILS: [&str; 3] = [" can you tell me", " I would like to know", " if you know it"];
 
 fn main() {
     let s = scale();
@@ -50,10 +46,7 @@ fn main() {
         .pairs
         .iter()
         .map(|p| {
-            uqsj::rdf::bgp::evaluate(&store, &p.sparql)
-                .into_iter()
-                .map(|r| r.join("\t"))
-                .collect()
+            uqsj::rdf::bgp::evaluate(&store, &p.sparql).into_iter().map(|r| r.join("\t")).collect()
         })
         .collect();
 

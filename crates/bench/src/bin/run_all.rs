@@ -26,11 +26,8 @@ const EXPERIMENTS: [&str; 16] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     // exp_fig18 shares exp_table3's dataset; run it last.
     for exp in EXPERIMENTS.iter().chain(["exp_fig18"].iter()) {
         println!("\n==================== {exp} ====================\n");

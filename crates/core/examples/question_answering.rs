@@ -52,17 +52,9 @@ fn main() {
     }
 
     println!("{:<12} {:>10} {:>10} {:>10}", "Method", "Precision", "Recall", "F-1");
-    for (name, s) in [
-        ("Templates", &template_score),
-        ("gAnswer", &ganswer_score),
-        ("DEANNA", &deanna_score),
-    ] {
-        println!(
-            "{:<12} {:>10.2} {:>10.2} {:>10.2}",
-            name,
-            s.precision(),
-            s.recall(),
-            s.f1()
-        );
+    for (name, s) in
+        [("Templates", &template_score), ("gAnswer", &ganswer_score), ("DEANNA", &deanna_score)]
+    {
+        println!("{:<12} {:>10.2} {:>10.2} {:>10.2}", name, s.precision(), s.recall(), s.f1());
     }
 }

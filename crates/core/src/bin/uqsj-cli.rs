@@ -13,6 +13,11 @@
 //! uqsj-cli join [--questions N] [--distractors M] [--tau T] [--alpha A]
 //!               [--strategy css|simj|opt]
 //!     Run the join only and print statistics.
+//!
+//! uqsj-cli serve --dir artifacts [--file questions.txt] [--min-phi F]
+//!                [--threads N] [--cache C]
+//!     Serve questions (one per line, from --file or stdin) through the
+//!     signature-indexed template store, then print serving metrics.
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -32,8 +37,9 @@ fn main() -> ExitCode {
         "generate" => generate(&opts),
         "answer" => answer(&opts),
         "join" => join(&opts),
+        "serve" => serve(&opts),
         other => {
-            eprintln!("unknown command {other:?}; expected generate|answer|join");
+            eprintln!("unknown command {other:?}; expected generate|answer|join|serve");
             ExitCode::FAILURE
         }
     }
@@ -126,6 +132,32 @@ fn read(dir: &Path, name: &str) -> Result<String, ExitCode> {
     })
 }
 
+/// Load templates + lexicon + RDF store from a `generate` output dir.
+fn load_artifacts(
+    dir: &Path,
+) -> Result<(uqsj::template::TemplateLibrary, uqsj::nlp::Lexicon, uqsj::rdf::TripleStore), ExitCode>
+{
+    let (templates, lexicon, kb) =
+        match (read(dir, "templates.txt"), read(dir, "lexicon.txt"), read(dir, "kb.nt")) {
+            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+            _ => return Err(ExitCode::FAILURE),
+        };
+    let library = uqsj::template::io::from_text(&templates).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    let lexicon = uqsj::nlp::lexicon_io::from_text(&lexicon).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    let mut store = uqsj::rdf::TripleStore::new();
+    uqsj::rdf::ntriples::load_str(&mut store, &kb).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    Ok((library, lexicon, store))
+}
+
 fn answer(opts: &Options) -> ExitCode {
     let Some(question) = opts.get("question") else {
         eprintln!("answer requires --question \"...\"");
@@ -133,34 +165,10 @@ fn answer(opts: &Options) -> ExitCode {
     };
     let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
     let min_phi: f64 = opts.num("min-phi", 1.0);
-
-    let (templates, lexicon, kb) = match (
-        read(&dir, "templates.txt"),
-        read(&dir, "lexicon.txt"),
-        read(&dir, "kb.nt"),
-    ) {
-        (Ok(a), Ok(b), Ok(c)) => (a, b, c),
-        _ => return ExitCode::FAILURE,
+    let (library, lexicon, store) = match load_artifacts(&dir) {
+        Ok(x) => x,
+        Err(code) => return code,
     };
-    let library = match uqsj::template::io::from_text(&templates) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let lexicon = match uqsj::nlp::lexicon_io::from_text(&lexicon) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut store = uqsj::rdf::TripleStore::new();
-    if let Err(e) = uqsj::rdf::ntriples::load_str(&mut store, &kb) {
-        eprintln!("{e}");
-        return ExitCode::FAILURE;
-    }
 
     let out = uqsj::template::answer_question(&library, &lexicon, &store, question, min_phi);
     match out.sparql {
@@ -180,6 +188,63 @@ fn answer(opts: &Options) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn serve(opts: &Options) -> ExitCode {
+    use uqsj::serve::{QaServer, ServeConfig, TemplateStore};
+
+    let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
+    let (library, lexicon, store) = match load_artifacts(&dir) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let config =
+        ServeConfig { min_phi: opts.num("min-phi", 1.0), cache_capacity: opts.num("cache", 1024) };
+    let threads: usize = opts.num("threads", 1);
+    if threads == 0 {
+        eprintln!("--threads must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    let server = QaServer::new(TemplateStore::from_library(library), lexicon, store, config);
+    println!("serving {} templates (min-phi {})", server.template_count(), config.min_phi);
+
+    let questions: Vec<String> = match opts.get("file") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(str::to_owned).collect(),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            use std::io::BufRead;
+            match std::io::stdin().lock().lines().collect::<Result<_, _>>() {
+                Ok(lines) => lines,
+                Err(e) => {
+                    eprintln!("cannot read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let questions: Vec<String> = questions.into_iter().filter(|q| !q.trim().is_empty()).collect();
+    if questions.is_empty() {
+        eprintln!("no questions to serve (--file or stdin, one per line)");
+        return ExitCode::FAILURE;
+    }
+
+    let outcomes = server.answer_batch(&questions, threads);
+    for (q, out) in questions.iter().zip(&outcomes) {
+        match (&out.sparql, out.answers.is_empty()) {
+            (None, _) => println!("{q}\t-\t(no template matched)"),
+            (Some(_), true) => println!("{q}\t#{}\t(no answers)", out.template_index.unwrap_or(0)),
+            (Some(_), false) => {
+                println!("{q}\t#{}\t{}", out.template_index.unwrap_or(0), out.answers.join("|"));
+            }
+        }
+    }
+    println!("{}", server.metrics());
+    ExitCode::SUCCESS
 }
 
 fn join(opts: &Options) -> ExitCode {

@@ -17,6 +17,9 @@
 //! 4. **Q/A with templates** ([`template`], [`rdf`]) — new questions are
 //!    matched by tree edit distance, slots filled and linked, SPARQL
 //!    evaluated over the in-memory RDF store.
+//! 5. **Online serving** ([`serve`]) — the mined library behind a
+//!    signature-indexed store with answer caching, batch answering and
+//!    incremental workload ingestion.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use uqsj_graph as graph;
 pub use uqsj_matching as matching;
 pub use uqsj_nlp as nlp;
 pub use uqsj_rdf as rdf;
+pub use uqsj_serve as serve;
 pub use uqsj_simjoin as simjoin;
 pub use uqsj_sparql as sparql;
 pub use uqsj_template as template;
@@ -52,6 +56,7 @@ pub mod prelude {
     pub use crate::ged::{ged, ged_bounded, lb_ged_css_certain, lb_ged_css_uncertain};
     pub use crate::graph::{Graph, GraphBuilder, Symbol, SymbolTable, UncertainGraph, VertexId};
     pub use crate::pipeline::{generate_templates, PipelineResult};
+    pub use crate::serve::{Ingestor, QaServer, ServeConfig, TemplateStore};
     pub use crate::simjoin::{sim_join, JoinMatch, JoinParams, JoinStats, JoinStrategy};
     pub use crate::template::{answer_question, Template, TemplateLibrary};
     pub use crate::uncertain::{similarity_probability, ub_simp, verify_simp};

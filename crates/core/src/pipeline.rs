@@ -38,10 +38,7 @@ pub fn generate_templates(dataset: &Dataset, params: JoinParams) -> PipelineResu
 /// Join-quality judgment of Sec. 7.1.2: the number of correct returned
 /// pairs `|C|` and the precision `|C| / |R|`.
 pub fn join_quality(dataset: &Dataset, matches: &[JoinMatch]) -> (usize, f64) {
-    let correct = matches
-        .iter()
-        .filter(|m| dataset.pair_is_correct(m.q_index, m.g_index))
-        .count();
+    let correct = matches.iter().filter(|m| dataset.pair_is_correct(m.q_index, m.g_index)).count();
     let precision = if matches.is_empty() { 0.0 } else { correct as f64 / matches.len() as f64 };
     (correct, precision)
 }
@@ -53,11 +50,8 @@ mod tests {
 
     #[test]
     fn pipeline_produces_templates_with_decent_precision() {
-        let dataset = qald_like(&DatasetConfig {
-            questions: 60,
-            distractors: 40,
-            ..Default::default()
-        });
+        let dataset =
+            qald_like(&DatasetConfig { questions: 60, distractors: 40, ..Default::default() });
         let result = generate_templates(&dataset, JoinParams::simj(1, 0.5));
         assert!(!result.matches.is_empty(), "join found no pairs");
         assert!(!result.library.is_empty(), "no templates generated");
@@ -68,11 +62,8 @@ mod tests {
 
     #[test]
     fn tau_zero_yields_higher_precision_fewer_matches() {
-        let dataset = qald_like(&DatasetConfig {
-            questions: 60,
-            distractors: 40,
-            ..Default::default()
-        });
+        let dataset =
+            qald_like(&DatasetConfig { questions: 60, distractors: 40, ..Default::default() });
         let strict = generate_templates(&dataset, JoinParams::simj(0, 0.9));
         let loose = generate_templates(&dataset, JoinParams::simj(2, 0.9));
         assert!(strict.matches.len() <= loose.matches.len());

@@ -30,8 +30,13 @@ fn full_pipeline_generates_usable_templates() {
             .into_iter()
             .map(|r| r.join("\t"))
             .collect();
-        let out =
-            uqsj::template::answer_question(&result.library, &d.kb.lexicon, &store, &pair.question, 1.0);
+        let out = uqsj::template::answer_question(
+            &result.library,
+            &d.kb.lexicon,
+            &store,
+            &pair.question,
+            1.0,
+        );
         score.record(&out.answers, &gold);
     }
     assert!(score.f1() > 0.6, "template Q/A F1 = {}", score.f1());
@@ -79,8 +84,7 @@ fn parallel_join_agrees_with_sequential_on_real_workload() {
     let d = dataset();
     let params = JoinParams::simj(1, 0.8);
     let (seq, _) = uqsj::simjoin::sim_join(&d.table, &d.d_graphs, &d.u_graphs, params);
-    let (par, _) =
-        uqsj::simjoin::sim_join_parallel(&d.table, &d.d_graphs, &d.u_graphs, params, 4);
+    let (par, _) = uqsj::simjoin::sim_join_parallel(&d.table, &d.d_graphs, &d.u_graphs, params, 4);
     let key = |m: &JoinMatch| (m.g_index, m.q_index);
     let mut a: Vec<_> = seq.iter().map(key).collect();
     a.sort_unstable();
@@ -91,12 +95,8 @@ fn parallel_join_agrees_with_sequential_on_real_workload() {
 #[test]
 fn gold_pairs_survive_the_join_at_reasonable_thresholds() {
     let d = dataset();
-    let (matches, _) = uqsj::simjoin::sim_join(
-        &d.table,
-        &d.d_graphs,
-        &d.u_graphs,
-        JoinParams::simj(2, 0.3),
-    );
+    let (matches, _) =
+        uqsj::simjoin::sim_join(&d.table, &d.d_graphs, &d.u_graphs, JoinParams::simj(2, 0.3));
     // Most questions should be matched with their own gold query.
     let mut found = 0;
     for (gi, &qi) in d.gold_of.iter().enumerate() {

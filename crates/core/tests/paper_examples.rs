@@ -11,23 +11,14 @@ fn figure4_template_emerges_from_the_join() {
     let result = generate_templates(&d, JoinParams::simj(2, 0.5));
     // The politician/CIT question joined with a graduatedFrom query must
     // produce the Fig. 4(d) template.
-    let found = result
-        .library
-        .templates()
-        .iter()
-        .any(|t| {
-            t.nl_pattern() == "Which <_> graduated from <_> ?"
-                && t.sparql.to_string().contains("graduatedFrom")
-        });
+    let found = result.library.templates().iter().any(|t| {
+        t.nl_pattern() == "Which <_> graduated from <_> ?"
+            && t.sparql.to_string().contains("graduatedFrom")
+    });
     assert!(
         found,
         "Fig. 4 template missing; got: {:?}",
-        result
-            .library
-            .templates()
-            .iter()
-            .map(|t| t.nl_pattern())
-            .collect::<Vec<_>>()
+        result.library.templates().iter().map(|t| t.nl_pattern()).collect::<Vec<_>>()
     );
 }
 
@@ -55,12 +46,7 @@ fn example1_question_is_answered_via_the_template() {
 #[test]
 fn running_example_question_matches_its_gold_query() {
     let d = paper_dataset();
-    let (matches, _) = sim_join(
-        &d.table,
-        &d.d_graphs,
-        &d.u_graphs,
-        JoinParams::simj(2, 0.3),
-    );
+    let (matches, _) = sim_join(&d.table, &d.d_graphs, &d.u_graphs, JoinParams::simj(2, 0.3));
     // Question 0 is the Fig. 2 running example; its gold query is
     // d_queries[gold_of[0]].
     let gold = d.gold_of[0];

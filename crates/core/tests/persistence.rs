@@ -41,8 +41,7 @@ fn artifacts_roundtrip_preserves_answers() {
             &pair.question,
             1.0,
         );
-        let b =
-            uqsj::template::answer_question(&library2, &lexicon2, &store2, &pair.question, 1.0);
+        let b = uqsj::template::answer_question(&library2, &lexicon2, &store2, &pair.question, 1.0);
         assert_eq!(a.answers, b.answers, "answers diverged for {:?}", pair.question);
         assert_eq!(a.sparql.is_some(), b.sparql.is_some());
     }

@@ -210,11 +210,7 @@ impl<'a> Search<'a> {
         let mut cost = if target == EPS {
             1 // vertex deletion
         } else {
-            label_sub_cost(
-                self.table,
-                self.q.label(VertexId(u)),
-                self.g.label(VertexId(target)),
-            )
+            label_sub_cost(self.table, self.q.label(VertexId(u)), self.g.label(VertexId(target)))
         };
         // Edges between the new vertex and every previously processed one.
         for (i, &img) in state.mapping.iter().enumerate() {

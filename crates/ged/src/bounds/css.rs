@@ -17,7 +17,9 @@
 //! uncertain graphs without enumeration.
 
 use crate::bounds::LowerBound;
-use crate::label_sets::{lambda_e_certain, lambda_e_uncertain, lambda_v_certain, lambda_v_label_sets, lambda_v_uncertain};
+use crate::label_sets::{
+    lambda_e_certain, lambda_e_uncertain, lambda_v_certain, lambda_v_label_sets, lambda_v_uncertain,
+};
 use uqsj_graph::{Graph, Symbol, SymbolTable, UncertainGraph};
 
 /// The truncated difference `a ⊖ b` of Def. 8.
@@ -33,11 +35,7 @@ pub fn tminus(a: u32, b: u32) -> u32 {
 /// Panics (debug) if `small` is longer than `large`.
 pub fn degree_distance(small: &[u32], large: &[u32]) -> u32 {
     debug_assert!(small.len() <= large.len());
-    small
-        .iter()
-        .zip(large.iter())
-        .map(|(&a, &b)| tminus(a, b))
-        .sum()
+    small.iter().zip(large.iter()).map(|(&a, &b)| tminus(a, b)).sum()
 }
 
 /// The structural terms of the CSS bound that do not depend on `λ_V`:

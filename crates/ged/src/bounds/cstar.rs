@@ -153,7 +153,7 @@ mod tests {
                 let n = rng.gen_range(1..5);
                 let mut g = Graph::new();
                 for _ in 0..n {
-                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                    g.add_vertex(labels[rng.gen_range(0..3usize)]);
                 }
                 for s in 0..n {
                     for d in 0..n {
@@ -161,7 +161,7 @@ mod tests {
                             g.add_edge(
                                 VertexId(s as u32),
                                 VertexId(d as u32),
-                                elabels[rng.gen_range(0..2)],
+                                elabels[rng.gen_range(0..2usize)],
                             );
                         }
                     }

@@ -13,13 +13,13 @@
 //!   structure-only, exactly as the paper had to run them.
 
 pub mod css;
-pub mod size;
-pub mod label_multiset;
 pub mod cstar;
 pub mod kat;
-pub mod path_gram;
+pub mod label_multiset;
 pub mod partition;
+pub mod path_gram;
 pub mod segos;
+pub mod size;
 
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 

@@ -76,22 +76,13 @@ pub fn partition_graph(g: &Graph, max_size: usize) -> Vec<Partition> {
 
 /// Test whether a partition of `q` is label-aware subgraph-isomorphic to
 /// `g` (backtracking; partitions are tiny by construction).
-pub fn partition_contained(
-    table: &SymbolTable,
-    q: &Graph,
-    part: &Partition,
-    g: &Graph,
-) -> bool {
+pub fn partition_contained(table: &SymbolTable, q: &Graph, part: &Partition, g: &Graph) -> bool {
     let k = part.vertices.len();
     let mut mapping: Vec<Option<VertexId>> = vec![None; k];
     let mut used = vec![false; g.vertex_count()];
     // Internal edges grouped by local endpoint indexes.
-    let local: std::collections::HashMap<u32, usize> = part
-        .vertices
-        .iter()
-        .enumerate()
-        .map(|(i, v)| (v.0, i))
-        .collect();
+    let local: std::collections::HashMap<u32, usize> =
+        part.vertices.iter().enumerate().map(|(i, v)| (v.0, i)).collect();
     let edges: Vec<(usize, usize, uqsj_graph::Symbol)> = part
         .edges
         .iter()
@@ -154,10 +145,8 @@ pub fn partition_contained(
 /// The partition-based lower bound: the number of partitions of `q` (of
 /// size at most `max_size`) not contained in `g`.
 pub fn lb_ged_partition(table: &SymbolTable, q: &Graph, g: &Graph, max_size: usize) -> u32 {
-    partition_graph(q, max_size)
-        .iter()
-        .filter(|p| !partition_contained(table, q, p, g))
-        .count() as u32
+    partition_graph(q, max_size).iter().filter(|p| !partition_contained(table, q, p, g)).count()
+        as u32
 }
 
 /// [`LowerBound`] adapter with partition size 2 (structure-only for
@@ -240,12 +229,16 @@ mod tests {
                 let n = rng.gen_range(1..5);
                 let mut g = Graph::new();
                 for _ in 0..n {
-                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                    g.add_vertex(labels[rng.gen_range(0..3usize)]);
                 }
                 for s in 0..n {
                     for d in 0..n {
                         if s != d && rng.gen_bool(0.3) {
-                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                            g.add_edge(
+                                VertexId(s as u32),
+                                VertexId(d as u32),
+                                elabels[rng.gen_range(0..2usize)],
+                            );
                         }
                     }
                 }

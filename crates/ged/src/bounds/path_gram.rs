@@ -13,11 +13,8 @@ use uqsj_graph::{Graph, Symbol, SymbolTable};
 
 /// The multiset of 1-path grams of a graph, sorted.
 pub fn path_grams(g: &Graph) -> Vec<(Symbol, Symbol, Symbol)> {
-    let mut grams: Vec<(Symbol, Symbol, Symbol)> = g
-        .edges()
-        .iter()
-        .map(|e| (g.label(e.src), e.label, g.label(e.dst)))
-        .collect();
+    let mut grams: Vec<(Symbol, Symbol, Symbol)> =
+        g.edges().iter().map(|e| (g.label(e.src), e.label, g.label(e.dst))).collect();
     grams.sort_unstable();
     grams
 }
@@ -137,7 +134,7 @@ mod tests {
                 let n = rng.gen_range(1..5);
                 let mut g = Graph::new();
                 for _ in 0..n {
-                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                    g.add_vertex(labels[rng.gen_range(0..3usize)]);
                 }
                 for s in 0..n {
                     for d in 0..n {
@@ -145,7 +142,7 @@ mod tests {
                             g.add_edge(
                                 VertexId(s as u32),
                                 VertexId(d as u32),
-                                elabels[rng.gen_range(0..2)],
+                                elabels[rng.gen_range(0..2usize)],
                             );
                         }
                     }

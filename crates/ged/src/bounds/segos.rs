@@ -22,10 +22,8 @@ use uqsj_graph::{Graph, SymbolTable};
 pub fn lb_ged_star_count(table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
     let sq = stars(q);
     let sg = stars(g);
-    let unmatched = sq
-        .iter()
-        .filter(|a| !sg.iter().any(|b| star_distance(table, a, b) == 0))
-        .count();
+    let unmatched =
+        sq.iter().filter(|a| !sg.iter().any(|b| star_distance(table, a, b) == 0)).count();
     let max_deg = q
         .vertices()
         .map(|v| q.degree(v))
@@ -106,12 +104,16 @@ mod tests {
                 let n = rng.gen_range(1..5);
                 let mut g = uqsj_graph::Graph::new();
                 for _ in 0..n {
-                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                    g.add_vertex(labels[rng.gen_range(0..3usize)]);
                 }
                 for s in 0..n {
                     for d in 0..n {
                         if s != d && rng.gen_bool(0.3) {
-                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                            g.add_edge(
+                                VertexId(s as u32),
+                                VertexId(d as u32),
+                                elabels[rng.gen_range(0..2usize)],
+                            );
                         }
                     }
                 }

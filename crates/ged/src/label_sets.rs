@@ -88,11 +88,8 @@ pub fn lambda_e_uncertain(table: &SymbolTable, q: &Graph, g: &UncertainGraph) ->
 /// There is an edge between `v_i ∈ V(g)` and `u_j ∈ V(q)` iff some
 /// alternative label of `v_i` matches `l(u_j)` under the wildcard rule.
 pub fn lambda_v_uncertain(table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> usize {
-    let sets: Vec<Vec<Symbol>> = g
-        .vertices()
-        .iter()
-        .map(|v| v.alternatives.iter().map(|a| a.label).collect())
-        .collect();
+    let sets: Vec<Vec<Symbol>> =
+        g.vertices().iter().map(|v| v.alternatives.iter().map(|a| a.label).collect()).collect();
     lambda_v_label_sets(table, q, &sets)
 }
 
@@ -180,11 +177,7 @@ mod tests {
             let nb = rng.gen_range(0..8);
             let a: Vec<Symbol> = (0..na).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
             let b: Vec<Symbol> = (0..nb).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
-            assert_eq!(
-                multiset_lambda(&t, &a, &b),
-                lambda_ref(&t, &a, &b),
-                "a={a:?} b={b:?}"
-            );
+            assert_eq!(multiset_lambda(&t, &a, &b), lambda_ref(&t, &a, &b), "a={a:?} b={b:?}");
         }
     }
 

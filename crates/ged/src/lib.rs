@@ -23,7 +23,7 @@ pub mod label_sets;
 pub mod upper;
 
 pub use astar::{ged, ged_bounded, GedResult};
-pub use upper::{ged_upper_bipartite, mapping_cost};
 pub use bounds::css::{lb_ged_css_certain, lb_ged_css_uncertain, CssTerms};
 pub use bounds::label_multiset::lb_ged_label_multiset;
 pub use bounds::size::lb_ged_size;
+pub use upper::{ged_upper_bipartite, mapping_cost};

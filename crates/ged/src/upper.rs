@@ -89,11 +89,8 @@ pub fn ged_upper_bipartite(table: &SymbolTable, q: &Graph, g: &Graph) -> GedResu
     }
     // Per-vertex incident edge label multisets (both directions), sorted.
     let star = |graph: &Graph, v: VertexId| -> Vec<Symbol> {
-        let mut labels: Vec<Symbol> = graph
-            .out_edges(v)
-            .chain(graph.in_edges(v))
-            .map(|e| e.label)
-            .collect();
+        let mut labels: Vec<Symbol> =
+            graph.out_edges(v).chain(graph.in_edges(v)).map(|e| e.label).collect();
         labels.sort_unstable();
         labels
     };
@@ -175,12 +172,16 @@ mod tests {
                 let n = rng.gen_range(1..5);
                 let mut g = Graph::new();
                 for _ in 0..n {
-                    g.add_vertex(labels[rng.gen_range(0..3)]);
+                    g.add_vertex(labels[rng.gen_range(0..3usize)]);
                 }
                 for s in 0..n {
                     for d in 0..n {
                         if s != d && rng.gen_bool(0.3) {
-                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                            g.add_edge(
+                                VertexId(s as u32),
+                                VertexId(d as u32),
+                                elabels[rng.gen_range(0..2usize)],
+                            );
                         }
                     }
                 }
@@ -207,12 +208,16 @@ mod tests {
                 let n = rng.gen_range(1..5);
                 let mut g = Graph::new();
                 for _ in 0..n {
-                    g.add_vertex(labels[rng.gen_range(0..4)]);
+                    g.add_vertex(labels[rng.gen_range(0..4usize)]);
                 }
                 for s in 0..n {
                     for d in 0..n {
                         if s != d && rng.gen_bool(0.3) {
-                            g.add_edge(VertexId(s as u32), VertexId(d as u32), elabels[rng.gen_range(0..2)]);
+                            g.add_edge(
+                                VertexId(s as u32),
+                                VertexId(d as u32),
+                                elabels[rng.gen_range(0..2usize)],
+                            );
                         }
                     }
                 }

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use uqsj_ged::astar::ged;
 use uqsj_ged::bounds::css::{lb_ged_css_certain, lb_ged_css_uncertain};
 use uqsj_ged::bounds::cstar::lb_ged_cstar;
-use uqsj_ged::bounds::label_multiset::lb_ged_label_multiset;
 use uqsj_ged::bounds::kat::lb_ged_kat;
+use uqsj_ged::bounds::label_multiset::lb_ged_label_multiset;
 use uqsj_ged::bounds::partition::lb_ged_partition;
 use uqsj_ged::bounds::path_gram::lb_ged_path;
 use uqsj_ged::bounds::segos::lb_ged_segos;

@@ -141,9 +141,8 @@ impl Graph {
     /// Total degrees of all vertices, sorted in non-increasing order
     /// (the sorted degree sequence of Def. 9).
     pub fn sorted_degrees(&self) -> Vec<u32> {
-        let mut d: Vec<u32> = (0..self.labels.len() as u32)
-            .map(|v| self.degree(VertexId(v)) as u32)
-            .collect();
+        let mut d: Vec<u32> =
+            (0..self.labels.len() as u32).map(|v| self.degree(VertexId(v)) as u32).collect();
         d.sort_unstable_by(|a, b| b.cmp(a));
         d
     }

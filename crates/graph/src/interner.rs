@@ -51,8 +51,7 @@ impl SymbolTable {
         let id = u32::try_from(self.names.len()).expect("symbol table overflow");
         self.map.insert(name.to_owned(), id);
         self.names.push(name.to_owned());
-        self.wildcard
-            .push(name.starts_with('?') || name.starts_with("_:"));
+        self.wildcard.push(name.starts_with('?') || name.starts_with("_:"));
         Symbol(id)
     }
 
@@ -88,9 +87,7 @@ impl SymbolTable {
 
 impl fmt::Debug for SymbolTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SymbolTable")
-            .field("len", &self.names.len())
-            .finish()
+        f.debug_struct("SymbolTable").field("len", &self.names.len()).finish()
     }
 }
 

@@ -18,18 +18,20 @@
 //! [`UncertainGraph::possible_worlds`], an exact iterator over materialized
 //! [`Graph`] instances together with their appearance probabilities.
 
-pub mod interner;
-pub mod certain;
-pub mod uncertain;
 pub mod builder;
+pub mod certain;
 pub mod dot;
+pub mod interner;
 pub mod reify;
+pub mod uncertain;
 
 pub use builder::GraphBuilder;
-pub use reify::{reify_certain, reify_uncertain, UncertainEdge};
 pub use certain::{Edge, Graph, VertexId};
 pub use interner::{Symbol, SymbolTable};
-pub use uncertain::{LabelAlternative, PossibleWorld, PossibleWorldIter, UncertainGraph, UncertainVertex};
+pub use reify::{reify_certain, reify_uncertain, UncertainEdge};
+pub use uncertain::{
+    LabelAlternative, PossibleWorld, PossibleWorldIter, UncertainGraph, UncertainVertex,
+};
 
 /// Compare two labels under the wildcard rule of the paper.
 ///

@@ -211,7 +211,11 @@ impl UncertainGraph {
     /// The number of worlds is exponential in the number of ambiguous
     /// vertices; callers should consult [`Self::world_count`] first.
     pub fn possible_worlds(&self) -> PossibleWorldIter<'_> {
-        PossibleWorldIter { graph: self, choice: vec![0; self.vertices.len()], done: self.vertices.is_empty() }
+        PossibleWorldIter {
+            graph: self,
+            choice: vec![0; self.vertices.len()],
+            done: self.vertices.is_empty(),
+        }
     }
 }
 
@@ -299,10 +303,7 @@ mod tests {
         let g = jordan_graph(&mut t);
         // Example 2 of the paper: the highest-probability world combines
         // the most likely labels: 0.6 * 0.7 = 0.42.
-        let best = g
-            .possible_worlds()
-            .map(|w| w.prob)
-            .fold(f64::MIN, f64::max);
+        let best = g.possible_worlds().map(|w| w.prob).fold(f64::MIN, f64::max);
         assert!((best - 0.42).abs() < 1e-9);
     }
 

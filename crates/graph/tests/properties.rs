@@ -1,9 +1,7 @@
 //! Property tests of the possible-world model (Defs. 2 and 3).
 
 use proptest::prelude::*;
-use uqsj_graph::{
-    Graph, LabelAlternative, SymbolTable, UncertainGraph, UncertainVertex, VertexId,
-};
+use uqsj_graph::{Graph, LabelAlternative, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
 
 const LABELS: [&str; 5] = ["A", "B", "C", "D", "?x"];
 

@@ -82,11 +82,7 @@ pub fn hungarian(cost: &[Vec<u64>]) -> (u64, Vec<usize>) {
             assignment[p[j] - 1] = j - 1;
         }
     }
-    let total: u64 = assignment
-        .iter()
-        .enumerate()
-        .map(|(i, &j)| cost[i][j])
-        .sum();
+    let total: u64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
     (total, assignment)
 }
 
@@ -112,11 +108,7 @@ mod tests {
     #[test]
     fn classic_example() {
         // Known optimum: 250+400+200 = 850? Standard example:
-        let cost = vec![
-            vec![250, 400, 350],
-            vec![400, 600, 350],
-            vec![200, 400, 250],
-        ];
+        let cost = vec![vec![250, 400, 350], vec![400, 600, 350], vec![200, 400, 250]];
         let (c, _) = hungarian(&cost);
         assert_eq!(c, 950); // 400 + 350 + 200
     }
@@ -150,9 +142,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         for _ in 0..200 {
             let n = rng.gen_range(1..7);
-            let cost: Vec<Vec<u64>> = (0..n)
-                .map(|_| (0..n).map(|_| rng.gen_range(0..50)).collect())
-                .collect();
+            let cost: Vec<Vec<u64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..50)).collect()).collect();
             let (c, a) = hungarian(&cost);
             assert_eq!(c, brute(&cost), "matrix {cost:?}");
             // Assignment is a permutation.

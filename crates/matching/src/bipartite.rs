@@ -107,10 +107,7 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> (usize, Vec<Option<usize>>) {
         }
     }
 
-    let pairing = match_l
-        .iter()
-        .map(|&r| if r == NIL { None } else { Some(r as usize) })
-        .collect();
+    let pairing = match_l.iter().map(|&r| if r == NIL { None } else { Some(r as usize) }).collect();
     (size, pairing)
 }
 

@@ -9,8 +9,8 @@
 //!   bound of Zeng et al. (VLDB'09) and by the bipartite GED heuristic of
 //!   Riesen & Bunke.
 
-pub mod bipartite;
 pub mod assignment;
+pub mod bipartite;
 
 pub use assignment::hungarian;
 pub use bipartite::{hopcroft_karp, BipartiteGraph};

@@ -41,9 +41,7 @@ fn align_rec(template: &[String], question: &[String], slots: &mut Vec<Vec<Strin
             false
         }
         Some(t) => {
-            question
-                .first()
-                .is_some_and(|q| q.eq_ignore_ascii_case(t))
+            question.first().is_some_and(|q| q.eq_ignore_ascii_case(t))
                 && align_rec(&template[1..], &question[1..], slots)
         }
     }

@@ -59,18 +59,24 @@ impl DepTree {
 
     /// Node label used by tree edit distance: `word/relation`, lowercase.
     pub fn label(&self, n: usize) -> String {
-        format!(
-            "{}/{}",
-            self.nodes[n].word.to_lowercase(),
-            self.nodes[n].relation
-        )
+        format!("{}/{}", self.nodes[n].word.to_lowercase(), self.nodes[n].relation)
     }
 }
 
 const WH_WORDS: [&str; 5] = ["which", "who", "what", "where", "whom"];
 const VERBISH: [&str; 12] = [
-    "graduated", "born", "married", "directed", "located", "is", "was", "are", "give", "wrote",
-    "founded", "starring",
+    "graduated",
+    "born",
+    "married",
+    "directed",
+    "located",
+    "is",
+    "was",
+    "are",
+    "give",
+    "wrote",
+    "founded",
+    "starring",
 ];
 const PREPOSITIONS: [&str; 7] = ["from", "in", "of", "to", "by", "at", "on"];
 
@@ -90,10 +96,7 @@ pub fn parse_dependency_tokens(tokens: &[String]) -> DepTree {
     let lower: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
 
     // Find the main verb: the first verb-ish token after the first noun.
-    let root_pos = lower
-        .iter()
-        .position(|t| VERBISH.contains(&t.as_str()))
-        .unwrap_or(0);
+    let root_pos = lower.iter().position(|t| VERBISH.contains(&t.as_str())).unwrap_or(0);
 
     // Arena construction: one node per token, then wire heads.
     for t in tokens {
@@ -182,11 +185,7 @@ mod tests {
         let t = parse_dependencies("Which physicist graduated from CMU?");
         let root = &t.nodes[t.root];
         assert_eq!(root.word, "graduated");
-        let nsubj = t
-            .nodes
-            .iter()
-            .position(|x| x.relation == "nsubj")
-            .expect("nsubj");
+        let nsubj = t.nodes.iter().position(|x| x.relation == "nsubj").expect("nsubj");
         assert_eq!(t.nodes[nsubj].word, "physicist");
         let det = t.nodes.iter().position(|x| x.relation == "det").expect("det");
         assert_eq!(t.nodes[det].word, "Which");

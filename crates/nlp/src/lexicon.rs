@@ -85,10 +85,7 @@ impl Lexicon {
     /// Find the predicate whose phrase matches exactly.
     pub fn predicate_of_phrase(&self, phrase: &str) -> Option<&str> {
         let p = phrase.to_lowercase();
-        self.predicates
-            .iter()
-            .find(|pi| pi.phrases.contains(&p))
-            .map(|pi| pi.name.as_str())
+        self.predicates.iter().find(|pi| pi.phrases.contains(&p)).map(|pi| pi.name.as_str())
     }
 
     /// Register an inverse noun phrase for a predicate ("spouse" →
@@ -119,12 +116,8 @@ impl Lexicon {
             .map(|p| p.split_whitespace().count())
             .max()
             .unwrap_or(1);
-        let ent = self
-            .surface_forms
-            .keys()
-            .map(|p| p.split_whitespace().count())
-            .max()
-            .unwrap_or(1);
+        let ent =
+            self.surface_forms.keys().map(|p| p.split_whitespace().count()).max().unwrap_or(1);
         rel.max(ent)
     }
 }
@@ -150,8 +143,16 @@ pub fn paper_lexicon() -> Lexicon {
     lex.add_surface_form(
         "michael jordan",
         vec![
-            EntityCandidate { entity: "Michael_Jordan".into(), class: "NBA_Player".into(), prob: 0.6 },
-            EntityCandidate { entity: "Michael_I_Jordan".into(), class: "Professor".into(), prob: 0.3 },
+            EntityCandidate {
+                entity: "Michael_Jordan".into(),
+                class: "NBA_Player".into(),
+                prob: 0.6,
+            },
+            EntityCandidate {
+                entity: "Michael_I_Jordan".into(),
+                class: "Professor".into(),
+                prob: 0.3,
+            },
             EntityCandidate { entity: "Michael_B_Jordan".into(), class: "Actor".into(), prob: 0.1 },
         ],
     );
@@ -164,7 +165,11 @@ pub fn paper_lexicon() -> Lexicon {
     );
     lex.add_surface_form(
         "usa",
-        vec![EntityCandidate { entity: "United_States".into(), class: "Country".into(), prob: 1.0 }],
+        vec![EntityCandidate {
+            entity: "United_States".into(),
+            class: "Country".into(),
+            prob: 1.0,
+        }],
     );
     lex.add_surface_form(
         "cit",

@@ -48,10 +48,8 @@ pub fn to_text(lex: &Lexicon) -> String {
     let mut surfaces: Vec<(&String, &Vec<EntityCandidate>)> = lex.surface_forms.iter().collect();
     surfaces.sort_by(|a, b| a.0.cmp(b.0));
     for (phrase, cands) in surfaces {
-        let parts: Vec<String> = cands
-            .iter()
-            .map(|c| format!("{}:{}:{}", c.entity, c.class, c.prob))
-            .collect();
+        let parts: Vec<String> =
+            cands.iter().map(|c| format!("{}:{}:{}", c.entity, c.class, c.prob)).collect();
         out.push_str(&format!("surface\t{phrase}\t{}\n", parts.join("|")));
     }
     out

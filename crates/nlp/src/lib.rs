@@ -16,18 +16,20 @@
 //! * [`semantic`] — semantic relation extraction, semantic query graphs
 //!   (Def. 1) and the uncertain graph construction of Sec. 2.1 Step 1.
 
+pub mod align;
+pub mod deptree;
 pub mod lexicon;
 pub mod lexicon_io;
-pub mod token;
 pub mod pos;
-pub mod deptree;
-pub mod ted;
-pub mod align;
 pub mod semantic;
+pub mod signature;
+pub mod ted;
+pub mod token;
 
 pub use align::{align_with_slots, matching_proportion};
 pub use deptree::{parse_dependencies, DepTree};
 pub use lexicon::{EntityCandidate, Lexicon, PredicateInfo};
 pub use semantic::{analyze_question, QuestionAnalysis, VertexInfo};
+pub use signature::NlSignature;
 pub use ted::tree_edit_distance;
 pub use token::tokenize;

@@ -29,8 +29,20 @@ pub enum PosTag {
 
 const WH_WORDS: [&str; 5] = ["which", "who", "what", "where", "whom"];
 const VERBS: [&str; 14] = [
-    "graduated", "born", "married", "directed", "located", "give", "wrote", "founded",
-    "starring", "studied", "working", "employed", "recorded", "performed",
+    "graduated",
+    "born",
+    "married",
+    "directed",
+    "located",
+    "give",
+    "wrote",
+    "founded",
+    "starring",
+    "studied",
+    "working",
+    "employed",
+    "recorded",
+    "performed",
 ];
 const PREPOSITIONS: [&str; 7] = ["from", "in", "of", "to", "by", "at", "on"];
 const DETERMINERS: [&str; 3] = ["a", "an", "the"];

@@ -419,8 +419,7 @@ mod tests {
     #[test]
     fn unknown_entity_is_reported() {
         let lex = paper_lexicon();
-        let err =
-            analyze_question(&lex, "Which politician graduated from Hogwarts?").unwrap_err();
+        let err = analyze_question(&lex, "Which politician graduated from Hogwarts?").unwrap_err();
         assert!(matches!(err, AnalysisError::UnknownArgument(_)));
     }
 
@@ -428,10 +427,7 @@ mod tests {
     fn unknown_pattern_is_reported() {
         let lex = paper_lexicon();
         let err = analyze_question(&lex, "Do you like cheese?").unwrap_err();
-        assert!(matches!(
-            err,
-            AnalysisError::NoPattern | AnalysisError::UnknownRelation(_)
-        ));
+        assert!(matches!(err, AnalysisError::NoPattern | AnalysisError::UnknownRelation(_)));
     }
 
     #[test]

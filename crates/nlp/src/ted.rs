@@ -72,8 +72,16 @@ impl Flat {
     }
 }
 
-fn is_slot(word: &str) -> bool {
+/// Whether a (lowercased) word is a template slot marker: `<_>` in NL
+/// patterns, `slotN` in template dependency trees. Exposed for the
+/// signature index, which must treat slots as wildcards exactly like the
+/// relabel cost below does.
+pub fn is_slot_word(word: &str) -> bool {
     word == "<_>" || (word.starts_with("slot") && word[4..].chars().all(|c| c.is_ascii_digit()))
+}
+
+fn is_slot(word: &str) -> bool {
+    is_slot_word(word)
 }
 
 fn relabel_cost(a: &(String, String), b: &(String, String)) -> u32 {

@@ -25,11 +25,7 @@ pub fn tokenize(text: &str) -> Vec<String> {
 
 /// Join a token span back into a lowercase phrase for lexicon lookup.
 pub fn span_phrase(tokens: &[String]) -> String {
-    tokens
-        .iter()
-        .map(|t| t.to_lowercase())
-        .collect::<Vec<_>>()
-        .join(" ")
+    tokens.iter().map(|t| t.to_lowercase()).collect::<Vec<_>>().join(" ")
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 //! distance metric properties, and alignment consistency.
 
 use proptest::prelude::*;
-use uqsj_nlp::align::{align_with_slots, matching_proportion, partial_align_with_slots, SLOT_TOKEN};
+use uqsj_nlp::align::{
+    align_with_slots, matching_proportion, partial_align_with_slots, SLOT_TOKEN,
+};
 use uqsj_nlp::deptree::parse_dependency_tokens;
 use uqsj_nlp::ted::tree_edit_distance;
 use uqsj_nlp::token::tokenize;

@@ -29,10 +29,8 @@ pub type Bindings = HashMap<String, TermId>;
 pub fn evaluate(store: &TripleStore, query: &SparqlQuery) -> Vec<Vec<String>> {
     let solutions = solutions(store, query);
     let projection: Vec<String> = if query.select.is_empty() {
-        let mut vars: Vec<String> = solutions
-            .first()
-            .map(|b| b.keys().cloned().collect())
-            .unwrap_or_default();
+        let mut vars: Vec<String> =
+            solutions.first().map(|b| b.keys().cloned().collect()).unwrap_or_default();
         vars.sort();
         vars
     } else {
@@ -43,11 +41,7 @@ pub fn evaluate(store: &TripleStore, query: &SparqlQuery) -> Vec<Vec<String>> {
         .map(|b| {
             projection
                 .iter()
-                .map(|v| {
-                    b.get(v)
-                        .map(|&id| store.dict.decode(id).to_owned())
-                        .unwrap_or_default()
-                })
+                .map(|v| b.get(v).map(|&id| store.dict.decode(id).to_owned()).unwrap_or_default())
                 .collect()
         })
         .collect();
@@ -101,12 +95,10 @@ pub fn solutions(store: &TripleStore, query: &SparqlQuery) -> Vec<Bindings> {
         results: &mut Vec<Bindings>,
     ) {
         // Pick the most selective unused pattern.
-        let next = (0..patterns.len())
-            .filter(|&i| !used[i])
-            .min_by_key(|&i| {
-                let [s, p, o] = &patterns[i];
-                store.count(bound(s, bindings), bound(p, bindings), bound(o, bindings))
-            });
+        let next = (0..patterns.len()).filter(|&i| !used[i]).min_by_key(|&i| {
+            let [s, p, o] = &patterns[i];
+            store.count(bound(s, bindings), bound(p, bindings), bound(o, bindings))
+        });
         let Some(i) = next else {
             results.push(bindings.clone());
             return;

@@ -9,11 +9,11 @@
 //!   index nested-loop joins, answering the SPARQL subset.
 //! * [`ntriples`] — a line-based N-Triples-style loader.
 
-pub mod dict;
-pub mod store;
 pub mod bgp;
+pub mod dict;
 pub mod ntriples;
+pub mod store;
 
+pub use bgp::Bindings;
 pub use dict::{Dictionary, TermId};
 pub use store::TripleStore;
-pub use bgp::Bindings;

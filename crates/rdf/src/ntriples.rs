@@ -60,10 +60,9 @@ fn tokenize(line: &str, lineno: usize) -> Result<[String; 3], LoadError> {
             return Err(LoadError { line: lineno, message: "expected 3 terms".into() });
         }
         if let Some(tail) = rest.strip_prefix('<') {
-            let end = tail.find('>').ok_or_else(|| LoadError {
-                line: lineno,
-                message: "unterminated IRI".into(),
-            })?;
+            let end = tail
+                .find('>')
+                .ok_or_else(|| LoadError { line: lineno, message: "unterminated IRI".into() })?;
             out.push(local_name(&tail[..end]).to_owned());
             rest = &tail[end + 1..];
         } else if let Some(tail) = rest.strip_prefix('"') {
@@ -74,9 +73,7 @@ fn tokenize(line: &str, lineno: usize) -> Result<[String; 3], LoadError> {
             out.push(tail[..end].to_owned());
             rest = &tail[end + 1..];
         } else {
-            let end = rest
-                .find(|c: char| c.is_whitespace())
-                .unwrap_or(rest.len());
+            let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
             let word = rest[..end].trim_end_matches('.');
             if word.is_empty() {
                 return Err(LoadError { line: lineno, message: "empty term".into() });

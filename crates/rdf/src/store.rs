@@ -86,12 +86,7 @@ impl TripleStore {
     /// # Panics
     /// Panics if indexes are stale (insert since last
     /// [`Self::ensure_indexes`]).
-    pub fn scan(
-        &self,
-        s: Option<TermId>,
-        p: Option<TermId>,
-        o: Option<TermId>,
-    ) -> Vec<Triple> {
+    pub fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         assert!(!self.dirty, "call ensure_indexes() after inserting");
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
@@ -104,22 +99,18 @@ impl TripleStore {
             }
             (Some(s), Some(p), None) => range2(&self.spo, s, p),
             (Some(s), None, None) => range1(&self.spo, s),
-            (Some(s), None, Some(o)) => range2(&self.osp, o, s)
-                .into_iter()
-                .map(|(o, s, p)| (s, p, o))
-                .collect(),
-            (None, Some(p), Some(o)) => range2(&self.pos, p, o)
-                .into_iter()
-                .map(|(p, o, s)| (s, p, o))
-                .collect(),
-            (None, Some(p), None) => range1(&self.pos, p)
-                .into_iter()
-                .map(|(p, o, s)| (s, p, o))
-                .collect(),
-            (None, None, Some(o)) => range1(&self.osp, o)
-                .into_iter()
-                .map(|(o, s, p)| (s, p, o))
-                .collect(),
+            (Some(s), None, Some(o)) => {
+                range2(&self.osp, o, s).into_iter().map(|(o, s, p)| (s, p, o)).collect()
+            }
+            (None, Some(p), Some(o)) => {
+                range2(&self.pos, p, o).into_iter().map(|(p, o, s)| (s, p, o)).collect()
+            }
+            (None, Some(p), None) => {
+                range1(&self.pos, p).into_iter().map(|(p, o, s)| (s, p, o)).collect()
+            }
+            (None, None, Some(o)) => {
+                range1(&self.osp, o).into_iter().map(|(o, s, p)| (s, p, o)).collect()
+            }
             (None, None, None) => self.spo.clone(),
         }
     }
@@ -207,11 +198,9 @@ mod tests {
         let s = store();
         let ty = s.dict.get("type").unwrap();
         let artist = s.dict.get("Artist").unwrap();
-        for (a, b, c) in [
-            (None, Some(ty), Some(artist)),
-            (None, Some(ty), None),
-            (None, None, None),
-        ] {
+        for (a, b, c) in
+            [(None, Some(ty), Some(artist)), (None, Some(ty), None), (None, None, None)]
+        {
             assert_eq!(s.count(a, b, c), s.scan(a, b, c).len());
         }
     }

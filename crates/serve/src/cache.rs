@@ -1,0 +1,119 @@
+//! A bounded LRU cache over normalized question text. Capacity is small
+//! and fixed, so eviction scans for the stalest stamp instead of keeping
+//! a linked list — O(capacity) on insert, zero extra allocation per hit.
+
+use std::collections::HashMap;
+use uqsj_template::QaOutcome;
+
+/// Normalize a question for cache keying: lowercase, whitespace collapsed.
+/// "Which physicist  graduated from CMU?" and
+/// "which physicist graduated from cmu?" share one entry (the tokenizer
+/// lowercases comparisons anyway, so the answers are identical).
+pub fn normalize_question(question: &str) -> String {
+    question.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+/// Bounded LRU map from normalized question to its outcome.
+#[derive(Debug)]
+pub struct AnswerCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<String, (QaOutcome, u64)>,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `capacity` answers. `capacity == 0`
+    /// disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, clock: 0, entries: HashMap::with_capacity(capacity) }
+    }
+
+    /// Look up a *normalized* key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &str) -> Option<QaOutcome> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(outcome, stamp)| {
+            *stamp = clock;
+            outcome.clone()
+        })
+    }
+
+    /// Insert under a *normalized* key, evicting the least recently used
+    /// entry when full.
+    pub fn put(&mut self, key: String, outcome: QaOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(stalest) =
+                self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&stalest);
+            }
+        }
+        self.entries.insert(key, (outcome, self.clock));
+    }
+
+    /// Drop everything — called when the template store changes, since any
+    /// cached outcome may be stale against the new library.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Current number of cached answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(tag: usize) -> QaOutcome {
+        QaOutcome { template_index: Some(tag), ..Default::default() }
+    }
+
+    #[test]
+    fn normalization_merges_case_and_spacing() {
+        assert_eq!(
+            normalize_question("Which  physicist\tgraduated from CMU?"),
+            normalize_question("which physicist graduated from cmu?"),
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = AnswerCache::new(2);
+        c.put("a".into(), outcome(0));
+        c.put("b".into(), outcome(1));
+        assert!(c.get("a").is_some()); // refresh "a": "b" is now stalest
+        c.put("c".into(), outcome(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "LRU entry must be evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = AnswerCache::new(0);
+        c.put("a".into(), outcome(0));
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut c = AnswerCache::new(4);
+        c.put("a".into(), outcome(0));
+        c.clear();
+        assert!(c.get("a").is_none());
+    }
+}

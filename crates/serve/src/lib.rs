@@ -1,0 +1,25 @@
+//! uqsj-serve: the online Q/A serving layer.
+//!
+//! The batch pipeline (`uqsj::pipeline`) produces a `TemplateLibrary`
+//! offline; this crate turns that artifact into a long-lived service:
+//!
+//! - [`TemplateStore`]: signature index over templates (token-count window
+//!   and label-multiset bounds) so each question is verified against a
+//!   pruned candidate set instead of the whole library.
+//! - [`QaServer`]: thread-safe façade adding a bounded LRU answer cache,
+//!   a `crossbeam`-scoped `answer_batch`, and latency/candidate metrics.
+//! - [`Ingestor`]: incremental SimJ of a newly arrived question against the
+//!   existing `D` side via `JoinIndex` — no full re-join — feeding freshly
+//!   mined templates back into the live store.
+
+pub mod cache;
+pub mod ingest;
+pub mod metrics;
+pub mod server;
+pub mod store;
+
+pub use cache::AnswerCache;
+pub use ingest::{IngestError, IngestOutcome, Ingestor};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use server::{QaServer, ServeConfig};
+pub use store::{StoreAnswer, TemplateStore};

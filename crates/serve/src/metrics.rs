@@ -1,0 +1,183 @@
+//! Serving metrics: question counts, cache effectiveness, signature-filter
+//! effectiveness, and a fixed-bucket latency histogram giving p50/p99
+//! without any dependency beyond the standard library.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Power-of-two microsecond buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs, bucket 0 additionally absorbs sub-microsecond
+/// samples. 2^29 µs ≈ 9 minutes — far beyond any sane answer latency.
+const BUCKETS: usize = 30;
+
+#[derive(Debug, Default)]
+struct Inner {
+    questions: u64,
+    cache_hits: u64,
+    /// Sum over cache misses of the templates that survived the filter.
+    candidates_total: u64,
+    /// Sum over cache misses of the library size (the linear-scan cost).
+    library_total: u64,
+    /// Exact tree-edit-distance computations performed.
+    ted_total: u64,
+    latency: [u64; BUCKETS],
+}
+
+/// Thread-safe serving counters.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    inner: Mutex<Inner>,
+}
+
+/// A point-in-time copy of the counters, with derived rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Questions served (hits + misses).
+    pub questions: u64,
+    /// Questions answered from the cache.
+    pub cache_hits: u64,
+    /// Cache hit rate in `[0, 1]` (0 when nothing served).
+    pub cache_hit_rate: f64,
+    /// Templates examined after filtering, summed over misses.
+    pub candidates_total: u64,
+    /// Templates a linear scan would have examined, summed over misses.
+    pub library_total: u64,
+    /// `candidates_total / library_total` — below 1.0 means the signature
+    /// index is pruning (the serving analogue of Fig. 11(b)'s candidate
+    /// ratio).
+    pub candidate_ratio: f64,
+    /// Exact TED computations, summed over misses.
+    pub ted_total: u64,
+    /// Median answer latency.
+    pub p50: Duration,
+    /// 99th-percentile answer latency.
+    pub p99: Duration,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a question served from the cache.
+    pub fn record_hit(&self, latency: Duration) {
+        let mut m = self.inner.lock();
+        m.questions += 1;
+        m.cache_hits += 1;
+        m.latency[bucket_of(latency)] += 1;
+    }
+
+    /// Record a question that went through the store: `candidates` is the
+    /// filtered set size, `library` the full library size, `ted` the exact
+    /// TED computations spent.
+    pub fn record_miss(&self, latency: Duration, candidates: usize, library: usize, ted: usize) {
+        let mut m = self.inner.lock();
+        m.questions += 1;
+        m.candidates_total += candidates as u64;
+        m.library_total += library as u64;
+        m.ted_total += ted as u64;
+        m.latency[bucket_of(latency)] += 1;
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.lock();
+        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        MetricsSnapshot {
+            questions: m.questions,
+            cache_hits: m.cache_hits,
+            cache_hit_rate: ratio(m.cache_hits, m.questions),
+            candidates_total: m.candidates_total,
+            library_total: m.library_total,
+            candidate_ratio: ratio(m.candidates_total, m.library_total),
+            ted_total: m.ted_total,
+            p50: percentile(&m.latency, 0.50),
+            p99: percentile(&m.latency, 0.99),
+        }
+    }
+}
+
+fn bucket_of(latency: Duration) -> usize {
+    let us = latency.as_micros().max(1) as u64;
+    ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Upper edge of the bucket containing the q-th sample — an upper bound on
+/// the true percentile, tight to a factor of 2.
+fn percentile(latency: &[u64; BUCKETS], q: f64) -> Duration {
+    let total: u64 = latency.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in latency.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return Duration::from_micros(1u64 << (i + 1));
+        }
+    }
+    Duration::from_micros(1u64 << BUCKETS)
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "questions {} | cache hits {} ({:.1}%) | candidate ratio {:.3} ({}/{}) | \
+             ted {} | p50 {:?} | p99 {:?}",
+            self.questions,
+            self.cache_hits,
+            self.cache_hit_rate * 100.0,
+            self.candidate_ratio,
+            self.candidates_total,
+            self.library_total,
+            self.ted_total,
+            self.p50,
+            self.p99,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_candidate_ratio() {
+        let m = ServeMetrics::new();
+        m.record_miss(Duration::from_micros(100), 2, 10, 1);
+        m.record_miss(Duration::from_micros(100), 3, 10, 0);
+        m.record_hit(Duration::from_micros(3));
+        let s = m.snapshot();
+        assert_eq!(s.questions, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert!((s.cache_hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.candidate_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(s.ted_total, 1);
+    }
+
+    #[test]
+    fn percentiles_track_bucket_edges() {
+        let m = ServeMetrics::new();
+        // 98 fast samples, 2 slow ones: the p99 rank (99 of 100) lands in
+        // the slow bucket, the p50 rank in the fast one.
+        for _ in 0..98 {
+            m.record_hit(Duration::from_micros(10));
+        }
+        m.record_hit(Duration::from_millis(50));
+        m.record_hit(Duration::from_millis(50));
+        let s = m.snapshot();
+        assert!(s.p50 <= Duration::from_micros(16), "p50 {:?}", s.p50);
+        assert!(s.p99 >= Duration::from_millis(32), "p99 {:?}", s.p99);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let s = ServeMetrics::new().snapshot();
+        assert_eq!(s.questions, 0);
+        assert_eq!(s.candidate_ratio, 0.0);
+        assert_eq!(s.p50, Duration::ZERO);
+    }
+}

@@ -1,0 +1,139 @@
+//! The Q/A server: indexed store behind a read/write lock, answer cache,
+//! metrics, and a thread-pooled batch API mirroring the parallel join
+//! driver's `crossbeam::scope` chunking.
+
+use crate::cache::{normalize_question, AnswerCache};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::store::TemplateStore;
+use parking_lot::{Mutex, RwLock};
+use std::time::Instant;
+use uqsj_nlp::Lexicon;
+use uqsj_rdf::TripleStore;
+use uqsj_template::{QaOutcome, Template};
+
+/// Serving knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Minimum matching proportion φ (Table 5's knob; 1.0 = full matches).
+    pub min_phi: f64,
+    /// Answer-cache capacity; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { min_phi: 1.0, cache_capacity: 1024 }
+    }
+}
+
+/// An online question-answering endpoint over a template store.
+pub struct QaServer {
+    store: RwLock<TemplateStore>,
+    lexicon: Lexicon,
+    triples: TripleStore,
+    config: ServeConfig,
+    cache: Mutex<AnswerCache>,
+    metrics: ServeMetrics,
+}
+
+impl QaServer {
+    /// Serve an indexed store over the given lexicon and RDF store.
+    pub fn new(
+        store: TemplateStore,
+        lexicon: Lexicon,
+        triples: TripleStore,
+        config: ServeConfig,
+    ) -> Self {
+        Self {
+            store: RwLock::new(store),
+            lexicon,
+            triples,
+            config,
+            cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
+            metrics: ServeMetrics::new(),
+        }
+    }
+
+    /// Answer one question: cache lookup, then signature-filtered template
+    /// ranking. Identical outcomes to the linear-scan
+    /// `uqsj_template::answer_question` on the same library.
+    pub fn answer(&self, question: &str) -> QaOutcome {
+        let started = Instant::now();
+        let key = normalize_question(question);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            self.metrics.record_hit(started.elapsed());
+            return hit;
+        }
+        let answered =
+            self.store.read().answer(&self.lexicon, &self.triples, question, self.config.min_phi);
+        self.metrics.record_miss(
+            started.elapsed(),
+            answered.candidates,
+            answered.library_size,
+            answered.stats.ted_computed,
+        );
+        self.cache.lock().put(key, answered.outcome.clone());
+        answered.outcome
+    }
+
+    /// Answer a batch across `threads` workers. Output order matches input
+    /// order; each worker takes a contiguous chunk, like the parallel join
+    /// driver partitions the uncertain side.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn answer_batch(&self, questions: &[String], threads: usize) -> Vec<QaOutcome> {
+        assert!(threads >= 1, "need at least one thread");
+        if threads == 1 || questions.len() <= 1 {
+            return questions.iter().map(|q| self.answer(q)).collect();
+        }
+        let chunk = questions.len().div_ceil(threads);
+        let slots: Vec<Mutex<Vec<QaOutcome>>> =
+            questions.chunks(chunk).map(|_| Mutex::new(Vec::new())).collect();
+        crossbeam::thread::scope(|scope| {
+            for (ci, slice) in questions.chunks(chunk).enumerate() {
+                let slot = &slots[ci];
+                scope.spawn(move |_| {
+                    let outcomes: Vec<QaOutcome> = slice.iter().map(|q| self.answer(q)).collect();
+                    *slot.lock() = outcomes;
+                });
+            }
+        })
+        .expect("answer worker panicked");
+        slots.into_iter().flat_map(Mutex::into_inner).collect()
+    }
+
+    /// Add templates to the live store (e.g. from incremental ingestion).
+    /// Returns how many were new; the answer cache is cleared whenever the
+    /// library changed, since cached outcomes were ranked against the old
+    /// template set.
+    pub fn insert_templates(&self, templates: impl IntoIterator<Item = Template>) -> usize {
+        let mut store = self.store.write();
+        let mut added = 0usize;
+        for t in templates {
+            if store.insert(t) {
+                added += 1;
+            }
+        }
+        drop(store);
+        if added > 0 {
+            self.cache.lock().clear();
+        }
+        added
+    }
+
+    /// Number of templates currently served.
+    pub fn template_count(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// Current serving counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+}

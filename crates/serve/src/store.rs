@@ -1,0 +1,206 @@
+//! The indexed template store: a [`TemplateLibrary`] plus one
+//! [`NlSignature`] per template and a token-count-sorted window index, so
+//! an incoming question verifies alignment and TED only against templates
+//! that could possibly match — the serving-side analogue of
+//! `uqsj_simjoin::JoinIndex` on the join side.
+
+use uqsj_nlp::signature::NlSignature;
+use uqsj_nlp::token::tokenize;
+use uqsj_nlp::Lexicon;
+use uqsj_rdf::TripleStore;
+use uqsj_template::qa::answer_with_candidates;
+use uqsj_template::{AnswerStats, QaOutcome, Template, TemplateLibrary};
+
+/// A template library with a signature index over its NL patterns.
+#[derive(Debug, Default)]
+pub struct TemplateStore {
+    library: TemplateLibrary,
+    /// `signatures[i]` summarizes `library.templates()[i].nl_tokens`.
+    signatures: Vec<NlSignature>,
+    /// `(token_count, template index)` sorted — the window index: a
+    /// question of `n` tokens can only fully align with templates of at
+    /// most `n` tokens (every non-slot token consumes one question token,
+    /// every slot at least one).
+    by_len: Vec<(u32, u32)>,
+}
+
+/// The outcome of answering one question through the store, with the
+/// filter effectiveness the metrics layer aggregates.
+#[derive(Clone, Debug)]
+pub struct StoreAnswer {
+    /// The Q/A outcome — identical to what the linear scan would return.
+    pub outcome: QaOutcome,
+    /// Verification counters from the ranking core.
+    pub stats: AnswerStats,
+    /// Templates that survived the signature filter.
+    pub candidates: usize,
+    /// Library size at answer time (the linear scan's denominator).
+    pub library_size: usize,
+}
+
+impl TemplateStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index an existing library.
+    pub fn from_library(library: TemplateLibrary) -> Self {
+        let mut store = Self::new();
+        for i in 0..library.len() {
+            store.index_template(&library.templates()[i], i);
+        }
+        store.library = library;
+        store
+    }
+
+    fn index_template(&mut self, t: &Template, index: usize) {
+        let sig = NlSignature::of_tokens(&t.nl_tokens);
+        let entry = (sig.token_count(), index as u32);
+        let pos = self.by_len.partition_point(|&e| e < entry);
+        self.by_len.insert(pos, entry);
+        debug_assert_eq!(self.signatures.len(), index);
+        self.signatures.push(sig);
+    }
+
+    /// Insert a template into the live store, keeping the index in sync.
+    /// Returns `false` when the library deduplicated it (the signature set
+    /// is unchanged — an identical pattern is already indexed).
+    pub fn insert(&mut self, t: Template) -> bool {
+        let sig = NlSignature::of_tokens(&t.nl_tokens);
+        let index = self.library.len();
+        if !self.library.add(t) {
+            return false;
+        }
+        let entry = (sig.token_count(), index as u32);
+        let pos = self.by_len.partition_point(|&e| e < entry);
+        self.by_len.insert(pos, entry);
+        self.signatures.push(sig);
+        true
+    }
+
+    /// The indexed library.
+    pub fn library(&self) -> &TemplateLibrary {
+        &self.library
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.library.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.library.is_empty()
+    }
+
+    /// Template indexes (ascending) that could answer a question with
+    /// signature `question`, given the serving `min_phi`. Admissible: any
+    /// template pruned here can neither fully align (window + multiset
+    /// containment fail) nor reach a partial φ of `min_phi` (upper bound
+    /// below threshold), so [`answer_with_candidates`] over this set
+    /// returns exactly what the full scan would.
+    pub fn candidates(&self, question: &NlSignature, min_phi: f64) -> Vec<usize> {
+        if min_phi >= 1.0 {
+            // Full matches only: walk the token-count window m <= n.
+            let n = question.token_count();
+            let hi = self.by_len.partition_point(|&(m, _)| m <= n);
+            let mut out: Vec<usize> = self.by_len[..hi]
+                .iter()
+                .map(|&(_, i)| i as usize)
+                .filter(|&i| self.signatures[i].could_fully_align(question))
+                .collect();
+            out.sort_unstable();
+            return out;
+        }
+        // Partial mode: the φ upper bound screens every template; the
+        // window check still short-circuits full-align survivors.
+        self.signatures
+            .iter()
+            .enumerate()
+            .filter(|(_, sig)| {
+                sig.could_fully_align(question) || sig.phi_upper_bound(question) + 1e-12 >= min_phi
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Answer a question through the signature filter. Equivalent to
+    /// `uqsj_template::answer_question` on the same library.
+    pub fn answer(
+        &self,
+        lexicon: &Lexicon,
+        triples: &TripleStore,
+        question: &str,
+        min_phi: f64,
+    ) -> StoreAnswer {
+        let tokens = tokenize(question);
+        let sig = NlSignature::of_tokens(&tokens);
+        let candidates = self.candidates(&sig, min_phi);
+        let n_candidates = candidates.len();
+        let (outcome, stats) =
+            answer_with_candidates(&self.library, candidates, lexicon, triples, question, min_phi);
+        StoreAnswer { outcome, stats, candidates: n_candidates, library_size: self.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_sparql::{SparqlQuery, Term, Triple};
+    use uqsj_template::template::{slot_term, SlotBinding};
+
+    fn template(tokens: &[&str], predicate: &str) -> Template {
+        let slots = tokens.iter().filter(|t| **t == "<_>").count();
+        let sparql = SparqlQuery {
+            select: vec!["x".into()],
+            triples: (0..slots)
+                .map(|i| Triple {
+                    subject: Term::Var("x".into()),
+                    predicate: Term::Iri(predicate.into()),
+                    object: slot_term(i),
+                })
+                .collect(),
+        };
+        Template::new(
+            tokens.iter().map(|t| (*t).to_owned()).collect(),
+            sparql,
+            vec![SlotBinding::Bound; slots],
+            0.8,
+        )
+    }
+
+    #[test]
+    fn insert_keeps_index_aligned_with_library() {
+        let mut store = TemplateStore::new();
+        assert!(store.insert(template(&["Which", "<_>", "graduated", "from", "<_>", "?"], "p")));
+        assert!(store.insert(template(&["Who", "is", "married", "to", "<_>", "?"], "q")));
+        // Duplicate: library dedups, index must not grow.
+        assert!(!store.insert(template(&["Who", "is", "married", "to", "<_>", "?"], "q")));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.signatures.len(), 2);
+        assert_eq!(store.by_len.len(), 2);
+    }
+
+    #[test]
+    fn candidates_prune_impossible_templates() {
+        let mut store = TemplateStore::new();
+        store.insert(template(&["Which", "<_>", "graduated", "from", "<_>", "?"], "p"));
+        store.insert(template(&["Who", "is", "married", "to", "<_>", "?"], "q"));
+        let q = tokenize("Which physicist graduated from CMU?");
+        let sig = NlSignature::of_tokens(&q);
+        let c = store.candidates(&sig, 1.0);
+        assert_eq!(c, vec![0], "only the graduated-from template can align");
+    }
+
+    #[test]
+    fn from_library_indexes_everything() {
+        let mut lib = TemplateLibrary::new();
+        lib.add(template(&["Which", "<_>", "born", "in", "<_>", "?"], "p"));
+        lib.add(template(&["Who", "graduated", "from", "<_>", "?"], "q"));
+        let store = TemplateStore::from_library(lib);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.signatures.len(), 2);
+        assert_eq!(store.by_len.len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Acceptance: incremental ingestion — joining each newly arriving
+//! question against `D` one at a time through `JoinIndex::join_one` —
+//! reproduces *exactly* the matches and the template library a full batch
+//! re-join over the augmented workload builds.
+
+use uqsj_serve::Ingestor;
+use uqsj_simjoin::{sim_join, JoinMatch, JoinParams};
+use uqsj_template::{generate_template, Template, TemplateLibrary, TemplateSource};
+use uqsj_workload::{qald_like, Dataset, DatasetConfig};
+
+fn dataset() -> Dataset {
+    qald_like(&DatasetConfig { questions: 40, distractors: 30, ..Default::default() })
+}
+
+fn params() -> JoinParams {
+    JoinParams::simj(1, 0.5)
+}
+
+/// Batch join over the first `n` questions, template library in match
+/// order — the pipeline the incremental path must replicate.
+fn batch(dataset: &Dataset, n: usize) -> (Vec<JoinMatch>, Vec<Template>) {
+    let (matches, _) =
+        sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs[..n], params());
+    let templates = matches
+        .iter()
+        .filter_map(|m| {
+            generate_template(&TemplateSource {
+                analysis: &dataset.analyses[m.g_index],
+                query: &dataset.d_queries[m.q_index],
+                query_terms: &dataset.d_terms[m.q_index],
+                mapping: &m.mapping,
+                confidence: m.prob,
+            })
+        })
+        .collect();
+    (matches, templates)
+}
+
+fn library_of(templates: &[Template]) -> TemplateLibrary {
+    let mut lib = TemplateLibrary::new();
+    for t in templates {
+        lib.add(t.clone());
+    }
+    lib
+}
+
+/// The acceptance scenario: a workload of n-1 questions is already joined;
+/// question n arrives online. Ingesting it must produce the same final
+/// library as re-running the batch join over all n questions.
+#[test]
+fn ingesting_the_new_question_equals_full_rejoin() {
+    let d = dataset();
+    let n = d.u_len();
+    assert!(n >= 2, "dataset too small to split");
+
+    // Offline state: batch over the first n-1 questions.
+    let (_, prefix_templates) = batch(&d, n - 1);
+    let mut incremental = library_of(&prefix_templates);
+
+    // The new question arrives; incremental SimJ against the same D.
+    let mut ingestor = Ingestor::new(
+        d.table.clone(),
+        d.d_graphs.clone(),
+        d.d_queries.clone(),
+        d.d_terms.clone(),
+        params(),
+        n - 1,
+    );
+    let outcome = ingestor
+        .ingest(&d.kb.lexicon, &d.pairs[n - 1].question)
+        .expect("dataset questions are analyzable");
+    assert_eq!(outcome.g_index, n - 1);
+    assert_eq!(outcome.stats.pairs_total, d.d_len() as u64);
+    for t in &outcome.templates {
+        incremental.add(t.clone());
+    }
+
+    // Ground truth: full batch re-join over the augmented workload.
+    let (full_matches, full_templates) = batch(&d, n);
+    let full = library_of(&full_templates);
+
+    // The ingested matches are exactly the full join's matches for the
+    // last question, in the same order.
+    let expected_tail: Vec<&JoinMatch> =
+        full_matches.iter().filter(|m| m.g_index == n - 1).collect();
+    assert_eq!(outcome.matches.len(), expected_tail.len());
+    for (got, want) in outcome.matches.iter().zip(expected_tail) {
+        assert_eq!(got, want, "incremental match diverged from batch match");
+    }
+
+    assert_eq!(incremental.templates(), full.templates(), "incremental library != batch library");
+}
+
+/// Stronger form: growing the whole workload one question at a time from
+/// an empty library converges to the batch library — so incremental
+/// ingestion composes over any number of arrivals.
+#[test]
+fn replaying_every_question_incrementally_rebuilds_the_batch_library() {
+    let d = dataset();
+    let (full_matches, full_templates) = batch(&d, d.u_len());
+    assert!(!full_matches.is_empty(), "batch join found nothing — test is vacuous");
+    let full = library_of(&full_templates);
+
+    let mut ingestor = Ingestor::new(
+        d.table.clone(),
+        d.d_graphs.clone(),
+        d.d_queries.clone(),
+        d.d_terms.clone(),
+        params(),
+        0,
+    );
+    let mut incremental = TemplateLibrary::new();
+    let mut all_matches: Vec<JoinMatch> = Vec::new();
+    let mut ingested_any_templates = false;
+    for pair in &d.pairs {
+        let outcome = ingestor.ingest(&d.kb.lexicon, &pair.question).expect("analyzable");
+        ingested_any_templates |= !outcome.templates.is_empty();
+        all_matches.extend(outcome.matches);
+        for t in outcome.templates {
+            incremental.add(t);
+        }
+    }
+    assert!(ingested_any_templates);
+    assert_eq!(all_matches, full_matches, "concatenated ingest matches != batch matches");
+    assert_eq!(incremental.templates(), full.templates());
+}

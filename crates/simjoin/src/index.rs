@@ -44,6 +44,35 @@ impl<'a> JoinIndex<'a> {
     pub fn queries(&self) -> &'a [Graph] {
         self.d
     }
+
+    /// Join a single uncertain graph against the indexed `D` — the
+    /// incremental-ingestion entry point (`uqsj-serve` joins each newly
+    /// arriving question without re-running the whole workload join).
+    /// `g_index` is stamped into the produced matches. Matches come back
+    /// sorted by `q_index`, the same order a full batch join visits them,
+    /// so downstream template insertion is order-identical to a re-join.
+    pub fn join_one(
+        &self,
+        table: &SymbolTable,
+        g_index: usize,
+        g: &UncertainGraph,
+        params: JoinParams,
+    ) -> (Vec<JoinMatch>, JoinStats) {
+        let mut out = Vec::new();
+        let mut stats = JoinStats::default();
+        let v = g.vertex_count() as u32;
+        let e = g.edge_count() as u32;
+        let mut hits = 0u64;
+        for qi in self.candidates(v, e, params.tau) {
+            hits += 1;
+            join_pair(table, qi, &self.d[qi], g_index, g, params, &mut out, &mut stats);
+        }
+        let skipped = self.d.len() as u64 - hits;
+        stats.pairs_total += skipped;
+        stats.pruned_structural += skipped;
+        out.sort_by_key(|m| m.q_index);
+        (out, stats)
+    }
 }
 
 /// SimJ over `d × u` using the size index to skip hopeless pairs before
@@ -60,17 +89,9 @@ pub fn sim_join_indexed(
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
     for (gi, g) in u.iter().enumerate() {
-        let v = g.vertex_count() as u32;
-        let e = g.edge_count() as u32;
-        let mut hits = 0u64;
-        for qi in index.candidates(v, e, params.tau) {
-            hits += 1;
-            join_pair(table, qi, &d[qi], gi, g, params, &mut out, &mut stats);
-        }
-        // Account for pairs the window never touched.
-        let skipped = d.len() as u64 - hits;
-        stats.pairs_total += skipped;
-        stats.pruned_structural += skipped;
+        let (matches, s) = index.join_one(table, gi, g, params);
+        out.extend(matches);
+        stats.merge(&s);
     }
     out.sort_by_key(|m| (m.g_index, m.q_index));
     (out, stats)
@@ -121,8 +142,7 @@ mod tests {
                     .iter()
                     .enumerate()
                     .filter(|(_, q)| {
-                        (q.vertex_count() as u32).abs_diff(v)
-                            + (q.edge_count() as u32).abs_diff(e)
+                        (q.vertex_count() as u32).abs_diff(v) + (q.edge_count() as u32).abs_diff(e)
                             <= tau
                     })
                     .map(|(i, _)| i)

@@ -45,7 +45,7 @@ impl JoinParams {
 }
 
 /// One qualifying pair `⟨q, g⟩` with `SimP_τ(q, g) >= α`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JoinMatch {
     /// Index into `D`.
     pub q_index: usize,
@@ -141,9 +141,8 @@ pub(crate) fn join_pair(
     stats.worlds_verified += outcome.worlds_verified as u64;
     if outcome.passed {
         stats.results += 1;
-        let mapping = outcome
-            .best_mapping
-            .expect("a passing pair has at least one qualifying world");
+        let mapping =
+            outcome.best_mapping.expect("a passing pair has at least one qualifying world");
         out.push(JoinMatch {
             q_index: qi,
             g_index: gi,
@@ -213,8 +212,7 @@ mod tests {
         let (d, u) = workload(&mut t);
         let collect = |strategy| {
             let (m, _) = sim_join(&t, &d, &u, JoinParams { tau: 1, alpha: 0.3, strategy });
-            let mut pairs: Vec<(usize, usize)> =
-                m.iter().map(|x| (x.q_index, x.g_index)).collect();
+            let mut pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.q_index, x.g_index)).collect();
             pairs.sort_unstable();
             pairs
         };

@@ -14,12 +14,12 @@
 //!   with the cost model of Sec. 6.2 for a tighter probability bound and
 //!   group-pruned verification: Algorithm 2.
 
-pub mod join;
-pub mod stats;
-pub mod parallel;
 pub mod filter_eval;
-pub mod topk;
 pub mod index;
+pub mod join;
+pub mod parallel;
+pub mod stats;
+pub mod topk;
 
 pub use index::{sim_join_indexed, JoinIndex};
 pub use join::{sim_join, JoinMatch, JoinParams, JoinStrategy};

@@ -24,8 +24,7 @@ pub fn sim_join_parallel(
     if threads == 1 || u.len() <= 1 {
         return crate::join::sim_join(table, d, u, params);
     }
-    let shared: Mutex<(Vec<JoinMatch>, JoinStats)> =
-        Mutex::new((Vec::new(), JoinStats::default()));
+    let shared: Mutex<(Vec<JoinMatch>, JoinStats)> = Mutex::new((Vec::new(), JoinStats::default()));
     let chunk = u.len().div_ceil(threads);
     crossbeam::thread::scope(|scope| {
         for (ci, slice) in u.chunks(chunk).enumerate() {

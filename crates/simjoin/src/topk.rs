@@ -78,7 +78,11 @@ pub fn sim_join_topk(
             stats.verified += 1;
             let outcome = verify_simp(table, &d[qi], g, tau, f64::INFINITY);
             if outcome.prob > 0.0 {
-                top.push(TopKMatch { q_index: qi, prob: outcome.prob, mapping: outcome.best_mapping });
+                top.push(TopKMatch {
+                    q_index: qi,
+                    prob: outcome.prob,
+                    mapping: outcome.best_mapping,
+                });
                 top.sort_by(|a, b| b.prob.partial_cmp(&a.prob).expect("finite probability"));
                 top.truncate(k);
             }

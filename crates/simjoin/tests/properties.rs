@@ -33,10 +33,7 @@ fn workload_strategy() -> impl Strategy<Value = RawWorkload> {
     let uncertain = prop::collection::vec(
         (1usize..4).prop_flat_map(|n| {
             (
-                prop::collection::vec(
-                    prop::collection::vec(0u8..VLABELS.len() as u8, 1..3),
-                    n,
-                ),
+                prop::collection::vec(prop::collection::vec(0u8..VLABELS.len() as u8, 1..3), n),
                 prop::collection::vec((0..n as u8, 0..n as u8, 0u8..2), 0..3),
             )
         }),
@@ -78,7 +75,10 @@ fn build(raw: &RawWorkload) -> (SymbolTable, Vec<Graph>, Vec<UncertainGraph>) {
                 g.add_vertex(UncertainVertex {
                     alternatives: labels
                         .iter()
-                        .map(|&l| LabelAlternative { label: t.intern(VLABELS[l as usize]), prob: p })
+                        .map(|&l| LabelAlternative {
+                            label: t.intern(VLABELS[l as usize]),
+                            prob: p,
+                        })
                         .collect(),
                 });
             }

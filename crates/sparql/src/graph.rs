@@ -23,15 +23,16 @@ pub struct QueryGraph {
 pub fn query_graph(table: &mut SymbolTable, query: &SparqlQuery) -> QueryGraph {
     let mut graph = Graph::new();
     let mut terms: Vec<Term> = Vec::new();
-    let vertex_of = |graph: &mut Graph, terms: &mut Vec<Term>, table: &mut SymbolTable, t: &Term| -> VertexId {
-        if let Some(i) = terms.iter().position(|x| x == t) {
-            return VertexId(i as u32);
-        }
-        let sym = table.intern(&t.label());
-        let id = graph.add_vertex(sym);
-        terms.push(t.clone());
-        id
-    };
+    let vertex_of =
+        |graph: &mut Graph, terms: &mut Vec<Term>, table: &mut SymbolTable, t: &Term| -> VertexId {
+            if let Some(i) = terms.iter().position(|x| x == t) {
+                return VertexId(i as u32);
+            }
+            let sym = table.intern(&t.label());
+            let id = graph.add_vertex(sym);
+            terms.push(t.clone());
+            id
+        };
     for triple in &query.triples {
         let s = vertex_of(&mut graph, &mut terms, table, &triple.subject);
         let o = vertex_of(&mut graph, &mut terms, table, &triple.object);

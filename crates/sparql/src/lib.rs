@@ -10,8 +10,8 @@
 //!   template generation can substitute slots back into SPARQL text.
 
 pub mod ast;
-pub mod parser;
 pub mod graph;
+pub mod parser;
 
 pub use ast::{SparqlQuery, Term, Triple};
 pub use graph::{query_graph, QueryGraph};

@@ -38,9 +38,8 @@ pub fn ganswer_like(lexicon: &Lexicon, store: &TripleStore, question: &str) -> V
             }
             VertexInfo::ClassMention { class, .. } => Term::Iri(class.clone()),
             VertexInfo::EntityMention { candidates, .. } => {
-                let top = candidates
-                    .iter()
-                    .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"));
+                let top =
+                    candidates.iter().max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"));
                 match top {
                     Some(c) => Term::Iri(c.entity.clone()),
                     None => return Vec::new(),
@@ -61,10 +60,7 @@ pub fn ganswer_like(lexicon: &Lexicon, store: &TripleStore, question: &str) -> V
         return Vec::new();
     }
     let q = SparqlQuery { select: vec!["x".into()], triples };
-    uqsj_rdf::bgp::evaluate(store, &q)
-        .into_iter()
-        .map(|row| row.join("\t"))
-        .collect()
+    uqsj_rdf::bgp::evaluate(store, &q).into_iter().map(|row| row.join("\t")).collect()
 }
 
 /// DEANNA-like answering: entity/class spotting with an uninterpreted
@@ -87,9 +83,8 @@ pub fn deanna_like(lexicon: &Lexicon, store: &TripleStore, question: &str) -> Ve
             VertexInfo::EntityMention { candidates, .. } => {
                 // Joint disambiguation reduced to "take the top
                 // candidate", connected by an unconstrained predicate.
-                if let Some(c) = candidates
-                    .iter()
-                    .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"))
+                if let Some(c) =
+                    candidates.iter().max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite"))
                 {
                     wildcard += 1;
                     triples.push(Triple {
@@ -105,10 +100,7 @@ pub fn deanna_like(lexicon: &Lexicon, store: &TripleStore, question: &str) -> Ve
         return Vec::new();
     }
     let q = SparqlQuery { select: vec!["x".into()], triples };
-    uqsj_rdf::bgp::evaluate(store, &q)
-        .into_iter()
-        .map(|row| row.join("\t"))
-        .collect()
+    uqsj_rdf::bgp::evaluate(store, &q).into_iter().map(|row| row.join("\t")).collect()
 }
 
 #[cfg(test)]

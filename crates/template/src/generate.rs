@@ -110,8 +110,7 @@ mod tests {
     #[test]
     fn reproduces_figure4() {
         let lex = paper_lexicon();
-        let analysis =
-            analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
+        let analysis = analyze_question(&lex, "Which politician graduated from CIT?").unwrap();
         let mut table = SymbolTable::new();
         let g = analysis.uncertain_graph(&mut table);
 

@@ -38,11 +38,8 @@ impl std::error::Error for TemplateIoError {}
 pub fn to_text(library: &TemplateLibrary) -> String {
     let mut out = String::new();
     for t in library.templates() {
-        let slots: String = t
-            .slots
-            .iter()
-            .map(|s| if *s == SlotBinding::Bound { 'B' } else { 'U' })
-            .collect();
+        let slots: String =
+            t.slots.iter().map(|s| if *s == SlotBinding::Bound { 'B' } else { 'U' }).collect();
         out.push_str(&format!("#template confidence={:.6} slots={}\n", t.confidence, slots));
         out.push_str(&format!("nl: {}\n", t.nl_tokens.join(" ")));
         let sparql_one_line = t.sparql.to_string().replace('\n', " ");
@@ -86,14 +83,13 @@ pub fn from_text(text: &str) -> Result<TemplateLibrary, TemplateIoError> {
                     .collect::<Result<_, _>>()?;
             }
         }
-        let (j, nl_line) = lines.next().ok_or_else(|| TemplateIoError {
-            line: i + 2,
-            message: "missing nl: line".into(),
-        })?;
-        let nl = nl_line.trim().strip_prefix("nl:").ok_or_else(|| TemplateIoError {
-            line: j + 1,
-            message: "expected nl: line".into(),
-        })?;
+        let (j, nl_line) = lines
+            .next()
+            .ok_or_else(|| TemplateIoError { line: i + 2, message: "missing nl: line".into() })?;
+        let nl = nl_line
+            .trim()
+            .strip_prefix("nl:")
+            .ok_or_else(|| TemplateIoError { line: j + 1, message: "expected nl: line".into() })?;
         let nl_tokens: Vec<String> = nl.split_whitespace().map(str::to_owned).collect();
         let (k, sparql_line) = lines.next().ok_or_else(|| TemplateIoError {
             line: j + 2,
@@ -102,15 +98,16 @@ pub fn from_text(text: &str) -> Result<TemplateLibrary, TemplateIoError> {
         let sparql_text = sparql_line.trim().strip_prefix("sparql:").ok_or_else(|| {
             TemplateIoError { line: k + 1, message: "expected sparql: line".into() }
         })?;
-        let sparql = uqsj_sparql::parse(sparql_text.trim()).map_err(|e| TemplateIoError {
-            line: k + 1,
-            message: e.to_string(),
-        })?;
+        let sparql = uqsj_sparql::parse(sparql_text.trim())
+            .map_err(|e| TemplateIoError { line: k + 1, message: e.to_string() })?;
         let slot_count = nl_tokens.iter().filter(|t| *t == crate::template_slot_token()).count();
         if slots.len() != slot_count {
             return Err(TemplateIoError {
                 line: i + 1,
-                message: format!("slots= lists {} flags but pattern has {slot_count} slots", slots.len()),
+                message: format!(
+                    "slots= lists {} flags but pattern has {slot_count} slots",
+                    slots.len()
+                ),
             });
         }
         library.add(Template::new(nl_tokens, sparql, slots, confidence));
@@ -141,7 +138,14 @@ mod tests {
             ],
         };
         let t = Template::new(
-            vec!["Which".into(), "<_>".into(), "graduated".into(), "from".into(), "<_>".into(), "?".into()],
+            vec![
+                "Which".into(),
+                "<_>".into(),
+                "graduated".into(),
+                "from".into(),
+                "<_>".into(),
+                "?".into(),
+            ],
             sparql,
             vec![SlotBinding::Bound, SlotBinding::Bound],
             0.875,
@@ -168,7 +172,9 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         let err = from_text("not a template").unwrap_err();
         assert_eq!(err.line, 1);
-        let err = from_text("#template confidence=x slots=B\nnl: a\nsparql: SELECT ?x WHERE { ?x p ?y }").unwrap_err();
+        let err =
+            from_text("#template confidence=x slots=B\nnl: a\nsparql: SELECT ?x WHERE { ?x p ?y }")
+                .unwrap_err();
         assert!(err.message.contains("bad confidence"));
     }
 

@@ -13,15 +13,15 @@
 //! * [`metrics`] — the QALD-style precision/recall/F-measure used by
 //!   Tables 4 and 5.
 
-pub mod template;
-pub mod generate;
-pub mod qa;
 pub mod baselines;
-pub mod metrics;
+pub mod generate;
 pub mod io;
+pub mod metrics;
+pub mod qa;
+pub mod template;
 
 pub use generate::{generate_template, TemplateSource};
-pub use qa::{answer_question, QaOutcome, TemplateLibrary};
+pub use qa::{answer_question, answer_with_candidates, AnswerStats, QaOutcome, TemplateLibrary};
 pub use template::{SlotBinding, Template};
 
 /// The NL slot marker (re-exported for the persistence format).

@@ -5,6 +5,7 @@
 use crate::template::{slot_index, SlotBinding, Template};
 use uqsj_nlp::align::{align_with_slots, partial_align_with_slots};
 use uqsj_nlp::deptree::parse_dependency_tokens;
+use uqsj_nlp::signature::NlSignature;
 use uqsj_nlp::ted::tree_edit_distance;
 use uqsj_nlp::token::tokenize;
 use uqsj_nlp::Lexicon;
@@ -77,50 +78,163 @@ pub fn answer_question(
     question: &str,
     min_phi: f64,
 ) -> QaOutcome {
+    answer_with_candidates(library, 0..library.len(), lexicon, store, question, min_phi).0
+}
+
+/// Verification-side counters reported by [`answer_with_candidates`],
+/// consumed by the serving layer's metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnswerStats {
+    /// Candidate templates examined (alignment attempted).
+    pub candidates_examined: usize,
+    /// Candidates that survived alignment and entered TED ranking.
+    pub candidates_aligned: usize,
+    /// Exact tree-edit-distance computations performed.
+    pub ted_computed: usize,
+}
+
+/// One aligned candidate awaiting TED ranking.
+struct Aligned {
+    index: usize,
+    phi: f64,
+    confidence: f64,
+    slots: Vec<Vec<String>>,
+    ted_lb: u32,
+}
+
+/// Answer a question by verifying only `candidates` (ascending template
+/// indexes — the serving layer passes a signature-pruned subset, the
+/// linear scan passes `0..len`). Produces *identical* outcomes to ranking
+/// the full library as long as `candidates` contains every template that
+/// can align: ranking is by (φ desc, TED asc, confidence desc, index asc),
+/// exactly the order the eager sort used.
+///
+/// TED — the expensive step (O(n²·m²) Zhang–Shasha) — is evaluated
+/// lazily: candidates within an equal-φ group are verified best-first by
+/// their signature lower bound, and a candidate's exact TED is only
+/// computed when the bound says it could still precede the current best.
+/// Singleton groups skip TED entirely. Since `fill_and_execute` usually
+/// succeeds on the first ranked candidate, most TED work is skipped
+/// without changing any answer.
+pub fn answer_with_candidates(
+    library: &TemplateLibrary,
+    candidates: impl IntoIterator<Item = usize>,
+    lexicon: &Lexicon,
+    store: &TripleStore,
+    question: &str,
+    min_phi: f64,
+) -> (QaOutcome, AnswerStats) {
+    let mut stats = AnswerStats::default();
     let tokens = tokenize(question);
     if tokens.is_empty() {
-        return QaOutcome::default();
+        return (QaOutcome::default(), stats);
     }
     let question_tree = parse_dependency_tokens(&tokens);
+    let question_sig = NlSignature::of_tokens(&tokens);
 
-    // Rank candidates: full alignments first (φ = 1), then partial ones
-    // by φ; ties broken by dependency-tree edit distance, then template
-    // confidence (Sec. 2.2: "find a template's dependency tree that best
-    // aligns with the dependency tree of the ... question").
-    #[allow(clippy::type_complexity)]
-    let mut candidates: Vec<(usize, f64, u32, Vec<Vec<String>>)> = Vec::new();
-    for (i, t) in library.templates().iter().enumerate() {
-        if let Some(slots) = align_with_slots(&t.nl_tokens, &tokens) {
-            let ted = tree_edit_distance(&t.dep_tree, &question_tree);
-            candidates.push((i, 1.0, ted, slots));
+    // Alignment pass over the candidate set, in ascending index order.
+    let mut aligned: Vec<Aligned> = Vec::new();
+    for i in candidates {
+        let t = &library.templates()[i];
+        stats.candidates_examined += 1;
+        let hit = if let Some(slots) = align_with_slots(&t.nl_tokens, &tokens) {
+            Some((1.0, slots))
         } else if min_phi < 1.0 {
-            if let Some((phi, slots)) = partial_align_with_slots(&t.nl_tokens, &tokens) {
-                if phi + 1e-12 >= min_phi {
-                    let ted = tree_edit_distance(&t.dep_tree, &question_tree);
-                    candidates.push((i, phi, ted, slots));
-                }
-            }
+            partial_align_with_slots(&t.nl_tokens, &tokens)
+                .filter(|(phi, _)| phi + 1e-12 >= min_phi)
+        } else {
+            None
+        };
+        if let Some((phi, slots)) = hit {
+            let ted_lb = NlSignature::of_tokens(&t.nl_tokens).ted_lower_bound(&question_sig);
+            aligned.push(Aligned { index: i, phi, confidence: t.confidence, slots, ted_lb });
         }
     }
-    candidates.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("phi is finite")
-            .then(a.2.cmp(&b.2))
-            .then(
-                library.templates()[b.0]
-                    .confidence
-                    .partial_cmp(&library.templates()[a.0].confidence)
-                    .expect("confidence is finite"),
-            )
-    });
+    stats.candidates_aligned = aligned.len();
 
-    for (i, phi, _, slots) in candidates {
-        let template = &library.templates()[i];
-        if let Some((sparql, answers)) = fill_and_execute(template, &slots, lexicon, store) {
-            return QaOutcome { sparql: Some(sparql), answers, template_index: Some(i), phi };
+    // Stable sort by φ descending keeps ascending index order within each
+    // equal-φ group, so group processing below reproduces the original
+    // (φ, TED, confidence, insertion-order) total order.
+    aligned.sort_by(|a, b| b.phi.partial_cmp(&a.phi).expect("phi is finite"));
+
+    let mut start = 0;
+    while start < aligned.len() {
+        let mut end = start + 1;
+        while end < aligned.len() && aligned[end].phi == aligned[start].phi {
+            end += 1;
+        }
+        if let Some(outcome) =
+            try_group(library, &mut aligned[start..end], &question_tree, lexicon, store, &mut stats)
+        {
+            return (outcome, stats);
+        }
+        start = end;
+    }
+    (QaOutcome::default(), stats)
+}
+
+/// Try every candidate of one equal-φ group in exact (TED asc, confidence
+/// desc, index asc) order, computing exact TEDs only when the signature
+/// lower bound cannot already separate candidates.
+fn try_group(
+    library: &TemplateLibrary,
+    group: &mut [Aligned],
+    question_tree: &uqsj_nlp::DepTree,
+    lexicon: &Lexicon,
+    store: &TripleStore,
+    stats: &mut AnswerStats,
+) -> Option<QaOutcome> {
+    let attempt = |c: &Aligned| -> Option<QaOutcome> {
+        let template = &library.templates()[c.index];
+        fill_and_execute(template, &c.slots, lexicon, store).map(|(sparql, answers)| QaOutcome {
+            sparql: Some(sparql),
+            answers,
+            template_index: Some(c.index),
+            phi: c.phi,
+        })
+    };
+
+    if let [single] = group {
+        // A singleton group needs no TED at all: its rank is decided by φ.
+        return attempt(single);
+    }
+
+    // Unverified candidates ordered by (lower bound, index); exact TEDs
+    // fill `verified` only while the smallest outstanding bound could still
+    // beat (or tie, which matters for the confidence tiebreak) the best
+    // verified candidate.
+    group.sort_by_key(|c| (c.ted_lb, c.index));
+    let mut unverified: std::collections::VecDeque<&Aligned> = group.iter().collect();
+    let mut verified: Vec<(u32, &Aligned)> = Vec::new();
+    loop {
+        while let Some(&next) = unverified.front() {
+            let best_ted = verified.iter().map(|&(ted, _)| ted).min();
+            if best_ted.is_some_and(|b| next.ted_lb > b) {
+                break;
+            }
+            let template = &library.templates()[next.index];
+            let ted = tree_edit_distance(&template.dep_tree, question_tree);
+            stats.ted_computed += 1;
+            verified.push((ted, next));
+            unverified.pop_front();
+        }
+        let Some(best) = verified
+            .iter()
+            .enumerate()
+            .min_by(|(_, (ta, a)), (_, (tb, b))| {
+                ta.cmp(tb)
+                    .then(b.confidence.partial_cmp(&a.confidence).expect("confidence is finite"))
+                    .then(a.index.cmp(&b.index))
+            })
+            .map(|(k, _)| k)
+        else {
+            return None; // group exhausted
+        };
+        let (_, candidate) = verified.swap_remove(best);
+        if let Some(outcome) = attempt(candidate) {
+            return Some(outcome);
         }
     }
-    QaOutcome::default()
 }
 
 /// Instantiate and execute, disambiguating entity slots against the
@@ -184,10 +298,8 @@ fn fill_and_execute(
                 }
             }
         }
-        let answers: Vec<String> = uqsj_rdf::bgp::evaluate(store, &sparql)
-            .into_iter()
-            .map(|row| row.join("\t"))
-            .collect();
+        let answers: Vec<String> =
+            uqsj_rdf::bgp::evaluate(store, &sparql).into_iter().map(|row| row.join("\t")).collect();
         if !answers.is_empty() {
             return Some((sparql, answers));
         }
@@ -340,6 +452,139 @@ mod tests {
         assert!(!lib.add(t2));
         assert_eq!(lib.len(), 1);
         assert!((lib.templates()[0].confidence - 0.99).abs() < 1e-12);
+    }
+
+    /// The pre-refactor ranking: compute every candidate's TED eagerly,
+    /// then one stable 3-key sort. Kept here as the reference oracle for
+    /// the lazy best-first verification in `answer_with_candidates`.
+    fn eager_answer(
+        library: &TemplateLibrary,
+        lexicon: &Lexicon,
+        store: &TripleStore,
+        question: &str,
+        min_phi: f64,
+    ) -> QaOutcome {
+        let tokens = tokenize(question);
+        if tokens.is_empty() {
+            return QaOutcome::default();
+        }
+        let question_tree = parse_dependency_tokens(&tokens);
+        #[allow(clippy::type_complexity)]
+        let mut candidates: Vec<(usize, f64, u32, Vec<Vec<String>>)> = Vec::new();
+        for (i, t) in library.templates().iter().enumerate() {
+            if let Some(slots) = align_with_slots(&t.nl_tokens, &tokens) {
+                let ted = tree_edit_distance(&t.dep_tree, &question_tree);
+                candidates.push((i, 1.0, ted, slots));
+            } else if min_phi < 1.0 {
+                if let Some((phi, slots)) = partial_align_with_slots(&t.nl_tokens, &tokens) {
+                    if phi + 1e-12 >= min_phi {
+                        let ted = tree_edit_distance(&t.dep_tree, &question_tree);
+                        candidates.push((i, phi, ted, slots));
+                    }
+                }
+            }
+        }
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("phi is finite").then(a.2.cmp(&b.2)).then(
+                library.templates()[b.0]
+                    .confidence
+                    .partial_cmp(&library.templates()[a.0].confidence)
+                    .expect("confidence is finite"),
+            )
+        });
+        for (i, phi, _, slots) in candidates {
+            let template = &library.templates()[i];
+            if let Some((sparql, answers)) = fill_and_execute(template, &slots, lexicon, store) {
+                return QaOutcome { sparql: Some(sparql), answers, template_index: Some(i), phi };
+            }
+        }
+        QaOutcome::default()
+    }
+
+    /// Several templates sharing token structure so that equal-φ groups
+    /// have more than one member and the lazy TED path actually has
+    /// ordering decisions to make.
+    fn crowded_library() -> TemplateLibrary {
+        let mk = |tokens: &[&str], predicate: &str, confidence: f64| {
+            let sparql = SparqlQuery {
+                select: vec!["x".into()],
+                triples: vec![
+                    Triple {
+                        subject: Term::Var("x".into()),
+                        predicate: Term::Iri("type".into()),
+                        object: slot_term(0),
+                    },
+                    Triple {
+                        subject: Term::Var("x".into()),
+                        predicate: Term::Iri(predicate.into()),
+                        object: slot_term(1),
+                    },
+                ],
+            };
+            Template::new(
+                tokens.iter().map(|t| (*t).to_owned()).collect(),
+                sparql,
+                vec![SlotBinding::Bound, SlotBinding::Bound],
+                confidence,
+            )
+        };
+        let mut lib = TemplateLibrary::new();
+        let s = SLOT_TOKEN;
+        lib.add(mk(&["Which", s, "graduated", "from", s, "?"], "graduatedFrom", 0.9));
+        lib.add(mk(&["Which", s, "graduated", "from", s, "?"], "alumnusOf", 0.95));
+        lib.add(mk(&["Which", s, "born", "in", s, "?"], "bornIn", 0.8));
+        lib.add(Template::new(
+            ["Who", "graduated", "from", s, "?"].map(String::from).to_vec(),
+            SparqlQuery {
+                select: vec!["x".into()],
+                triples: vec![Triple {
+                    subject: Term::Var("x".into()),
+                    predicate: Term::Iri("graduatedFrom".into()),
+                    object: slot_term(0),
+                }],
+            },
+            vec![SlotBinding::Bound],
+            0.7,
+        ));
+        lib.add(mk(&["Which", s, "is", "married", "to", s, "?"], "spouse", 0.85));
+        lib.add(mk(&["Which", s, "works", "at", s, "?"], "worksAt", 0.6));
+        lib
+    }
+
+    #[test]
+    fn lazy_ranking_matches_eager_ranking() {
+        let lib = crowded_library();
+        let mut lex = uqsj_nlp::lexicon::paper_lexicon();
+        lex.add_class("physicist", "Physicist");
+        let store = store();
+        let questions = [
+            "Which physicist graduated from CMU?",
+            "Which physicist born in CMU?",
+            "Who graduated from CMU?",
+            "Which physicist graduated from CMU please tell me now",
+            "Which physicist is married to CMU?",
+            "Name every mountain on Mars",
+            "",
+        ];
+        for q in questions {
+            for min_phi in [1.0, 0.6, 0.3] {
+                let want = eager_answer(&lib, &lex, &store, q, min_phi);
+                let (got, stats) =
+                    answer_with_candidates(&lib, 0..lib.len(), &lex, &store, q, min_phi);
+                assert_eq!(
+                    got.sparql.as_ref().map(ToString::to_string),
+                    want.sparql.as_ref().map(ToString::to_string),
+                    "sparql diverged on {q:?} min_phi={min_phi}"
+                );
+                assert_eq!(got.answers, want.answers, "answers diverged on {q:?}");
+                assert_eq!(got.template_index, want.template_index, "index diverged on {q:?}");
+                assert!((got.phi - want.phi).abs() < 1e-12, "phi diverged on {q:?}");
+                assert!(
+                    stats.ted_computed <= stats.candidates_aligned,
+                    "lazy path must never exceed one TED per aligned candidate"
+                );
+            }
+        }
     }
 
     #[test]

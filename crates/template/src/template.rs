@@ -56,7 +56,12 @@ pub struct Template {
 
 impl Template {
     /// Construct, parsing the NL pattern's dependency tree.
-    pub fn new(nl_tokens: Vec<String>, sparql: SparqlQuery, slots: Vec<SlotBinding>, confidence: f64) -> Self {
+    pub fn new(
+        nl_tokens: Vec<String>,
+        sparql: SparqlQuery,
+        slots: Vec<SlotBinding>,
+        confidence: f64,
+    ) -> Self {
         // Slot tokens are parsed as SLOTi words so the dep parser treats
         // them as nouns and TED can match them against any word.
         let parse_tokens: Vec<String> = nl_tokens
@@ -114,7 +119,14 @@ mod tests {
             }],
         };
         let t = Template::new(
-            vec!["Which".into(), SLOT_TOKEN.into(), "graduated".into(), "from".into(), SLOT_TOKEN.into(), "?".into()],
+            vec![
+                "Which".into(),
+                SLOT_TOKEN.into(),
+                "graduated".into(),
+                "from".into(),
+                SLOT_TOKEN.into(),
+                "?".into(),
+            ],
             sparql,
             vec![SlotBinding::Bound, SlotBinding::Bound],
             0.9,

@@ -3,10 +3,10 @@
 //! alignment that produced the slots.
 
 use proptest::prelude::*;
+use uqsj_sparql::{SparqlQuery, Term, Triple};
 use uqsj_template::io::{from_text, to_text};
 use uqsj_template::template::slot_term;
 use uqsj_template::{SlotBinding, Template, TemplateLibrary};
-use uqsj_sparql::{SparqlQuery, Term, Triple};
 
 const WORDS: [&str; 8] = ["Which", "graduated", "from", "married", "to", "born", "in", "?"];
 const PREDICATES: [&str; 4] = ["type", "graduatedFrom", "spouse", "birthPlace"];

@@ -18,7 +18,9 @@
 //! `argmin Σ ub_SimP(q, PWG_i)` selects between them.
 
 use crate::prob_bound::{self};
-use uqsj_ged::bounds::css::{css_terms_uncertain, lb_ged_css_certain, lb_ged_css_restricted, CssTerms};
+use uqsj_ged::bounds::css::{
+    css_terms_uncertain, lb_ged_css_certain, lb_ged_css_restricted, CssTerms,
+};
 use uqsj_graph::{Graph, Symbol, SymbolTable, UncertainGraph};
 
 /// One possible-world group: per-vertex allowed alternatives with their
@@ -56,26 +58,17 @@ impl PossibleWorldGroup {
 
     /// Total (unconditional) probability mass of the group's worlds.
     pub fn mass(&self) -> f64 {
-        self.label_sets
-            .iter()
-            .map(|s| s.iter().map(|(_, p)| p).sum::<f64>())
-            .product()
+        self.label_sets.iter().map(|s| s.iter().map(|(_, p)| p).sum::<f64>()).product()
     }
 
     /// Number of possible worlds in the group.
     pub fn world_count(&self) -> u128 {
-        self.label_sets
-            .iter()
-            .map(|s| s.len() as u128)
-            .fold(1, |a, b| a.saturating_mul(b))
+        self.label_sets.iter().map(|s| s.len() as u128).fold(1, |a, b| a.saturating_mul(b))
     }
 
     /// Just the labels, for the restricted CSS bound.
     pub fn labels_only(&self) -> Vec<Vec<Symbol>> {
-        self.label_sets
-            .iter()
-            .map(|s| s.iter().map(|(l, _)| *l).collect())
-            .collect()
+        self.label_sets.iter().map(|s| s.iter().map(|(l, _)| *l).collect()).collect()
     }
 
     /// Structural lower bound for every world of the group (Theorem 3
@@ -102,11 +95,8 @@ impl PossibleWorldGroup {
             return mass;
         }
         let q_labels = q.vertex_labels();
-        let ground: Vec<uqsj_graph::Symbol> = q_labels
-            .iter()
-            .copied()
-            .filter(|&l| !table.is_wildcard(l))
-            .collect();
+        let ground: Vec<uqsj_graph::Symbol> =
+            q_labels.iter().copied().filter(|&l| !table.is_wildcard(l)).collect();
         let wq = (q.vertex_count() - ground.len()) as i64;
         let mut e_y = 0.0;
         let mut e_z = 0.0;
@@ -117,9 +107,7 @@ impl PossibleWorldGroup {
             }
             let hit_y: f64 = set
                 .iter()
-                .filter(|(l, _)| {
-                    q_labels.iter().any(|&ql| uqsj_graph::labels_match(table, *l, ql))
-                })
+                .filter(|(l, _)| q_labels.iter().any(|&ql| uqsj_graph::labels_match(table, *l, ql)))
                 .map(|(_, p)| *p)
                 .sum();
             e_y += hit_y / total;
@@ -158,23 +146,15 @@ impl PossibleWorldGroup {
         let mut head = self.clone();
         head.label_sets[vertex] = vec![set[best]];
         let mut tail = self.clone();
-        tail.label_sets[vertex] = set
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != best)
-            .map(|(_, a)| *a)
-            .collect();
+        tail.label_sets[vertex] =
+            set.iter().enumerate().filter(|(i, _)| *i != best).map(|(_, a)| *a).collect();
         Some((head, tail))
     }
 
     /// Choose the vertex to split per the heuristic. Returns `None` when
     /// no vertex is splittable.
     pub fn pick_split_vertex(&self, heuristic: SplitHeuristic) -> Option<usize> {
-        let candidates = self
-            .label_sets
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.len() > 1);
+        let candidates = self.label_sets.iter().enumerate().filter(|(_, s)| s.len() > 1);
         match heuristic {
             SplitHeuristic::HighestMass => candidates
                 .max_by(|a, b| {
@@ -262,9 +242,8 @@ pub fn partition_groups(
             })
             .map(|(i, _)| i);
         let Some(i) = worst else { break };
-        let vertex = groups[i]
-            .pick_split_vertex(heuristic)
-            .expect("splittable group has a split vertex");
+        let vertex =
+            groups[i].pick_split_vertex(heuristic).expect("splittable group has a split vertex");
         let (head, tail) = groups[i].split_at(vertex).expect("vertex has >1 label");
         groups[i] = head;
         groups.push(tail);
@@ -317,11 +296,8 @@ pub fn verify_simp_groups(
     let mut best_mapping = None;
     let mut best_world_prob = 0.0f64;
     let mut worlds_verified = 0usize;
-    let mut remaining: f64 = groups
-        .iter()
-        .filter(|grp| grp.lb_ged(table, q, g) <= tau)
-        .map(|grp| grp.mass())
-        .sum();
+    let mut remaining: f64 =
+        groups.iter().filter(|grp| grp.lb_ged(table, q, g) <= tau).map(|grp| grp.mass()).sum();
     let early = alpha.is_finite();
 
     // A reusable graph skeleton sharing g's structure.
@@ -419,10 +395,7 @@ mod tests {
             let mut prev = f64::INFINITY;
             for gn in [1usize, 2, 4, 6] {
                 let (ub, _) = ub_simp_grouped(&t, &q, &g, tau, gn);
-                assert!(
-                    ub + 1e-9 >= exact,
-                    "tau={tau} gn={gn}: ub={ub} < exact={exact}"
-                );
+                assert!(ub + 1e-9 >= exact, "tau={tau} gn={gn}: ub={ub} < exact={exact}");
                 // More groups should not loosen the bound (monotone
                 // refinement is the whole point of the optimization).
                 assert!(ub <= prev + 1e-9, "tau={tau} gn={gn}: ub grew");

@@ -10,9 +10,9 @@
 //! * [`groups`] — possible-world groups, the two split heuristics of
 //!   Sec. 6.2 and the cost model that picks between them (Algorithm 2).
 
+pub mod groups;
 pub mod prob;
 pub mod prob_bound;
-pub mod groups;
 
 pub use groups::{partition_groups, ub_simp_grouped, PossibleWorldGroup, SplitHeuristic};
 pub use prob::{similarity_probability, verify_simp, VerifyOutcome};

@@ -146,7 +146,13 @@ pub fn verify_simp(
             }
         }
     }
-    VerifyOutcome { prob: acc, passed: acc >= alpha, best_mapping, best_world_prob, worlds_verified }
+    VerifyOutcome {
+        prob: acc,
+        passed: acc >= alpha,
+        best_mapping,
+        best_world_prob,
+        worlds_verified,
+    }
 }
 
 #[cfg(test)]

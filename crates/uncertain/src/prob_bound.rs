@@ -15,7 +15,6 @@
 use uqsj_ged::bounds::css::{css_terms_uncertain, CssTerms};
 use uqsj_graph::{Graph, Symbol, SymbolTable, UncertainGraph};
 
-
 /// `E(y_i)` for one uncertain vertex: the probability mass of its
 /// alternatives whose label matches *some* vertex label of `q` under the
 /// wildcard rule.
@@ -50,12 +49,8 @@ pub fn expected_y_total(table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> f
 /// when `q` contains variables — with naive wildcard matching every
 /// `E(y_i)` saturates at 1 and the bound is vacuous.
 pub fn expected_z_total(table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> (f64, u32) {
-    let ground: Vec<Symbol> = q
-        .vertex_labels()
-        .iter()
-        .copied()
-        .filter(|&l| !table.is_wildcard(l))
-        .collect();
+    let ground: Vec<Symbol> =
+        q.vertex_labels().iter().copied().filter(|&l| !table.is_wildcard(l)).collect();
     let wq = (q.vertex_count() - ground.len()) as u32;
     let ez = g
         .vertices()
@@ -63,9 +58,7 @@ pub fn expected_z_total(table: &SymbolTable, q: &Graph, g: &UncertainGraph) -> (
         .map(|v| {
             v.alternatives
                 .iter()
-                .filter(|a| {
-                    table.is_wildcard(a.label) || ground.contains(&a.label)
-                })
+                .filter(|a| table.is_wildcard(a.label) || ground.contains(&a.label))
                 .map(|a| a.prob)
                 .sum::<f64>()
         })
@@ -153,9 +146,7 @@ pub fn ub_simp_exact_tail(table: &SymbolTable, q: &Graph, g: &UncertainGraph, ta
         .map(|v| {
             v.alternatives
                 .iter()
-                .filter(|a| {
-                    q_labels.iter().any(|&ql| uqsj_graph::labels_match(table, a.label, ql))
-                })
+                .filter(|a| q_labels.iter().any(|&ql| uqsj_graph::labels_match(table, a.label, ql)))
                 .map(|a| a.prob)
                 .sum::<f64>()
                 .min(1.0)
@@ -163,8 +154,7 @@ pub fn ub_simp_exact_tail(table: &SymbolTable, q: &Graph, g: &UncertainGraph, ta
         .collect();
     let tail_y = poisson_binomial_tail(&py, t);
     // Per-vertex success probabilities for Z (ground-label matching).
-    let ground: Vec<Symbol> =
-        q_labels.iter().copied().filter(|&l| !table.is_wildcard(l)).collect();
+    let ground: Vec<Symbol> = q_labels.iter().copied().filter(|&l| !table.is_wildcard(l)).collect();
     let wq = (q.vertex_count() - ground.len()) as i64;
     let pz: Vec<f64> = g
         .vertices()

@@ -19,10 +19,8 @@ struct RawUncertain {
 
 fn uncertain_strategy(max_v: usize) -> impl Strategy<Value = RawUncertain> {
     (1..=max_v).prop_flat_map(move |n| {
-        let vertices = prop::collection::vec(
-            prop::collection::vec(0u8..VLABELS.len() as u8, 1..=3),
-            n,
-        );
+        let vertices =
+            prop::collection::vec(prop::collection::vec(0u8..VLABELS.len() as u8, 1..=3), n);
         let edges = prop::collection::vec(
             (0..n as u8, 0..n as u8, 0u8..ELABELS.len() as u8),
             0..=(n * 2).min(4),

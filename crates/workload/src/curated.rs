@@ -48,8 +48,16 @@ pub fn paper_kb() -> KnowledgeBase {
     lex.add_surface_form(
         "michael jordan",
         vec![
-            EntityCandidate { entity: "Michael_Jordan".into(), class: "NBA_Player".into(), prob: 0.6 },
-            EntityCandidate { entity: "Michael_I_Jordan".into(), class: "Professor".into(), prob: 0.3 },
+            EntityCandidate {
+                entity: "Michael_Jordan".into(),
+                class: "NBA_Player".into(),
+                prob: 0.6,
+            },
+            EntityCandidate {
+                entity: "Michael_I_Jordan".into(),
+                class: "Professor".into(),
+                prob: 0.3,
+            },
             EntityCandidate { entity: "Michael_B_Jordan".into(), class: "Actor".into(), prob: 0.1 },
         ],
     );

@@ -84,11 +84,7 @@ impl Dataset {
 
 /// Compare two queries after replacing every entity constant by one shared
 /// slot wildcard; equal shapes (GED 0) count as a match.
-pub fn queries_match_modulo_entities(
-    kb: &KnowledgeBase,
-    a: &SparqlQuery,
-    b: &SparqlQuery,
-) -> bool {
+pub fn queries_match_modulo_entities(kb: &KnowledgeBase, a: &SparqlQuery, b: &SparqlQuery) -> bool {
     let mut t = SymbolTable::new();
     let ga = shape_graph(kb, &mut t, a);
     let gb = shape_graph(kb, &mut t, b);
@@ -174,16 +170,13 @@ pub fn assemble_dataset(
             Ok(a) => {
                 let g = a.uncertain_graph(&mut table);
                 // The gold query joins D (deduplicated by text).
-                let idx = d_queries
-                    .iter()
-                    .position(|q| *q == p.sparql)
-                    .unwrap_or_else(|| {
-                        d_queries.push(p.sparql.clone());
-                        let (g, terms) = kb.join_graph_with_terms(&mut table, &p.sparql);
-                        d_graphs.push(g);
-                        d_terms.push(terms);
-                        d_queries.len() - 1
-                    });
+                let idx = d_queries.iter().position(|q| *q == p.sparql).unwrap_or_else(|| {
+                    d_queries.push(p.sparql.clone());
+                    let (g, terms) = kb.join_graph_with_terms(&mut table, &p.sparql);
+                    d_graphs.push(g);
+                    d_terms.push(terms);
+                    d_queries.len() - 1
+                });
                 gold_of.push(idx);
                 u_graphs.push(g);
                 analyses.push(a);
@@ -214,7 +207,11 @@ pub fn assemble_dataset(
 }
 
 /// A random conjunctive query over the KB (used as distractor).
-fn random_query(kb: &KnowledgeBase, max_relations: usize, rng: &mut SmallRng) -> Option<SparqlQuery> {
+fn random_query(
+    kb: &KnowledgeBase,
+    max_relations: usize,
+    rng: &mut SmallRng,
+) -> Option<SparqlQuery> {
     let anchor = &kb.entities[rng.gen_range(0..kb.entities.len())];
     let facts = kb.facts_of(&anchor.name);
     if facts.is_empty() {

@@ -14,10 +14,10 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
+use uqsj_graph::{Graph, SymbolTable};
 use uqsj_nlp::{EntityCandidate, Lexicon};
 use uqsj_rdf::TripleStore;
 use uqsj_sparql::{SparqlQuery, Term};
-use uqsj_graph::{Graph, SymbolTable};
 
 /// Static class table: (class, question noun).
 pub const CLASSES: [(&str, &str); 26] = [
@@ -71,24 +71,132 @@ pub struct PredicateSpec {
 
 /// The full predicate inventory.
 pub const PREDICATES: [PredicateSpec; 18] = [
-    PredicateSpec { name: "birthPlace", phrases: &["born in", "from"], subjects: &[], objects: &["City", "Country", "State"], inverse_noun: Some("birth place") },
-    PredicateSpec { name: "spouse", phrases: &["married to"], subjects: &[], objects: &["Actor", "Politician", "Scientist", "Writer", "Singer", "Director"], inverse_noun: Some("spouse") },
-    PredicateSpec { name: "graduatedFrom", phrases: &["graduated from", "studied at"], subjects: &[], objects: &["University"], inverse_noun: None },
-    PredicateSpec { name: "worksFor", phrases: &["working for", "employed by"], subjects: &[], objects: &["Company"], inverse_noun: None },
-    PredicateSpec { name: "locatedIn", phrases: &["located in", "of"], subjects: &["City", "University", "Company", "Stadium", "Museum", "Mountain", "River"], objects: &["City", "Country", "State"], inverse_noun: None },
-    PredicateSpec { name: "director", phrases: &["directed by"], subjects: &["Film"], objects: &["Director"], inverse_noun: Some("director") },
-    PredicateSpec { name: "starring", phrases: &["starring"], subjects: &["Film"], objects: &["Actor", "Singer"], inverse_noun: None },
-    PredicateSpec { name: "author", phrases: &["written by"], subjects: &["Book"], objects: &["Writer"], inverse_noun: Some("author") },
-    PredicateSpec { name: "artist", phrases: &["recorded by", "performed by"], subjects: &["Album"], objects: &["Band", "Singer"], inverse_noun: None },
-    PredicateSpec { name: "memberOf", phrases: &["playing in", "member of"], subjects: &["Singer", "Actor"], objects: &["Band", "Team"], inverse_noun: None },
-    PredicateSpec { name: "homeGround", phrases: &["playing at"], subjects: &["Team"], objects: &["Stadium"], inverse_noun: Some("home ground") },
-    PredicateSpec { name: "foundedBy", phrases: &["founded by"], subjects: &["Company", "University"], objects: &["Politician", "Scientist", "Writer"], inverse_noun: Some("founder") },
-    PredicateSpec { name: "spokenIn", phrases: &["spoken in"], subjects: &["Language"], objects: &["Country"], inverse_noun: None },
-    PredicateSpec { name: "hub", phrases: &["flying out of", "based at"], subjects: &["Airline"], objects: &["City"], inverse_noun: None },
-    PredicateSpec { name: "publishedIn", phrases: &["published in", "printed in"], subjects: &["Newspaper"], objects: &["City", "Country"], inverse_noun: None },
-    PredicateSpec { name: "flowsInto", phrases: &["flowing into"], subjects: &["River"], objects: &["Lake", "River"], inverse_noun: None },
-    PredicateSpec { name: "memberOfParty", phrases: &["belonging to", "affiliated with"], subjects: &["Politician"], objects: &["Party"], inverse_noun: Some("party") },
-    PredicateSpec { name: "heldIn", phrases: &["held in", "celebrated in"], subjects: &["Festival"], objects: &["City", "Country"], inverse_noun: None },
+    PredicateSpec {
+        name: "birthPlace",
+        phrases: &["born in", "from"],
+        subjects: &[],
+        objects: &["City", "Country", "State"],
+        inverse_noun: Some("birth place"),
+    },
+    PredicateSpec {
+        name: "spouse",
+        phrases: &["married to"],
+        subjects: &[],
+        objects: &["Actor", "Politician", "Scientist", "Writer", "Singer", "Director"],
+        inverse_noun: Some("spouse"),
+    },
+    PredicateSpec {
+        name: "graduatedFrom",
+        phrases: &["graduated from", "studied at"],
+        subjects: &[],
+        objects: &["University"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "worksFor",
+        phrases: &["working for", "employed by"],
+        subjects: &[],
+        objects: &["Company"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "locatedIn",
+        phrases: &["located in", "of"],
+        subjects: &["City", "University", "Company", "Stadium", "Museum", "Mountain", "River"],
+        objects: &["City", "Country", "State"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "director",
+        phrases: &["directed by"],
+        subjects: &["Film"],
+        objects: &["Director"],
+        inverse_noun: Some("director"),
+    },
+    PredicateSpec {
+        name: "starring",
+        phrases: &["starring"],
+        subjects: &["Film"],
+        objects: &["Actor", "Singer"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "author",
+        phrases: &["written by"],
+        subjects: &["Book"],
+        objects: &["Writer"],
+        inverse_noun: Some("author"),
+    },
+    PredicateSpec {
+        name: "artist",
+        phrases: &["recorded by", "performed by"],
+        subjects: &["Album"],
+        objects: &["Band", "Singer"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "memberOf",
+        phrases: &["playing in", "member of"],
+        subjects: &["Singer", "Actor"],
+        objects: &["Band", "Team"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "homeGround",
+        phrases: &["playing at"],
+        subjects: &["Team"],
+        objects: &["Stadium"],
+        inverse_noun: Some("home ground"),
+    },
+    PredicateSpec {
+        name: "foundedBy",
+        phrases: &["founded by"],
+        subjects: &["Company", "University"],
+        objects: &["Politician", "Scientist", "Writer"],
+        inverse_noun: Some("founder"),
+    },
+    PredicateSpec {
+        name: "spokenIn",
+        phrases: &["spoken in"],
+        subjects: &["Language"],
+        objects: &["Country"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "hub",
+        phrases: &["flying out of", "based at"],
+        subjects: &["Airline"],
+        objects: &["City"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "publishedIn",
+        phrases: &["published in", "printed in"],
+        subjects: &["Newspaper"],
+        objects: &["City", "Country"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "flowsInto",
+        phrases: &["flowing into"],
+        subjects: &["River"],
+        objects: &["Lake", "River"],
+        inverse_noun: None,
+    },
+    PredicateSpec {
+        name: "memberOfParty",
+        phrases: &["belonging to", "affiliated with"],
+        subjects: &["Politician"],
+        objects: &["Party"],
+        inverse_noun: Some("party"),
+    },
+    PredicateSpec {
+        name: "heldIn",
+        phrases: &["held in", "celebrated in"],
+        subjects: &["Festival"],
+        objects: &["City", "Country"],
+        inverse_noun: None,
+    },
 ];
 
 /// KB generation parameters.
@@ -173,11 +281,7 @@ impl KnowledgeBase {
                 let name = format!("{class}_{i}");
                 let surface = format!("{class} {i}");
                 by_class.entry((*class).to_owned()).or_default().push(entities.len());
-                entities.push(KbEntity {
-                    name,
-                    class: (*class).to_owned(),
-                    surface,
-                });
+                entities.push(KbEntity { name, class: (*class).to_owned(), surface });
             }
         }
 
@@ -221,7 +325,11 @@ impl KnowledgeBase {
             if lexicon.link(&e.surface).is_none() {
                 lexicon.add_surface_form(
                     &e.surface,
-                    vec![EntityCandidate { entity: e.name.clone(), class: e.class.clone(), prob: 1.0 }],
+                    vec![EntityCandidate {
+                        entity: e.name.clone(),
+                        class: e.class.clone(),
+                        prob: 1.0,
+                    }],
                 );
             }
         }
@@ -247,9 +355,7 @@ impl KnowledgeBase {
                         p.subjects.contains(&e.class.as_str())
                     };
                     subj_ok
-                        && p.objects
-                            .iter()
-                            .any(|c| by_class.get(*c).is_some_and(|v| !v.is_empty()))
+                        && p.objects.iter().any(|c| by_class.get(*c).is_some_and(|v| !v.is_empty()))
                 })
                 .collect();
             if applicable.is_empty() {
@@ -409,12 +515,7 @@ mod tests {
     #[test]
     fn ambiguous_forms_have_multiple_candidates() {
         let kb = kb();
-        let ambiguous = kb
-            .lexicon
-            .surface_forms
-            .values()
-            .filter(|c| c.len() >= 2)
-            .count();
+        let ambiguous = kb.lexicon.surface_forms.values().filter(|c| c.len() >= 2).count();
         assert!(ambiguous >= 50, "got {ambiguous}");
         for cands in kb.lexicon.surface_forms.values() {
             let total: f64 = cands.iter().map(|c| c.prob).sum();
@@ -441,8 +542,7 @@ mod tests {
         let mut t = SymbolTable::new();
         let g = kb.join_graph(&mut t, &q);
         assert_eq!(g.vertex_count(), 3);
-        let labels: Vec<&str> =
-            g.vertex_labels().iter().map(|&s| t.name(s)).collect();
+        let labels: Vec<&str> = g.vertex_labels().iter().map(|&s| t.name(s)).collect();
         assert!(labels.contains(&"University"), "{labels:?}");
         assert!(labels.contains(&"Actor"));
         assert!(labels.contains(&"?x"));
@@ -451,7 +551,10 @@ mod tests {
     #[test]
     fn closed_domain_restricts_classes() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let cfg = KbConfig { domain: &["Film", "Band", "Album", "Actor", "Singer", "Director"], ..KbConfig::default() };
+        let cfg = KbConfig {
+            domain: &["Film", "Band", "Album", "Actor", "Singer", "Director"],
+            ..KbConfig::default()
+        };
         let kb = KnowledgeBase::generate(&cfg, &mut rng);
         assert!(kb.entities.iter().all(|e| cfg.domain.contains(&e.class.as_str())));
     }

@@ -19,10 +19,10 @@
 //!   generators for the efficiency experiments.
 //! * [`stats`] — the dataset statistics of Table 2.
 
+pub mod curated;
+pub mod datasets;
 pub mod kb;
 pub mod questions;
-pub mod datasets;
-pub mod curated;
 pub mod rand_graphs;
 pub mod stats;
 

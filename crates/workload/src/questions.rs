@@ -102,19 +102,13 @@ fn generate_one(kb: &KnowledgeBase, cfg: &QuestionConfig, rng: &mut SmallRng) ->
     if rng.gen_bool(0.17) {
         let fi = anchor_facts[rng.gen_range(0..anchor_facts.len())];
         let (s, p, _) = kb.facts[fi].clone();
-        let noun = PREDICATES
-            .iter()
-            .find(|spec| spec.name == p)
-            .and_then(|spec| spec.inverse_noun);
+        let noun = PREDICATES.iter().find(|spec| spec.name == p).and_then(|spec| spec.inverse_noun);
         if let Some(noun) = noun {
             let surface = kb.surface_of(&s)?.to_owned();
             // "Who" when the answer is a person, "What" otherwise.
-            let person_answer = PREDICATES
-                .iter()
-                .find(|spec| spec.name == p)
-                .is_some_and(|spec| {
-                    spec.objects.iter().any(|c| crate::kb::PERSON_CLASSES.contains(c))
-                });
+            let person_answer = PREDICATES.iter().find(|spec| spec.name == p).is_some_and(|spec| {
+                spec.objects.iter().any(|c| crate::kb::PERSON_CLASSES.contains(c))
+            });
             let wh = if person_answer { "Who" } else { "What" };
             let question = format!("{wh} is the {noun} of {surface}?");
             let triples = vec![Triple {
@@ -131,10 +125,7 @@ fn generate_one(kb: &KnowledgeBase, cfg: &QuestionConfig, rng: &mut SmallRng) ->
             });
         }
     }
-    let noun = crate::kb::CLASSES
-        .iter()
-        .find(|(c, _)| *c == anchor.class)
-        .map(|(_, n)| *n)?;
+    let noun = crate::kb::CLASSES.iter().find(|(c, _)| *c == anchor.class).map(|(_, n)| *n)?;
 
     let k = rng.gen_range(1..=cfg.max_relations);
     let mut text_parts: Vec<String> = Vec::new();
@@ -310,10 +301,7 @@ mod tests {
             }
         }
         assert!(clean > 0);
-        assert!(
-            ok as f64 / clean as f64 > 0.95,
-            "only {ok}/{clean} clean questions analyzable"
-        );
+        assert!(ok as f64 / clean as f64 > 0.95, "only {ok}/{clean} clean questions analyzable");
     }
 
     #[test]
@@ -348,7 +336,9 @@ mod tests {
         let (kb, pairs) = setup();
         let inverse: Vec<&QaPair> = pairs
             .iter()
-            .filter(|p| p.question.starts_with("Who is the") || p.question.starts_with("What is the"))
+            .filter(|p| {
+                p.question.starts_with("Who is the") || p.question.starts_with("What is the")
+            })
             .collect();
         assert!(!inverse.is_empty(), "no inverse questions generated");
         let store = kb.triple_store();

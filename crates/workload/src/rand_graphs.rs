@@ -11,7 +11,9 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use uqsj_graph::{Graph, LabelAlternative, Symbol, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
+use uqsj_graph::{
+    Graph, LabelAlternative, Symbol, SymbolTable, UncertainGraph, UncertainVertex, VertexId,
+};
 
 /// Generator parameters.
 #[derive(Clone, Copy, Debug)]
@@ -344,8 +346,7 @@ mod tests {
                 ..Default::default()
             };
             let (_, u) = erdos_renyi(&mut t, &cfg, &mut rng);
-            let avg: f64 =
-                u.iter().map(|g| g.avg_label_count()).sum::<f64>() / u.len() as f64;
+            let avg: f64 = u.iter().map(|g| g.avg_label_count()).sum::<f64>() / u.len() as f64;
             assert!((avg - target).abs() < 0.6, "target={target} got={avg}");
         }
     }

@@ -5,14 +5,18 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use uqsj_graph::SymbolTable;
 use uqsj_workload::{
-    erdos_renyi, qald_like, scale_free, DatasetConfig, KbConfig, KnowledgeBase,
-    RandomGraphConfig,
+    erdos_renyi, qald_like, scale_free, DatasetConfig, KbConfig, KnowledgeBase, RandomGraphConfig,
 };
 
 #[test]
 fn datasets_are_consistent_across_seeds() {
     for seed in [1u64, 99, 12345] {
-        let d = qald_like(&DatasetConfig { questions: 30, distractors: 15, seed, ..Default::default() });
+        let d = qald_like(&DatasetConfig {
+            questions: 30,
+            distractors: 15,
+            seed,
+            ..Default::default()
+        });
         assert_eq!(d.pairs.len(), d.u_graphs.len());
         assert_eq!(d.pairs.len(), d.analyses.len());
         assert_eq!(d.d_queries.len(), d.d_graphs.len());
@@ -34,7 +38,8 @@ fn every_clean_gold_query_is_answerable_on_its_kb() {
     // Misleading-surface questions deliberately re-point their gold query
     // at an entity of the right class that the facts may not support —
     // only the clean questions carry the answerability guarantee.
-    let d = qald_like(&DatasetConfig { questions: 40, distractors: 10, seed: 7, ..Default::default() });
+    let d =
+        qald_like(&DatasetConfig { questions: 40, distractors: 10, seed: 7, ..Default::default() });
     let store = d.kb.triple_store();
     for (i, pair) in d
         .pairs
@@ -54,9 +59,10 @@ fn kb_lexicon_covers_every_question_surface() {
     // Every entity has a surface form the linker resolves, and the
     // resolution includes the entity itself.
     for e in &kb.entities {
-        let cands = kb.lexicon.link(&e.surface).unwrap_or_else(|| {
-            panic!("no linking for surface {:?}", e.surface)
-        });
+        let cands = kb
+            .lexicon
+            .link(&e.surface)
+            .unwrap_or_else(|| panic!("no linking for surface {:?}", e.surface));
         assert!(
             cands.iter().any(|c| c.entity == e.name),
             "surface {:?} does not resolve to {:?}",

@@ -1,0 +1,129 @@
+//! Offline stand-in for `criterion`: enough of the API to compile and run
+//! the workspace's benches (`bench_function`, `benchmark_group`,
+//! `sample_size`, `Bencher::iter`, plus the `criterion_group!` /
+//! `criterion_main!` macros). Measurement is a simple mean over a short
+//! timed window — adequate for spotting order-of-magnitude regressions
+//! locally, with no statistics, plotting, or CLI filtering.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measure_for: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.measure_for, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_owned() }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_bench(&full, self.parent.measure_for, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, measure_for: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration: find an iteration count that fills the window.
+    let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iterations = (measure_for.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / iterations as f64;
+    println!("bench {id:<48} {:>12.1} ns/iter ({iterations} iters)", ns);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_runs_routine() {
+        let mut hits = 0u64;
+        super::run_bench("smoke", std::time::Duration::from_millis(1), |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for the `crossbeam` crate, providing the
+//! `crossbeam::thread::scope` API on top of `std::thread::scope`
+//! (stable since Rust 1.63, older than this workspace's MSRV).
+//!
+//! Differences from std that the facade papers over:
+//! - crossbeam's `scope` returns `Result` rather than propagating child
+//!   panics, so child panics are caught and surfaced as `Err`.
+//! - crossbeam's `spawn` closures receive a `&Scope` argument to allow
+//!   nested spawns; the wrapper threads one through.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Wrapper handing out `spawn` with crossbeam's closure signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reentry = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&reentry))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrowed_state() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum(), std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

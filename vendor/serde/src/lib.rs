@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`: the marker traits plus re-exported no-op
+//! derives. The workspace annotates a few graph/NLP types with
+//! `#[derive(Serialize, Deserialize)]` for future interchange but never
+//! drives an actual serializer, so empty trait bodies are sufficient.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in the offline build.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a forward
+//! declaration — nothing serializes through serde at runtime (persistence
+//! goes through the hand-rolled text formats in `crates/template/src/io.rs`
+//! and friends). Expanding to an empty token stream keeps the annotations
+//! compiling without pulling in syn/quote, which the build environment
+//! cannot download.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
