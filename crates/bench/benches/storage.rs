@@ -1,0 +1,98 @@
+//! Storage-engine microbenchmarks (ISSUE 2): cold-start load of the
+//! binary snapshot vs parsing the equivalent text artifacts (the ratio
+//! is printed once before the Criterion runs), and WAL append
+//! throughput with per-batch fsync.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use uqsj::prelude::*;
+use uqsj::storage::snapshot::{decode_snapshot, encode_snapshot};
+use uqsj::storage::StorageEngine;
+
+struct Artifacts {
+    snapshot_bytes: Vec<u8>,
+    templates_text: String,
+    lexicon_text: String,
+    kb_text: String,
+    library: uqsj::template::TemplateLibrary,
+}
+
+fn artifacts() -> Artifacts {
+    let dataset =
+        qald_like(&DatasetConfig { questions: 120, distractors: 80, ..Default::default() });
+    let result = uqsj::pipeline::generate_templates(&dataset, JoinParams::simj(1, 0.5));
+    let triples = dataset.kb.triple_store();
+    Artifacts {
+        snapshot_bytes: encode_snapshot(1, &result.library, &dataset.kb.lexicon, &triples),
+        templates_text: uqsj::template::io::to_text(&result.library),
+        lexicon_text: uqsj::nlp::lexicon_io::to_text(&dataset.kb.lexicon),
+        kb_text: uqsj::rdf::ntriples::to_ntriples(&triples),
+        library: result.library,
+    }
+}
+
+fn text_cold_start(a: &Artifacts) -> usize {
+    let library = uqsj::template::io::from_text(&a.templates_text).expect("templates");
+    let _lexicon = uqsj::nlp::lexicon_io::from_text(&a.lexicon_text).expect("lexicon");
+    let mut store = uqsj::rdf::TripleStore::new();
+    uqsj::rdf::ntriples::load_str(&mut store, &a.kb_text).expect("kb");
+    library.len() + store.len()
+}
+
+fn snapshot_cold_start(a: &Artifacts) -> usize {
+    let (state, _) = decode_snapshot(&a.snapshot_bytes).expect("snapshot");
+    state.library.len() + state.triples.len()
+}
+
+fn report_cold_start_ratio(a: &Artifacts) {
+    let iters = 20;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        criterion::black_box(text_cold_start(a));
+    }
+    let text = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        criterion::black_box(snapshot_cold_start(a));
+    }
+    let snap = t1.elapsed();
+    println!(
+        "cold start ({} templates, {} snapshot bytes): text {:?} vs snapshot {:?} — {:.2}x",
+        a.library.len(),
+        a.snapshot_bytes.len(),
+        text / iters,
+        snap / iters,
+        text.as_secs_f64() / snap.as_secs_f64()
+    );
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let a = artifacts();
+    report_cold_start_ratio(&a);
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+
+    group.bench_function("text_cold_start", |b| {
+        b.iter(|| criterion::black_box(text_cold_start(&a)))
+    });
+    group.bench_function("snapshot_cold_start", |b| {
+        b.iter(|| criterion::black_box(snapshot_cold_start(&a)))
+    });
+
+    // WAL append throughput: one fsynced batch of 8 templates per
+    // iteration, the unit of work an ingest burst commits.
+    let wal_dir = std::env::temp_dir().join(format!("uqsj-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let (mut engine, _) = StorageEngine::open(&wal_dir).expect("open wal dir");
+    let batch: Vec<Template> = a.library.templates().iter().take(8).cloned().collect();
+    group.bench_function("wal_append_8_fsync", |b| {
+        b.iter(|| engine.append_templates(criterion::black_box(&batch)).expect("append"))
+    });
+    group.finish();
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

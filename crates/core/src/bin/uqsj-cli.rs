@@ -18,6 +18,16 @@
 //!                [--threads N] [--cache C]
 //!     Serve questions (one per line, from --file or stdin) through the
 //!     signature-indexed template store, then print serving metrics.
+//!     With --data-dir DIR instead of --dir, the server opens a durable
+//!     snapshot+WAL storage directory (recovering state on start).
+//!
+//! uqsj-cli snapshot --dir artifacts --data-dir data
+//!     Import text artifacts into a storage directory as a fresh binary
+//!     snapshot generation.
+//!
+//! uqsj-cli compact --data-dir data
+//!     Recover a storage directory (snapshot + WAL replay) and fold the
+//!     WAL into the next snapshot generation.
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -29,7 +39,7 @@ use uqsj::workload::DatasetConfig;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: uqsj-cli <generate|answer|join> [options]");
+        eprintln!("usage: uqsj-cli <generate|answer|join|serve|snapshot|compact> [options]");
         return ExitCode::FAILURE;
     };
     let opts = Options::parse(&args[1..]);
@@ -38,8 +48,12 @@ fn main() -> ExitCode {
         "answer" => answer(&opts),
         "join" => join(&opts),
         "serve" => serve(&opts),
+        "snapshot" => snapshot(&opts),
+        "compact" => compact(&opts),
         other => {
-            eprintln!("unknown command {other:?}; expected generate|answer|join|serve");
+            eprintln!(
+                "unknown command {other:?}; expected generate|answer|join|serve|snapshot|compact"
+            );
             ExitCode::FAILURE
         }
     }
@@ -193,11 +207,6 @@ fn answer(opts: &Options) -> ExitCode {
 fn serve(opts: &Options) -> ExitCode {
     use uqsj::serve::{QaServer, ServeConfig, TemplateStore};
 
-    let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
-    let (library, lexicon, store) = match load_artifacts(&dir) {
-        Ok(x) => x,
-        Err(code) => return code,
-    };
     let config =
         ServeConfig { min_phi: opts.num("min-phi", 1.0), cache_capacity: opts.num("cache", 1024) };
     let threads: usize = opts.num("threads", 1);
@@ -205,7 +214,29 @@ fn serve(opts: &Options) -> ExitCode {
         eprintln!("--threads must be >= 1");
         return ExitCode::FAILURE;
     }
-    let server = QaServer::new(TemplateStore::from_library(library), lexicon, store, config);
+    let server = if let Some(data_dir) = opts.get("data-dir") {
+        match QaServer::open(Path::new(data_dir), config) {
+            Ok(server) => {
+                println!(
+                    "recovered {} templates from {data_dir} (generation {})",
+                    server.template_count(),
+                    server.storage_generation().unwrap_or(0)
+                );
+                server
+            }
+            Err(e) => {
+                eprintln!("cannot open data dir {data_dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
+        let (library, lexicon, store) = match load_artifacts(&dir) {
+            Ok(x) => x,
+            Err(code) => return code,
+        };
+        QaServer::new(TemplateStore::from_library(library), lexicon, store, config)
+    };
     println!("serving {} templates (min-phi {})", server.template_count(), config.min_phi);
 
     let questions: Vec<String> = match opts.get("file") {
@@ -245,6 +276,79 @@ fn serve(opts: &Options) -> ExitCode {
     }
     println!("{}", server.metrics());
     ExitCode::SUCCESS
+}
+
+/// Import the text artifacts of a `generate` run into a storage data
+/// directory as a fresh binary snapshot generation.
+fn snapshot(opts: &Options) -> ExitCode {
+    use uqsj::storage::StorageEngine;
+
+    let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
+    let Some(data_dir) = opts.get("data-dir") else {
+        eprintln!("snapshot requires --data-dir DIR");
+        return ExitCode::FAILURE;
+    };
+    let (library, lexicon, store) = match load_artifacts(&dir) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let (mut engine, _) = match StorageEngine::open(Path::new(data_dir)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot open data dir {data_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match engine.compact(&library, &lexicon, &store) {
+        Ok(generation) => {
+            println!(
+                "wrote snapshot generation {generation} to {data_dir}: {} templates, {} triples",
+                library.len(),
+                store.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Recover a storage directory and fold its WAL into the next snapshot
+/// generation.
+fn compact(opts: &Options) -> ExitCode {
+    use uqsj::storage::StorageEngine;
+
+    let Some(data_dir) = opts.get("data-dir") else {
+        eprintln!("compact requires --data-dir DIR");
+        return ExitCode::FAILURE;
+    };
+    let (mut engine, recovered) = match StorageEngine::open(Path::new(data_dir)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot open data dir {data_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = recovered.state;
+    if recovered.wal_torn_bytes > 0 {
+        println!("dropped {} bytes of torn WAL tail", recovered.wal_torn_bytes);
+    }
+    match engine.compact(&state.library, &state.lexicon, &state.triples) {
+        Ok(generation) => {
+            println!(
+                "folded {} WAL records into snapshot generation {generation} ({} templates)",
+                recovered.wal_records,
+                state.library.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("compaction failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn join(opts: &Options) -> ExitCode {

@@ -20,6 +20,9 @@
 //! 5. **Online serving** ([`serve`]) — the mined library behind a
 //!    signature-indexed store with answer caching, batch answering and
 //!    incremental workload ingestion.
+//! 6. **Durability** ([`storage`]) — checksummed binary snapshots plus a
+//!    write-ahead log so the serving state survives restarts and crashes
+//!    (`uqsj-cli serve --data-dir`, `snapshot`, `compact`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use uqsj_rdf as rdf;
 pub use uqsj_serve as serve;
 pub use uqsj_simjoin as simjoin;
 pub use uqsj_sparql as sparql;
+pub use uqsj_storage as storage;
 pub use uqsj_template as template;
 pub use uqsj_uncertain as uncertain;
 pub use uqsj_workload as workload;

@@ -8,18 +8,25 @@ use crate::store::TripleStore;
 use bytes::Bytes;
 use std::fmt;
 
-/// Loader error with line number.
+/// Loader error with line number and the offending line's text.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoadError {
     /// 1-based line number.
     pub line: usize,
+    /// The offending line, trimmed (empty when no single line is at
+    /// fault, e.g. an encoding error over the whole buffer).
+    pub line_text: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples error on line {}: {}", self.line, self.message)
+        write!(f, "N-Triples error on line {}: {}", self.line, self.message)?;
+        if !self.line_text.is_empty() {
+            write!(f, " in {:?}", self.line_text)?;
+        }
+        Ok(())
     }
 }
 
@@ -46,37 +53,36 @@ pub fn load_str(store: &mut TripleStore, text: &str) -> Result<usize, LoadError>
 /// Load from a byte buffer (the `bytes` entry point used when a dataset
 /// is shipped as one blob).
 pub fn load_bytes(store: &mut TripleStore, data: &Bytes) -> Result<usize, LoadError> {
-    let text = std::str::from_utf8(data)
-        .map_err(|e| LoadError { line: 0, message: format!("invalid UTF-8: {e}") })?;
+    let text = std::str::from_utf8(data).map_err(|e| LoadError {
+        line: 0,
+        line_text: String::new(),
+        message: format!("invalid UTF-8: {e}"),
+    })?;
     load_str(store, text)
 }
 
 fn tokenize(line: &str, lineno: usize) -> Result<[String; 3], LoadError> {
+    let err = |message: String| LoadError { line: lineno, line_text: line.to_owned(), message };
     let mut out: Vec<String> = Vec::with_capacity(3);
     let mut rest = line;
     while out.len() < 3 {
         rest = rest.trim_start();
         if rest.is_empty() {
-            return Err(LoadError { line: lineno, message: "expected 3 terms".into() });
+            return Err(err(format!("expected 3 terms, found {}", out.len())));
         }
         if let Some(tail) = rest.strip_prefix('<') {
-            let end = tail
-                .find('>')
-                .ok_or_else(|| LoadError { line: lineno, message: "unterminated IRI".into() })?;
+            let end = tail.find('>').ok_or_else(|| err("unterminated IRI".into()))?;
             out.push(local_name(&tail[..end]).to_owned());
             rest = &tail[end + 1..];
         } else if let Some(tail) = rest.strip_prefix('"') {
-            let end = tail.find('"').ok_or_else(|| LoadError {
-                line: lineno,
-                message: "unterminated literal".into(),
-            })?;
+            let end = tail.find('"').ok_or_else(|| err("unterminated literal".into()))?;
             out.push(tail[..end].to_owned());
             rest = &tail[end + 1..];
         } else {
             let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
             let word = rest[..end].trim_end_matches('.');
             if word.is_empty() {
-                return Err(LoadError { line: lineno, message: "empty term".into() });
+                return Err(err("empty term".into()));
             }
             out.push(word.to_owned());
             rest = &rest[end..];
@@ -84,7 +90,7 @@ fn tokenize(line: &str, lineno: usize) -> Result<[String; 3], LoadError> {
     }
     let rest = rest.trim();
     if !rest.is_empty() && rest != "." {
-        return Err(LoadError { line: lineno, message: format!("trailing content {rest:?}") });
+        return Err(err(format!("trailing content {rest:?}")));
     }
     Ok([out[0].clone(), out[1].clone(), out[2].clone()])
 }
@@ -140,10 +146,17 @@ mod tests {
     }
 
     #[test]
-    fn reports_line_numbers() {
+    fn reports_line_numbers_and_offending_text() {
         let mut s = TripleStore::new();
         let err = load_str(&mut s, "ok p v .\nbroken line").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.line_text, "broken line");
+        let shown = err.to_string();
+        assert!(shown.contains("line 2"), "{shown}");
+        assert!(shown.contains("broken line"), "{shown}");
+        let err = load_str(&mut s, "a <unclosed p o .").unwrap_err();
+        assert!(err.message.contains("unterminated IRI"));
+        assert_eq!(err.line_text, "a <unclosed p o .");
     }
 
     #[test]

@@ -28,6 +28,16 @@ impl Default for TripleStore {
     }
 }
 
+impl std::fmt::Debug for TripleStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TripleStore")
+            .field("triples", &self.triples.len())
+            .field("terms", &self.dict.len())
+            .field("dirty", &self.dirty)
+            .finish()
+    }
+}
+
 impl TripleStore {
     /// New empty store.
     pub fn new() -> Self {
@@ -57,6 +67,12 @@ impl TripleStore {
     /// Number of stored triples (including duplicates).
     pub fn len(&self) -> usize {
         self.triples.len()
+    }
+
+    /// The triples in insertion order (including duplicates) — the raw
+    /// sequence serializers persist; no index required.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
     }
 
     /// Whether empty.

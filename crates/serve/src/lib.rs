@@ -11,6 +11,10 @@
 //! - [`Ingestor`]: incremental SimJ of a newly arrived question against the
 //!   existing `D` side via `JoinIndex` — no full re-join — feeding freshly
 //!   mined templates back into the live store.
+//! - Durability (via `uqsj-storage`): [`QaServer::open`] recovers a
+//!   snapshot + WAL data directory; `insert_templates` journals accepted
+//!   templates before applying them; [`QaServer::compact`] folds the WAL
+//!   into a fresh snapshot generation.
 
 pub mod cache;
 pub mod ingest;

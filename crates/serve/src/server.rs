@@ -1,14 +1,19 @@
 //! The Q/A server: indexed store behind a read/write lock, answer cache,
 //! metrics, and a thread-pooled batch API mirroring the parallel join
-//! driver's `crossbeam::scope` chunking.
+//! driver's `crossbeam::scope` chunking. Optionally durable: opened from
+//! a `uqsj-storage` data directory, the server recovers its state on
+//! start and journals every ingested template to the WAL before applying
+//! it.
 
 use crate::cache::{normalize_question, AnswerCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::store::TemplateStore;
 use parking_lot::{Mutex, RwLock};
+use std::path::Path;
 use std::time::Instant;
 use uqsj_nlp::Lexicon;
 use uqsj_rdf::TripleStore;
+use uqsj_storage::{StorageEngine, StorageError};
 use uqsj_template::{QaOutcome, Template};
 
 /// Serving knobs.
@@ -34,10 +39,14 @@ pub struct QaServer {
     config: ServeConfig,
     cache: Mutex<AnswerCache>,
     metrics: ServeMetrics,
+    /// Present when the server is durable: the WAL ingests are journaled
+    /// to and the snapshot target for [`QaServer::compact`].
+    storage: Option<Mutex<StorageEngine>>,
 }
 
 impl QaServer {
-    /// Serve an indexed store over the given lexicon and RDF store.
+    /// Serve an indexed store over the given lexicon and RDF store
+    /// (in-memory only; restarts lose ingested templates).
     pub fn new(
         store: TemplateStore,
         lexicon: Lexicon,
@@ -51,7 +60,43 @@ impl QaServer {
             config,
             cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
             metrics: ServeMetrics::new(),
+            storage: None,
         }
+    }
+
+    /// Open a durable server from a storage data directory: recover the
+    /// snapshot, replay the WAL (truncating a torn tail), and serve the
+    /// result. Subsequent [`QaServer::insert_templates`] calls are
+    /// journaled before they are applied.
+    pub fn open(data_dir: &Path, config: ServeConfig) -> Result<Self, StorageError> {
+        let (engine, recovered) = StorageEngine::open(data_dir)?;
+        let state = recovered.state;
+        let mut server = Self::new(
+            TemplateStore::from_library(state.library),
+            state.lexicon,
+            state.triples,
+            config,
+        );
+        server.storage = Some(Mutex::new(engine));
+        Ok(server)
+    }
+
+    /// Bootstrap (or overwrite) a data directory from in-memory
+    /// artifacts — the import path from the text formats — and serve it.
+    /// The state is written as a fresh snapshot generation before the
+    /// server starts.
+    pub fn create(
+        data_dir: &Path,
+        store: TemplateStore,
+        lexicon: Lexicon,
+        triples: TripleStore,
+        config: ServeConfig,
+    ) -> Result<Self, StorageError> {
+        let (mut engine, _) = StorageEngine::open(data_dir)?;
+        engine.compact(store.library(), &lexicon, &triples)?;
+        let mut server = Self::new(store, lexicon, triples, config);
+        server.storage = Some(Mutex::new(engine));
+        Ok(server)
     }
 
     /// Answer one question: cache lookup, then signature-filtered template
@@ -107,8 +152,22 @@ impl QaServer {
     /// Returns how many were new; the answer cache is cleared whenever the
     /// library changed, since cached outcomes were ranked against the old
     /// template set.
-    pub fn insert_templates(&self, templates: impl IntoIterator<Item = Template>) -> usize {
+    ///
+    /// On a durable server the templates are appended to the WAL and
+    /// fsynced *before* they are applied: a crash after this returns
+    /// replays the same inserts on reopen; a crash before the append
+    /// leaves the previous state. The store lock is held across the
+    /// journal write so the WAL order always matches the apply order
+    /// (replay reproduces identical template indices).
+    pub fn insert_templates(
+        &self,
+        templates: impl IntoIterator<Item = Template>,
+    ) -> Result<usize, StorageError> {
+        let templates: Vec<Template> = templates.into_iter().collect();
         let mut store = self.store.write();
+        if let Some(engine) = &self.storage {
+            engine.lock().append_templates(&templates)?;
+        }
         let mut added = 0usize;
         for t in templates {
             if store.insert(t) {
@@ -119,7 +178,28 @@ impl QaServer {
         if added > 0 {
             self.cache.lock().clear();
         }
-        added
+        Ok(added)
+    }
+
+    /// Fold the WAL into a fresh snapshot of the current serving state
+    /// and rotate storage generations. Returns the new generation, or
+    /// `None` for an in-memory server.
+    pub fn compact(&self) -> Result<Option<u64>, StorageError> {
+        let Some(engine) = &self.storage else {
+            return Ok(None);
+        };
+        // Lock order mirrors insert_templates (store, then engine) so a
+        // concurrent ingest cannot deadlock with a compaction; the store
+        // read lock keeps the snapshotted library and the folded WAL
+        // consistent.
+        let store = self.store.read();
+        let generation = engine.lock().compact(store.library(), &self.lexicon, &self.triples)?;
+        Ok(Some(generation))
+    }
+
+    /// The active storage generation, or `None` for an in-memory server.
+    pub fn storage_generation(&self) -> Option<u64> {
+        self.storage.as_ref().map(|engine| engine.lock().generation())
     }
 
     /// Number of templates currently served.

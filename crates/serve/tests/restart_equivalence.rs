@@ -1,0 +1,137 @@
+//! Restart equivalence (ISSUE 2 acceptance): a durable `QaServer` that
+//! ingests questions, shuts down, and reopens from its data directory
+//! answers a 200-question replay *identically* to a server that never
+//! restarted.
+
+use std::path::PathBuf;
+use uqsj_serve::{Ingestor, QaServer, ServeConfig, TemplateStore};
+use uqsj_simjoin::{sim_join, JoinParams};
+use uqsj_template::{generate_template, QaOutcome, TemplateLibrary, TemplateSource};
+use uqsj_workload::{qald_like, Dataset, DatasetConfig};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uqsj-serve-restart-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Batch library over the first `n` questions (the offline seed state).
+fn batch_library(dataset: &Dataset, n: usize, params: JoinParams) -> TemplateLibrary {
+    let (matches, _) = sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs[..n], params);
+    let mut library = TemplateLibrary::new();
+    for m in &matches {
+        let source = TemplateSource {
+            analysis: &dataset.analyses[m.g_index],
+            query: &dataset.d_queries[m.q_index],
+            query_terms: &dataset.d_terms[m.q_index],
+            mapping: &m.mapping,
+            confidence: m.prob,
+        };
+        if let Some(t) = generate_template(&source) {
+            library.add(t);
+        }
+    }
+    library
+}
+
+fn store_of(library: &TemplateLibrary) -> TemplateStore {
+    let mut clone = TemplateLibrary::new();
+    for t in library.templates() {
+        clone.add(t.clone());
+    }
+    TemplateStore::from_library(clone)
+}
+
+fn assert_same_outcome(got: &QaOutcome, want: &QaOutcome, context: &str) {
+    assert_eq!(
+        got.sparql.as_ref().map(ToString::to_string),
+        want.sparql.as_ref().map(ToString::to_string),
+        "sparql diverged: {context}"
+    );
+    assert_eq!(got.answers, want.answers, "answers diverged: {context}");
+    assert_eq!(got.template_index, want.template_index, "template diverged: {context}");
+    assert!((got.phi - want.phi).abs() < 1e-12, "phi diverged: {context}");
+}
+
+#[test]
+fn reopened_server_replays_identically_to_uninterrupted_one() {
+    let dir = scratch_dir("replay");
+    let dataset =
+        qald_like(&DatasetConfig { questions: 60, distractors: 40, ..Default::default() });
+    let params = JoinParams::simj(1, 0.5);
+    let seed = 30usize;
+    let library = batch_library(&dataset, seed, params);
+    assert!(!library.is_empty(), "no templates to seed the server");
+    let lexicon = dataset.kb.lexicon.clone();
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 128 };
+
+    // Two servers with the same seed state: one in-memory (never
+    // restarted), one durable in the data directory.
+    let baseline =
+        QaServer::new(store_of(&library), lexicon.clone(), dataset.kb.triple_store(), config);
+    let durable = QaServer::create(
+        &dir,
+        store_of(&library),
+        lexicon.clone(),
+        dataset.kb.triple_store(),
+        config,
+    )
+    .expect("bootstrap data dir");
+    assert_eq!(durable.storage_generation(), Some(1));
+
+    // The remaining questions arrive online; both servers ingest the
+    // same templates. The durable one journals each batch to its WAL.
+    let mut ingestor = Ingestor::new(
+        dataset.table.clone(),
+        dataset.d_graphs.clone(),
+        dataset.d_queries.clone(),
+        dataset.d_terms.clone(),
+        params,
+        seed,
+    );
+    let mut ingested = 0usize;
+    for pair in &dataset.pairs[seed..] {
+        let Ok(outcome) = ingestor.ingest(&lexicon, &pair.question) else {
+            continue;
+        };
+        ingested += outcome.templates.len();
+        baseline.insert_templates(outcome.templates.clone()).expect("in-memory insert");
+        durable.insert_templates(outcome.templates).expect("journaled insert");
+    }
+    assert!(ingested > 0, "ingestion produced no templates");
+    assert_eq!(baseline.template_count(), durable.template_count());
+
+    // Kill the durable server (drop = no shutdown hook, like a crash
+    // after the last acknowledged ingest) and recover from disk.
+    drop(durable);
+    let reopened = QaServer::open(&dir, config).expect("recover from data dir");
+    assert_eq!(reopened.template_count(), baseline.template_count());
+
+    // 200-question replay: every dataset question plus periodic misses.
+    let base: Vec<&str> = dataset.pairs.iter().map(|p| p.question.as_str()).collect();
+    for i in 0..200usize {
+        let question = if i % 23 == 0 {
+            format!("Name every mountain on planet number {}", i % 5)
+        } else {
+            base[i % base.len()].to_owned()
+        };
+        let got = reopened.answer(&question);
+        let want = baseline.answer(&question);
+        assert_same_outcome(&got, &want, &format!("replay #{i}: {question:?}"));
+    }
+
+    // Compacting the recovered state and reopening once more still
+    // serves the same answers (WAL folded into the new snapshot).
+    let generation = reopened.compact().expect("compact").expect("durable server");
+    assert_eq!(generation, 2);
+    drop(reopened);
+    let recompacted = QaServer::open(&dir, config).expect("reopen after compaction");
+    assert_eq!(recompacted.template_count(), baseline.template_count());
+    for question in base.iter().take(40) {
+        let got = recompacted.answer(question);
+        let want = baseline.answer(question);
+        assert_same_outcome(&got, &want, &format!("post-compaction: {question:?}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,449 @@
+//! Binary encoding primitives and the per-component codecs.
+//!
+//! Everything is little-endian and length-prefixed: `u32`/`u64`/`f64`
+//! fixed-width, strings as `u32` byte length + UTF-8. The component
+//! codecs are exact — confidences round-trip bit-for-bit (the text
+//! format truncates to six decimals), the triple store round-trips its
+//! dictionary ids and insertion order — which is what lets a recovered
+//! server answer *identically* to one that never restarted.
+
+use crate::error::StorageError;
+use uqsj_nlp::lexicon::{EntityCandidate, Lexicon, PredicateInfo};
+use uqsj_rdf::{TermId, TripleStore};
+use uqsj_template::template::SlotBinding;
+use uqsj_template::{Template, TemplateLibrary};
+
+/// CRC32 (IEEE 802.3, the zlib polynomial), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Append-only byte sink.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bits (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string too long"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over a byte slice; every read is bounds-checked and yields a
+/// [`StorageError::Corrupt`] naming the field on underrun.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StorageError> {
+        if self.remaining() < n {
+            return Err(StorageError::corrupt(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, StorageError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its bits.
+    pub fn f64(&mut self, what: &str) -> Result<f64, StorageError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], StorageError> {
+        self.take(n, what)
+    }
+
+    /// Read a length-prefixed string.
+    pub fn str(&mut self, what: &str) -> Result<String, StorageError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StorageError::corrupt(format!("{what}: invalid UTF-8: {e}")))
+    }
+
+    /// Read a `u32` count, rejecting values that could not possibly fit
+    /// in the remaining bytes (each element needs at least
+    /// `min_element_size` bytes) so corrupt counts fail fast instead of
+    /// attempting huge allocations.
+    pub fn count(&mut self, what: &str, min_element_size: usize) -> Result<usize, StorageError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_element_size) > self.remaining() {
+            return Err(StorageError::corrupt(format!(
+                "implausible {what} count {n} for {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Template library
+// ---------------------------------------------------------------------
+
+/// Encode one template (also the WAL's `AddTemplate` body).
+pub fn encode_template(w: &mut Writer, t: &Template) {
+    w.u32(t.nl_tokens.len() as u32);
+    for tok in &t.nl_tokens {
+        w.str(tok);
+    }
+    // SPARQL as its canonical one-line text; `uqsj_sparql::parse` is the
+    // inverse (the same contract the text format relies on).
+    w.str(&t.sparql.to_string().replace('\n', " "));
+    w.u32(t.slots.len() as u32);
+    for s in &t.slots {
+        w.u8(match s {
+            SlotBinding::Bound => 0,
+            SlotBinding::Unbound => 1,
+        });
+    }
+    w.f64(t.confidence);
+}
+
+/// Decode one template.
+pub fn decode_template(r: &mut Reader<'_>) -> Result<Template, StorageError> {
+    let n_tokens = r.count("template tokens", 4)?;
+    let mut nl_tokens = Vec::with_capacity(n_tokens);
+    for _ in 0..n_tokens {
+        nl_tokens.push(r.str("nl token")?);
+    }
+    let sparql_text = r.str("sparql text")?;
+    let sparql = uqsj_sparql::parse(&sparql_text)
+        .map_err(|e| StorageError::corrupt(format!("embedded sparql: {e}")))?;
+    let n_slots = r.count("template slots", 1)?;
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        slots.push(match r.u8("slot binding")? {
+            0 => SlotBinding::Bound,
+            1 => SlotBinding::Unbound,
+            other => {
+                return Err(StorageError::corrupt(format!("unknown slot binding {other}")));
+            }
+        });
+    }
+    let confidence = r.f64("confidence")?;
+    Ok(Template::new(nl_tokens, sparql, slots, confidence))
+}
+
+/// Encode a whole library, in insertion order (the order replay re-adds
+/// them, so indices are stable across a save/load cycle).
+pub fn encode_library(w: &mut Writer, library: &TemplateLibrary) {
+    w.u32(library.len() as u32);
+    for t in library.templates() {
+        encode_template(w, t);
+    }
+}
+
+/// Decode a library.
+pub fn decode_library(r: &mut Reader<'_>) -> Result<TemplateLibrary, StorageError> {
+    let n = r.count("library templates", 17)?;
+    let mut library = TemplateLibrary::new();
+    for _ in 0..n {
+        library.add(decode_template(r)?);
+    }
+    Ok(library)
+}
+
+// ---------------------------------------------------------------------
+// Lexicon
+// ---------------------------------------------------------------------
+
+/// Encode a lexicon. Map entries are sorted so equal lexicons produce
+/// byte-identical payloads (stable snapshot diffs, stable CRCs).
+pub fn encode_lexicon(w: &mut Writer, lex: &Lexicon) {
+    let mut classes: Vec<(&String, &String)> = lex.class_nouns.iter().collect();
+    classes.sort();
+    w.u32(classes.len() as u32);
+    for (noun, class) in classes {
+        w.str(noun);
+        w.str(class);
+    }
+    w.u32(lex.predicates.len() as u32);
+    for p in &lex.predicates {
+        w.str(&p.name);
+        w.u32(p.phrases.len() as u32);
+        for phrase in &p.phrases {
+            w.str(phrase);
+        }
+    }
+    let mut inverse: Vec<(&String, &String)> = lex.inverse_nouns.iter().collect();
+    inverse.sort();
+    w.u32(inverse.len() as u32);
+    for (noun, pred) in inverse {
+        w.str(noun);
+        w.str(pred);
+    }
+    let mut surfaces: Vec<(&String, &Vec<EntityCandidate>)> = lex.surface_forms.iter().collect();
+    surfaces.sort_by(|a, b| a.0.cmp(b.0));
+    w.u32(surfaces.len() as u32);
+    for (phrase, cands) in surfaces {
+        w.str(phrase);
+        w.u32(cands.len() as u32);
+        for c in cands {
+            w.str(&c.entity);
+            w.str(&c.class);
+            w.f64(c.prob);
+        }
+    }
+}
+
+/// Decode a lexicon.
+pub fn decode_lexicon(r: &mut Reader<'_>) -> Result<Lexicon, StorageError> {
+    let mut lex = Lexicon::new();
+    let n_classes = r.count("lexicon classes", 8)?;
+    for _ in 0..n_classes {
+        let noun = r.str("class noun")?;
+        let class = r.str("class name")?;
+        lex.class_nouns.insert(noun, class);
+    }
+    let n_preds = r.count("lexicon predicates", 8)?;
+    for _ in 0..n_preds {
+        let name = r.str("predicate name")?;
+        let n_phrases = r.count("predicate phrases", 4)?;
+        let mut phrases = Vec::with_capacity(n_phrases);
+        for _ in 0..n_phrases {
+            phrases.push(r.str("predicate phrase")?);
+        }
+        lex.predicates.push(PredicateInfo { name, phrases });
+    }
+    let n_inverse = r.count("lexicon inverse nouns", 8)?;
+    for _ in 0..n_inverse {
+        let noun = r.str("inverse noun")?;
+        let pred = r.str("inverse predicate")?;
+        lex.inverse_nouns.insert(noun, pred);
+    }
+    let n_surfaces = r.count("lexicon surface forms", 8)?;
+    for _ in 0..n_surfaces {
+        let phrase = r.str("surface phrase")?;
+        let n_cands = r.count("surface candidates", 16)?;
+        let mut cands = Vec::with_capacity(n_cands);
+        for _ in 0..n_cands {
+            let entity = r.str("candidate entity")?;
+            let class = r.str("candidate class")?;
+            let prob = r.f64("candidate prob")?;
+            cands.push(EntityCandidate { entity, class, prob });
+        }
+        lex.surface_forms.insert(phrase, cands);
+    }
+    Ok(lex)
+}
+
+// ---------------------------------------------------------------------
+// Triple store
+// ---------------------------------------------------------------------
+
+/// Encode a triple store: the dictionary's terms in id order, then the
+/// triples as raw id triples in insertion order. No re-tokenizing, no
+/// re-interning on load — this is why snapshot cold starts beat parsing
+/// the N-Triples text.
+pub fn encode_triples(w: &mut Writer, store: &TripleStore) {
+    w.u32(store.dict.len() as u32);
+    for i in 0..store.dict.len() {
+        w.str(store.dict.decode(TermId(i as u32)));
+    }
+    w.u64(store.triples().len() as u64);
+    for &(s, p, o) in store.triples() {
+        w.u32(s.0);
+        w.u32(p.0);
+        w.u32(o.0);
+    }
+}
+
+/// Decode a triple store; indexes are rebuilt so the result is
+/// immediately scannable.
+pub fn decode_triples(r: &mut Reader<'_>) -> Result<TripleStore, StorageError> {
+    let mut store = TripleStore::new();
+    let n_terms = r.count("dictionary terms", 4)?;
+    for i in 0..n_terms {
+        let term = r.str("dictionary term")?;
+        let id = store.dict.encode(&term);
+        if id.index() != i {
+            return Err(StorageError::corrupt(format!(
+                "duplicate dictionary term {term:?} at id {i}"
+            )));
+        }
+    }
+    let n_triples = r.u64("triple count")? as usize;
+    if n_triples.saturating_mul(12) > r.remaining() {
+        return Err(StorageError::corrupt(format!(
+            "implausible triple count {n_triples} for {} remaining bytes",
+            r.remaining()
+        )));
+    }
+    for _ in 0..n_triples {
+        let s = r.u32("triple subject")?;
+        let p = r.u32("triple predicate")?;
+        let o = r.u32("triple object")?;
+        for id in [s, p, o] {
+            if id as usize >= n_terms {
+                return Err(StorageError::corrupt(format!(
+                    "triple references term id {id} outside dictionary of {n_terms}"
+                )));
+            }
+        }
+        store.insert_ids((TermId(s), TermId(p), TermId(o)));
+    }
+    store.ensure_indexes();
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_nlp::lexicon::paper_lexicon;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(0.1 + 0.2);
+        w.str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("d").unwrap(), 0.1 + 0.2);
+        assert_eq!(r.str("e").unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.u8("past end").is_err());
+    }
+
+    #[test]
+    fn lexicon_roundtrips_exactly() {
+        let lex = paper_lexicon();
+        let mut w = Writer::new();
+        encode_lexicon(&mut w, &lex);
+        let bytes = w.into_bytes();
+        let got = decode_lexicon(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.class_nouns, lex.class_nouns);
+        assert_eq!(got.predicates, lex.predicates);
+        assert_eq!(got.inverse_nouns, lex.inverse_nouns);
+        assert_eq!(got.surface_forms, lex.surface_forms);
+        // Determinism: re-encoding the decode is byte-identical.
+        let mut w2 = Writer::new();
+        encode_lexicon(&mut w2, &got);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn triples_roundtrip_including_duplicates() {
+        let mut store = TripleStore::new();
+        store.insert("Alice", "type", "Artist");
+        store.insert("Alice", "graduatedFrom", "Harvard_University");
+        store.insert("Alice", "type", "Artist"); // duplicate survives
+        store.ensure_indexes();
+        let mut w = Writer::new();
+        encode_triples(&mut w, &store);
+        let bytes = w.into_bytes();
+        let got = decode_triples(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.len(), store.len());
+        assert_eq!(got.dict.len(), store.dict.len());
+        assert_eq!(got.triples(), store.triples());
+        let ty = got.dict.get("type").unwrap();
+        assert_eq!(got.scan(None, Some(ty), None).len(), 2);
+    }
+
+    #[test]
+    fn corrupt_counts_fail_fast() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // absurd template count with no payload
+        let bytes = w.into_bytes();
+        let err = decode_library(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+}

@@ -1,0 +1,34 @@
+//! uqsj-storage: durable snapshot + write-ahead-log storage for the
+//! serving layer.
+//!
+//! The batch pipeline mines a `TemplateLibrary` offline; `uqsj-serve`
+//! keeps growing it online through incremental ingestion. This crate
+//! makes that state crash-safe and cheap to reload:
+//!
+//! - [`snapshot`]: a versioned binary image of the full serving state
+//!   (`TemplateLibrary` + `Lexicon` + `TripleStore`) — magic, format
+//!   version, and one length-prefixed, CRC32-checksummed section per
+//!   component, written atomically (temp file + fsync + rename).
+//! - [`wal`]: an append-only journal the ingest path writes each accepted
+//!   template to *before* applying it in memory. Replay-on-open tolerates
+//!   a torn or truncated tail: the log is cut back to the last valid
+//!   record, never rejected for a partial final record.
+//! - [`engine`]: [`StorageEngine`] ties both together under a generation
+//!   scheme (`snapshot-NNNNNN.uqsj` + `wal-NNNNNN.log` + `CURRENT`
+//!   pointer) and folds the WAL into a fresh snapshot on
+//!   [`StorageEngine::compact`].
+//!
+//! The existing text artifacts (`templates.txt`, `lexicon.txt`, `kb.nt`)
+//! remain the import/export interchange format; this crate is the
+//! process-restart format. See DESIGN.md, "Durability".
+
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod snapshot;
+pub mod wal;
+
+pub use engine::{RecoveredState, StorageEngine};
+pub use error::StorageError;
+pub use snapshot::SnapshotState;
+pub use wal::WalRecord;

@@ -1,0 +1,239 @@
+//! The snapshot format: one self-validating binary image of the full
+//! serving state.
+//!
+//! ```text
+//! +----------------+---------+------------+-----------+
+//! | magic UQSJSNAP | version | generation | sections  |
+//! |    8 bytes     |   u32   |    u64     |   u32     |
+//! +----------------+---------+------------+-----------+
+//! then per section:
+//! +---------+-------------+-------------+---------------+
+//! |   tag   | payload len | payload crc |    payload    |
+//! | 4 bytes |     u64     |  u32 (IEEE) | <len> bytes   |
+//! +---------+-------------+-------------+---------------+
+//! ```
+//!
+//! Sections: `TMPL` (template library), `LEXN` (lexicon), `TRPL`
+//! (triple store). Readers verify magic and version, then each
+//! section's CRC32 before decoding; a flipped bit anywhere in a payload
+//! is a typed [`StorageError::ChecksumMismatch`], never a silently
+//! wrong library. Writes go through a temp file + fsync + atomic rename
+//! so a crash mid-write leaves either the old snapshot or the new one,
+//! never a half-written file under the live name.
+
+use crate::codec::{self, crc32, Reader, Writer};
+use crate::error::StorageError;
+use std::fs::{self, File};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+use uqsj_nlp::Lexicon;
+use uqsj_rdf::TripleStore;
+use uqsj_template::TemplateLibrary;
+
+/// File magic for snapshots.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"UQSJSNAP";
+/// Highest snapshot format version this build reads and the version it
+/// writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const TAG_TEMPLATES: &[u8; 4] = b"TMPL";
+const TAG_LEXICON: &[u8; 4] = b"LEXN";
+const TAG_TRIPLES: &[u8; 4] = b"TRPL";
+
+/// The full serving state a snapshot captures.
+#[derive(Debug, Default)]
+pub struct SnapshotState {
+    /// Mined (and ingested) templates.
+    pub library: TemplateLibrary,
+    /// The language resources questions are analyzed with.
+    pub lexicon: Lexicon,
+    /// The RDF store answers are evaluated over.
+    pub triples: TripleStore,
+}
+
+/// Serialize a snapshot to bytes.
+pub fn encode_snapshot(
+    generation: u64,
+    library: &TemplateLibrary,
+    lexicon: &Lexicon,
+    triples: &TripleStore,
+) -> Vec<u8> {
+    let mut buf = Vec::from(SNAPSHOT_MAGIC.as_slice());
+    let mut header = Writer::new();
+    header.u32(SNAPSHOT_VERSION);
+    header.u64(generation);
+    header.u32(3);
+    buf.extend_from_slice(&header.into_bytes());
+    for (tag, payload) in [
+        (TAG_TEMPLATES, section(|w| codec::encode_library(w, library))),
+        (TAG_LEXICON, section(|w| codec::encode_lexicon(w, lexicon))),
+        (TAG_TRIPLES, section(|w| codec::encode_triples(w, triples))),
+    ] {
+        buf.extend_from_slice(tag);
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+fn section(encode: impl FnOnce(&mut Writer)) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a snapshot from bytes, returning the state and the generation
+/// recorded in the header.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotState, u64), StorageError> {
+    if bytes.len() < 8 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(StorageError::BadMagic {
+            kind: "snapshot",
+            found: bytes[..bytes.len().min(8)].to_vec(),
+        });
+    }
+    let mut r = Reader::new(&bytes[8..]);
+    let version = r.u32("snapshot version")?;
+    if version > SNAPSHOT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let generation = r.u64("snapshot generation")?;
+    let n_sections = r.u32("section count")?;
+    let mut state = SnapshotState::default();
+    let mut seen = [false; 3];
+    for _ in 0..n_sections {
+        let tag: [u8; 4] = [
+            r.u8("section tag")?,
+            r.u8("section tag")?,
+            r.u8("section tag")?,
+            r.u8("section tag")?,
+        ];
+        let len = r.u64("section length")? as usize;
+        let expected = r.u32("section crc")?;
+        if len > r.remaining() {
+            return Err(StorageError::corrupt(format!(
+                "section {} claims {len} bytes but only {} remain",
+                String::from_utf8_lossy(&tag),
+                r.remaining()
+            )));
+        }
+        let payload = r.bytes(len, "section payload")?;
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(StorageError::ChecksumMismatch {
+                section: String::from_utf8_lossy(&tag).into_owned(),
+                expected,
+                actual,
+            });
+        }
+        let mut pr = Reader::new(payload);
+        match &tag {
+            TAG_TEMPLATES => {
+                state.library = codec::decode_library(&mut pr)?;
+                seen[0] = true;
+            }
+            TAG_LEXICON => {
+                state.lexicon = codec::decode_lexicon(&mut pr)?;
+                seen[1] = true;
+            }
+            TAG_TRIPLES => {
+                state.triples = codec::decode_triples(&mut pr)?;
+                seen[2] = true;
+            }
+            // Unknown sections are skipped: a version-1 reader tolerates
+            // forward-compatible additions that keep the core three.
+            _ => {}
+        }
+        if pr.remaining() > 0 && matches!(&tag, TAG_TEMPLATES | TAG_LEXICON | TAG_TRIPLES) {
+            return Err(StorageError::corrupt(format!(
+                "section {} has {} trailing bytes",
+                String::from_utf8_lossy(&tag),
+                pr.remaining()
+            )));
+        }
+    }
+    if !seen.iter().all(|s| *s) {
+        return Err(StorageError::corrupt("snapshot is missing a required section"));
+    }
+    Ok((state, generation))
+}
+
+/// Write a snapshot atomically: serialize to `<path>.tmp`, fsync it,
+/// rename over `path`, then fsync the parent directory so the rename
+/// itself is durable.
+pub fn write_snapshot(
+    path: &Path,
+    generation: u64,
+    library: &TemplateLibrary,
+    lexicon: &Lexicon,
+    triples: &TripleStore,
+) -> Result<(), StorageError> {
+    let bytes = encode_snapshot(generation, library, lexicon, triples);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Read and validate a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<(SnapshotState, u64), StorageError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    decode_snapshot(&bytes)
+}
+
+/// fsync the directory containing `path` (directory entries are metadata
+/// the rename/create is not durable without).
+pub fn sync_parent_dir(path: &Path) -> Result<(), StorageError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_nlp::lexicon::paper_lexicon;
+
+    fn small_state() -> SnapshotState {
+        let mut triples = TripleStore::new();
+        triples.insert("Alice", "type", "Artist");
+        triples.insert("Alice", "graduatedFrom", "Harvard_University");
+        triples.ensure_indexes();
+        SnapshotState { library: TemplateLibrary::new(), lexicon: paper_lexicon(), triples }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let state = small_state();
+        let bytes = encode_snapshot(7, &state.library, &state.lexicon, &state.triples);
+        let (got, generation) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(generation, 7);
+        assert_eq!(got.library.len(), 0);
+        assert_eq!(got.lexicon.class_nouns, state.lexicon.class_nouns);
+        assert_eq!(got.triples.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_future_version() {
+        let err = decode_snapshot(b"NOTASNAP rest").unwrap_err();
+        assert!(matches!(err, StorageError::BadMagic { kind: "snapshot", .. }), "{err}");
+
+        let state = small_state();
+        let mut bytes = encode_snapshot(1, &state.library, &state.lexicon, &state.triples);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = decode_snapshot(&bytes).unwrap_err();
+        assert!(matches!(err, StorageError::UnsupportedVersion { found: 99, .. }), "{err}");
+    }
+}

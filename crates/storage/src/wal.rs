@@ -1,0 +1,258 @@
+//! The write-ahead log: every template the ingest path accepts is
+//! appended here *before* it is applied to the in-memory store, so a
+//! crash at any instant loses at most work that was never acknowledged.
+//!
+//! ```text
+//! +---------------+---------+------------+
+//! | magic UQSJWAL0| version | generation |
+//! |    8 bytes    |   u32   |    u64     |
+//! +---------------+---------+------------+
+//! then zero or more records:
+//! +-------------+-------------+------------------------+
+//! | payload len | payload crc | payload                |
+//! |     u32     |  u32 (IEEE) | kind u8 + body         |
+//! +-------------+-------------+------------------------+
+//! ```
+//!
+//! Recovery rule (torn-tail tolerance): records are replayed in order
+//! until the first one that is incomplete or fails its CRC; the log is
+//! truncated back to the end of the last valid record and recovery
+//! succeeds. A partial final record — the signature of a crash mid-append
+//! — is therefore *never* an error: the state is exactly "before that
+//! append". Only a damaged header rejects the log outright.
+
+use crate::codec::{crc32, Reader, Writer};
+use crate::error::StorageError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use uqsj_template::Template;
+
+/// File magic for write-ahead logs.
+pub const WAL_MAGIC: &[u8; 8] = b"UQSJWAL0";
+/// Highest WAL format version this build reads and the version it
+/// writes.
+pub const WAL_VERSION: u32 = 1;
+/// Bytes before the first record: magic + version + generation.
+pub const WAL_HEADER_LEN: u64 = 8 + 4 + 8;
+
+const KIND_ADD_TEMPLATE: u8 = 1;
+
+/// One journaled operation.
+#[derive(Debug)]
+pub enum WalRecord {
+    /// A template accepted by the ingest path.
+    AddTemplate(Template),
+}
+
+/// Serialize one record (len + crc framing included).
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Writer::new();
+    match record {
+        WalRecord::AddTemplate(t) => {
+            payload.u8(KIND_ADD_TEMPLATE);
+            crate::codec::encode_template(&mut payload, t);
+        }
+    }
+    let payload = payload.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, StorageError> {
+    let mut r = Reader::new(payload);
+    match r.u8("record kind")? {
+        KIND_ADD_TEMPLATE => Ok(WalRecord::AddTemplate(crate::codec::decode_template(&mut r)?)),
+        other => Err(StorageError::corrupt(format!("unknown WAL record kind {other}"))),
+    }
+}
+
+/// What replaying a log produced.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// The valid records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset one past the last valid record — where appends resume.
+    pub valid_len: u64,
+    /// Bytes of torn/invalid tail that were dropped (0 for a clean log).
+    pub torn_bytes: u64,
+}
+
+/// Replay a WAL's bytes. Returns the decoded records and where the valid
+/// prefix ends; never errors on a truncated tail, only on a bad header.
+pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, StorageError> {
+    if bytes.len() < 8 || &bytes[..8] != WAL_MAGIC {
+        return Err(StorageError::BadMagic {
+            kind: "wal",
+            found: bytes[..bytes.len().min(8)].to_vec(),
+        });
+    }
+    let mut r = Reader::new(&bytes[8..]);
+    let version = r.u32("wal version")?;
+    if version > WAL_VERSION {
+        return Err(StorageError::UnsupportedVersion { found: version, supported: WAL_VERSION });
+    }
+    let _generation = r.u64("wal generation")?;
+
+    let mut records = Vec::new();
+    let mut offset = WAL_HEADER_LEN as usize;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < 8 {
+            break; // torn mid-frame (or clean EOF when empty)
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let expected = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if rest.len() < 8 + len {
+            break; // torn mid-payload
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != expected {
+            break; // bit rot or torn inside a frame that kept its length
+        }
+        match decode_record(payload) {
+            Ok(record) => records.push(record),
+            // A record that passes CRC but does not decode is from a
+            // newer writer or a software bug; stop replaying before it
+            // rather than applying garbage.
+            Err(_) => break,
+        }
+        offset += 8 + len;
+    }
+    let valid_len = offset as u64;
+    Ok(WalReplay { records, valid_len, torn_bytes: bytes.len() as u64 - valid_len })
+}
+
+/// An open, append-only WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl WalWriter {
+    /// Create a fresh log at `path` (truncating any previous file),
+    /// writing and fsyncing the header.
+    pub fn create(path: &Path, generation: u64) -> Result<Self, StorageError> {
+        let mut file = File::create(path)?;
+        let mut header = Writer::new();
+        header.u32(WAL_VERSION);
+        header.u64(generation);
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&header.into_bytes())?;
+        file.sync_all()?;
+        crate::snapshot::sync_parent_dir(path)?;
+        Ok(Self { path: path.to_owned(), file })
+    }
+
+    /// Open an existing log for appending: replay it, truncate any torn
+    /// tail, and position the write cursor after the last valid record.
+    /// Returns the writer and the replayed records.
+    pub fn open(path: &Path) -> Result<(Self, WalReplay), StorageError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let replay = replay_bytes(&bytes)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        if replay.torn_bytes > 0 {
+            file.set_len(replay.valid_len)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        use std::io::Seek as _;
+        file.seek(std::io::SeekFrom::Start(replay.valid_len))?;
+        Ok((Self { path: path.to_owned(), file }, replay))
+    }
+
+    /// Append records and fsync once. The records are durable when this
+    /// returns; callers apply them to memory only afterwards.
+    pub fn append(&mut self, records: &[WalRecord]) -> Result<(), StorageError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        for record in records {
+            buf.extend_from_slice(&encode_record(record));
+        }
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_sparql::{SparqlQuery, Term, Triple};
+    use uqsj_template::template::{slot_term, SlotBinding};
+
+    fn template(confidence: f64) -> Template {
+        let sparql = SparqlQuery {
+            select: vec!["x".into()],
+            triples: vec![Triple {
+                subject: Term::Var("x".into()),
+                predicate: Term::Iri("graduatedFrom".into()),
+                object: slot_term(0),
+            }],
+        };
+        Template::new(
+            vec!["Who".into(), "graduated".into(), "from".into(), "<_>".into(), "?".into()],
+            sparql,
+            vec![SlotBinding::Bound],
+            confidence,
+        )
+    }
+
+    fn wal_bytes(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = Vec::from(WAL_MAGIC.as_slice());
+        let mut header = Writer::new();
+        header.u32(WAL_VERSION);
+        header.u64(0);
+        bytes.extend_from_slice(&header.into_bytes());
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn replay_roundtrips_records() {
+        let bytes = wal_bytes(&[
+            WalRecord::AddTemplate(template(0.5)),
+            WalRecord::AddTemplate(template(0.75)),
+        ]);
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.valid_len, bytes.len() as u64);
+        let WalRecord::AddTemplate(t) = &replay.records[1];
+        assert_eq!(t.confidence, 0.75);
+    }
+
+    #[test]
+    fn every_truncation_of_the_tail_recovers_the_prefix() {
+        let one = wal_bytes(&[WalRecord::AddTemplate(template(0.5))]);
+        let two = wal_bytes(&[
+            WalRecord::AddTemplate(template(0.5)),
+            WalRecord::AddTemplate(template(0.75)),
+        ]);
+        for cut in one.len()..two.len() {
+            let replay = replay_bytes(&two[..cut]).unwrap();
+            assert_eq!(replay.records.len(), 1, "cut at {cut}");
+            assert_eq!(replay.valid_len, one.len() as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_header_is_an_error_not_a_truncation() {
+        let err = replay_bytes(b"GARBAGE!xxxx").unwrap_err();
+        assert!(matches!(err, StorageError::BadMagic { kind: "wal", .. }), "{err}");
+    }
+}

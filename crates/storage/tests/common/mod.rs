@@ -1,0 +1,67 @@
+//! Shared test scaffolding: unique scratch directories and a small
+//! serving state to persist.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use uqsj_nlp::lexicon::paper_lexicon;
+use uqsj_rdf::TripleStore;
+use uqsj_sparql::{SparqlQuery, Term, Triple};
+use uqsj_storage::SnapshotState;
+use uqsj_template::template::{slot_term, SlotBinding};
+use uqsj_template::{Template, TemplateLibrary};
+
+static NEXT_DIR: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory under the system temp dir, unique per test
+/// and per process.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("uqsj-storage-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A one-triple-pattern template over `predicate`, with `n_slots` slots.
+pub fn template(tokens: &[&str], predicate: &str, confidence: f64) -> Template {
+    let n_slots = tokens.iter().filter(|t| **t == "<_>").count();
+    let sparql = SparqlQuery {
+        select: vec!["x".into()],
+        triples: (0..n_slots)
+            .map(|i| Triple {
+                subject: Term::Var("x".into()),
+                predicate: Term::Iri(predicate.into()),
+                object: slot_term(i),
+            })
+            .collect(),
+    };
+    Template::new(
+        tokens.iter().map(|t| (*t).to_owned()).collect(),
+        sparql,
+        vec![SlotBinding::Bound; n_slots],
+        confidence,
+    )
+}
+
+/// A small but non-trivial serving state: two templates, the paper
+/// lexicon, a handful of triples.
+pub fn small_state() -> SnapshotState {
+    let mut library = TemplateLibrary::new();
+    library.add(template(&["Which", "<_>", "graduated", "from", "<_>", "?"], "graduatedFrom", 0.8));
+    library.add(template(&["Who", "is", "married", "to", "<_>", "?"], "spouse", 0.6));
+    let mut triples = TripleStore::new();
+    triples.insert("Alice", "type", "Physicist");
+    triples.insert("Alice", "graduatedFrom", "Carnegie_Mellon_University");
+    triples.insert("Bob", "spouse", "Alice");
+    triples.ensure_indexes();
+    SnapshotState { library, lexicon: paper_lexicon(), triples }
+}
+
+/// Library equality by content (Template is PartialEq; library is not).
+pub fn assert_same_library(got: &TemplateLibrary, want: &TemplateLibrary, context: &str) {
+    assert_eq!(got.len(), want.len(), "library size diverged: {context}");
+    for (i, (a, b)) in got.templates().iter().zip(want.templates()).enumerate() {
+        assert_eq!(a, b, "template #{i} diverged: {context}");
+    }
+}

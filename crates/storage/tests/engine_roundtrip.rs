@@ -1,0 +1,93 @@
+//! Engine lifecycle: initialization, snapshot round-trip, WAL replay,
+//! and compaction generation rotation.
+
+mod common;
+
+use common::{assert_same_library, scratch_dir, small_state, template};
+use std::fs;
+use uqsj_storage::StorageEngine;
+
+#[test]
+fn fresh_directory_initializes_empty_generation_zero() {
+    let dir = scratch_dir("fresh");
+    let (engine, recovered) = StorageEngine::open(&dir).expect("open fresh");
+    assert_eq!(engine.generation(), 0);
+    assert!(recovered.state.library.is_empty());
+    assert!(recovered.state.triples.is_empty());
+    assert_eq!(recovered.wal_records, 0);
+    // A second open sees the same (still empty) generation.
+    drop(engine);
+    let (engine, recovered) = StorageEngine::open(&dir).expect("reopen");
+    assert_eq!(engine.generation(), 0);
+    assert!(recovered.state.library.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_and_wal_replay_roundtrip_the_full_state() {
+    let dir = scratch_dir("roundtrip");
+    let state = small_state();
+    let (mut engine, _) = StorageEngine::open(&dir).expect("open");
+    engine.compact(&state.library, &state.lexicon, &state.triples).expect("compact");
+    assert_eq!(engine.generation(), 1);
+
+    let extra = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
+    engine.append_templates(&[extra.clone()]).expect("append");
+    drop(engine);
+
+    let (engine, recovered) = StorageEngine::open(&dir).expect("recover");
+    assert_eq!(engine.generation(), 1);
+    assert_eq!(recovered.wal_records, 1);
+    assert_eq!(recovered.wal_torn_bytes, 0);
+    let mut want = uqsj_template::TemplateLibrary::new();
+    for t in state.library.templates() {
+        want.add(t.clone());
+    }
+    want.add(extra);
+    assert_same_library(&recovered.state.library, &want, "snapshot + wal replay");
+    assert_eq!(recovered.state.lexicon.class_nouns, state.lexicon.class_nouns);
+    assert_eq!(recovered.state.lexicon.surface_forms, state.lexicon.surface_forms);
+    assert_eq!(recovered.state.triples.triples(), state.triples.triples());
+    // Confidences survive bit-exactly (the text format rounds them).
+    for (a, b) in recovered.state.library.templates().iter().zip(want.templates()) {
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_folds_the_wal_and_rotates_generations() {
+    let dir = scratch_dir("compact");
+    let state = small_state();
+    let (mut engine, _) = StorageEngine::open(&dir).expect("open");
+    engine.compact(&state.library, &state.lexicon, &state.triples).expect("seed");
+
+    let extra = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
+    engine.append_templates(&[extra.clone()]).expect("append");
+    drop(engine);
+
+    // Recover (snapshot gen 1 + 1 WAL record), then compact the merged
+    // state into generation 2.
+    let (mut engine, recovered) = StorageEngine::open(&dir).expect("recover");
+    let merged = recovered.state;
+    let new_generation =
+        engine.compact(&merged.library, &merged.lexicon, &merged.triples).expect("compact merged");
+    assert_eq!(new_generation, 2);
+    drop(engine);
+
+    let (engine, recovered) = StorageEngine::open(&dir).expect("reopen gen 2");
+    assert_eq!(engine.generation(), 2);
+    assert_eq!(recovered.wal_records, 0, "wal was folded into the snapshot");
+    assert_same_library(&recovered.state.library, &merged.library, "compacted state");
+
+    // Exactly one generation's files remain (plus CURRENT).
+    let names: Vec<String> = fs::read_dir(&dir)
+        .expect("read dir")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    let snapshots = names.iter().filter(|n| n.starts_with("snapshot-")).count();
+    let wals = names.iter().filter(|n| n.starts_with("wal-")).count();
+    assert_eq!((snapshots, wals), (1, 1), "stale generations left behind: {names:?}");
+    let _ = fs::remove_dir_all(&dir);
+}

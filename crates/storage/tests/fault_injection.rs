@@ -1,0 +1,147 @@
+//! Fault injection (ISSUE 2 acceptance): kill-point recovery.
+//!
+//! 1. The WAL is truncated at *every* byte boundary of its final record;
+//!    reopening must recover exactly the pre-append library (torn tail)
+//!    or the post-append library (clean tail) — never anything else, and
+//!    never an error.
+//! 2. Every byte of every snapshot section payload is bit-flipped in
+//!    turn; reopening must reject with a typed
+//!    [`StorageError::ChecksumMismatch`], never load a silently corrupt
+//!    state.
+
+mod common;
+
+use common::{assert_same_library, scratch_dir, small_state, template};
+use std::fs;
+use uqsj_storage::{StorageEngine, StorageError};
+
+/// Build a data dir with a compacted snapshot of the small state plus
+/// one WAL-journaled template, returning (dir, pre-append library,
+/// post-append library, wal file length before the append).
+fn seeded_dir(
+    tag: &str,
+) -> (std::path::PathBuf, uqsj_template::TemplateLibrary, uqsj_template::TemplateLibrary, u64) {
+    let dir = scratch_dir(tag);
+    let state = small_state();
+    let (mut engine, _) = StorageEngine::open(&dir).expect("open fresh dir");
+    engine.compact(&state.library, &state.lexicon, &state.triples).expect("seed snapshot");
+    let base_len = fs::metadata(engine.wal_file()).expect("wal metadata").len();
+
+    let appended = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
+    engine.append_templates(std::slice::from_ref(&appended)).expect("append");
+
+    let pre = state.library;
+    let mut post = uqsj_template::TemplateLibrary::new();
+    for t in pre.templates() {
+        post.add(t.clone());
+    }
+    post.add(appended);
+    (dir, pre, post, base_len)
+}
+
+#[test]
+fn wal_truncation_at_every_byte_boundary_recovers_pre_or_post_state() {
+    let (dir, pre, post, base_len) = seeded_dir("trunc");
+    let wal_path = {
+        let (engine, _) = StorageEngine::open(&dir).expect("locate wal");
+        engine.wal_file().to_owned()
+    };
+    let full = fs::read(&wal_path).expect("read wal");
+    let full_len = full.len() as u64;
+    assert!(full_len > base_len, "append did not grow the WAL");
+
+    for cut in base_len..=full_len {
+        // Restore the full log, then cut it at this boundary — the disk
+        // image a crash mid-append leaves behind.
+        fs::write(&wal_path, &full).expect("restore wal");
+        let f = fs::OpenOptions::new().write(true).open(&wal_path).expect("open wal");
+        f.set_len(cut).expect("truncate");
+        drop(f);
+
+        let (_, recovered) =
+            StorageEngine::open(&dir).unwrap_or_else(|e| panic!("reopen at cut {cut}: {e}"));
+        if cut == full_len {
+            assert_same_library(
+                &recovered.state.library,
+                &post,
+                &format!("clean tail at cut {cut}"),
+            );
+            assert_eq!(recovered.wal_records, 1, "cut {cut}");
+            assert_eq!(recovered.wal_torn_bytes, 0, "cut {cut}");
+        } else {
+            assert_same_library(&recovered.state.library, &pre, &format!("torn tail at cut {cut}"));
+            assert_eq!(recovered.wal_records, 0, "cut {cut}");
+            // Recovery physically truncated the torn tail.
+            let len_after = fs::metadata(&wal_path).expect("wal metadata").len();
+            assert_eq!(len_after, base_len, "cut {cut} left a dirty tail");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopening_after_torn_tail_truncation_appends_cleanly() {
+    let (dir, pre, _, base_len) = seeded_dir("retry");
+    let wal_path = {
+        let (engine, _) = StorageEngine::open(&dir).expect("locate wal");
+        engine.wal_file().to_owned()
+    };
+    // Tear the tail mid-record, reopen, and re-append: the journal must
+    // accept new records right where the valid prefix ended.
+    let f = fs::OpenOptions::new().write(true).open(&wal_path).expect("open wal");
+    f.set_len(base_len + 3).expect("truncate");
+    drop(f);
+    let (mut engine, recovered) = StorageEngine::open(&dir).expect("reopen torn");
+    assert_same_library(&recovered.state.library, &pre, "torn tail dropped");
+    let again = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
+    engine.append_templates(&[again.clone()]).expect("re-append");
+    drop(engine);
+    let (_, recovered) = StorageEngine::open(&dir).expect("reopen clean");
+    assert_eq!(recovered.wal_records, 1);
+    assert_eq!(recovered.state.library.len(), pre.len() + 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_snapshot_sections_are_rejected_with_checksum_mismatch() {
+    let (dir, _, _, _) = seeded_dir("flip");
+    let snap_path = {
+        let (engine, _) = StorageEngine::open(&dir).expect("locate snapshot");
+        engine.snapshot_file()
+    };
+    let clean = fs::read(&snap_path).expect("read snapshot");
+    // Header: 8 magic + 4 version + 8 generation + 4 section count; each
+    // section prefixes 4 tag + 8 len + 4 crc. Flipping any payload byte
+    // must trip the section's CRC.
+    let mut offset = 8 + 4 + 8 + 4;
+    let mut sections = 0;
+    while offset < clean.len() {
+        let tag = String::from_utf8_lossy(&clean[offset..offset + 4]).into_owned();
+        let len = u64::from_le_bytes(clean[offset + 4..offset + 12].try_into().unwrap()) as usize;
+        let payload_start = offset + 16;
+        assert!(len > 0, "empty section {tag}");
+        // Sampling every payload byte of every section keeps the test
+        // fast while still covering all three sections end to end.
+        let step = (len / 64).max(1);
+        for i in (0..len).step_by(step) {
+            let mut corrupt = clean.clone();
+            corrupt[payload_start + i] ^= 0x40;
+            fs::write(&snap_path, &corrupt).expect("write corrupt snapshot");
+            let err = StorageEngine::open(&dir)
+                .err()
+                .unwrap_or_else(|| panic!("flipped byte {i} of {tag} was accepted"));
+            match err {
+                StorageError::ChecksumMismatch { section, .. } => {
+                    assert_eq!(section, tag, "flip at byte {i}")
+                }
+                other => panic!("flipped byte {i} of {tag}: expected checksum error, got {other}"),
+            }
+        }
+        sections += 1;
+        offset = payload_start + len;
+    }
+    assert_eq!(sections, 3, "snapshot should carry TMPL+LEXN+TRPL");
+    fs::write(&snap_path, &clean).expect("restore snapshot");
+    StorageEngine::open(&dir).expect("restored snapshot loads again");
+    let _ = fs::remove_dir_all(&dir);
+}

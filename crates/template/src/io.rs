@@ -22,13 +22,20 @@ use std::fmt;
 pub struct TemplateIoError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based ordinal of the template record being parsed when the
+    /// error occurred.
+    pub template: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for TemplateIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "template parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "template parse error in template #{} on line {}: {}",
+            self.template, self.line, self.message
+        )
     }
 }
 
@@ -52,63 +59,55 @@ pub fn to_text(library: &TemplateLibrary) -> String {
 pub fn from_text(text: &str) -> Result<TemplateLibrary, TemplateIoError> {
     let mut library = TemplateLibrary::new();
     let mut lines = text.lines().enumerate().peekable();
+    let mut ordinal = 0usize;
     while let Some((i, line)) = lines.next() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let header = line.strip_prefix("#template").ok_or_else(|| TemplateIoError {
-            line: i + 1,
-            message: "expected #template header".into(),
-        })?;
+        // Everything until the next blank line belongs to this record.
+        ordinal += 1;
+        let err =
+            |line: usize, message: String| TemplateIoError { line, template: ordinal, message };
+        let header = line
+            .strip_prefix("#template")
+            .ok_or_else(|| err(i + 1, "expected #template header".into()))?;
         let mut confidence = 0.0f64;
         let mut slots: Vec<SlotBinding> = Vec::new();
         for field in header.split_whitespace() {
             if let Some(v) = field.strip_prefix("confidence=") {
-                confidence = v.parse().map_err(|_| TemplateIoError {
-                    line: i + 1,
-                    message: format!("bad confidence {v:?}"),
-                })?;
+                confidence = v.parse().map_err(|_| err(i + 1, format!("bad confidence {v:?}")))?;
             } else if let Some(v) = field.strip_prefix("slots=") {
                 slots = v
                     .chars()
                     .map(|c| match c {
                         'B' => Ok(SlotBinding::Bound),
                         'U' => Ok(SlotBinding::Unbound),
-                        other => Err(TemplateIoError {
-                            line: i + 1,
-                            message: format!("bad slot flag {other:?}"),
-                        }),
+                        other => Err(err(i + 1, format!("bad slot flag {other:?}"))),
                     })
                     .collect::<Result<_, _>>()?;
             }
         }
-        let (j, nl_line) = lines
-            .next()
-            .ok_or_else(|| TemplateIoError { line: i + 2, message: "missing nl: line".into() })?;
+        let (j, nl_line) = lines.next().ok_or_else(|| err(i + 2, "missing nl: line".into()))?;
         let nl = nl_line
             .trim()
             .strip_prefix("nl:")
-            .ok_or_else(|| TemplateIoError { line: j + 1, message: "expected nl: line".into() })?;
+            .ok_or_else(|| err(j + 1, "expected nl: line".into()))?;
         let nl_tokens: Vec<String> = nl.split_whitespace().map(str::to_owned).collect();
-        let (k, sparql_line) = lines.next().ok_or_else(|| TemplateIoError {
-            line: j + 2,
-            message: "missing sparql: line".into(),
-        })?;
-        let sparql_text = sparql_line.trim().strip_prefix("sparql:").ok_or_else(|| {
-            TemplateIoError { line: k + 1, message: "expected sparql: line".into() }
-        })?;
-        let sparql = uqsj_sparql::parse(sparql_text.trim())
-            .map_err(|e| TemplateIoError { line: k + 1, message: e.to_string() })?;
+        let (k, sparql_line) =
+            lines.next().ok_or_else(|| err(j + 2, "missing sparql: line".into()))?;
+        let sparql_text = sparql_line
+            .trim()
+            .strip_prefix("sparql:")
+            .ok_or_else(|| err(k + 1, "expected sparql: line".into()))?;
+        let sparql =
+            uqsj_sparql::parse(sparql_text.trim()).map_err(|e| err(k + 1, e.to_string()))?;
         let slot_count = nl_tokens.iter().filter(|t| *t == crate::template_slot_token()).count();
         if slots.len() != slot_count {
-            return Err(TemplateIoError {
-                line: i + 1,
-                message: format!(
-                    "slots= lists {} flags but pattern has {slot_count} slots",
-                    slots.len()
-                ),
-            });
+            return Err(err(
+                i + 1,
+                format!("slots= lists {} flags but pattern has {slot_count} slots", slots.len()),
+            ));
         }
         library.add(Template::new(nl_tokens, sparql, slots, confidence));
     }
@@ -169,13 +168,21 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_carry_line_numbers() {
+    fn parse_errors_carry_line_numbers_and_ordinals() {
         let err = from_text("not a template").unwrap_err();
         assert_eq!(err.line, 1);
+        assert_eq!(err.template, 1);
         let err =
             from_text("#template confidence=x slots=B\nnl: a\nsparql: SELECT ?x WHERE { ?x p ?y }")
                 .unwrap_err();
         assert!(err.message.contains("bad confidence"));
+        assert_eq!(err.template, 1);
+        // An error in the second record names template #2.
+        let good = to_text(&library());
+        let err =
+            from_text(&format!("{good}\n#template confidence=0.5 slots=B\nnl: a\n")).unwrap_err();
+        assert_eq!(err.template, 2, "{err}");
+        assert!(err.to_string().contains("template #2"), "{err}");
     }
 
     #[test]
