@@ -1,10 +1,14 @@
 //! Microbenchmarks of exact and τ-bounded GED (the refinement cost of
-//! Algorithm 1).
+//! Algorithm 1), including the deep near-τ regime where A\* must expand to
+//! full mapping depth, and a reused-engine vs. naive-reference comparison
+//! (the retained `reference` module is the pre-engine search).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use uqsj::ged::reference::ged_bounded_reference;
+use uqsj::ged::GedEngine;
 use uqsj::graph::SymbolTable;
 use uqsj::prelude::*;
 use uqsj::workload::{aids_like, RandomGraphConfig};
@@ -43,5 +47,56 @@ fn bench_ged(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_ged);
+/// Deep near-τ searches: each pair is a 12-vertex graph against a copy
+/// with three vertex labels rewritten, so the true distance (3) is inside
+/// τ = 4 and A\* must push a mapping to full depth instead of cutting off
+/// on the bound. This is the regime the incremental heuristic and the
+/// reusable workspace were built for; the `reference` series is the
+/// retained naive search the engine replaced.
+fn bench_ged_deep(c: &mut Criterion) {
+    let mut table = SymbolTable::new();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let cfg = RandomGraphConfig { count: 4, vertices: 12, edges: 20, ..Default::default() };
+    let (d, _) = aids_like(&mut table, &cfg, &mut rng);
+    let muts = ["Mut0", "Mut1", "Mut2"].map(|l| table.intern(l));
+    let variants: Vec<Graph> = d
+        .iter()
+        .map(|g| {
+            let mut h = g.clone();
+            for (i, &m) in muts.iter().enumerate() {
+                h.set_label(VertexId(i as u32), m);
+            }
+            h
+        })
+        .collect();
+    let tau = 4u32;
+
+    let mut group = c.benchmark_group("ged_deep_12v_tau4");
+    group.sample_size(10);
+    group.bench_function("engine_reused", |b| {
+        let mut engine = GedEngine::new();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (q, g) in d.iter().zip(&variants) {
+                acc += engine
+                    .ged_bounded(&table, black_box(q), black_box(g), tau)
+                    .map_or(0, |r| u64::from(r.distance) + 1);
+            }
+            acc
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (q, g) in d.iter().zip(&variants) {
+                acc += ged_bounded_reference(&table, black_box(q), black_box(g), tau)
+                    .map_or(0, |r| u64::from(r.distance) + 1);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ged, bench_ged_deep);
 criterion_main!(benches);

@@ -1,11 +1,24 @@
 //! Join-strategy microbenchmarks: CSS-only vs SimJ vs SimJ+opt on a small
-//! ER workload (the per-strategy cost behind Figs. 11–13).
+//! ER workload (the per-strategy cost behind Figs. 11–13), plus a
+//! deep-verification group where every vertex is uncertain and τ sits at
+//! the typical edit distance, so verification dominates.
+//!
+//! Besides the criterion runs, the binary writes `BENCH_join.json` at the
+//! repo root: pairs/sec and worlds-verified/sec through the incremental
+//! [`GedEngine`], p50/p99 per-pair verification time, and the speedup over
+//! the retained naive reference (materialize every possible world, search
+//! it from scratch) on the identical deep workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use uqsj::graph::SymbolTable;
+use std::time::{Duration, Instant};
+use uqsj::ged::reference::ged_bounded_reference;
+use uqsj::ged::upper::ged_upper_bipartite;
+use uqsj::ged::GedEngine;
+use uqsj::graph::{SymbolTable, UncertainGraph};
 use uqsj::prelude::*;
+use uqsj::uncertain::verify_simp_with;
 use uqsj::workload::{erdos_renyi, RandomGraphConfig};
 
 fn bench_join(c: &mut Criterion) {
@@ -41,7 +54,145 @@ fn bench_join(c: &mut Criterion) {
         b.iter(|| uqsj::simjoin::sim_join_topk(&table, &d, &u, 2, 1))
     });
     group.finish();
+
+    // Deep-verification regime: every vertex uncertain (many worlds per
+    // graph) and τ at the typical perturbation distance, so candidate
+    // pairs survive the filters and A\* runs on most worlds.
+    let (dd, du) = deep_workload(&mut table);
+    let mut group = c.benchmark_group("deep_verify_10x10");
+    group.sample_size(10);
+    group.bench_function("simj", |b| {
+        b.iter(|| sim_join(&table, &dd, &du, JoinParams::simj(3, 0.5)))
+    });
+    group.finish();
+}
+
+fn deep_workload(table: &mut SymbolTable) -> (Vec<Graph>, Vec<UncertainGraph>) {
+    let mut rng = SmallRng::seed_from_u64(33);
+    let cfg = RandomGraphConfig {
+        count: 10,
+        vertices: 8,
+        edges: 12,
+        label_pool: 6,
+        avg_labels: 2.0,
+        uncertain_fraction: 1.0,
+        perturbation: 3,
+        ..Default::default()
+    };
+    erdos_renyi(table, &cfg, &mut rng)
+}
+
+/// The pre-engine verification path: materialize each possible world as a
+/// fresh `Graph`, CSS-filter it, and search it with the retained naive
+/// reference A\* — the same decision procedure `verify_simp` runs, minus
+/// every amortization this PR added.
+fn verify_naive(
+    table: &SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    tau: u32,
+    alpha: f64,
+) -> (f64, usize) {
+    let total_mass: f64 = g.vertices().iter().map(|v| v.mass()).product();
+    let mut acc = 0.0f64;
+    let mut remaining = total_mass;
+    let mut verified = 0usize;
+    let mut worlds: Vec<_> = g.possible_worlds().collect();
+    if g.vertex_count() > 0 && g.world_count() != 1 && g.world_count() <= 4096 {
+        worlds.sort_by(|a, b| b.prob.partial_cmp(&a.prob).expect("finite probability"));
+    }
+    for w in &worlds {
+        remaining -= w.prob;
+        if lb_ged_css_certain(table, q, &w.graph) <= tau {
+            verified += 1;
+            let ub = ged_upper_bipartite(table, q, &w.graph);
+            let hit = ub.distance == 0
+                || ged_bounded_reference(table, q, &w.graph, tau.min(ub.distance)).is_some();
+            if hit {
+                acc += w.prob;
+            }
+        }
+        if acc >= alpha || acc + remaining < alpha {
+            break;
+        }
+    }
+    (acc, verified)
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Measure the deep workload through the engine and through the naive
+/// reference, then hand-format `BENCH_join.json` at the repo root.
+fn emit_join_json() {
+    let mut table = SymbolTable::new();
+    let (d, u) = deep_workload(&mut table);
+    let (tau, alpha) = (3u32, 0.5f64);
+
+    let mut engine = GedEngine::new();
+    let mut times: Vec<Duration> = Vec::new();
+    let mut worlds = 0u64;
+    let mut prob_sum = 0.0f64;
+    let started = Instant::now();
+    for g in &u {
+        for q in &d {
+            if lb_ged_css_uncertain(&table, q, g) <= tau {
+                let s = Instant::now();
+                let out = verify_simp_with(&mut engine, &table, q, g, tau, alpha);
+                times.push(s.elapsed());
+                worlds += out.worlds_verified as u64;
+                prob_sum += out.prob;
+            }
+        }
+    }
+    let engine_total = started.elapsed();
+
+    let mut naive_prob_sum = 0.0f64;
+    let mut naive_worlds = 0u64;
+    let started = Instant::now();
+    for g in &u {
+        for q in &d {
+            if lb_ged_css_uncertain(&table, q, g) <= tau {
+                let (p, w) = verify_naive(&table, q, g, tau, alpha);
+                naive_prob_sum += p;
+                naive_worlds += w as u64;
+            }
+        }
+    }
+    let naive_total = started.elapsed();
+    assert_eq!(prob_sum.to_bits(), naive_prob_sum.to_bits(), "engine diverged from reference");
+    assert_eq!(worlds, naive_worlds, "engine diverged from reference");
+
+    times.sort();
+    let secs = engine_total.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"deep_verify_10x10\",\n  \"tau\": {tau},\n  \"alpha\": {alpha},\n  \
+         \"verified_pairs\": {pairs},\n  \"pairs_per_sec\": {pps:.1},\n  \
+         \"worlds_verified\": {worlds},\n  \"worlds_verified_per_sec\": {wps:.1},\n  \
+         \"p50_pair_verify_us\": {p50:.1},\n  \"p99_pair_verify_us\": {p99:.1},\n  \
+         \"engine_total_ms\": {et:.2},\n  \"naive_reference_total_ms\": {nt:.2},\n  \
+         \"speedup_vs_reference\": {speedup:.2}\n}}\n",
+        pairs = times.len(),
+        pps = times.len() as f64 / secs,
+        wps = worlds as f64 / secs,
+        p50 = percentile(&times, 50).as_secs_f64() * 1e6,
+        p99 = percentile(&times, 99).as_secs_f64() * 1e6,
+        et = engine_total.as_secs_f64() * 1e3,
+        nt = naive_total.as_secs_f64() * 1e3,
+        speedup = naive_total.as_secs_f64() / engine_total.as_secs_f64().max(1e-9),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
+    std::fs::write(path, &json).expect("write BENCH_join.json");
+    eprintln!("wrote {path}:\n{json}");
 }
 
 criterion_group!(benches, bench_join);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_join_json();
+}

@@ -13,12 +13,16 @@
 //! it abandons any branch whose `f = g + h` exceeds the threshold and
 //! reports `None` when no mapping within τ exists, which is dramatically
 //! cheaper than the exact distance when the graphs are dissimilar.
+//!
+//! The search itself runs on the incremental engine in [`crate::engine`];
+//! these free functions borrow a thread-local [`crate::engine::GedEngine`]
+//! so repeated calls reuse its heap, state slab, and scratch buffers. The
+//! original sort-and-merge implementation is retained in
+//! [`crate::reference`] as a test oracle; the engine reproduces it
+//! bit-for-bit.
 
-use crate::label_sets::{edge_multiset_cost, label_sub_cost, multiset_lambda};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::collections::HashMap;
-use uqsj_graph::{Graph, Symbol, SymbolTable, VertexId};
+use crate::engine::with_thread_engine;
+use uqsj_graph::{Graph, SymbolTable, VertexId};
 
 /// Result of a GED computation: the distance and the optimal vertex
 /// mapping from the first graph (`q`) to the second (`g`). `None` entries
@@ -54,261 +58,13 @@ pub struct GedResult {
 /// assert_eq!(uqsj_ged::ged(&t, &q, &g).distance, 1);
 /// ```
 pub fn ged(table: &SymbolTable, q: &Graph, g: &Graph) -> GedResult {
-    ged_bounded(table, q, g, u32::MAX).expect("unbounded search always finds a mapping")
+    with_thread_engine(|e| e.ged(table, q, g))
 }
 
 /// τ-bounded GED: returns the exact distance and mapping if
 /// `ged(q, g) <= tau`, otherwise `None`.
 pub fn ged_bounded(table: &SymbolTable, q: &Graph, g: &Graph, tau: u32) -> Option<GedResult> {
-    let search = Search::new(table, q, g);
-    search.run(tau)
-}
-
-/// Pairwise edge-label lookup for one graph: labels on each ordered pair.
-struct PairIndex {
-    map: HashMap<(u32, u32), Vec<Symbol>>,
-}
-
-impl PairIndex {
-    fn new(g: &Graph) -> Self {
-        let mut map: HashMap<(u32, u32), Vec<Symbol>> = HashMap::with_capacity(g.edge_count());
-        for e in g.edges() {
-            map.entry((e.src.0, e.dst.0)).or_default().push(e.label);
-        }
-        Self { map }
-    }
-
-    fn labels(&self, src: u32, dst: u32) -> &[Symbol] {
-        self.map.get(&(src, dst)).map_or(&[], |v| v.as_slice())
-    }
-}
-
-const EPS: u32 = u32::MAX;
-
-#[derive(Clone, PartialEq, Eq)]
-struct State {
-    /// Images of q vertices `order[0..k]`; EPS = deleted.
-    mapping: Vec<u32>,
-    /// Bitmask of used g vertices.
-    used: u128,
-    /// Cost so far.
-    cost: u32,
-}
-
-#[derive(PartialEq, Eq)]
-struct QueueEntry {
-    f: u32,
-    tie: u64,
-    state: State,
-}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.f, self.tie).cmp(&(other.f, other.tie))
-    }
-}
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct Search<'a> {
-    table: &'a SymbolTable,
-    q: &'a Graph,
-    g: &'a Graph,
-    /// Processing order of q vertices (largest degree first).
-    order: Vec<u32>,
-    q_pairs: PairIndex,
-    g_pairs: PairIndex,
-    /// For each prefix length k, the sorted multiset of labels of the q
-    /// vertices not yet processed.
-    q_rem_labels: Vec<Vec<Symbol>>,
-    /// For each prefix length k, the number of q edges with at least one
-    /// endpoint not yet processed, and their label multiset.
-    q_rem_edge_labels: Vec<Vec<Symbol>>,
-}
-
-impl<'a> Search<'a> {
-    fn new(table: &'a SymbolTable, q: &'a Graph, g: &'a Graph) -> Self {
-        assert!(g.vertex_count() <= 128, "A* GED supports up to 128 vertices");
-        let mut order: Vec<u32> = (0..q.vertex_count() as u32).collect();
-        order.sort_by_key(|&v| Reverse(q.degree(VertexId(v))));
-
-        // Precompute remainder label multisets per prefix length.
-        let n = order.len();
-        let mut q_rem_labels = vec![Vec::new(); n + 1];
-        for k in 0..=n {
-            let mut labels: Vec<Symbol> =
-                order[k..].iter().map(|&v| q.label(VertexId(v))).collect();
-            labels.sort_unstable();
-            q_rem_labels[k] = labels;
-        }
-        let mut pos = vec![0usize; n]; // position of each q vertex in order
-        for (i, &v) in order.iter().enumerate() {
-            pos[v as usize] = i;
-        }
-        let mut q_rem_edge_labels = vec![Vec::new(); n + 1];
-        for (k, slot) in q_rem_edge_labels.iter_mut().enumerate() {
-            let mut labels: Vec<Symbol> = q
-                .edges()
-                .iter()
-                .filter(|e| pos[e.src.index()] >= k || pos[e.dst.index()] >= k)
-                .map(|e| e.label)
-                .collect();
-            labels.sort_unstable();
-            *slot = labels;
-        }
-
-        Self {
-            table,
-            q,
-            g,
-            order,
-            q_pairs: PairIndex::new(q),
-            g_pairs: PairIndex::new(g),
-            q_rem_labels,
-            q_rem_edge_labels,
-        }
-    }
-
-    /// Admissible heuristic: label-multiset bound on the unmapped parts.
-    fn heuristic(&self, state: &State) -> u32 {
-        let k = state.mapping.len();
-        let q_rem_v = &self.q_rem_labels[k];
-        // Remaining g vertex labels.
-        let mut g_rem_v: Vec<Symbol> = Vec::with_capacity(self.g.vertex_count());
-        for v in 0..self.g.vertex_count() {
-            if state.used & (1u128 << v) == 0 {
-                g_rem_v.push(self.g.label(VertexId(v as u32)));
-            }
-        }
-        g_rem_v.sort_unstable();
-        let lam_v = multiset_lambda(self.table, q_rem_v, &g_rem_v);
-        let vcost = (q_rem_v.len().max(g_rem_v.len()) - lam_v) as u32;
-
-        let q_rem_e = &self.q_rem_edge_labels[k];
-        let mut g_rem_e: Vec<Symbol> = Vec::new();
-        for e in self.g.edges() {
-            let s_un = state.used & (1u128 << e.src.0) == 0;
-            let d_un = state.used & (1u128 << e.dst.0) == 0;
-            if s_un || d_un {
-                g_rem_e.push(e.label);
-            }
-        }
-        g_rem_e.sort_unstable();
-        let lam_e = multiset_lambda(self.table, q_rem_e, &g_rem_e);
-        let ecost = (q_rem_e.len().max(g_rem_e.len()) - lam_e) as u32;
-        vcost + ecost
-    }
-
-    /// Incremental cost of extending `state` by mapping the next q vertex
-    /// (`self.order[k]`) to `target` (a g vertex id, or EPS).
-    fn extend_cost(&self, state: &State, target: u32) -> u32 {
-        let k = state.mapping.len();
-        let u = self.order[k];
-        let mut cost = if target == EPS {
-            1 // vertex deletion
-        } else {
-            label_sub_cost(self.table, self.q.label(VertexId(u)), self.g.label(VertexId(target)))
-        };
-        // Edges between the new vertex and every previously processed one.
-        for (i, &img) in state.mapping.iter().enumerate() {
-            let w = self.order[i];
-            let q_fwd = self.q_pairs.labels(w, u);
-            let q_bwd = self.q_pairs.labels(u, w);
-            let (g_fwd, g_bwd): (&[Symbol], &[Symbol]) = if img == EPS || target == EPS {
-                (&[], &[])
-            } else {
-                (self.g_pairs.labels(img, target), self.g_pairs.labels(target, img))
-            };
-            cost += edge_multiset_cost(self.table, q_fwd, g_fwd);
-            cost += edge_multiset_cost(self.table, q_bwd, g_bwd);
-        }
-        cost
-    }
-
-    /// Cost of completing a full q mapping: insert remaining g vertices and
-    /// every g edge with at least one unmapped endpoint.
-    fn completion_cost(&self, state: &State) -> u32 {
-        let mut cost = 0u32;
-        for v in 0..self.g.vertex_count() {
-            if state.used & (1u128 << v) == 0 {
-                cost += 1;
-            }
-        }
-        for e in self.g.edges() {
-            let s_un = state.used & (1u128 << e.src.0) == 0;
-            let d_un = state.used & (1u128 << e.dst.0) == 0;
-            if s_un || d_un {
-                cost += 1;
-            }
-        }
-        cost
-    }
-
-    fn run(&self, tau: u32) -> Option<GedResult> {
-        let n_q = self.order.len();
-        let mut heap: BinaryHeap<Reverse<QueueEntry>> = BinaryHeap::new();
-        let mut tie = 0u64;
-        let root = State { mapping: Vec::new(), used: 0, cost: 0 };
-        let h0 = self.heuristic(&root);
-        if h0 > tau {
-            return None;
-        }
-        heap.push(Reverse(QueueEntry { f: h0, tie, state: root }));
-
-        while let Some(Reverse(QueueEntry { f, state, .. })) = heap.pop() {
-            if f > tau {
-                return None; // best remaining estimate exceeds the bound
-            }
-            let k = state.mapping.len();
-            if k == n_q {
-                let total = state.cost + self.completion_cost(&state);
-                // completion_cost was already folded into f for enqueued
-                // complete states (see below), so total == f here.
-                debug_assert_eq!(total, f);
-                if total > tau {
-                    return None;
-                }
-                // Reconstruct mapping in original q vertex order.
-                let mut mapping = vec![None; n_q];
-                for (i, &img) in state.mapping.iter().enumerate() {
-                    let u = self.order[i] as usize;
-                    mapping[u] = (img != EPS).then_some(VertexId(img));
-                }
-                return Some(GedResult { distance: total, mapping });
-            }
-
-            // Expand: map order[k] to each unused g vertex or to EPS.
-            let mut push = |target: u32, heap: &mut BinaryHeap<Reverse<QueueEntry>>| {
-                let delta = self.extend_cost(&state, target);
-                let mut next = state.clone();
-                next.mapping.push(target);
-                if target != EPS {
-                    next.used |= 1u128 << target;
-                }
-                next.cost += delta;
-                let h = if next.mapping.len() == n_q {
-                    self.completion_cost(&next)
-                } else {
-                    self.heuristic(&next)
-                };
-                let f = next.cost.saturating_add(h);
-                if f <= tau {
-                    tie += 1;
-                    heap.push(Reverse(QueueEntry { f, tie, state: next }));
-                }
-            };
-            for v in 0..self.g.vertex_count() as u32 {
-                if state.used & (1u128 << v) == 0 {
-                    push(v, &mut heap);
-                }
-            }
-            push(EPS, &mut heap);
-        }
-        None
-    }
+    with_thread_engine(|e| e.ged_bounded(table, q, g, tau))
 }
 
 #[cfg(test)]

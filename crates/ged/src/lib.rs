@@ -16,14 +16,23 @@
 //!   SEGOS-style cascade).
 //! * [`label_sets`] — multiset label intersections `λ_V`, `λ_E` under the
 //!   wildcard rule, and the vertex-label bipartite graph of Def. 10.
+//! * [`engine`] — the reusable search workspace behind [`ged`] /
+//!   [`ged_bounded`]: slab-allocated states, a counted-multiset
+//!   incremental heuristic, and per-pair profiles that possible-world
+//!   verification patches in place instead of rebuilding.
+//! * [`mod@reference`] — the original sort-and-merge A\* retained as a test
+//!   oracle; the engine must reproduce it bit-for-bit.
 
 pub mod astar;
 pub mod bounds;
+pub mod engine;
 pub mod label_sets;
+pub mod reference;
 pub mod upper;
 
 pub use astar::{ged, ged_bounded, GedResult};
 pub use bounds::css::{lb_ged_css_certain, lb_ged_css_uncertain, CssTerms};
 pub use bounds::label_multiset::lb_ged_label_multiset;
 pub use bounds::size::lb_ged_size;
+pub use engine::{GedEngine, PairProfile};
 pub use upper::{ged_upper_bipartite, mapping_cost};

@@ -1,0 +1,78 @@
+//! Property-style oracle: the incremental [`GedEngine`] must reproduce
+//! the retained naive reference search **exactly** — same distance, same
+//! witnessing mapping, same bounded-search accept/reject — on hundreds of
+//! seeded random graph pairs, wildcard labels included. One engine is
+//! reused across every pair, so the test also proves that workspace reuse
+//! leaks no state between searches.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use uqsj_ged::reference::{ged_bounded_reference, ged_reference};
+use uqsj_ged::{ged, ged_bounded, GedEngine};
+use uqsj_graph::{Graph, Symbol, SymbolTable, VertexId};
+
+fn random_graph(rng: &mut SmallRng, vlabels: &[Symbol], elabels: &[Symbol]) -> Graph {
+    // 0..=5 vertices: empty graphs are legal inputs and must round-trip.
+    let n = rng.gen_range(0..6usize);
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_vertex(vlabels[rng.gen_range(0..vlabels.len())]);
+    }
+    for s in 0..n {
+        for d in 0..n {
+            if s != d && rng.gen_bool(0.25) {
+                g.add_edge(
+                    VertexId(s as u32),
+                    VertexId(d as u32),
+                    elabels[rng.gen_range(0..elabels.len())],
+                );
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn engine_matches_reference_on_200_seeded_pairs() {
+    let mut t = SymbolTable::new();
+    // "?x"/"?y" are vertex wildcards, "?e" an edge wildcard: the label-set
+    // heuristic treats them specially, so the oracle must cover them.
+    let vlabels: Vec<Symbol> = ["A", "B", "C", "D", "?x", "?y"].map(|l| t.intern(l)).to_vec();
+    let elabels: Vec<Symbol> = ["p", "q", "?e"].map(|l| t.intern(l)).to_vec();
+    let mut rng = SmallRng::seed_from_u64(0x5eed);
+    let mut engine = GedEngine::new();
+    for case in 0..200 {
+        let q = random_graph(&mut rng, &vlabels, &elabels);
+        let g = random_graph(&mut rng, &vlabels, &elabels);
+        let want = ged_reference(&t, &q, &g);
+        // The same engine serves every pair.
+        let got = engine.ged(&t, &q, &g);
+        assert_eq!(got, want, "case {case}: engine vs reference");
+        // The free function routes through the thread-local engine.
+        assert_eq!(ged(&t, &q, &g), want, "case {case}: free fn vs reference");
+        for tau in 0..=4u32 {
+            let bounded = ged_bounded_reference(&t, &q, &g, tau);
+            assert_eq!(
+                engine.ged_bounded(&t, &q, &g, tau),
+                bounded,
+                "case {case} tau {tau}: engine"
+            );
+            assert_eq!(ged_bounded(&t, &q, &g, tau), bounded, "case {case} tau {tau}: free fn");
+        }
+    }
+}
+
+#[test]
+fn reference_agrees_with_itself_on_symmetry_spot_checks() {
+    // GED is symmetric in distance (not in mapping); a cheap sanity net
+    // for the oracle itself so a broken reference cannot silently
+    // vacuously pass the equivalence test above.
+    let mut t = SymbolTable::new();
+    let vlabels: Vec<Symbol> = ["A", "B", "?x"].map(|l| t.intern(l)).to_vec();
+    let elabels: Vec<Symbol> = ["p", "q"].map(|l| t.intern(l)).to_vec();
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let q = random_graph(&mut rng, &vlabels, &elabels);
+        let g = random_graph(&mut rng, &vlabels, &elabels);
+        assert_eq!(ged_reference(&t, &q, &g).distance, ged_reference(&t, &g, &q).distance);
+    }
+}

@@ -31,6 +31,7 @@ pub use interner::{Symbol, SymbolTable};
 pub use reify::{reify_certain, reify_uncertain, UncertainEdge};
 pub use uncertain::{
     LabelAlternative, PossibleWorld, PossibleWorldIter, UncertainGraph, UncertainVertex,
+    WorldChoices,
 };
 
 /// Compare two labels under the wildcard rule of the paper.

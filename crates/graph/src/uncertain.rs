@@ -217,6 +217,61 @@ impl UncertainGraph {
             done: self.vertices.is_empty(),
         }
     }
+
+    /// Allocation-free cursor over all possible worlds: yields each choice
+    /// vector and its appearance probability in the same lexicographic
+    /// order as [`Self::possible_worlds`], without materializing a
+    /// [`Graph`] per world. Verification paths that only patch labels onto
+    /// a shared skeleton should prefer this.
+    pub fn world_choices(&self) -> WorldChoices<'_> {
+        WorldChoices { graph: self, choice: vec![0; self.vertices.len()], started: false }
+    }
+}
+
+/// Lending cursor over the possible worlds of an [`UncertainGraph`]; see
+/// [`UncertainGraph::world_choices`].
+pub struct WorldChoices<'a> {
+    graph: &'a UncertainGraph,
+    choice: Vec<u32>,
+    started: bool,
+}
+
+impl WorldChoices<'_> {
+    /// The next world's choice vector and appearance probability, or
+    /// `None` when exhausted. An empty graph has zero worlds, mirroring
+    /// [`UncertainGraph::possible_worlds`].
+    pub fn next_world(&mut self) -> Option<(&[u32], f64)> {
+        if !self.started {
+            self.started = true;
+            if self.graph.vertices.is_empty() {
+                return None;
+            }
+        } else {
+            // Advance the mixed-radix counter; wrap-around is exhaustion.
+            let mut i = self.choice.len();
+            loop {
+                if i == 0 {
+                    return None;
+                }
+                i -= 1;
+                let radix = self.graph.vertices[i].alternatives.len() as u32;
+                if self.choice[i] + 1 < radix {
+                    self.choice[i] += 1;
+                    for c in &mut self.choice[i + 1..] {
+                        *c = 0;
+                    }
+                    break;
+                }
+                self.choice[i] = 0;
+            }
+        }
+        // Same ordered product as `materialize`, for bit-identical floats.
+        let mut prob = 1.0;
+        for (v, &c) in self.graph.vertices.iter().zip(&self.choice) {
+            prob *= v.alternatives[c as usize].prob;
+        }
+        Some((&self.choice, prob))
+    }
 }
 
 /// Iterator over every possible world of an [`UncertainGraph`], in
@@ -329,6 +384,26 @@ mod tests {
         let w = u.possible_worlds().next().unwrap();
         assert_eq!(w.graph, g);
         assert!((w.prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_choices_matches_possible_worlds() {
+        let mut t = SymbolTable::new();
+        let g = jordan_graph(&mut t);
+        let mut cursor = g.world_choices();
+        let mut count = 0;
+        for world in g.possible_worlds() {
+            let (choice, prob) = cursor.next_world().expect("same world count");
+            assert_eq!(choice, world.choice.as_slice());
+            assert_eq!(prob.to_bits(), world.prob.to_bits(), "identical float product");
+            count += 1;
+        }
+        assert!(cursor.next_world().is_none());
+        assert_eq!(count, 6);
+        // Zero-vertex graphs have zero worlds through both APIs.
+        let empty = UncertainGraph::new();
+        assert!(empty.world_choices().next_world().is_none());
+        assert_eq!(empty.possible_worlds().count(), 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use uqsj_graph::{Graph, SymbolTable};
 use uqsj_nlp::semantic::AnalysisError;
 use uqsj_nlp::{analyze_question, Lexicon};
-use uqsj_simjoin::{JoinIndex, JoinMatch, JoinParams, JoinStats};
+use uqsj_simjoin::{GedEngine, JoinIndex, JoinMatch, JoinParams, JoinStats};
 use uqsj_sparql::{SparqlQuery, Term};
 use uqsj_template::{generate_template, Template, TemplateSource};
 use uqsj_workload::Dataset;
@@ -62,6 +62,8 @@ pub struct Ingestor {
     d_terms: Vec<Vec<Term>>,
     params: JoinParams,
     next_g_index: usize,
+    /// GED search workspace reused across every ingested question.
+    engine: GedEngine,
 }
 
 impl Ingestor {
@@ -90,7 +92,7 @@ impl Ingestor {
     ) -> Self {
         assert_eq!(d_graphs.len(), d_queries.len());
         assert_eq!(d_graphs.len(), d_terms.len());
-        Self { table, d_graphs, d_queries, d_terms, params, next_g_index }
+        Self { table, d_graphs, d_queries, d_terms, params, next_g_index, engine: GedEngine::new() }
     }
 
     /// Size of the SPARQL workload joined against.
@@ -112,7 +114,8 @@ impl Ingestor {
         self.next_g_index += 1;
 
         let index = JoinIndex::build(&self.d_graphs);
-        let (matches, stats) = index.join_one(&self.table, g_index, &g, self.params);
+        let (matches, stats) =
+            index.join_one_with(&mut self.engine, &self.table, g_index, &g, self.params);
 
         let templates = matches
             .iter()

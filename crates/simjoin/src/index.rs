@@ -8,6 +8,7 @@
 
 use crate::join::{join_pair, JoinMatch, JoinParams};
 use crate::stats::JoinStats;
+use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 
 /// The index: query ids sorted by vertex count, with edge counts kept for
@@ -58,6 +59,20 @@ impl<'a> JoinIndex<'a> {
         g: &UncertainGraph,
         params: JoinParams,
     ) -> (Vec<JoinMatch>, JoinStats) {
+        let mut engine = GedEngine::new();
+        self.join_one_with(&mut engine, table, g_index, g, params)
+    }
+
+    /// [`JoinIndex::join_one`] on a caller-owned [`GedEngine`], so a
+    /// long-lived ingester reuses one workspace across every question.
+    pub fn join_one_with(
+        &self,
+        engine: &mut GedEngine,
+        table: &SymbolTable,
+        g_index: usize,
+        g: &UncertainGraph,
+        params: JoinParams,
+    ) -> (Vec<JoinMatch>, JoinStats) {
         let mut out = Vec::new();
         let mut stats = JoinStats::default();
         let v = g.vertex_count() as u32;
@@ -65,7 +80,7 @@ impl<'a> JoinIndex<'a> {
         let mut hits = 0u64;
         for qi in self.candidates(v, e, params.tau) {
             hits += 1;
-            join_pair(table, qi, &self.d[qi], g_index, g, params, &mut out, &mut stats);
+            join_pair(engine, table, qi, &self.d[qi], g_index, g, params, &mut out, &mut stats);
         }
         let skipped = self.d.len() as u64 - hits;
         stats.pairs_total += skipped;
@@ -88,8 +103,9 @@ pub fn sim_join_indexed(
     let index = JoinIndex::build(d);
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
+    let mut engine = GedEngine::new();
     for (gi, g) in u.iter().enumerate() {
-        let (matches, s) = index.join_one(table, gi, g, params);
+        let (matches, s) = index.join_one_with(&mut engine, table, gi, g, params);
         out.extend(matches);
         stats.merge(&s);
     }

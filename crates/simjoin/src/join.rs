@@ -5,9 +5,10 @@ use crate::stats::JoinStats;
 use std::time::Instant;
 use uqsj_ged::astar::GedResult;
 use uqsj_ged::bounds::css::{css_terms_uncertain, lb_ged_css_uncertain};
+use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
-use uqsj_uncertain::groups::{ub_simp_grouped, verify_simp_groups};
-use uqsj_uncertain::prob::verify_simp;
+use uqsj_uncertain::groups::{ub_simp_grouped, verify_simp_groups_with};
+use uqsj_uncertain::prob::verify_simp_with;
 use uqsj_uncertain::prob_bound::ub_simp_with_terms;
 
 /// Which pruning pipeline to run (the three lines of Figs. 11–14).
@@ -70,9 +71,11 @@ pub fn sim_join(
 ) -> (Vec<JoinMatch>, JoinStats) {
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
+    // One search workspace for the whole candidate stream.
+    let mut engine = GedEngine::new();
     for (gi, g) in u.iter().enumerate() {
         for (qi, q) in d.iter().enumerate() {
-            join_pair(table, qi, q, gi, g, params, &mut out, &mut stats);
+            join_pair(&mut engine, table, qi, q, gi, g, params, &mut out, &mut stats);
         }
     }
     (out, stats)
@@ -81,6 +84,7 @@ pub fn sim_join(
 /// Process a single pair; shared by the sequential and parallel drivers.
 #[allow(clippy::too_many_arguments)] // the join loop's full context
 pub(crate) fn join_pair(
+    engine: &mut GedEngine,
     table: &SymbolTable,
     qi: usize,
     q: &Graph,
@@ -134,8 +138,10 @@ pub(crate) fn join_pair(
     stats.candidates += 1;
     let verification_started = Instant::now();
     let outcome = match &groups {
-        Some(parts) => verify_simp_groups(table, q, g, params.tau, params.alpha, parts),
-        None => verify_simp(table, q, g, params.tau, params.alpha),
+        Some(parts) => {
+            verify_simp_groups_with(engine, table, q, g, params.tau, params.alpha, parts)
+        }
+        None => verify_simp_with(engine, table, q, g, params.tau, params.alpha),
     };
     stats.verification_time += verification_started.elapsed();
     stats.worlds_verified += outcome.worlds_verified as u64;

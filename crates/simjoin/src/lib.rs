@@ -26,3 +26,4 @@ pub use join::{sim_join, JoinMatch, JoinParams, JoinStrategy};
 pub use parallel::sim_join_parallel;
 pub use stats::JoinStats;
 pub use topk::{sim_join_topk, TopKMatch};
+pub use uqsj_ged::GedEngine;

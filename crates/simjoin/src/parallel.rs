@@ -1,12 +1,18 @@
-//! Parallel SimJ driver: partitions the uncertain side across worker
-//! threads with `crossbeam::scope`. Pairs are independent, so results are
-//! simply concatenated and counters merged. Reported times remain the
-//! *summed* per-pair CPU times, matching the paper's single-threaded
-//! accounting (wall-clock speedup is a bonus, not a measurement change).
+//! Parallel SimJ driver: workers pull uncertain graphs off a shared
+//! atomic index (work stealing) under `crossbeam::scope`. Per-pair cost is
+//! heavily skewed — one expensive many-world uncertain graph can dwarf the
+//! rest of the workload — so static chunking would serialize whole chunks
+//! behind it; with dynamic dispatch the tail is bounded by one graph, not
+//! one chunk. Pairs are independent, so results are simply concatenated
+//! and counters merged. Reported times remain the *summed* per-pair CPU
+//! times, matching the paper's single-threaded accounting (wall-clock
+//! speedup is a bonus, not a measurement change).
 
 use crate::join::{join_pair, JoinMatch, JoinParams};
 use crate::stats::JoinStats;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 
 /// Run SimJ over `d × u` with `threads` workers.
@@ -25,17 +31,22 @@ pub fn sim_join_parallel(
         return crate::join::sim_join(table, d, u, params);
     }
     let shared: Mutex<(Vec<JoinMatch>, JoinStats)> = Mutex::new((Vec::new(), JoinStats::default()));
-    let chunk = u.len().div_ceil(threads);
+    let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
-        for (ci, slice) in u.chunks(chunk).enumerate() {
+        for _ in 0..threads.min(u.len()) {
             let shared = &shared;
+            let next = &next;
             scope.spawn(move |_| {
                 let mut local = Vec::new();
                 let mut stats = JoinStats::default();
-                for (off, g) in slice.iter().enumerate() {
-                    let gi = ci * chunk + off;
+                // One search workspace per worker, reused across all the
+                // uncertain graphs this worker claims.
+                let mut engine = GedEngine::new();
+                loop {
+                    let gi = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(g) = u.get(gi) else { break };
                     for (qi, q) in d.iter().enumerate() {
-                        join_pair(table, qi, q, gi, g, params, &mut local, &mut stats);
+                        join_pair(&mut engine, table, qi, q, gi, g, params, &mut local, &mut stats);
                     }
                 }
                 let mut guard = shared.lock();
@@ -83,5 +94,22 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(seq_stats.pairs_total, par_stats.pairs_total);
         assert_eq!(seq_stats.results, par_stats.results);
+    }
+
+    #[test]
+    fn more_workers_than_graphs_is_fine() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "Actor");
+        let d = vec![b.into_graph()];
+        let mut u = Vec::new();
+        for _ in 0..2 {
+            let mut b = GraphBuilder::new(&mut t);
+            b.vertex("x", "Actor");
+            u.push(b.into_uncertain());
+        }
+        let (par, stats) = sim_join_parallel(&t, &d, &u, JoinParams::simj(0, 0.5), 16);
+        assert_eq!(par.len(), 2);
+        assert_eq!(stats.pairs_total, 2);
     }
 }

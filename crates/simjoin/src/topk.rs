@@ -12,8 +12,9 @@
 use std::time::Instant;
 use uqsj_ged::astar::GedResult;
 use uqsj_ged::bounds::css::{css_terms_uncertain, lb_ged_css_uncertain};
+use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
-use uqsj_uncertain::prob::verify_simp;
+use uqsj_uncertain::prob::verify_simp_with;
 use uqsj_uncertain::prob_bound::ub_simp_with_terms;
 
 /// One ranked match for a question.
@@ -53,6 +54,7 @@ pub fn sim_join_topk(
     let started = Instant::now();
     let mut stats = TopKStats::default();
     let mut out = Vec::with_capacity(u.len());
+    let mut engine = GedEngine::new();
     for g in u {
         // Structural filter + upper-bound ranking.
         let mut candidates: Vec<(usize, f64)> = Vec::new();
@@ -76,7 +78,7 @@ pub fn sim_join_topk(
                 break;
             }
             stats.verified += 1;
-            let outcome = verify_simp(table, &d[qi], g, tau, f64::INFINITY);
+            let outcome = verify_simp_with(&mut engine, table, &d[qi], g, tau, f64::INFINITY);
             if outcome.prob > 0.0 {
                 top.push(TopKMatch {
                     q_index: qi,

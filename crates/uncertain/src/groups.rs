@@ -284,7 +284,26 @@ pub fn ub_simp_grouped(
 
 /// Exact verification restricted to the surviving groups: worlds of groups
 /// with `lb > τ` are skipped without materialization.
+///
+/// Uses the thread-local [`uqsj_ged::GedEngine`]; join drivers that own
+/// an engine should call [`verify_simp_groups_with`] directly.
 pub fn verify_simp_groups(
+    table: &SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    tau: u32,
+    alpha: f64,
+    groups: &[PossibleWorldGroup],
+) -> crate::prob::VerifyOutcome {
+    uqsj_ged::engine::with_thread_engine(|engine| {
+        verify_simp_groups_with(engine, table, q, g, tau, alpha, groups)
+    })
+}
+
+/// [`verify_simp_groups`] on a caller-owned [`uqsj_ged::GedEngine`].
+#[allow(clippy::too_many_arguments)] // mirrors verify_simp_groups + engine
+pub fn verify_simp_groups_with(
+    engine: &mut uqsj_ged::GedEngine,
     table: &SymbolTable,
     q: &Graph,
     g: &UncertainGraph,
@@ -300,14 +319,8 @@ pub fn verify_simp_groups(
         groups.iter().filter(|grp| grp.lb_ged(table, q, g) <= tau).map(|grp| grp.mass()).sum();
     let early = alpha.is_finite();
 
-    // A reusable graph skeleton sharing g's structure.
-    let mut skeleton = Graph::new();
-    for v in g.vertices() {
-        skeleton.add_vertex(v.alternatives[0].label);
-    }
-    for e in g.edges() {
-        skeleton.add_edge(e.src, e.dst, e.label);
-    }
+    // Shared per-pair search structure; each world only patches labels.
+    let mut verifier = crate::verifier::WorldVerifier::new(table, q, g);
 
     'outer: for grp in groups {
         if grp.lb_ged(table, q, g) > tau {
@@ -315,12 +328,10 @@ pub fn verify_simp_groups(
         }
         for (labels, prob) in grp.worlds() {
             remaining -= prob;
-            for (i, &l) in labels.iter().enumerate() {
-                skeleton.set_label(uqsj_graph::VertexId(i as u32), l);
-            }
-            if lb_ged_css_certain(table, q, &skeleton) <= tau {
+            verifier.set_labels(&labels);
+            if lb_ged_css_certain(table, q, verifier.world_graph()) <= tau {
                 worlds_verified += 1;
-                if let Some(result) = crate::prob::world_within_tau(table, q, &skeleton, tau) {
+                if let Some(result) = verifier.within_tau(engine, tau) {
                     acc += prob;
                     if prob > best_world_prob {
                         best_world_prob = prob;

@@ -9,11 +9,20 @@
 //!   (Lemmas 5/6 and Theorem 4): the probabilistic pruning filter.
 //! * [`groups`] — possible-world groups, the two split heuristics of
 //!   Sec. 6.2 and the cost model that picks between them (Algorithm 2).
+//! * [`verifier`] — the per-pair [`WorldVerifier`]: q-side structure and
+//!   g-side topology are built once per candidate, and each possible
+//!   world is verified by patching only the uncertain-vertex labels.
 
 pub mod groups;
 pub mod prob;
 pub mod prob_bound;
+pub mod verifier;
 
-pub use groups::{partition_groups, ub_simp_grouped, PossibleWorldGroup, SplitHeuristic};
-pub use prob::{similarity_probability, verify_simp, VerifyOutcome};
+pub use groups::{
+    partition_groups, ub_simp_grouped, verify_simp_groups, verify_simp_groups_with,
+    PossibleWorldGroup, SplitHeuristic,
+};
+pub use prob::{similarity_probability, verify_simp, verify_simp_with, VerifyOutcome};
 pub use prob_bound::{ub_simp, ub_simp_exact_tail};
+pub use uqsj_ged::GedEngine;
+pub use verifier::WorldVerifier;

@@ -10,31 +10,19 @@
 //! running A\*, (b) uses the τ-bounded A\* rather than the exact distance,
 //! and (c) terminates early once the accumulated probability reaches `α`
 //! or the remaining mass cannot reach it.
+//!
+//! Verification is world-incremental: a per-pair [`WorldVerifier`] builds
+//! the search structure once and patches only the uncertain-vertex labels
+//! per world, and the τ-bounded A\* runs on a caller-supplied
+//! [`GedEngine`] ([`verify_simp_with`]) so one workspace serves a whole
+//! candidate stream. Certain graphs (a single possible world) bypass
+//! enumeration entirely.
 
-use uqsj_ged::astar::{ged_bounded, GedResult};
+use crate::verifier::WorldVerifier;
+use uqsj_ged::astar::GedResult;
 use uqsj_ged::bounds::css::lb_ged_css_certain;
-use uqsj_ged::upper::ged_upper_bipartite;
+use uqsj_ged::engine::{with_thread_engine, GedEngine};
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
-
-/// Decide whether one materialized world is within τ of `q`, returning
-/// the *optimal* witnessing mapping. The cheap bipartite upper bound is
-/// computed first: a zero-cost assignment is already optimal and skips
-/// A\* entirely, and any bound below τ tightens the A\* search limit
-/// (pruning the open list harder) while still yielding the exact
-/// distance and mapping — which template generation depends on.
-pub(crate) fn world_within_tau(
-    table: &SymbolTable,
-    q: &Graph,
-    world: &Graph,
-    tau: u32,
-) -> Option<GedResult> {
-    let ub = ged_upper_bipartite(table, q, world);
-    if ub.distance == 0 {
-        return Some(ub);
-    }
-    let limit = tau.min(ub.distance);
-    ged_bounded(table, q, world, limit)
-}
 
 /// Outcome of verifying one `(q, g)` candidate pair.
 #[derive(Clone, Debug)]
@@ -81,6 +69,9 @@ pub fn similarity_probability(table: &SymbolTable, q: &Graph, g: &UncertainGraph
 /// Verify whether `SimP_τ(q, g) >= alpha`, with early termination in both
 /// directions. Pass `alpha = f64::INFINITY` to force full enumeration and
 /// an exact probability.
+///
+/// Uses the thread-local [`GedEngine`]; join drivers that own an engine
+/// should call [`verify_simp_with`] directly.
 pub fn verify_simp(
     table: &SymbolTable,
     q: &Graph,
@@ -88,71 +79,126 @@ pub fn verify_simp(
     tau: u32,
     alpha: f64,
 ) -> VerifyOutcome {
-    let mut acc = 0.0f64;
-    // Total mass of all worlds (<= 1 when some labels carry slack).
-    let total_mass: f64 = g.vertices().iter().map(|v| v.mass()).product();
-    let mut remaining = total_mass;
-    let mut best_mapping: Option<GedResult> = None;
-    let mut best_world_prob = 0.0f64;
-    let mut worlds_verified = 0usize;
-    let early = alpha.is_finite();
+    with_thread_engine(|engine| verify_simp_with(engine, table, q, g, tau, alpha))
+}
 
-    // Verifying high-probability worlds first makes both early exits
-    // trigger sooner (the pass exit accumulates mass fastest; the fail
-    // exit sheds `remaining` fastest). Only worth materializing for
-    // moderate world counts.
-    let worlds: Box<dyn Iterator<Item = uqsj_graph::PossibleWorld>> =
-        if early && g.world_count() <= 4096 {
-            let mut all: Vec<_> = g.possible_worlds().collect();
-            all.sort_by(|a, b| b.prob.partial_cmp(&a.prob).expect("finite probability"));
-            Box::new(all.into_iter())
-        } else {
-            Box::new(g.possible_worlds())
-        };
+/// Accumulator threaded through the per-world verification steps.
+struct SimpState {
+    acc: f64,
+    remaining: f64,
+    best_mapping: Option<GedResult>,
+    best_world_prob: f64,
+    worlds_verified: usize,
+}
 
-    for world in worlds {
-        remaining -= world.prob;
+impl SimpState {
+    /// Verify one world: shed its mass from `remaining`, CSS-filter it,
+    /// and on success fold its probability and best mapping in.
+    #[allow(clippy::too_many_arguments)] // engine + verifier + the pair + one world
+    fn step(
+        &mut self,
+        engine: &mut GedEngine,
+        verifier: &mut WorldVerifier<'_>,
+        table: &SymbolTable,
+        q: &Graph,
+        tau: u32,
+        choice: &[u32],
+        prob: f64,
+    ) {
+        self.remaining -= prob;
+        verifier.set_choice(choice);
         // Per-world structural filter (Algorithm 1, line 9).
-        if lb_ged_css_certain(table, q, &world.graph) <= tau {
-            worlds_verified += 1;
-            if let Some(result) = world_within_tau(table, q, &world.graph, tau) {
-                acc += world.prob;
-                if world.prob > best_world_prob {
-                    best_world_prob = world.prob;
-                    best_mapping = Some(result);
+        if lb_ged_css_certain(table, q, verifier.world_graph()) <= tau {
+            self.worlds_verified += 1;
+            if let Some(result) = verifier.within_tau(engine, tau) {
+                self.acc += prob;
+                if prob > self.best_world_prob {
+                    self.best_world_prob = prob;
+                    self.best_mapping = Some(result);
                 }
             }
         }
-        if early {
-            if acc >= alpha {
-                // Keep scanning only if we still lack a mapping; we have
-                // one whenever acc > 0, so we can stop.
-                return VerifyOutcome {
-                    prob: acc,
-                    passed: true,
-                    best_mapping,
-                    best_world_prob,
-                    worlds_verified,
-                };
+    }
+
+    fn into_outcome(self, alpha: f64) -> VerifyOutcome {
+        VerifyOutcome {
+            prob: self.acc,
+            passed: self.acc >= alpha,
+            best_mapping: self.best_mapping,
+            best_world_prob: self.best_world_prob,
+            worlds_verified: self.worlds_verified,
+        }
+    }
+}
+
+/// [`verify_simp`] on a caller-owned [`GedEngine`], amortizing the search
+/// workspace across an arbitrary candidate stream.
+pub fn verify_simp_with(
+    engine: &mut GedEngine,
+    table: &SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    tau: u32,
+    alpha: f64,
+) -> VerifyOutcome {
+    // Total mass of all worlds (<= 1 when some labels carry slack).
+    let total_mass: f64 = g.vertices().iter().map(|v| v.mass()).product();
+    let mut st = SimpState {
+        acc: 0.0,
+        remaining: total_mass,
+        best_mapping: None,
+        best_world_prob: 0.0,
+        worlds_verified: 0,
+    };
+    let early = alpha.is_finite();
+
+    // Fast path: a certain graph has exactly one world — verify it
+    // directly, no enumeration, no sorting. (A zero-vertex graph has zero
+    // worlds under Def. 3 and must fall through to the empty loop below.)
+    if g.vertex_count() > 0 && g.world_count() == 1 {
+        let mut verifier = WorldVerifier::new(table, q, g);
+        let choice = vec![0u32; g.vertex_count()];
+        st.step(engine, &mut verifier, table, q, tau, &choice, total_mass);
+        return st.into_outcome(alpha);
+    }
+
+    let mut verifier = WorldVerifier::new(table, q, g);
+    // Verifying high-probability worlds first makes both early exits
+    // trigger sooner (the pass exit accumulates mass fastest; the fail
+    // exit sheds `remaining` fastest). Only worth collecting for moderate
+    // world counts, and pointless without early termination.
+    if early && g.world_count() <= 4096 {
+        let mut all: Vec<(Vec<u32>, f64)> = Vec::new();
+        let mut cursor = g.world_choices();
+        while let Some((choice, prob)) = cursor.next_world() {
+            all.push((choice.to_vec(), prob));
+        }
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probability"));
+        for (choice, prob) in &all {
+            st.step(engine, &mut verifier, table, q, tau, choice, *prob);
+            if st.acc >= alpha {
+                return st.into_outcome(alpha);
             }
-            if acc + remaining < alpha {
-                return VerifyOutcome {
-                    prob: acc,
-                    passed: false,
-                    best_mapping,
-                    best_world_prob,
-                    worlds_verified,
-                };
+            if st.acc + st.remaining < alpha {
+                return st.into_outcome(alpha);
+            }
+        }
+    } else {
+        let mut cursor = g.world_choices();
+        while let Some((choice, prob)) = cursor.next_world() {
+            // The cursor lends `choice`, but `step` only reads it.
+            st.step(engine, &mut verifier, table, q, tau, choice, prob);
+            if early {
+                if st.acc >= alpha {
+                    return st.into_outcome(alpha);
+                }
+                if st.acc + st.remaining < alpha {
+                    return st.into_outcome(alpha);
+                }
             }
         }
     }
-    VerifyOutcome {
-        prob: acc,
-        passed: acc >= alpha,
-        best_mapping,
-        best_world_prob,
-        worlds_verified,
-    }
+    st.into_outcome(alpha)
 }
 
 #[cfg(test)]
@@ -227,5 +273,44 @@ mod tests {
         let g = bg.into_uncertain();
         assert_eq!(similarity_probability(&t, &q, &g, 0), 0.0);
         assert_eq!(similarity_probability(&t, &q, &g, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_uncertain_graph_has_zero_worlds() {
+        // Def. 3 quirk preserved by the single-world fast path: a graph
+        // with no vertices enumerates zero worlds, so SimP is 0 even at
+        // large tau and against an empty query.
+        let t = SymbolTable::new();
+        let q = Graph::new();
+        let g = UncertainGraph::new();
+        assert_eq!(similarity_probability(&t, &q, &g, 10), 0.0);
+        let out = verify_simp(&t, &q, &g, 10, 0.5);
+        assert!(!out.passed);
+        assert_eq!(out.worlds_verified, 0);
+    }
+
+    #[test]
+    fn single_world_fast_path_matches_enumeration_shape() {
+        // A certain (single-world) graph must produce the same outcome as
+        // the general enumeration used to: exact prob, mapping, counters.
+        let mut t = SymbolTable::new();
+        let mut bq = GraphBuilder::new(&mut t);
+        bq.vertex("x", "?x");
+        bq.vertex("a", "Actor");
+        bq.edge("x", "a", "type");
+        let q = bq.into_graph();
+        let mut bg = GraphBuilder::new(&mut t);
+        bg.vertex("x", "?y");
+        bg.vertex("a", "Politician");
+        bg.edge("x", "a", "type");
+        let g = bg.into_uncertain();
+        let out = verify_simp(&t, &q, &g, 1, 0.5);
+        assert!(out.passed);
+        assert!((out.prob - 1.0).abs() < 1e-12);
+        assert_eq!(out.worlds_verified, 1);
+        assert!(out.best_mapping.is_some());
+        let miss = verify_simp(&t, &q, &g, 0, 0.5);
+        assert!(!miss.passed);
+        assert_eq!(miss.prob, 0.0);
     }
 }

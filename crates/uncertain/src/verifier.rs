@@ -1,0 +1,160 @@
+//! Per-pair world-incremental verification state.
+//!
+//! All possible worlds of one uncertain graph share their entire structure
+//! and differ only in uncertain-vertex labels (Def. 2: structure is
+//! certain). A [`WorldVerifier`] therefore builds everything the τ-bounded
+//! A\* needs — the q-side vertex order, per-prefix remainder count tables,
+//! pair indexes, and g-side adjacency — **once** per `(q, g)` candidate
+//! via [`uqsj_ged::PairProfile::build_uncertain`], and re-verifies each
+//! world by patching only the chosen vertex labels:
+//!
+//! * shared per pair: q-side structure, g-side topology, edge-label
+//!   buckets, the label-id table (every alternative label is interned up
+//!   front), and one skeleton [`Graph`] reused for the per-world CSS
+//!   filter and bipartite upper bound;
+//! * recomputed per world: the g vertex label assignment (O(V)) and the
+//!   per-label vertex masks (O(V + L)) — nothing is allocated and no
+//!   [`Graph`] is materialized.
+//!
+//! Results are bit-identical to rebuilding the search from a materialized
+//! world: the engine's oracle tests prove it against the retained
+//! reference implementation.
+
+use uqsj_ged::astar::GedResult;
+use uqsj_ged::engine::GedEngine;
+use uqsj_ged::upper::ged_upper_bipartite;
+use uqsj_ged::PairProfile;
+use uqsj_graph::{Graph, Symbol, SymbolTable, UncertainGraph, VertexId};
+
+/// Reusable verification state for one `(q, g)` candidate pair; see the
+/// module docs for what is shared per pair vs. recomputed per world.
+pub struct WorldVerifier<'a> {
+    table: &'a SymbolTable,
+    q: &'a Graph,
+    profile: PairProfile,
+    /// g's structure with the current world's labels, for the CSS filter
+    /// and the bipartite upper bound (which take certain graphs).
+    skeleton: Graph,
+    /// Per vertex: `(symbol, profile label id)` of each alternative.
+    alt: Vec<Vec<(Symbol, u32)>>,
+}
+
+impl<'a> WorldVerifier<'a> {
+    /// Build the shared per-pair state; the current world starts at
+    /// alternative 0 of every vertex.
+    pub fn new(table: &'a SymbolTable, q: &'a Graph, g: &UncertainGraph) -> Self {
+        let mut profile = PairProfile::new();
+        profile.build_uncertain(table, q, g);
+        let mut skeleton = Graph::new();
+        for v in g.vertices() {
+            skeleton.add_vertex(v.alternatives[0].label);
+        }
+        for e in g.edges() {
+            skeleton.add_edge(e.src, e.dst, e.label);
+        }
+        let alt = g
+            .vertices()
+            .iter()
+            .map(|v| {
+                v.alternatives
+                    .iter()
+                    .map(|a| {
+                        let lid = profile.lid(a.label).expect("alternative interned at build");
+                        (a.label, lid)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { table, q, profile, skeleton, alt }
+    }
+
+    /// Select the world given by one alternative index per vertex.
+    pub fn set_choice(&mut self, choice: &[u32]) {
+        debug_assert_eq!(choice.len(), self.alt.len());
+        for (v, &c) in choice.iter().enumerate() {
+            let (sym, lid) = self.alt[v][c as usize];
+            self.skeleton.set_label(VertexId(v as u32), sym);
+            self.profile.set_g_vertex_lid(v, lid);
+        }
+        self.profile.commit_world();
+    }
+
+    /// Select the world given by one label per vertex (the possible-world
+    ///-group enumeration yields labels, not indices). Every label must be
+    /// one of the vertex's alternatives.
+    pub fn set_labels(&mut self, labels: &[Symbol]) {
+        debug_assert_eq!(labels.len(), self.alt.len());
+        for (v, &sym) in labels.iter().enumerate() {
+            let lid = self.profile.lid(sym).expect("group label is a known alternative");
+            self.skeleton.set_label(VertexId(v as u32), sym);
+            self.profile.set_g_vertex_lid(v, lid);
+        }
+        self.profile.commit_world();
+    }
+
+    /// The current world as a certain graph (for the per-world CSS filter).
+    #[inline]
+    pub fn world_graph(&self) -> &Graph {
+        &self.skeleton
+    }
+
+    /// Decide whether the current world is within τ of `q`, returning the
+    /// *optimal* witnessing mapping. The cheap bipartite upper bound is
+    /// computed first: a zero-cost assignment is already optimal and skips
+    /// A\* entirely, and any bound below τ tightens the A\* search limit
+    /// (pruning the open list harder) while still yielding the exact
+    /// distance and mapping — which template generation depends on.
+    pub fn within_tau(&mut self, engine: &mut GedEngine, tau: u32) -> Option<GedResult> {
+        let ub = ged_upper_bipartite(self.table, self.q, &self.skeleton);
+        if ub.distance == 0 {
+            return Some(ub);
+        }
+        let limit = tau.min(ub.distance);
+        engine.run_profile(&self.profile, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsj_ged::reference::ged_bounded_reference;
+    use uqsj_graph::GraphBuilder;
+
+    #[test]
+    fn patched_worlds_match_materialized_reference() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "?x");
+        b.vertex("a", "Actor");
+        b.vertex("c", "Country");
+        b.edge("x", "a", "type");
+        b.edge("x", "c", "birthPlace");
+        let q = b.into_graph();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("y", "?y");
+        b.uncertain_vertex("m", &[("NBA_Player", 0.5), ("Professor", 0.3), ("Actor", 0.2)]);
+        b.uncertain_vertex("n", &[("Country", 0.7), ("City", 0.3)]);
+        b.edge("y", "m", "type");
+        b.edge("y", "n", "birthPlace");
+        let g = b.into_uncertain();
+
+        let mut verifier = WorldVerifier::new(&t, &q, &g);
+        let mut engine = GedEngine::new();
+        for world in g.possible_worlds() {
+            verifier.set_choice(&world.choice);
+            assert_eq!(verifier.world_graph(), &world.graph);
+            for tau in 0..4 {
+                let got = verifier.within_tau(&mut engine, tau);
+                // Mirror the production decision procedure on a freshly
+                // materialized graph with the reference search.
+                let ub = ged_upper_bipartite(&t, &q, &world.graph);
+                let want = if ub.distance == 0 {
+                    Some(ub)
+                } else {
+                    ged_bounded_reference(&t, &q, &world.graph, tau.min(ub.distance))
+                };
+                assert_eq!(got, want, "choice {:?} tau {tau}", world.choice);
+            }
+        }
+    }
+}
