@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Validate `uqsj-cli --metrics-out` Prometheus files against the golden
+# family catalogue (ci/expected_metrics.txt). Two-way check:
+#   1. every expected family appears in the union of the given files;
+#   2. every `uqsj_*` family the files expose is in the catalogue, so a
+#      renamed or newly added metric fails CI until the list is updated.
+# Usage: ci/check_metrics.sh FILE.prom [FILE.prom ...]
+set -euo pipefail
+
+expected="$(dirname "$0")/expected_metrics.txt"
+if [[ $# -eq 0 ]]; then
+    echo "usage: $0 FILE.prom [FILE.prom ...]" >&2
+    exit 2
+fi
+
+fail=0
+
+while read -r name; do
+    [[ -z "$name" || "$name" == \#* ]] && continue
+    if ! grep -q "^# TYPE $name " "$@"; then
+        echo "MISSING: expected metric family '$name' not exposed" >&2
+        fail=1
+    fi
+done <"$expected"
+
+while read -r fam; do
+    if ! grep -q "^$fam\$" "$expected"; then
+        echo "UNEXPECTED: metric family '$fam' not in $expected (rename, or add it)" >&2
+        fail=1
+    fi
+done < <(grep -h '^# TYPE uqsj_' "$@" | awk '{print $3}' | sort -u)
+
+if [[ $fail -eq 0 ]]; then
+    total=$(grep -h '^# TYPE ' "$@" | awk '{print $3}' | sort -u | wc -l)
+    echo "metric catalogue OK: $total distinct families across $# file(s)"
+fi
+exit $fail

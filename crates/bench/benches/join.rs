@@ -169,13 +169,18 @@ fn emit_join_json() {
 
     times.sort();
     let secs = engine_total.as_secs_f64().max(1e-9);
+    // Attach the process metric registry (GED engine + world-verification
+    // counters accumulated by the run above) so a bench artifact carries
+    // the same observability snapshot an operator would scrape.
+    let registry = uqsj::obs::global().snapshot_json();
     let json = format!(
         "{{\n  \"bench\": \"deep_verify_10x10\",\n  \"tau\": {tau},\n  \"alpha\": {alpha},\n  \
          \"verified_pairs\": {pairs},\n  \"pairs_per_sec\": {pps:.1},\n  \
          \"worlds_verified\": {worlds},\n  \"worlds_verified_per_sec\": {wps:.1},\n  \
          \"p50_pair_verify_us\": {p50:.1},\n  \"p99_pair_verify_us\": {p99:.1},\n  \
          \"engine_total_ms\": {et:.2},\n  \"naive_reference_total_ms\": {nt:.2},\n  \
-         \"speedup_vs_reference\": {speedup:.2}\n}}\n",
+         \"speedup_vs_reference\": {speedup:.2},\n  \"registry\": {reg}\n}}\n",
+        reg = registry.trim_end(),
         pairs = times.len(),
         pps = times.len() as f64 / secs,
         wps = worlds as f64 / secs,

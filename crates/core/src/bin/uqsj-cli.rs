@@ -11,15 +11,24 @@
 //!     Load the artifacts and answer a question with the templates.
 //!
 //! uqsj-cli join [--questions N] [--distractors M] [--tau T] [--alpha A]
-//!               [--strategy css|simj|opt]
-//!     Run the join only and print statistics.
+//!               [--strategy css|simj|opt] [--metrics-out FILE]
+//!               [--trace-out FILE]
+//!     Run the join only and print per-stage statistics. --metrics-out
+//!     writes the process metric registry as Prometheus text to FILE and
+//!     as JSON to FILE.json; --trace-out dumps the span flight recorder
+//!     as a Chrome trace.
 //!
 //! uqsj-cli serve --dir artifacts [--file questions.txt] [--min-phi F]
-//!                [--threads N] [--cache C]
+//!                [--threads N] [--cache C] [--metrics-out FILE]
+//!                [--stats-interval N] [--log-out FILE|-]
 //!     Serve questions (one per line, from --file or stdin) through the
 //!     signature-indexed template store, then print serving metrics.
 //!     With --data-dir DIR instead of --dir, the server opens a durable
 //!     snapshot+WAL storage directory (recovering state on start).
+//!     --metrics-out writes the server + process registries (Prometheus
+//!     text to FILE, JSON to FILE.json); --stats-interval prints a
+//!     metrics line every N questions; --log-out installs the structured
+//!     JSON log sink (FILE, or - for stderr).
 //!
 //! uqsj-cli snapshot --dir artifacts --data-dir data
 //!     Import text artifacts into a storage directory as a fresh binary
@@ -84,6 +93,34 @@ impl Options {
 
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Write a registry's Prometheus text to `path` and its JSON snapshot to
+/// `path.json` (sibling file, extension appended).
+fn write_metrics(registry: &uqsj::obs::Registry, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, registry.render_prometheus())?;
+    std::fs::write(format!("{path}.json"), registry.snapshot_json())
+}
+
+/// Install the structured-log sink requested by `--log-out` (a file path,
+/// or `-` for stderr). Returns false if the file could not be created.
+fn install_log_sink(target: &str) -> bool {
+    match target {
+        "-" => {
+            uqsj::obs::log::set_sink(Some(Box::new(std::io::stderr())));
+            true
+        }
+        path => match std::fs::File::create(path) {
+            Ok(f) => {
+                uqsj::obs::log::set_sink(Some(Box::new(f)));
+                true
+            }
+            Err(e) => {
+                eprintln!("cannot create log file {path}: {e}");
+                false
+            }
+        },
     }
 }
 
@@ -214,6 +251,11 @@ fn serve(opts: &Options) -> ExitCode {
         eprintln!("--threads must be >= 1");
         return ExitCode::FAILURE;
     }
+    if let Some(target) = opts.get("log-out") {
+        if !install_log_sink(target) {
+            return ExitCode::FAILURE;
+        }
+    }
     let server = if let Some(data_dir) = opts.get("data-dir") {
         match QaServer::open(Path::new(data_dir), config) {
             Ok(server) => {
@@ -264,7 +306,18 @@ fn serve(opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let outcomes = server.answer_batch(&questions, threads);
+    // --stats-interval N: answer in chunks of N questions and print a
+    // metrics line after each, so a long batch shows serving counters as
+    // they accumulate (0 = only the final line).
+    let stats_interval: usize = opts.num("stats-interval", 0);
+    let chunk = if stats_interval == 0 { questions.len() } else { stats_interval };
+    let mut outcomes = Vec::with_capacity(questions.len());
+    for slice in questions.chunks(chunk) {
+        outcomes.extend(server.answer_batch(slice, threads));
+        if stats_interval != 0 {
+            println!("[stats after {}] {}", outcomes.len(), server.metrics());
+        }
+    }
     for (q, out) in questions.iter().zip(&outcomes) {
         match (&out.sparql, out.answers.is_empty()) {
             (None, _) => println!("{q}\t-\t(no template matched)"),
@@ -275,6 +328,30 @@ fn serve(opts: &Options) -> ExitCode {
         }
     }
     println!("{}", server.metrics());
+    if let Some(path) = opts.get("metrics-out") {
+        // The serve counters live in the server's private registry; the
+        // process-global one carries whatever the storage/join layers
+        // recorded (e.g. WAL replay on a durable open). Expose both:
+        // concatenated text (families are disjoint), nested JSON.
+        let text = format!(
+            "{}{}",
+            server.metrics_registry().render_prometheus(),
+            uqsj::obs::global().render_prometheus()
+        );
+        let json = format!(
+            "{{\"serve\":{},\"process\":{}}}\n",
+            server.metrics_registry().snapshot_json().trim_end(),
+            uqsj::obs::global().snapshot_json().trim_end()
+        );
+        let io =
+            std::fs::write(path, text).and_then(|()| std::fs::write(format!("{path}.json"), json));
+        if let Err(e) = io {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics to {path} (Prometheus) and {path}.json (JSON)");
+    }
+    uqsj::obs::log::set_sink(None);
     ExitCode::SUCCESS
 }
 
@@ -357,8 +434,10 @@ fn join(opts: &Options) -> ExitCode {
     let (matches, stats) = sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
     let (correct, precision) = join_quality(&dataset, &matches);
     println!(
-        "pairs {} | structural prunes {} | probabilistic {} | grouped {} | candidates {} ({:.2}%)",
+        "pairs {} | pruned: size {} lm {} css {} markov {} grouped {} | candidates {} ({:.2}%)",
         stats.pairs_total,
+        stats.pruned_size,
+        stats.pruned_label_multiset,
         stats.pruned_structural,
         stats.pruned_probabilistic,
         stats.pruned_grouped,
@@ -373,5 +452,19 @@ fn join(opts: &Options) -> ExitCode {
         stats.pruning_time,
         stats.verification_time
     );
+    if let Some(path) = opts.get("metrics-out") {
+        if let Err(e) = write_metrics(uqsj::obs::global(), path) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics to {path} (Prometheus) and {path}.json (JSON)");
+    }
+    if let Some(path) = opts.get("trace-out") {
+        if let Err(e) = std::fs::write(path, uqsj::obs::trace::recorder().to_chrome_trace()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote chrome trace to {path}");
+    }
     ExitCode::SUCCESS
 }

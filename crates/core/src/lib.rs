@@ -44,6 +44,7 @@ pub use uqsj_ged as ged;
 pub use uqsj_graph as graph;
 pub use uqsj_matching as matching;
 pub use uqsj_nlp as nlp;
+pub use uqsj_obs as obs;
 pub use uqsj_rdf as rdf;
 pub use uqsj_serve as serve;
 pub use uqsj_simjoin as simjoin;

@@ -385,6 +385,21 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// Per-call search effort, accumulated locally (plain integers) and
+/// flushed to the `uqsj_ged_*` metrics once per [`GedEngine`] call — the
+/// search loop itself never touches an atomic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// States popped from the open list and expanded.
+    pub expanded: u64,
+    /// Heuristic evaluations (one per child considered).
+    pub heuristic_evals: u64,
+    /// Children admitted to the open list (`f <= τ`).
+    pub enqueued: u64,
+    /// High-water mark of the open list.
+    pub heap_peak: u64,
+}
+
 /// Heap, slab, and scratch buffers, allocated once and reused.
 #[derive(Default)]
 struct SearchSpace {
@@ -397,6 +412,34 @@ struct SearchSpace {
     lam_touch: Vec<u32>,
     /// `(lid, multiplicity)` of g edges leaving the remainder at one child.
     leave_buf: Vec<(u32, u32)>,
+    /// Effort counters of the current/last call.
+    stats: RunStats,
+}
+
+/// Metric handles, registered once in the global registry.
+struct EngineObs {
+    calls: uqsj_obs::Counter,
+    within_tau: uqsj_obs::Counter,
+    expanded: uqsj_obs::Histogram,
+    heuristic_evals: uqsj_obs::Histogram,
+    heap_peak: uqsj_obs::Histogram,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    use std::sync::OnceLock;
+    static OBS: OnceLock<EngineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = uqsj_obs::global();
+        EngineObs {
+            calls: r.counter("uqsj_ged_calls_total", "tau-bounded A* searches started"),
+            within_tau: r
+                .counter("uqsj_ged_within_tau_total", "searches that found a mapping within tau"),
+            expanded: r.histogram("uqsj_ged_states_expanded", "states expanded per A* call"),
+            heuristic_evals: r
+                .histogram("uqsj_ged_heuristic_evals", "heuristic evaluations per A* call"),
+            heap_peak: r.histogram("uqsj_ged_heap_peak", "open-list high-water mark per A* call"),
+        }
+    })
 }
 
 /// A reusable GED search workspace.
@@ -456,6 +499,11 @@ impl GedEngine {
     pub fn run_profile(&mut self, profile: &PairProfile, tau: u32) -> Option<GedResult> {
         run_astar(&mut self.ws, profile, tau)
     }
+
+    /// Search-effort counters of the most recent call on this engine.
+    pub fn last_run_stats(&self) -> RunStats {
+        self.ws.stats
+    }
 }
 
 thread_local! {
@@ -471,7 +519,25 @@ pub fn with_thread_engine<R>(f: impl FnOnce(&mut GedEngine) -> R) -> R {
     THREAD_ENGINE.with(|e| f(&mut e.borrow_mut()))
 }
 
+/// Instrumented entry point: counts locally in `ws.stats`, then flushes
+/// one batch of atomics to the global registry — the search itself is
+/// untouched, so the expansion order (and thus every result and oracle
+/// comparison) is bit-identical to the uninstrumented engine.
 fn run_astar(ws: &mut SearchSpace, p: &PairProfile, tau: u32) -> Option<GedResult> {
+    ws.stats = RunStats::default();
+    let result = run_astar_impl(ws, p, tau);
+    let obs = engine_obs();
+    obs.calls.inc();
+    if result.is_some() {
+        obs.within_tau.inc();
+    }
+    obs.expanded.observe(ws.stats.expanded);
+    obs.heuristic_evals.observe(ws.stats.heuristic_evals);
+    obs.heap_peak.observe(ws.stats.heap_peak);
+    result
+}
+
+fn run_astar_impl(ws: &mut SearchSpace, p: &PairProfile, tau: u32) -> Option<GedResult> {
     let n = p.n_q;
     let l = p.wild.len();
     ws.nodes.clear();
@@ -508,9 +574,11 @@ fn run_astar(ws: &mut SearchSpace, p: &PairProfile, tau: u32) -> Option<GedResul
     }
     ws.nodes.push(root);
     ws.heap.push(Reverse(HeapItem { f: h0, tie: 0, node: 0 }));
+    ws.stats.heap_peak = 1;
     let mut tie = 0u64;
 
     while let Some(Reverse(HeapItem { f, node, .. })) = ws.heap.pop() {
+        ws.stats.expanded += 1;
         if f > tau {
             return None; // best remaining estimate exceeds the bound
         }
@@ -680,11 +748,14 @@ fn push_child(
         }
     }
     let f = child.cost.saturating_add(h);
+    ws.stats.heuristic_evals += 1;
     if f <= tau {
         *tie += 1;
         let idx = ws.nodes.len() as u32;
         ws.nodes.push(child);
         ws.heap.push(Reverse(HeapItem { f, tie: *tie, node: idx }));
+        ws.stats.enqueued += 1;
+        ws.stats.heap_peak = ws.stats.heap_peak.max(ws.heap.len() as u64);
     }
 }
 
@@ -930,5 +1001,33 @@ mod tests {
         let r = engine.ged(&t, &q, &g);
         assert_eq!(r.distance, 0);
         assert!(r.mapping.is_empty());
+    }
+
+    #[test]
+    fn run_stats_track_search_effort() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "A");
+        b.vertex("y", "B");
+        b.edge("x", "y", "e");
+        let q = b.into_graph();
+        let mut b = GraphBuilder::new(&mut t);
+        b.vertex("x", "A");
+        b.vertex("y", "C");
+        b.edge("x", "y", "e");
+        let g = b.into_graph();
+        let mut engine = GedEngine::new();
+        assert_eq!(engine.ged(&t, &q, &g).distance, 1);
+        let s = engine.last_run_stats();
+        // Root plus at least the goal state were expanded; every enqueue
+        // went through a heuristic evaluation first.
+        assert!(s.expanded >= 2, "expanded = {}", s.expanded);
+        assert!(s.heuristic_evals >= s.enqueued);
+        assert!(s.enqueued >= 1);
+        assert!(s.heap_peak >= 1);
+
+        // An infeasible bound still reports the (empty) search.
+        assert!(engine.ged_bounded(&t, &q, &g, 0).is_none());
+        assert!(engine.last_run_stats().expanded <= 1);
     }
 }

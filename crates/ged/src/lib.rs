@@ -34,5 +34,5 @@ pub use astar::{ged, ged_bounded, GedResult};
 pub use bounds::css::{lb_ged_css_certain, lb_ged_css_uncertain, CssTerms};
 pub use bounds::label_multiset::lb_ged_label_multiset;
 pub use bounds::size::lb_ged_size;
-pub use engine::{GedEngine, PairProfile};
+pub use engine::{GedEngine, PairProfile, RunStats};
 pub use upper::{ged_upper_bipartite, mapping_cost};

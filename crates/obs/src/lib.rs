@@ -1,0 +1,54 @@
+//! `uqsj-obs` — the workspace's observability layer: a process-global
+//! metrics registry, span tracing with a flight recorder, and structured
+//! logging. Zero dependencies beyond the standard library; every hot-path
+//! operation is a handful of relaxed atomics.
+//!
+//! The paper's efficiency figures (candidate ratio, per-stage pruning
+//! power, pruning vs. refinement time — Figs. 11–15) are exactly what an
+//! operator needs live, so the join cascade, the GED engine, world
+//! verification, the storage engine, and the serving layer all report
+//! through this crate. See DESIGN.md's "Observability" section for the
+//! metric catalogue and how each paper figure maps to a metric name.
+//!
+//! * [`metric`] — [`Counter`] (thread-striped), [`Gauge`], and the
+//!   power-of-two-bucket [`Histogram`] (generalized from the latency
+//!   histogram that used to live in `uqsj-serve`).
+//! * [`registry`] — named metrics with Prometheus text exposition and a
+//!   JSON snapshot export; [`global()`] is the process-wide instance,
+//!   per-instance registries isolate subsystems and tests.
+//! * [`trace`] — `span("name")` guards feeding a ring-buffer flight
+//!   recorder, dumpable as JSON lines / Chrome trace, or on panic.
+//! * [`log`] — quiet-by-default single-line JSON records.
+
+pub mod log;
+pub mod metric;
+pub mod registry;
+pub mod trace;
+
+pub use metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{global, Registry};
+pub use trace::{span, FlightRecorder, Span, TraceEvent};
+
+/// `num / den`, with a zero denominator mapping to `0.0` instead of NaN
+/// or infinity. Every derived ratio the workspace reports (candidate
+/// ratio, cache hit rate, result ratio) goes through this, so empty
+/// registries and zero-traffic snapshots stay NaN-free.
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        assert_eq!(super::ratio(0, 0), 0.0);
+        assert_eq!(super::ratio(5, 0), 0.0);
+        assert_eq!(super::ratio(1, 4), 0.25);
+        assert!(super::ratio(u64::MAX, 1).is_finite());
+    }
+}

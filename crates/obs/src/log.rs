@@ -1,0 +1,180 @@
+//! Quiet-by-default structured logging: one JSON object per line, sent to
+//! a process-global sink. With no sink installed ([`enabled`] is false)
+//! emission is a single relaxed atomic load — instrumentation sites can
+//! stay in place permanently.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn sink() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
+    static SINK: OnceLock<Mutex<Option<Box<dyn Write + Send>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or, with `None`, remove) the global log sink.
+pub fn set_sink(writer: Option<Box<dyn Write + Send>>) {
+    let enabled = writer.is_some();
+    *sink().lock().expect("log sink lock") = writer;
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// Whether a sink is installed. Callers may skip building records when
+/// this is false; [`emit`] checks it again itself.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Write one line to the sink (a newline is appended). No-op without a
+/// sink; write errors are swallowed — logging must never take down the
+/// pipeline.
+pub fn emit(line: &str) {
+    if !enabled() {
+        return;
+    }
+    if let Some(w) = sink().lock().expect("log sink lock").as_mut() {
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Incremental builder for one single-line JSON record.
+#[derive(Default)]
+pub struct JsonRecord {
+    buf: String,
+}
+
+impl JsonRecord {
+    /// Start a record with an `event` field.
+    pub fn new(event: &str) -> Self {
+        let mut r = Self { buf: String::from("{") };
+        r.push_key("event");
+        r.push_json_string(event);
+        r
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.push_json_string(key);
+        self.buf.push(':');
+    }
+
+    fn push_json_string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push_key(key);
+        self.push_json_string(value);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a float field (NaN/infinity are written as `null`).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.push_key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Finish the record.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A `Write` implementation over a shared byte buffer, for capturing log
+/// output in tests (`set_sink(Some(Box::new(buf.clone())))`, then
+/// [`SharedBuf::take_string`]).
+#[derive(Clone, Default)]
+pub struct SharedBuf {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// A fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the captured bytes as a string, leaving the buffer empty.
+    pub fn take_string(&self) -> String {
+        let mut bytes = self.bytes.lock().expect("shared buf lock");
+        String::from_utf8_lossy(&std::mem::take(&mut *bytes)).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes.lock().expect("shared buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_builder_escapes_and_orders() {
+        let line = JsonRecord::new("ingest")
+            .str("question", "who \"starred\" in\nX?")
+            .u64("candidates", 3)
+            .f64("confidence", 0.5)
+            .f64("bad", f64::NAN)
+            .finish();
+        assert_eq!(
+            line,
+            "{\"event\":\"ingest\",\"question\":\"who \\\"starred\\\" in\\nX?\",\
+             \"candidates\":3,\"confidence\":0.5,\"bad\":null}"
+        );
+    }
+
+    #[test]
+    fn quiet_by_default_and_captures_when_enabled() {
+        assert!(!enabled());
+        emit("dropped"); // no sink: swallowed
+        let buf = SharedBuf::new();
+        set_sink(Some(Box::new(buf.clone())));
+        emit("{\"event\":\"x\"}");
+        set_sink(None);
+        emit("also dropped");
+        assert_eq!(buf.take_string(), "{\"event\":\"x\"}\n");
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,284 @@
+//! The three metric primitives: sharded counters, gauges, and the
+//! power-of-two-bucket histogram (generalized from the fixed 30-bucket
+//! latency histogram that used to live in `uqsj-serve`).
+//!
+//! All handles are cheap `Arc` clones over atomic state, so the hot path
+//! never takes a lock: a counter increment is one relaxed atomic add on a
+//! thread-striped cell, a histogram observation is three.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of counter stripes. Threads hash onto stripes by a per-thread
+/// id, so concurrent increments of one hot counter (the parallel join
+/// driver, the serve thread pool) don't all bounce one cache line.
+const STRIPES: usize = 8;
+
+/// Number of histogram buckets: bucket `i` holds values in
+/// `[2^i, 2^(i+1))`, bucket 0 additionally absorbs zero. 64 buckets cover
+/// the full `u64` range, so nothing is ever dropped — the top bucket
+/// saturates instead.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+std::thread_local! {
+    static STRIPE: usize = next_stripe();
+}
+
+fn next_stripe() -> usize {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed) as usize % STRIPES
+}
+
+/// One cache line per stripe; the padding keeps neighbouring stripes from
+/// sharing a line.
+#[repr(align(64))]
+#[derive(Default)]
+struct Stripe(AtomicU64);
+
+/// A monotonically increasing counter. Clones share the same value.
+#[derive(Clone, Default)]
+pub struct Counter {
+    stripes: Arc<[Stripe; STRIPES]>,
+}
+
+impl Counter {
+    /// A fresh zeroed counter (normally obtained from a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let s = STRIPE.with(|s| *s);
+        self.stripes[s].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (sum over stripes).
+    pub fn value(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+/// A value that can go up and down (or track a maximum).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh zeroed gauge (normally obtained from a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water marks).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A power-of-two-bucket histogram over `u64` values.
+///
+/// Durations are recorded in microseconds via
+/// [`Histogram::observe_duration`]; sub-microsecond samples land in
+/// bucket 0 and the top bucket saturates, so every observation is
+/// counted. Quantile estimates return the upper edge of the bucket
+/// containing the ranked sample — an upper bound tight to a factor of 2.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+/// Bucket index of `v`: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+/// Upper edge of bucket `i` (`2^(i+1)`), saturating at `u64::MAX`.
+#[inline]
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram (normally obtained from a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let inner = &*self.inner;
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record one duration in microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper edge of the bucket containing the `q`-th sample (`q` in
+    /// `[0, 1]`); 0 when empty. An upper bound on the true quantile,
+    /// tight to a factor of 2.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(&self.buckets(), q)
+    }
+
+    /// [`Histogram::quantile`] as a microsecond duration.
+    pub fn quantile_duration(&self, q: f64) -> Duration {
+        Duration::from_micros(self.quantile(q))
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+    }
+}
+
+/// Quantile over a copied bucket array (shared with snapshot rendering).
+pub fn quantile_of(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper_edge(i);
+        }
+    }
+    u64::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn gauge_set_add_max() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+        g.record_max(5);
+        assert_eq!(g.value(), 7);
+        g.record_max(9);
+        assert_eq!(g.value(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for _ in 0..98 {
+            h.observe(10); // bucket 3: [8, 16)
+        }
+        h.observe(50_000);
+        h.observe(50_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 16);
+        assert!(h.quantile(0.99) > 32_768);
+    }
+
+    #[test]
+    fn histogram_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper_edge(63), u64::MAX);
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,195 @@
+//! Lightweight span tracing with a ring-buffer flight recorder.
+//!
+//! A [`span`] guard records a named interval on a thread-local stack:
+//! entry takes a monotonic timestamp, drop computes the duration and
+//! pushes one [`TraceEvent`] into the global recorder ring. The ring
+//! holds the most recent [`FlightRecorder::capacity`] events — a flight
+//! recorder, not a full trace — and can be dumped on demand as JSON lines
+//! or as a Chrome-trace (`chrome://tracing`, Perfetto) document, or
+//! automatically on panic via [`install_panic_dump`].
+//!
+//! Timestamps are microsecond offsets from the first use of the module
+//! (a process-local monotonic epoch), so dumps need no wall clock.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity.
+const DEFAULT_CAPACITY: usize = 4096;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-local trace epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+std::thread_local! {
+    static TID: u64 = next_tid();
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn next_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Static span name.
+    pub name: &'static str,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+    /// Small per-thread id (order of first trace use, not the OS tid).
+    pub tid: u64,
+    /// Nesting depth at entry (0 = top-level span on its thread).
+    pub depth: u32,
+}
+
+/// An in-flight span; completing (dropping) it records a [`TraceEvent`].
+#[must_use = "a span records on drop; binding it to _ discards the measurement immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    depth: u32,
+}
+
+/// Open a span; the returned guard records it into the global flight
+/// recorder when dropped.
+pub fn span(name: &'static str) -> Span {
+    let start = Instant::now();
+    let start_us = now_us();
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    Span { name, start, start_us, depth }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let event = TraceEvent {
+            name: self.name,
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            tid: TID.with(|t| *t),
+            depth: self.depth,
+        };
+        recorder().record(event);
+    }
+}
+
+/// The global ring of recent [`TraceEvent`]s.
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+/// The process-global flight recorder.
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder {
+        ring: Mutex::new(VecDeque::with_capacity(DEFAULT_CAPACITY)),
+        capacity: DEFAULT_CAPACITY,
+    })
+}
+
+impl FlightRecorder {
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().expect("recorder lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().expect("recorder lock").iter().cloned().collect()
+    }
+
+    /// Drop all retained events (test isolation).
+    pub fn clear(&self) {
+        self.ring.lock().expect("recorder lock").clear();
+    }
+
+    /// One JSON object per line, oldest first.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"tid\":{},\"depth\":{}}}\n",
+                e.name, e.start_us, e.dur_us, e.tid, e.depth
+            ));
+        }
+        out
+    }
+
+    /// A Chrome-trace document (load in `chrome://tracing` or Perfetto).
+    pub fn to_chrome_trace(&self) -> String {
+        let events: Vec<String> = self
+            .events()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                    e.name, e.start_us, e.dur_us, e.tid
+                )
+            })
+            .collect();
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+}
+
+/// Install a panic hook that dumps the flight recorder (JSON lines) to
+/// `path` before the previous hook runs, so the last moments before a
+/// crash are preserved. Call at most once per process.
+pub fn install_panic_dump(path: std::path::PathBuf) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = std::fs::write(&path, recorder().to_json_lines());
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_nest() {
+        recorder().clear();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let events = recorder().events();
+        // Inner drops first.
+        let inner = events.iter().find(|e| e.name == "inner").expect("inner recorded");
+        let outer = events.iter().find(|e| e.name == "outer").expect("outer recorded");
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert!(outer.dur_us >= inner.dur_us);
+        let jsonl = recorder().to_json_lines();
+        assert!(jsonl.contains("\"name\":\"inner\""));
+        let chrome = recorder().to_chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+    }
+}

@@ -1,0 +1,100 @@
+//! Histogram correctness properties: every recorded `Duration` lands in
+//! its power-of-two bucket, and the p50/p99 estimates are within one
+//! bucket of a sorted-vector oracle — including the sub-microsecond and
+//! saturating top-bucket edges.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use uqsj_obs::metric::{bucket_of, bucket_upper_edge, HISTOGRAM_BUCKETS};
+use uqsj_obs::Histogram;
+
+/// Exact quantile from a sorted sample vector: the value at rank
+/// `ceil(q * n)` (1-based), the same rank definition the histogram uses.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A mixed-magnitude value strategy: sub-microsecond zeros, small,
+/// medium, and huge values that hit the saturating top buckets.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..16,
+            16u64..100_000,
+            1_000_000u64..4_000_000_000,
+            Just(u64::MAX - 1),
+            Just(u64::MAX),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn durations_land_in_their_bucket(us in values()) {
+        let h = Histogram::new();
+        for &v in &us {
+            h.observe_duration(Duration::from_micros(v));
+        }
+        let buckets = h.buckets();
+        // Per-value: the bucket holding v covers [2^i, 2^(i+1)), with
+        // bucket 0 absorbing 0 and bucket 63 ending at u64::MAX.
+        for &v in &us {
+            let i = bucket_of(v);
+            prop_assert!(buckets[i] > 0, "value {v} has empty bucket {i}");
+            let lo = if i == 0 { 0 } else { 1u64 << i };
+            prop_assert!(v >= lo, "value {v} below bucket {i} lower edge {lo}");
+            prop_assert!(v <= bucket_upper_edge(i).saturating_sub(0), "value {v} above bucket {i}");
+            if i + 1 < 64 {
+                prop_assert!(v < bucket_upper_edge(i));
+            }
+        }
+        // Per-bucket: the recount matches.
+        for (i, &count) in buckets.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+            let expected = us.iter().filter(|&&v| bucket_of(v) == i).count() as u64;
+            prop_assert_eq!(count, expected, "bucket {} count", i);
+        }
+        prop_assert_eq!(h.count(), us.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_of_oracle(us in values()) {
+        let h = Histogram::new();
+        let mut sorted = us.clone();
+        sorted.sort_unstable();
+        for &v in &us {
+            h.observe(v);
+        }
+        for q in [0.50, 0.99] {
+            let exact = oracle_quantile(&sorted, q);
+            let est = h.quantile(q);
+            // The estimate is the upper edge of the bucket containing the
+            // exact ranked sample: never below it, and no more than one
+            // power of two above it.
+            prop_assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            let exact_bucket = bucket_of(exact);
+            prop_assert_eq!(
+                est,
+                bucket_upper_edge(exact_bucket),
+                "q={} estimate is not the exact value's bucket edge", q
+            );
+        }
+    }
+}
+
+#[test]
+fn sub_microsecond_and_saturating_edges() {
+    let h = Histogram::new();
+    h.observe_duration(Duration::from_nanos(1)); // rounds to 0 µs → bucket 0
+    h.observe_duration(Duration::from_nanos(999)); // still bucket 0
+    assert_eq!(h.buckets()[0], 2);
+    assert_eq!(h.quantile(0.99), 2); // upper edge of bucket 0
+
+    let h = Histogram::new();
+    h.observe_duration(Duration::MAX); // micros >> u64::MAX → clamps, bucket 63
+    assert_eq!(h.buckets()[63], 1);
+    assert_eq!(h.quantile(0.5), u64::MAX);
+}

@@ -117,7 +117,7 @@ impl Ingestor {
         let (matches, stats) =
             index.join_one_with(&mut self.engine, &self.table, g_index, &g, self.params);
 
-        let templates = matches
+        let templates: Vec<Template> = matches
             .iter()
             .filter_map(|m| {
                 generate_template(&TemplateSource {
@@ -129,6 +129,23 @@ impl Ingestor {
                 })
             })
             .collect();
+        // One structured line per generated template — quiet (a single
+        // atomic load) unless a log sink is installed, e.g. by the CLI's
+        // serve command or a test's `SharedBuf`.
+        if uqsj_obs::log::enabled() {
+            for t in &templates {
+                uqsj_obs::log::emit(
+                    &uqsj_obs::log::JsonRecord::new("template_ingested")
+                        .u64("g_index", g_index as u64)
+                        .str("template", &t.nl_pattern())
+                        .f64("confidence", t.confidence)
+                        .u64("join_candidates", stats.candidates)
+                        .u64("worlds_verified", stats.worlds_verified)
+                        .u64("verify_us", stats.verification_time.as_micros() as u64)
+                        .finish(),
+                );
+            }
+        }
         Ok(IngestOutcome { g_index, matches, templates, stats })
     }
 }

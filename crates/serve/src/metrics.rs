@@ -1,32 +1,36 @@
 //! Serving metrics: question counts, cache effectiveness, signature-filter
-//! effectiveness, and a fixed-bucket latency histogram giving p50/p99
-//! without any dependency beyond the standard library.
+//! effectiveness, and answer-latency percentiles.
+//!
+//! Backed by a **per-instance** [`uqsj_obs::Registry`] rather than the
+//! process-global one: each [`ServeMetrics`] (and therefore each
+//! [`crate::QaServer`]) owns its counters, so parallel tests and
+//! side-by-side servers never contaminate each other, while still getting
+//! the registry's Prometheus/JSON exposition for free via
+//! [`ServeMetrics::registry`]. The latency histogram is the same
+//! power-of-two-bucket structure this module used to hand-roll — it was
+//! generalized into [`uqsj_obs::Histogram`], and the percentile estimates
+//! are bit-identical for any sane latency (the old 30-bucket table capped
+//! at ~9 minutes; the shared one covers all of `u64`).
 
-use parking_lot::Mutex;
 use std::time::Duration;
+use uqsj_obs::{Counter, Histogram, Registry};
 
-/// Power-of-two microsecond buckets: bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))` µs, bucket 0 additionally absorbs sub-microsecond
-/// samples. 2^29 µs ≈ 9 minutes — far beyond any sane answer latency.
-const BUCKETS: usize = 30;
-
-#[derive(Debug, Default)]
-struct Inner {
-    questions: u64,
-    cache_hits: u64,
-    /// Sum over cache misses of the templates that survived the filter.
-    candidates_total: u64,
-    /// Sum over cache misses of the library size (the linear-scan cost).
-    library_total: u64,
-    /// Exact tree-edit-distance computations performed.
-    ted_total: u64,
-    latency: [u64; BUCKETS],
+/// Thread-safe serving counters over a private metric registry.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    registry: Registry,
+    questions: Counter,
+    cache_hits: Counter,
+    candidates_total: Counter,
+    library_total: Counter,
+    ted_total: Counter,
+    latency: Histogram,
 }
 
-/// Thread-safe serving counters.
-#[derive(Debug, Default)]
-pub struct ServeMetrics {
-    inner: Mutex<Inner>,
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A point-in-time copy of the counters, with derived rates.
@@ -55,70 +59,74 @@ pub struct MetricsSnapshot {
 }
 
 impl ServeMetrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics over a private registry.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        Self {
+            questions: registry
+                .counter("uqsj_serve_questions_total", "questions served (hits + misses)"),
+            cache_hits: registry
+                .counter("uqsj_serve_cache_hits_total", "questions answered from the cache"),
+            candidates_total: registry.counter(
+                "uqsj_serve_candidates_total",
+                "templates examined after filtering, summed over misses",
+            ),
+            library_total: registry.counter(
+                "uqsj_serve_library_total",
+                "templates a linear scan would have examined, summed over misses",
+            ),
+            ted_total: registry
+                .counter("uqsj_serve_ted_total", "exact TED computations, summed over misses"),
+            latency: registry.histogram("uqsj_serve_answer_us", "answer latency per question"),
+            registry,
+        }
+    }
+
+    /// The registry backing these metrics — exposable as Prometheus text
+    /// ([`Registry::render_prometheus`]) or JSON
+    /// ([`Registry::snapshot_json`]) without touching the snapshot API.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Record a question served from the cache.
     pub fn record_hit(&self, latency: Duration) {
-        let mut m = self.inner.lock();
-        m.questions += 1;
-        m.cache_hits += 1;
-        m.latency[bucket_of(latency)] += 1;
+        self.questions.inc();
+        self.cache_hits.inc();
+        self.latency.observe_duration(latency);
     }
 
     /// Record a question that went through the store: `candidates` is the
     /// filtered set size, `library` the full library size, `ted` the exact
     /// TED computations spent.
     pub fn record_miss(&self, latency: Duration, candidates: usize, library: usize, ted: usize) {
-        let mut m = self.inner.lock();
-        m.questions += 1;
-        m.candidates_total += candidates as u64;
-        m.library_total += library as u64;
-        m.ted_total += ted as u64;
-        m.latency[bucket_of(latency)] += 1;
+        self.questions.inc();
+        self.candidates_total.add(candidates as u64);
+        self.library_total.add(library as u64);
+        self.ted_total.add(ted as u64);
+        self.latency.observe_duration(latency);
     }
 
-    /// Copy out the counters.
+    /// Copy out the counters. Every derived ratio is zero (never NaN or
+    /// infinite) when its denominator is zero, so zero-traffic snapshots
+    /// format and compare cleanly.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let m = self.inner.lock();
-        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let questions = self.questions.value();
+        let cache_hits = self.cache_hits.value();
+        let candidates_total = self.candidates_total.value();
+        let library_total = self.library_total.value();
         MetricsSnapshot {
-            questions: m.questions,
-            cache_hits: m.cache_hits,
-            cache_hit_rate: ratio(m.cache_hits, m.questions),
-            candidates_total: m.candidates_total,
-            library_total: m.library_total,
-            candidate_ratio: ratio(m.candidates_total, m.library_total),
-            ted_total: m.ted_total,
-            p50: percentile(&m.latency, 0.50),
-            p99: percentile(&m.latency, 0.99),
+            questions,
+            cache_hits,
+            cache_hit_rate: uqsj_obs::ratio(cache_hits, questions),
+            candidates_total,
+            library_total,
+            candidate_ratio: uqsj_obs::ratio(candidates_total, library_total),
+            ted_total: self.ted_total.value(),
+            p50: self.latency.quantile_duration(0.50),
+            p99: self.latency.quantile_duration(0.99),
         }
     }
-}
-
-fn bucket_of(latency: Duration) -> usize {
-    let us = latency.as_micros().max(1) as u64;
-    ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
-}
-
-/// Upper edge of the bucket containing the q-th sample — an upper bound on
-/// the true percentile, tight to a factor of 2.
-fn percentile(latency: &[u64; BUCKETS], q: f64) -> Duration {
-    let total: u64 = latency.iter().sum();
-    if total == 0 {
-        return Duration::ZERO;
-    }
-    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (i, &count) in latency.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return Duration::from_micros(1u64 << (i + 1));
-        }
-    }
-    Duration::from_micros(1u64 << BUCKETS)
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -178,6 +186,23 @@ mod tests {
         let s = ServeMetrics::new().snapshot();
         assert_eq!(s.questions, 0);
         assert_eq!(s.candidate_ratio, 0.0);
+        assert!(s.cache_hit_rate.is_finite());
+        assert!(s.candidate_ratio.is_finite());
         assert_eq!(s.p50, Duration::ZERO);
+        // A zero-traffic snapshot still formats NaN-free.
+        let text = s.to_string();
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn instances_are_isolated_and_exposable() {
+        let a = ServeMetrics::new();
+        let b = ServeMetrics::new();
+        a.record_hit(Duration::from_micros(5));
+        assert_eq!(a.snapshot().questions, 1);
+        assert_eq!(b.snapshot().questions, 0, "per-instance registries must not share state");
+        let text = a.registry().render_prometheus();
+        assert!(text.contains("uqsj_serve_questions_total 1"), "{text}");
+        assert!(text.contains("uqsj_serve_answer_us_count 1"), "{text}");
     }
 }

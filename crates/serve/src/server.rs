@@ -212,6 +212,12 @@ impl QaServer {
         self.metrics.snapshot()
     }
 
+    /// This server's private metric registry, for Prometheus-text or JSON
+    /// exposition (`render_prometheus()` / `snapshot_json()`).
+    pub fn metrics_registry(&self) -> &uqsj_obs::Registry {
+        self.metrics.registry()
+    }
+
     /// The serving configuration.
     pub fn config(&self) -> ServeConfig {
         self.config

@@ -1,0 +1,48 @@
+//! The ingest path emits one structured JSON line per generated template
+//! when a log sink is installed — and stays silent (and allocation-free on
+//! the logging path) when none is.
+
+use uqsj_serve::Ingestor;
+use uqsj_simjoin::JoinParams;
+use uqsj_workload::{qald_like, DatasetConfig};
+
+#[test]
+fn ingest_logs_one_json_line_per_template() {
+    let d = qald_like(&DatasetConfig { questions: 20, distractors: 10, ..Default::default() });
+    let mut ingestor = Ingestor::from_dataset(&d, JoinParams::simj(1, 0.5));
+
+    // Quiet by default: no sink, nothing captured anywhere.
+    assert!(!uqsj_obs::log::enabled());
+
+    let buf = uqsj_obs::log::SharedBuf::new();
+    uqsj_obs::log::set_sink(Some(Box::new(buf.clone())));
+    let mut total_templates = 0usize;
+    for pair in &d.pairs {
+        let outcome = ingestor.ingest(&d.kb.lexicon, &pair.question).expect("analyzable");
+        total_templates += outcome.templates.len();
+    }
+    uqsj_obs::log::set_sink(None);
+
+    let captured = buf.take_string();
+    let lines: Vec<&str> = captured.lines().collect();
+    assert!(total_templates > 0, "workload produced no templates — test is vacuous");
+    assert_eq!(lines.len(), total_templates, "one line per template:\n{captured}");
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        for field in [
+            "\"event\":\"template_ingested\"",
+            "\"g_index\":",
+            "\"template\":",
+            "\"confidence\":",
+            "\"join_candidates\":",
+            "\"verify_us\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+
+    // Sink removed: further ingests emit nothing.
+    let outcome = ingestor.ingest(&d.kb.lexicon, &d.pairs[0].question).expect("analyzable");
+    let _ = outcome;
+    assert_eq!(buf.take_string(), "");
+}

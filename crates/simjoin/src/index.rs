@@ -82,9 +82,15 @@ impl<'a> JoinIndex<'a> {
             hits += 1;
             join_pair(engine, table, qi, &self.d[qi], g_index, g, params, &mut out, &mut stats);
         }
+        // Pairs outside the window fail the size bound by construction, so
+        // they land in the same `pruned_size` bucket the in-window cascade
+        // uses — indexed and plain joins report identical stage counts.
         let skipped = self.d.len() as u64 - hits;
         stats.pairs_total += skipped;
-        stats.pruned_structural += skipped;
+        stats.pruned_size += skipped;
+        let obs = crate::obs::join_obs();
+        obs.pairs.add(skipped);
+        obs.pruned_size.add(skipped);
         out.sort_by_key(|m| m.q_index);
         (out, stats)
     }
@@ -92,8 +98,8 @@ impl<'a> JoinIndex<'a> {
 
 /// SimJ over `d × u` using the size index to skip hopeless pairs before
 /// any bound computation. Returns the same result set as
-/// [`crate::sim_join`]; `stats.pruned_structural` absorbs the
-/// index-skipped pairs (they are structurally pruned, just cheaper).
+/// [`crate::sim_join`]; `stats.pruned_size` absorbs the index-skipped
+/// pairs (the window test *is* the size bound, just evaluated cheaper).
 pub fn sim_join_indexed(
     table: &SymbolTable,
     d: &[Graph],

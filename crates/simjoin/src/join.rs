@@ -1,10 +1,14 @@
 //! The SimJ procedure (Algorithm 1) and its group-optimized variant
 //! (Algorithm 2).
 
+use crate::obs::join_obs;
 use crate::stats::JoinStats;
 use std::time::Instant;
 use uqsj_ged::astar::GedResult;
 use uqsj_ged::bounds::css::{css_terms_uncertain, lb_ged_css_uncertain};
+use uqsj_ged::bounds::label_multiset::LabelMultisetBound;
+use uqsj_ged::bounds::size::SizeBound;
+use uqsj_ged::bounds::LowerBound;
 use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 use uqsj_uncertain::groups::{ub_simp_grouped, verify_simp_groups_with};
@@ -95,37 +99,80 @@ pub(crate) fn join_pair(
     stats: &mut JoinStats,
 ) {
     stats.pairs_total += 1;
+    let obs = join_obs();
+    obs.pairs.inc();
     let pruning_started = Instant::now();
 
-    // Structural filter (Algorithm 1, lines 3-4).
-    if lb_ged_css_uncertain(table, q, g) > params.tau {
-        stats.pruned_structural += 1;
+    // Stage 1: size bound — the cheapest filter, and exactly the window
+    // [`crate::JoinIndex`] skips, so indexed and plain joins agree on
+    // `pruned_size`. Sound for every world (structure is certain).
+    let stage = Instant::now();
+    let pruned = SizeBound.uncertain(table, q, g) > params.tau;
+    obs.t_size.observe_duration(stage.elapsed());
+    if pruned {
+        stats.pruned_size += 1;
+        obs.pruned_size.inc();
         stats.pruning_time += pruning_started.elapsed();
         return;
     }
 
-    // Probabilistic filter(s) (lines 5-6 / Algorithm 2).
+    // Stage 2: label-multiset bound (uncertain lift). Dominated by CSS
+    // (Theorem 2), so it never changes the candidate set — it only lets
+    // pairs fail before the more expensive CSS computation.
+    let stage = Instant::now();
+    let pruned = LabelMultisetBound.uncertain(table, q, g) > params.tau;
+    obs.t_label_multiset.observe_duration(stage.elapsed());
+    if pruned {
+        stats.pruned_label_multiset += 1;
+        obs.pruned_label_multiset.inc();
+        stats.pruning_time += pruning_started.elapsed();
+        return;
+    }
+
+    // Stage 3: CSS structural filter (Algorithm 1, lines 3-4).
+    let stage = Instant::now();
+    let pruned = lb_ged_css_uncertain(table, q, g) > params.tau;
+    obs.t_css.observe_duration(stage.elapsed());
+    if pruned {
+        stats.pruned_structural += 1;
+        obs.pruned_css.inc();
+        stats.pruning_time += pruning_started.elapsed();
+        return;
+    }
+
+    // Stages 4-5: probabilistic filter(s) (lines 5-6 / Algorithm 2).
     let mut groups = None;
     match params.strategy {
         JoinStrategy::CssOnly => {}
         JoinStrategy::SimJ => {
+            let stage = Instant::now();
             let terms = css_terms_uncertain(table, q, g);
-            if ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha {
+            let pruned = ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha;
+            obs.t_markov.observe_duration(stage.elapsed());
+            if pruned {
                 stats.pruned_probabilistic += 1;
+                obs.pruned_markov.inc();
                 stats.pruning_time += pruning_started.elapsed();
                 return;
             }
         }
         JoinStrategy::SimJOpt { group_count } => {
+            let stage = Instant::now();
             let terms = css_terms_uncertain(table, q, g);
-            if ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha {
+            let pruned = ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha;
+            obs.t_markov.observe_duration(stage.elapsed());
+            if pruned {
                 stats.pruned_probabilistic += 1;
+                obs.pruned_markov.inc();
                 stats.pruning_time += pruning_started.elapsed();
                 return;
             }
+            let stage = Instant::now();
             let (ub, parts) = ub_simp_grouped(table, q, g, params.tau, group_count);
+            obs.t_grouped.observe_duration(stage.elapsed());
             if ub < params.alpha {
                 stats.pruned_grouped += 1;
+                obs.pruned_grouped.inc();
                 stats.pruning_time += pruning_started.elapsed();
                 return;
             }
@@ -136,6 +183,7 @@ pub(crate) fn join_pair(
 
     // Refinement (lines 7-15).
     stats.candidates += 1;
+    obs.candidates.inc();
     let verification_started = Instant::now();
     let outcome = match &groups {
         Some(parts) => {
@@ -143,10 +191,13 @@ pub(crate) fn join_pair(
         }
         None => verify_simp_with(engine, table, q, g, params.tau, params.alpha),
     };
-    stats.verification_time += verification_started.elapsed();
+    let verify_elapsed = verification_started.elapsed();
+    obs.t_verify.observe_duration(verify_elapsed);
+    stats.verification_time += verify_elapsed;
     stats.worlds_verified += outcome.worlds_verified as u64;
     if outcome.passed {
         stats.results += 1;
+        obs.results.inc();
         let mapping =
             outcome.best_mapping.expect("a passing pair has at least one qualifying world");
         out.push(JoinMatch {

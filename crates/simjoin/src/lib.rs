@@ -17,6 +17,7 @@
 pub mod filter_eval;
 pub mod index;
 pub mod join;
+mod obs;
 pub mod parallel;
 pub mod stats;
 pub mod topk;

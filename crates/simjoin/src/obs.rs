@@ -1,0 +1,64 @@
+//! Metric handles for the join cascade: one counter and one time
+//! histogram per filter stage, in cascade order (size → label multiset →
+//! CSS → Markov → group-refined → verification). The counters mirror the
+//! per-run [`crate::JoinStats`] fields but accumulate process-wide, so a
+//! serving process exposes its lifetime pruning profile without threading
+//! stats through every call site.
+
+pub(crate) struct JoinObs {
+    pub pairs: uqsj_obs::Counter,
+    pub candidates: uqsj_obs::Counter,
+    pub results: uqsj_obs::Counter,
+    /// Pairs discarded per stage, labelled `stage=...`.
+    pub pruned_size: uqsj_obs::Counter,
+    pub pruned_label_multiset: uqsj_obs::Counter,
+    pub pruned_css: uqsj_obs::Counter,
+    pub pruned_markov: uqsj_obs::Counter,
+    pub pruned_grouped: uqsj_obs::Counter,
+    /// Per-pair time spent in each stage (µs), labelled `stage=...`;
+    /// a stage's histogram counts every pair that *reached* it.
+    pub t_size: uqsj_obs::Histogram,
+    pub t_label_multiset: uqsj_obs::Histogram,
+    pub t_css: uqsj_obs::Histogram,
+    pub t_markov: uqsj_obs::Histogram,
+    pub t_grouped: uqsj_obs::Histogram,
+    pub t_verify: uqsj_obs::Histogram,
+}
+
+pub(crate) fn join_obs() -> &'static JoinObs {
+    use std::sync::OnceLock;
+    static OBS: OnceLock<JoinObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = uqsj_obs::global();
+        let pruned = "pairs discarded by each filter stage";
+        let stage_us = "per-pair time in each cascade stage";
+        JoinObs {
+            pairs: r.counter("uqsj_join_pairs_total", "pairs considered by the join cascade"),
+            candidates: r.counter("uqsj_join_candidates_total", "pairs surviving all filters"),
+            results: r.counter("uqsj_join_results_total", "pairs verified with SimP >= alpha"),
+            pruned_size: r.counter_with("uqsj_join_pruned_total", &[("stage", "size")], pruned),
+            pruned_label_multiset: r.counter_with(
+                "uqsj_join_pruned_total",
+                &[("stage", "label_multiset")],
+                pruned,
+            ),
+            pruned_css: r.counter_with("uqsj_join_pruned_total", &[("stage", "css")], pruned),
+            pruned_markov: r.counter_with("uqsj_join_pruned_total", &[("stage", "markov")], pruned),
+            pruned_grouped: r.counter_with(
+                "uqsj_join_pruned_total",
+                &[("stage", "grouped")],
+                pruned,
+            ),
+            t_size: r.histogram_with("uqsj_join_stage_us", &[("stage", "size")], stage_us),
+            t_label_multiset: r.histogram_with(
+                "uqsj_join_stage_us",
+                &[("stage", "label_multiset")],
+                stage_us,
+            ),
+            t_css: r.histogram_with("uqsj_join_stage_us", &[("stage", "css")], stage_us),
+            t_markov: r.histogram_with("uqsj_join_stage_us", &[("stage", "markov")], stage_us),
+            t_grouped: r.histogram_with("uqsj_join_stage_us", &[("stage", "grouped")], stage_us),
+            t_verify: r.histogram_with("uqsj_join_stage_us", &[("stage", "verify")], stage_us),
+        }
+    })
+}

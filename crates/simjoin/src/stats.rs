@@ -3,10 +3,28 @@
 use std::time::Duration;
 
 /// Counters and timers accumulated over one join run.
+///
+/// # Time accounting
+///
+/// [`JoinStats::pruning_time`] and [`JoinStats::verification_time`] are
+/// *CPU* times: per-pair elapsed intervals summed over every pair the run
+/// touched, regardless of which worker touched it. In the sequential
+/// drivers ([`crate::sim_join`], [`crate::sim_join_indexed`]) this equals
+/// wall-clock time — the paper's experiments are single-threaded, so the
+/// summed accounting is the paper-faithful figure. The parallel driver
+/// ([`crate::sim_join_parallel`]) additionally stamps
+/// [`JoinStats::wall_time`] with the driver's true elapsed time;
+/// [`JoinStats::response_time`] prefers it when set, so a parallel run no
+/// longer reports a "response time" larger than the time it actually took.
 #[derive(Clone, Debug, Default)]
 pub struct JoinStats {
     /// `|D| × |U|`.
     pub pairs_total: u64,
+    /// Pairs discarded by the vertex/edge-count size bound — the same
+    /// window [`crate::JoinIndex`] skips without touching the pair.
+    pub pruned_size: u64,
+    /// Pairs discarded by the label-multiset bound (uncertain lift).
+    pub pruned_label_multiset: u64,
     /// Pairs discarded by the CSS structural filter (Theorem 3).
     pub pruned_structural: u64,
     /// Pairs discarded by the single-group Markov filter (Theorem 4).
@@ -19,40 +37,62 @@ pub struct JoinStats {
     pub results: u64,
     /// Possible worlds on which A\* ran.
     pub worlds_verified: u64,
-    /// Time spent in the pruning phase.
+    /// CPU time spent in the pruning phase (summed per pair).
     pub pruning_time: Duration,
-    /// Time spent in the refinement (verification) phase.
+    /// CPU time spent in the refinement (verification) phase.
     pub verification_time: Duration,
+    /// True elapsed time of the driving call, set only by drivers whose
+    /// workers overlap (zero means "not measured": sequential runs, where
+    /// [`JoinStats::cpu_time`] already *is* the wall clock).
+    pub wall_time: Duration,
 }
 
 impl JoinStats {
     /// Candidate ratio: candidates / total pairs (the y-axis of
     /// Figs. 11(b), 12(b), 13(b), 14(b), 15(b)).
     pub fn candidate_ratio(&self) -> f64 {
-        if self.pairs_total == 0 {
-            return 0.0;
-        }
-        self.candidates as f64 / self.pairs_total as f64
+        uqsj_obs::ratio(self.candidates, self.pairs_total)
     }
 
     /// Result ratio: results / total pairs ("Real" series in the figures).
     pub fn result_ratio(&self) -> f64 {
-        if self.pairs_total == 0 {
-            return 0.0;
-        }
-        self.results as f64 / self.pairs_total as f64
+        uqsj_obs::ratio(self.results, self.pairs_total)
     }
 
-    /// Total response time (pruning + verification).
-    pub fn response_time(&self) -> Duration {
+    /// Pairs discarded before verification, across all filter stages.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_size
+            + self.pruned_label_multiset
+            + self.pruned_structural
+            + self.pruned_probabilistic
+            + self.pruned_grouped
+    }
+
+    /// Summed per-pair CPU time (pruning + verification) — the paper's
+    /// single-threaded response-time metric.
+    pub fn cpu_time(&self) -> Duration {
         self.pruning_time + self.verification_time
     }
 
+    /// Total response time: the driver's wall clock when measured
+    /// (parallel runs), otherwise the summed CPU time (sequential runs,
+    /// where the two coincide).
+    pub fn response_time(&self) -> Duration {
+        if self.wall_time > Duration::ZERO {
+            self.wall_time
+        } else {
+            self.cpu_time()
+        }
+    }
+
     /// Merge another run's counters into this one (used by the parallel
-    /// driver; wall-clock times add, which matches the paper's
-    /// single-threaded reporting).
+    /// driver and the indexed per-question loop). Counters and CPU times
+    /// add; `wall_time` max-merges, because concurrent workers' elapsed
+    /// intervals overlap — summing them would double-count the clock.
     pub fn merge(&mut self, other: &JoinStats) {
         self.pairs_total += other.pairs_total;
+        self.pruned_size += other.pruned_size;
+        self.pruned_label_multiset += other.pruned_label_multiset;
         self.pruned_structural += other.pruned_structural;
         self.pruned_probabilistic += other.pruned_probabilistic;
         self.pruned_grouped += other.pruned_grouped;
@@ -61,6 +101,7 @@ impl JoinStats {
         self.worlds_verified += other.worlds_verified;
         self.pruning_time += other.pruning_time;
         self.verification_time += other.verification_time;
+        self.wall_time = self.wall_time.max(other.wall_time);
     }
 }
 
@@ -80,15 +121,59 @@ mod tests {
         let s = JoinStats::default();
         assert_eq!(s.candidate_ratio(), 0.0);
         assert_eq!(s.result_ratio(), 0.0);
+        assert!(s.candidate_ratio().is_finite());
+        assert_eq!(s.response_time(), Duration::ZERO);
     }
 
     #[test]
     fn merge_accumulates() {
         let mut a = JoinStats { pairs_total: 5, candidates: 2, ..Default::default() };
-        let b = JoinStats { pairs_total: 7, candidates: 1, results: 1, ..Default::default() };
+        let b = JoinStats {
+            pairs_total: 7,
+            candidates: 1,
+            results: 1,
+            pruned_size: 3,
+            pruned_label_multiset: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.pairs_total, 12);
         assert_eq!(a.candidates, 3);
         assert_eq!(a.results, 1);
+        assert_eq!(a.pruned_size, 3);
+        assert_eq!(a.pruned_label_multiset, 1);
+        assert_eq!(a.pruned_total(), 4);
+    }
+
+    #[test]
+    fn wall_time_max_merges_and_drives_response_time() {
+        let mut a = JoinStats {
+            pruning_time: Duration::from_millis(40),
+            verification_time: Duration::from_millis(60),
+            wall_time: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let b = JoinStats {
+            pruning_time: Duration::from_millis(50),
+            verification_time: Duration::from_millis(50),
+            wall_time: Duration::from_millis(45),
+            ..Default::default()
+        };
+        a.merge(&b);
+        // CPU times add across workers; overlapping wall clocks do not.
+        assert_eq!(a.cpu_time(), Duration::from_millis(200));
+        assert_eq!(a.wall_time, Duration::from_millis(45));
+        assert_eq!(a.response_time(), Duration::from_millis(45));
+    }
+
+    #[test]
+    fn sequential_runs_report_cpu_time_as_response_time() {
+        let s = JoinStats {
+            pruning_time: Duration::from_millis(2),
+            verification_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(s.response_time(), Duration::from_millis(5));
+        assert_eq!(s.response_time(), s.cpu_time());
     }
 }

@@ -89,6 +89,7 @@ impl StorageEngine {
     /// WAL tail is truncated, never an error; a corrupted snapshot or WAL
     /// header is a typed error and nothing is modified.
     pub fn open(dir: &Path) -> Result<(Self, RecoveredState), StorageError> {
+        let _span = uqsj_obs::span("storage.open");
         fs::create_dir_all(dir)?;
         if !dir.join(CURRENT).exists() {
             let empty = SnapshotState::default();
@@ -147,6 +148,8 @@ impl StorageEngine {
         lexicon: &Lexicon,
         triples: &TripleStore,
     ) -> Result<u64, StorageError> {
+        let _span = uqsj_obs::span("storage.compact");
+        let started = std::time::Instant::now();
         let next = self.generation + 1;
         snapshot::write_snapshot(&snapshot_path(&self.dir, next), next, library, lexicon, triples)?;
         let wal = WalWriter::create(&wal_path(&self.dir, next), next)?;
@@ -156,6 +159,9 @@ impl StorageEngine {
         self.generation = next;
         self.wal = wal;
         self.remove_stale_generations();
+        let obs = crate::obs::storage_obs();
+        obs.compactions.inc();
+        obs.compaction_us.observe_duration(started.elapsed());
         Ok(next)
     }
 

@@ -25,6 +25,7 @@
 pub mod codec;
 pub mod engine;
 pub mod error;
+mod obs;
 pub mod snapshot;
 pub mod wal;
 

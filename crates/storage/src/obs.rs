@@ -1,0 +1,51 @@
+//! Metric handles for the durability path: WAL append/fsync latency and
+//! volume, recovery replay counts, snapshot I/O latency, and compaction
+//! cadence. Registered once in [`uqsj_obs::global()`].
+
+pub(crate) struct StorageObs {
+    /// Latency of one `append` call, including the fsync (µs).
+    pub wal_append_us: uqsj_obs::Histogram,
+    /// Framed bytes appended to the WAL.
+    pub wal_appended_bytes: uqsj_obs::Counter,
+    /// Records appended to the WAL.
+    pub wal_records: uqsj_obs::Counter,
+    /// Records replayed from a WAL during recovery.
+    pub wal_replayed_records: uqsj_obs::Counter,
+    /// Torn-tail bytes truncated during recovery.
+    pub wal_torn_bytes: uqsj_obs::Counter,
+    /// Full snapshot write latency, including fsyncs (µs).
+    pub snapshot_write_us: uqsj_obs::Histogram,
+    /// Full snapshot read + decode latency (µs).
+    pub snapshot_read_us: uqsj_obs::Histogram,
+    /// Completed compactions (generation rotations).
+    pub compactions: uqsj_obs::Counter,
+    /// End-to-end compaction latency (µs).
+    pub compaction_us: uqsj_obs::Histogram,
+}
+
+pub(crate) fn storage_obs() -> &'static StorageObs {
+    use std::sync::OnceLock;
+    static OBS: OnceLock<StorageObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = uqsj_obs::global();
+        StorageObs {
+            wal_append_us: r.histogram("uqsj_wal_append_us", "WAL append+fsync latency per call"),
+            wal_appended_bytes: r
+                .counter("uqsj_wal_appended_bytes_total", "framed bytes appended to the WAL"),
+            wal_records: r.counter("uqsj_wal_records_total", "records appended to the WAL"),
+            wal_replayed_records: r.counter(
+                "uqsj_wal_replayed_records_total",
+                "records replayed from the WAL during recovery",
+            ),
+            wal_torn_bytes: r
+                .counter("uqsj_wal_torn_bytes_total", "torn-tail bytes truncated during recovery"),
+            snapshot_write_us: r
+                .histogram("uqsj_snapshot_write_us", "snapshot write+fsync latency"),
+            snapshot_read_us: r.histogram("uqsj_snapshot_read_us", "snapshot read+decode latency"),
+            compactions: r
+                .counter("uqsj_storage_compactions_total", "completed generation rotations"),
+            compaction_us: r
+                .histogram("uqsj_storage_compaction_us", "end-to-end compaction latency"),
+        }
+    })
+}

@@ -171,6 +171,7 @@ pub fn write_snapshot(
     lexicon: &Lexicon,
     triples: &TripleStore,
 ) -> Result<(), StorageError> {
+    let started = std::time::Instant::now();
     let bytes = encode_snapshot(generation, library, lexicon, triples);
     let tmp = path.with_extension("tmp");
     {
@@ -180,14 +181,18 @@ pub fn write_snapshot(
     }
     fs::rename(&tmp, path)?;
     sync_parent_dir(path)?;
+    crate::obs::storage_obs().snapshot_write_us.observe_duration(started.elapsed());
     Ok(())
 }
 
 /// Read and validate a snapshot file.
 pub fn read_snapshot(path: &Path) -> Result<(SnapshotState, u64), StorageError> {
+    let started = std::time::Instant::now();
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
-    decode_snapshot(&bytes)
+    let decoded = decode_snapshot(&bytes)?;
+    crate::obs::storage_obs().snapshot_read_us.observe_duration(started.elapsed());
+    Ok(decoded)
 }
 
 /// fsync the directory containing `path` (directory entries are metadata

@@ -155,6 +155,9 @@ impl WalWriter {
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
         let replay = replay_bytes(&bytes)?;
+        let obs = crate::obs::storage_obs();
+        obs.wal_replayed_records.add(replay.records.len() as u64);
+        obs.wal_torn_bytes.add(replay.torn_bytes);
         let file = OpenOptions::new().write(true).open(path)?;
         if replay.torn_bytes > 0 {
             file.set_len(replay.valid_len)?;
@@ -172,12 +175,17 @@ impl WalWriter {
         if records.is_empty() {
             return Ok(());
         }
+        let started = std::time::Instant::now();
         let mut buf = Vec::new();
         for record in records {
             buf.extend_from_slice(&encode_record(record));
         }
         self.file.write_all(&buf)?;
         self.file.sync_data()?;
+        let obs = crate::obs::storage_obs();
+        obs.wal_append_us.observe_duration(started.elapsed());
+        obs.wal_appended_bytes.add(buf.len() as u64);
+        obs.wal_records.add(records.len() as u64);
         Ok(())
     }
 

@@ -329,8 +329,11 @@ pub fn verify_simp_groups_with(
         for (labels, prob) in grp.worlds() {
             remaining -= prob;
             verifier.set_labels(&labels);
+            let obs = crate::obs::world_obs();
+            obs.enumerated.inc();
             if lb_ged_css_certain(table, q, verifier.world_graph()) <= tau {
                 worlds_verified += 1;
+                obs.verified.inc();
                 if let Some(result) = verifier.within_tau(engine, tau) {
                     acc += prob;
                     if prob > best_world_prob {
@@ -338,8 +341,15 @@ pub fn verify_simp_groups_with(
                         best_mapping = Some(result);
                     }
                 }
+            } else {
+                obs.css_pruned.inc();
             }
             if early && (acc >= alpha || acc + remaining < alpha) {
+                if acc >= alpha {
+                    obs.early_exit_pass.inc();
+                } else {
+                    obs.early_exit_fail.inc();
+                }
                 break 'outer;
             }
         }

@@ -14,6 +14,7 @@
 //!   world is verified by patching only the uncertain-vertex labels.
 
 pub mod groups;
+mod obs;
 pub mod prob;
 pub mod prob_bound;
 pub mod verifier;

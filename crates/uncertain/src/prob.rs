@@ -107,9 +107,12 @@ impl SimpState {
     ) {
         self.remaining -= prob;
         verifier.set_choice(choice);
+        let obs = crate::obs::world_obs();
+        obs.enumerated.inc();
         // Per-world structural filter (Algorithm 1, line 9).
         if lb_ged_css_certain(table, q, verifier.world_graph()) <= tau {
             self.worlds_verified += 1;
+            obs.verified.inc();
             if let Some(result) = verifier.within_tau(engine, tau) {
                 self.acc += prob;
                 if prob > self.best_world_prob {
@@ -117,6 +120,8 @@ impl SimpState {
                     self.best_mapping = Some(result);
                 }
             }
+        } else {
+            obs.css_pruned.inc();
         }
     }
 
@@ -177,9 +182,11 @@ pub fn verify_simp_with(
         for (choice, prob) in &all {
             st.step(engine, &mut verifier, table, q, tau, choice, *prob);
             if st.acc >= alpha {
+                crate::obs::world_obs().early_exit_pass.inc();
                 return st.into_outcome(alpha);
             }
             if st.acc + st.remaining < alpha {
+                crate::obs::world_obs().early_exit_fail.inc();
                 return st.into_outcome(alpha);
             }
         }
@@ -190,9 +197,11 @@ pub fn verify_simp_with(
             st.step(engine, &mut verifier, table, q, tau, choice, prob);
             if early {
                 if st.acc >= alpha {
+                    crate::obs::world_obs().early_exit_pass.inc();
                     return st.into_outcome(alpha);
                 }
                 if st.acc + st.remaining < alpha {
+                    crate::obs::world_obs().early_exit_fail.inc();
                     return st.into_outcome(alpha);
                 }
             }

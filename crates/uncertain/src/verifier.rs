@@ -107,6 +107,7 @@ impl<'a> WorldVerifier<'a> {
     pub fn within_tau(&mut self, engine: &mut GedEngine, tau: u32) -> Option<GedResult> {
         let ub = ged_upper_bipartite(self.table, self.q, &self.skeleton);
         if ub.distance == 0 {
+            crate::obs::world_obs().bipartite_exact.inc();
             return Some(ub);
         }
         let limit = tau.min(ub.distance);
