@@ -5,20 +5,16 @@
 //! Reported per GN: the summed grouped upper bound over CSS-surviving
 //! pairs (lower = more pruning potential) under each policy.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use uqsj::ged::bounds::css::css_terms_uncertain;
 use uqsj::ged::lb_ged_css_uncertain;
-use uqsj::graph::SymbolTable;
+use uqsj::testkit::SyntheticSpec;
 use uqsj::uncertain::groups::{partition_groups, SplitHeuristic};
 use uqsj::uncertain::ub_simp_grouped;
-use uqsj::workload::{scale_free, RandomGraphConfig};
+use uqsj::workload::RandomGraphConfig;
 use uqsj_bench::{scale, scaled};
 
 fn main() {
     let s = scale();
-    let mut table = SymbolTable::new();
-    let mut rng = SmallRng::seed_from_u64(23);
     let cfg = RandomGraphConfig {
         count: scaled(60, s, 20),
         vertices: 12,
@@ -28,7 +24,7 @@ fn main() {
         perturbation: 2,
         ..Default::default()
     };
-    let (d, u) = scale_free(&mut table, &cfg, &mut rng);
+    let (table, d, u) = SyntheticSpec::sf(23, cfg).generate_fresh();
     let tau = 2u32;
 
     let mut survivors = Vec::new();

@@ -5,17 +5,13 @@
 //! expensive verification); (b) candidate ratio grows with τ, with
 //! SimJ+opt < SimJ < CSS-only at every point.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use uqsj::graph::SymbolTable;
 use uqsj::prelude::*;
-use uqsj::workload::{erdos_renyi, RandomGraphConfig};
+use uqsj::testkit::SyntheticSpec;
+use uqsj::workload::RandomGraphConfig;
 use uqsj_bench::{pct, scale, scaled, secs};
 
 fn main() {
     let s = scale();
-    let mut table = SymbolTable::new();
-    let mut rng = SmallRng::seed_from_u64(12);
     let cfg = RandomGraphConfig {
         count: scaled(120, s, 40),
         vertices: 12,
@@ -24,7 +20,7 @@ fn main() {
         perturbation: 2,
         ..Default::default()
     };
-    let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
+    let (table, d, u) = SyntheticSpec::er(12, cfg).generate_fresh();
     println!("Fig. 12 — ER, alpha = 0.5 (|D| = |U| = {}, |V| = {})\n", d.len(), cfg.vertices);
     println!(
         "{:>4} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",

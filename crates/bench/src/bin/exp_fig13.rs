@@ -4,17 +4,13 @@
 //! (a) more groups cost more pruning time; (b) more groups prune more
 //! candidates (the candidate ratio of SimJ+opt falls with GN).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use uqsj::graph::SymbolTable;
 use uqsj::prelude::*;
-use uqsj::workload::{scale_free, RandomGraphConfig};
+use uqsj::testkit::SyntheticSpec;
+use uqsj::workload::RandomGraphConfig;
 use uqsj_bench::{pct, scale, scaled, secs};
 
 fn main() {
     let s = scale();
-    let mut table = SymbolTable::new();
-    let mut rng = SmallRng::seed_from_u64(13);
     let cfg = RandomGraphConfig {
         count: scaled(120, s, 40),
         vertices: 12,
@@ -24,7 +20,7 @@ fn main() {
         perturbation: 2,
         ..Default::default()
     };
-    let (d, u) = scale_free(&mut table, &cfg, &mut rng);
+    let (table, d, u) = SyntheticSpec::sf(13, cfg).generate_fresh();
     let (tau, alpha) = (2u32, 0.5);
     println!("Fig. 13 — SF, tau = {tau}, alpha = {alpha} (|D| = |U| = {})\n", d.len());
 

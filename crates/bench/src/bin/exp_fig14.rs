@@ -6,11 +6,9 @@
 //! per-label probabilities get small enough that the probabilistic
 //! filters recover (the paper's uptick past |L(v)| = 5).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use uqsj::graph::SymbolTable;
 use uqsj::prelude::*;
-use uqsj::workload::{erdos_renyi, RandomGraphConfig};
+use uqsj::testkit::SyntheticSpec;
+use uqsj::workload::RandomGraphConfig;
 use uqsj_bench::{pct, scale, scaled, secs};
 
 fn main() {
@@ -22,8 +20,6 @@ fn main() {
         "|L(v)|", "prune(s)", "verify(s)", "total(s)", "CSS", "SimJ", "SimJ+opt", "Real"
     );
     for labels in [2.0f64, 3.0, 4.0, 5.0, 6.0] {
-        let mut table = SymbolTable::new();
-        let mut rng = SmallRng::seed_from_u64(14);
         let cfg = RandomGraphConfig {
             count: scaled(100, s, 30),
             vertices: 12,
@@ -34,7 +30,7 @@ fn main() {
             perturbation: 2,
             ..Default::default()
         };
-        let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
+        let (table, d, u) = SyntheticSpec::er(14, cfg).generate_fresh();
         let (_, css) =
             sim_join(&table, &d, &u, JoinParams { tau, alpha, strategy: JoinStrategy::CssOnly });
         let (_, simj) = sim_join(&table, &d, &u, JoinParams::simj(tau, alpha));

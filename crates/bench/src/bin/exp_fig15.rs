@@ -6,22 +6,18 @@
 //! (Theorem 3). Expected shape: CSS is fastest and has the lowest
 //! candidate ratio at every τ.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use uqsj::ged::bounds::css::CssBound;
 use uqsj::ged::bounds::partition::ParsBound;
 use uqsj::ged::bounds::path_gram::PathBound;
 use uqsj::ged::bounds::segos::SegosBound;
 use uqsj::ged::bounds::LowerBound;
-use uqsj::graph::SymbolTable;
 use uqsj::simjoin::filter_eval::evaluate_filter;
-use uqsj::workload::{aids_like, RandomGraphConfig};
+use uqsj::testkit::SyntheticSpec;
+use uqsj::workload::RandomGraphConfig;
 use uqsj_bench::{pct, scale, scaled, secs};
 
 fn main() {
     let s = scale();
-    let mut table = SymbolTable::new();
-    let mut rng = SmallRng::seed_from_u64(15);
     let cfg = RandomGraphConfig {
         count: scaled(150, s, 40),
         vertices: 14,
@@ -30,7 +26,7 @@ fn main() {
         perturbation: 2,
         ..Default::default()
     };
-    let (d, u) = aids_like(&mut table, &cfg, &mut rng);
+    let (table, d, u) = SyntheticSpec::aids(15, cfg).generate_fresh();
     println!("Fig. 15 — AIDS-like filter comparison (|D| = |U| = {})\n", d.len());
 
     let filters: Vec<Box<dyn LowerBound>> = vec![

@@ -6,10 +6,8 @@
 //! 9.39 / 100,000; SF 100,000 / 63.35 / 88.61 / 13.52 / 100,000;
 //! MM 23,250 / 5.35 / 4.92 / 4.21 / 2,500.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use uqsj::graph::SymbolTable;
-use uqsj::workload::{aids_like, erdos_renyi, scale_free, DatasetStats, RandomGraphConfig};
+use uqsj::testkit::SyntheticSpec;
+use uqsj::workload::{DatasetStats, RandomGraphConfig};
 use uqsj_bench::{mm, qald, scale, scaled, webq};
 
 fn main() {
@@ -22,8 +20,6 @@ fn main() {
     let d = webq(s);
     println!("{}", DatasetStats::compute("WebQ", &d.u_graphs, d.d_len()).row());
 
-    let mut table = SymbolTable::new();
-    let mut rng = SmallRng::seed_from_u64(1);
     let er_cfg = RandomGraphConfig {
         count: scaled(200, s, 50),
         vertices: 16,
@@ -31,7 +27,7 @@ fn main() {
         avg_labels: 3.0,
         ..Default::default()
     };
-    let (er_d, er_u) = erdos_renyi(&mut table, &er_cfg, &mut rng);
+    let (_, er_d, er_u) = SyntheticSpec::er(1, er_cfg).generate_fresh();
     println!("{}", DatasetStats::compute("ER", &er_u, er_d.len()).row());
 
     let sf_cfg = RandomGraphConfig {
@@ -41,7 +37,7 @@ fn main() {
         avg_labels: 3.0,
         ..Default::default()
     };
-    let (sf_d, sf_u) = scale_free(&mut table, &sf_cfg, &mut rng);
+    let (_, sf_d, sf_u) = SyntheticSpec::sf(2, sf_cfg).generate_fresh();
     println!("{}", DatasetStats::compute("SF", &sf_u, sf_d.len()).row());
 
     let d = mm(s);
@@ -49,7 +45,7 @@ fn main() {
 
     let aids_cfg =
         RandomGraphConfig { count: scaled(200, s, 50), vertices: 14, ..Default::default() };
-    let (a_d, a_u) = aids_like(&mut table, &aids_cfg, &mut rng);
+    let (_, a_d, a_u) = SyntheticSpec::aids(3, aids_cfg).generate_fresh();
     println!("{}", DatasetStats::compute("AIDS*", &a_u, a_d.len()).row());
     println!("\n(AIDS* appears in Fig. 15 only; scaled-down synthetic stand-ins throughout.)");
 }

@@ -37,6 +37,14 @@
 //! uqsj-cli compact --data-dir data
 //!     Recover a storage directory (snapshot + WAL replay) and fold the
 //!     WAL into the next snapshot generation.
+//!
+//! uqsj-cli conformance [--seed S] [--pairs N] [--profile quick|deep]
+//!     Run the differential conformance suite: seeded boundary-biased
+//!     pairs, every lower bound vs. the exact reference GED per possible
+//!     world, both SimP evaluators, all five join drivers, and the
+//!     metamorphic relations. Prints the coverage report; any violation
+//!     prints the sub-seed that replays it (re-run with
+//!     --seed <sub-seed> --pairs 1) and exits nonzero.
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -48,7 +56,9 @@ use uqsj::workload::DatasetConfig;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: uqsj-cli <generate|answer|join|serve|snapshot|compact> [options]");
+        eprintln!(
+            "usage: uqsj-cli <generate|answer|join|serve|snapshot|compact|conformance> [options]"
+        );
         return ExitCode::FAILURE;
     };
     let opts = Options::parse(&args[1..]);
@@ -59,9 +69,11 @@ fn main() -> ExitCode {
         "serve" => serve(&opts),
         "snapshot" => snapshot(&opts),
         "compact" => compact(&opts),
+        "conformance" => conformance(&opts),
         other => {
             eprintln!(
-                "unknown command {other:?}; expected generate|answer|join|serve|snapshot|compact"
+                "unknown command {other:?}; expected \
+                 generate|answer|join|serve|snapshot|compact|conformance"
             );
             ExitCode::FAILURE
         }
@@ -467,4 +479,26 @@ fn join(opts: &Options) -> ExitCode {
         println!("wrote chrome trace to {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn conformance(opts: &Options) -> ExitCode {
+    use uqsj::testkit::{run_conformance, ConformanceConfig};
+    let seed = opts.num("seed", 42u64);
+    let mut cfg = match opts.get("profile").unwrap_or("quick") {
+        "deep" => ConformanceConfig::deep(seed),
+        "quick" => ConformanceConfig::quick(seed),
+        other => {
+            eprintln!("unknown profile {other:?}; expected quick|deep");
+            return ExitCode::FAILURE;
+        }
+    };
+    cfg.pairs = opts.num("pairs", cfg.pairs);
+    println!("running conformance: profile {:?}, seed {seed}, {} pairs", cfg.profile, cfg.pairs);
+    let report = run_conformance(&cfg);
+    println!("{report}");
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -51,6 +51,7 @@ pub use uqsj_simjoin as simjoin;
 pub use uqsj_sparql as sparql;
 pub use uqsj_storage as storage;
 pub use uqsj_template as template;
+pub use uqsj_testkit as testkit;
 pub use uqsj_uncertain as uncertain;
 pub use uqsj_workload as workload;
 

@@ -43,6 +43,23 @@ pub trait LowerBound {
     }
 }
 
+/// Every filtering lower bound at its default configuration, in cheap-to-
+/// expensive order: size, label-multiset, CSS, c-star, path n-grams,
+/// partition, SEGOS cascade. This is the canonical list the filter
+/// comparison (Fig. 15) and the conformance oracles iterate — adding a
+/// bound here automatically enrolls it in both.
+pub fn all_bounds() -> Vec<Box<dyn LowerBound>> {
+    vec![
+        Box::new(size::SizeBound),
+        Box::new(label_multiset::LabelMultisetBound),
+        Box::new(css::CssBound),
+        Box::new(cstar::CStarBound),
+        Box::new(path_gram::PathBound),
+        Box::new(partition::ParsBound::default()),
+        Box::new(segos::SegosBound),
+    ]
+}
+
 /// Build structure-only copies of `q` and `g` over a fresh symbol table in
 /// which every vertex/edge carries the same (non-wildcard) label, so that
 /// all label terms vanish from certain-graph bounds.

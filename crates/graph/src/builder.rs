@@ -5,6 +5,44 @@ use crate::certain::{Graph, VertexId};
 use crate::interner::SymbolTable;
 use crate::uncertain::{LabelAlternative, UncertainGraph, UncertainVertex};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A rejected vertex declaration: the builder validates probabilities at
+/// build time so invalid inputs fail with a describable error here instead
+/// of a panic deep inside world enumeration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// An alternative's probability is NaN, infinite, or outside `(0, 1]`.
+    InvalidProbability {
+        /// The offending label.
+        label: String,
+        /// The offending probability (NaN survives the round-trip).
+        prob: f64,
+    },
+    /// The alternatives' probabilities sum to more than 1.
+    MassExceedsOne {
+        /// Total mass of the declared alternatives.
+        mass: f64,
+    },
+    /// No alternatives were given.
+    NoAlternatives,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidProbability { label, prob } => {
+                write!(f, "label {label:?} has probability {prob}, need a finite value in (0, 1]")
+            }
+            BuildError::MassExceedsOne { mass } => {
+                write!(f, "alternative probabilities sum to {mass}, which exceeds 1")
+            }
+            BuildError::NoAlternatives => write!(f, "uncertain vertex needs >= 1 alternative"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Builds a [`Graph`] (and optionally an [`UncertainGraph`]) from string
 /// labels, interning through a shared [`SymbolTable`].
@@ -54,16 +92,50 @@ impl<'t> GraphBuilder<'t> {
     /// In the certain view the highest-probability label is used.
     ///
     /// # Panics
-    /// Panics if `key` is duplicated or `alts` is empty.
+    /// Panics if `key` is duplicated or the alternatives are invalid (see
+    /// [`Self::try_uncertain_vertex`] for the non-panicking form).
     pub fn uncertain_vertex(&mut self, key: &str, alts: &[(&str, f64)]) -> VertexId {
-        assert!(!alts.is_empty(), "uncertain vertex needs alternatives");
+        match self.try_uncertain_vertex(key, alts) {
+            Ok(id) => id,
+            Err(e) => panic!("invalid uncertain vertex {key:?}: {e}"),
+        }
+    }
+
+    /// Declare an uncertain vertex, rejecting invalid probabilities with a
+    /// [`BuildError`] instead of panicking: every probability must be a
+    /// finite value in `(0, 1]` and the total mass at most 1 (Def. 2). In
+    /// particular a NaN probability is reported here, at build time, rather
+    /// than poisoning a comparison somewhere downstream.
+    ///
+    /// # Panics
+    /// Panics if `key` was already declared (a caller bug, not a data
+    /// error, so it stays a panic).
+    pub fn try_uncertain_vertex(
+        &mut self,
+        key: &str,
+        alts: &[(&str, f64)],
+    ) -> Result<VertexId, BuildError> {
+        if alts.is_empty() {
+            return Err(BuildError::NoAlternatives);
+        }
+        for &(label, prob) in alts {
+            // `!(..)` so that NaN (for which every comparison is false)
+            // lands in the error branch.
+            if !(prob.is_finite() && prob > 0.0 && prob <= 1.0) {
+                return Err(BuildError::InvalidProbability { label: label.to_owned(), prob });
+            }
+        }
+        let mass: f64 = alts.iter().map(|&(_, p)| p).sum();
+        if mass > 1.0 + 1e-9 {
+            return Err(BuildError::MassExceedsOne { mass });
+        }
         let alternatives: Vec<LabelAlternative> = alts
             .iter()
             .map(|(l, p)| LabelAlternative { label: self.table.intern(l), prob: *p })
             .collect();
         let best = alternatives
             .iter()
-            .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("NaN probability"))
+            .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("probabilities are finite"))
             .expect("non-empty")
             .label;
         let id = self.graph.add_vertex(best);
@@ -71,7 +143,7 @@ impl<'t> GraphBuilder<'t> {
         debug_assert_eq!(id, uid);
         let prev = self.keys.insert(key.to_owned(), id);
         assert!(prev.is_none(), "duplicate vertex key {key:?}");
-        id
+        Ok(id)
     }
 
     /// Add a directed edge between two declared keys.
@@ -142,5 +214,41 @@ mod tests {
         let mut b = GraphBuilder::new(&mut t);
         b.vertex("x", "?x");
         b.edge("x", "nope", "p");
+    }
+
+    #[test]
+    fn try_uncertain_vertex_rejects_bad_probabilities() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        let nan = b.try_uncertain_vertex("a", &[("A", f64::NAN), ("B", 0.5)]);
+        assert!(
+            matches!(&nan, Err(BuildError::InvalidProbability { label, prob })
+                if label == "A" && prob.is_nan()),
+            "{nan:?}"
+        );
+        for bad in [0.0, -0.2, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = b.try_uncertain_vertex("a", &[("A", bad)]);
+            assert!(matches!(err, Err(BuildError::InvalidProbability { .. })), "p={bad}: {err:?}");
+        }
+        let heavy = b.try_uncertain_vertex("a", &[("A", 0.7), ("B", 0.7)]);
+        assert!(matches!(heavy, Err(BuildError::MassExceedsOne { .. })), "{heavy:?}");
+        let empty = b.try_uncertain_vertex("a", &[]);
+        assert_eq!(empty, Err(BuildError::NoAlternatives));
+        // Rejected declarations leave no partial state behind: the key is
+        // still free and the graphs grew by nothing.
+        assert!(b.id("a").is_none());
+        let ok = b.try_uncertain_vertex("a", &[("A", 0.6), ("B", 0.4)]);
+        assert!(ok.is_ok());
+        let (g, u) = b.into_both();
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(u.vertex_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a finite value in (0, 1]")]
+    fn uncertain_vertex_panics_with_description_on_nan() {
+        let mut t = SymbolTable::new();
+        let mut b = GraphBuilder::new(&mut t);
+        b.uncertain_vertex("a", &[("A", f64::NAN)]);
     }
 }

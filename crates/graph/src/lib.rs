@@ -25,7 +25,7 @@ pub mod interner;
 pub mod reify;
 pub mod uncertain;
 
-pub use builder::GraphBuilder;
+pub use builder::{BuildError, GraphBuilder};
 pub use certain::{Edge, Graph, VertexId};
 pub use interner::{Symbol, SymbolTable};
 pub use reify::{reify_certain, reify_uncertain, UncertainEdge};

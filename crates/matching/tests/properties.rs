@@ -1,0 +1,136 @@
+//! Differential property tests for the matching algorithms: the O(n³)
+//! Hungarian solver against brute-force permutation enumeration, and
+//! Hopcroft–Karp against a simple single-path augmenting reference.
+
+use proptest::prelude::*;
+use uqsj_matching::{hopcroft_karp, hungarian, BipartiteGraph};
+
+/// Minimum assignment cost by trying every permutation (Heap's algorithm),
+/// feasible up to 7×7 (5040 permutations).
+fn brute_force_min_cost(cost: &[Vec<u64>]) -> u64 {
+    let n = cost.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = u64::MAX;
+    let mut c = vec![0usize; n];
+    let eval = |perm: &[usize]| perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum::<u64>();
+    best = best.min(eval(&perm));
+    let mut i = 1;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            best = best.min(eval(&perm));
+            c[i] += 1;
+            i = 1;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    best
+}
+
+/// Maximum matching size via the textbook one-augmenting-path-at-a-time
+/// algorithm — O(V·E), no layering, hard to get wrong.
+fn simple_matching_size(adj: &[Vec<usize>], n_right: usize) -> usize {
+    fn try_augment(
+        l: usize,
+        adj: &[Vec<usize>],
+        match_r: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &r in &adj[l] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            if match_r[r].is_none() || try_augment(match_r[r].unwrap(), adj, match_r, visited) {
+                match_r[r] = Some(l);
+                return true;
+            }
+        }
+        false
+    }
+    let mut match_r: Vec<Option<usize>> = vec![None; n_right];
+    let mut size = 0;
+    for l in 0..adj.len() {
+        let mut visited = vec![false; n_right];
+        if try_augment(l, adj, &mut match_r, &mut visited) {
+            size += 1;
+        }
+    }
+    size
+}
+
+fn square_matrix(max_n: usize, max_cost: u64) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    (1..=max_n)
+        .prop_flat_map(move |n| prop::collection::vec(prop::collection::vec(0..=max_cost, n), n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Hungarian assignment cost equals brute-force permutation minimum on
+    /// matrices up to 7×7.
+    #[test]
+    fn hungarian_matches_brute_force(cost in square_matrix(7, 50)) {
+        let (total, assignment) = hungarian(&cost);
+        prop_assert_eq!(total, brute_force_min_cost(&cost));
+        // The reported assignment is a permutation realizing that cost.
+        let mut seen = vec![false; cost.len()];
+        let mut realized = 0u64;
+        for (i, &j) in assignment.iter().enumerate() {
+            prop_assert!(!seen[j], "column {} assigned twice", j);
+            seen[j] = true;
+            realized += cost[i][j];
+        }
+        prop_assert_eq!(realized, total);
+    }
+
+    /// Hopcroft–Karp matching size equals the simple augmenting-path
+    /// reference, and the returned matching is consistent.
+    #[test]
+    fn hopcroft_karp_matches_simple_reference(
+        (nl, nr, edges) in (1usize..=8, 1usize..=8).prop_flat_map(|(nl, nr)| {
+            let edge = (0..nl, 0..nr);
+            (Just(nl), Just(nr), prop::collection::vec(edge, 0..=24))
+        })
+    ) {
+        let mut g = BipartiteGraph::new(nl, nr);
+        let mut adj = vec![Vec::new(); nl];
+        for &(l, r) in &edges {
+            g.add_edge(l, r);
+            adj[l].push(r);
+        }
+        let (size, match_l) = hopcroft_karp(&g);
+        prop_assert_eq!(size, simple_matching_size(&adj, nr));
+        // Consistency: matched pairs are real edges, rights are distinct,
+        // and the count agrees with the reported size.
+        let mut used_r = vec![false; nr];
+        let mut counted = 0;
+        for (l, m) in match_l.iter().enumerate() {
+            if let Some(r) = *m {
+                prop_assert!(adj[l].contains(&r), "matched non-edge ({}, {})", l, r);
+                prop_assert!(!used_r[r], "right vertex {} matched twice", r);
+                used_r[r] = true;
+                counted += 1;
+            }
+        }
+        prop_assert_eq!(counted, size);
+    }
+}
+
+/// Degenerate shapes stay exact: empty matrix, single cell, all-equal
+/// costs, and a bipartite graph with no edges.
+#[test]
+fn edge_cases() {
+    assert_eq!(hungarian(&[]), (0, vec![]));
+    assert_eq!(hungarian(&[vec![9]]), (9, vec![0]));
+    let flat = vec![vec![3u64; 4]; 4];
+    assert_eq!(hungarian(&flat).0, 12);
+    let g = BipartiteGraph::new(5, 5);
+    assert_eq!(hopcroft_karp(&g).0, 0);
+}

@@ -1,0 +1,102 @@
+//! Concurrency test for [`Registry`]'s double-checked get-or-register
+//! path: many threads racing to register the same keys must converge on
+//! one entry per key, all sharing one underlying handle.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use uqsj_obs::Registry;
+
+const THREADS: usize = 8;
+const KEYS: usize = 16;
+const NAMES: [&str; KEYS] = [
+    "c_00", "c_01", "c_02", "c_03", "c_04", "c_05", "c_06", "c_07", "c_08", "c_09", "c_10", "c_11",
+    "c_12", "c_13", "c_14", "c_15",
+];
+
+/// N threads concurrently `get_or_register` the same counter names and
+/// increment each once: afterwards there is exactly one entry per key and
+/// every counter read THREADS increments — proving the racing threads all
+/// received the same handle, not per-thread clones of distinct entries.
+#[test]
+fn concurrent_get_or_register_yields_one_entry_per_key() {
+    let registry = Arc::new(Registry::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for i in 0..KEYS {
+                    // Offset the iteration order per thread so threads
+                    // collide on different keys at the same instant.
+                    let name = NAMES[(i + t) % KEYS];
+                    registry.counter(name, "race test").inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let mut names = registry.metric_names();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), KEYS, "duplicate or missing entries: {names:?}");
+    for name in NAMES {
+        assert!(names.contains(&name), "{name} missing from {names:?}");
+        assert_eq!(
+            registry.counter(name, "race test").value(),
+            THREADS as u64,
+            "{name} lost increments — racing threads got distinct handles"
+        );
+    }
+}
+
+/// Snapshots taken while writers are still racing are internally
+/// consistent: every line of the Prometheus rendering is well-formed and
+/// no key appears twice, at every point in time.
+#[test]
+fn snapshot_is_consistent_during_races() {
+    let registry = Arc::new(Registry::new());
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..50 {
+                    let name = NAMES[(round + t) % KEYS];
+                    registry.counter(name, "race test").add(1);
+                }
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    for _ in 0..20 {
+        let rendered = registry.render_prometheus();
+        let mut seen = Vec::new();
+        for line in rendered.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (name, value) =
+                line.split_once(' ').unwrap_or_else(|| panic!("malformed line {line:?}"));
+            assert!(!seen.contains(&name.to_owned()), "{name} rendered twice:\n{rendered}");
+            seen.push(name.to_owned());
+            value.parse::<u64>().unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+        }
+        let json = registry.snapshot_json();
+        let trimmed = json.trim();
+        assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "mangled JSON: {json}");
+    }
+    for h in writers {
+        h.join().expect("writer panicked");
+    }
+
+    // Total over all counters equals the writes performed.
+    let total: u64 = (0..KEYS).map(|i| registry.counter(NAMES[i], "race test").value()).sum();
+    assert_eq!(total, (THREADS * 50) as u64);
+}

@@ -1,0 +1,381 @@
+//! Seeded generators for conformance workloads.
+//!
+//! Everything here is a pure function of a `u64` seed: the same seed
+//! always regenerates the same graphs, pairs and workloads, so a failing
+//! check replays from the seed alone (`uqsj-cli conformance --seed N`).
+//!
+//! The generators are *boundary-biased*: uncertain graphs are derived
+//! from certain ones by a small number of edit perturbations, so the
+//! exact GED of most pairs sits within a couple of units of the CSS lower
+//! bound, and the τ values the runner derives per pair straddle that
+//! boundary. An unsound bound (one that over-prunes) flips an actual join
+//! answer on such workloads instead of hiding behind slack.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uqsj_graph::{
+    Graph, LabelAlternative, Symbol, SymbolTable, UncertainGraph, UncertainVertex, VertexId,
+};
+use uqsj_workload::{
+    aids_like, erdos_renyi, qald_like, scale_free, Dataset, DatasetConfig, RandomGraphConfig,
+};
+
+/// Shape parameters for the conformance generators. Sizes are kept small
+/// enough that the *reference* exact GED (the naive A\* oracle) and full
+/// possible-world enumeration stay cheap per pair.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Maximum vertices per graph (inclusive; at least 1 is generated).
+    pub max_vertices: usize,
+    /// Maximum extra edges beyond a random spanning forest.
+    pub max_extra_edges: usize,
+    /// Vertex label pool size.
+    pub label_pool: usize,
+    /// Edge label pool size.
+    pub edge_label_pool: usize,
+    /// Probability that a vertex label is a SPARQL variable (wildcard).
+    pub wildcard_prob: f64,
+    /// Probability that an uncertain vertex carries more than one label.
+    pub uncertain_fraction: f64,
+    /// Maximum alternatives per uncertain vertex.
+    pub max_alternatives: usize,
+    /// Cap on the possible-world count of one uncertain graph, so
+    /// exhaustive per-world oracles stay cheap.
+    pub max_worlds: u128,
+    /// Edit operations applied when deriving the uncertain half of a
+    /// near-threshold pair.
+    pub perturbation: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            max_vertices: 6,
+            max_extra_edges: 3,
+            label_pool: 8,
+            edge_label_pool: 4,
+            wildcard_prob: 0.15,
+            uncertain_fraction: 0.5,
+            max_alternatives: 3,
+            max_worlds: 64,
+            perturbation: 2,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The larger shapes used by the `--deep` fuzz profile.
+    pub fn deep() -> Self {
+        Self { max_vertices: 8, max_extra_edges: 5, max_worlds: 256, ..Self::default() }
+    }
+}
+
+/// Deterministic RNG for a derived sub-seed.
+pub fn rng_for(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Mix a stream index into a base seed (splitmix64 finalizer), so each
+/// generated object has an independent, replayable sub-seed.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn vertex_label(table: &mut SymbolTable, cfg: &GenConfig, rng: &mut SmallRng) -> Symbol {
+    if rng.gen_bool(cfg.wildcard_prob) {
+        table.intern(&format!("?v{}", rng.gen_range(0..3)))
+    } else {
+        table.intern(&format!("L{}", rng.gen_range(0..cfg.label_pool)))
+    }
+}
+
+fn edge_label(table: &mut SymbolTable, cfg: &GenConfig, rng: &mut SmallRng) -> Symbol {
+    table.intern(&format!("e{}", rng.gen_range(0..cfg.edge_label_pool)))
+}
+
+/// One random certain graph: a sparse random forest plus a few extra
+/// edges, with labels from the configured pools.
+pub fn gen_certain(table: &mut SymbolTable, cfg: &GenConfig, seed: u64) -> Graph {
+    let mut rng = rng_for(seed);
+    let n = rng.gen_range(1..=cfg.max_vertices.max(1));
+    let mut g = Graph::new();
+    for _ in 0..n {
+        let l = vertex_label(table, cfg, &mut rng);
+        g.add_vertex(l);
+    }
+    // Spanning-forest-ish base keeps most graphs connected.
+    for v in 1..n {
+        if rng.gen_bool(0.8) {
+            let u = rng.gen_range(0..v);
+            let l = edge_label(table, cfg, &mut rng);
+            g.add_edge(VertexId(u as u32), VertexId(v as u32), l);
+        }
+    }
+    for _ in 0..rng.gen_range(0..=cfg.max_extra_edges) {
+        let s = rng.gen_range(0..n) as u32;
+        let d = rng.gen_range(0..n) as u32;
+        if s != d {
+            let l = edge_label(table, cfg, &mut rng);
+            g.add_edge(VertexId(s), VertexId(d), l);
+        }
+    }
+    g
+}
+
+/// Blur a certain graph into an uncertain one: a fraction of vertices
+/// gains extra label alternatives (the original keeps the highest
+/// probability), with the total world count capped at `cfg.max_worlds`.
+pub fn blur(table: &mut SymbolTable, cfg: &GenConfig, base: &Graph, seed: u64) -> UncertainGraph {
+    let mut rng = rng_for(seed);
+    let mut g = UncertainGraph::new();
+    let mut worlds: u128 = 1;
+    for v in base.vertices() {
+        let original = base.label(v);
+        let want = if rng.gen_bool(cfg.uncertain_fraction) {
+            rng.gen_range(2..=cfg.max_alternatives.max(2))
+        } else {
+            1
+        };
+        let mut alts = vec![original];
+        let mut guard = 0;
+        while alts.len() < want && worlds.saturating_mul(alts.len() as u128 + 1) <= cfg.max_worlds {
+            guard += 1;
+            if guard > 32 {
+                break;
+            }
+            let cand = vertex_label(table, cfg, &mut rng);
+            if !alts.contains(&cand) {
+                alts.push(cand);
+            }
+        }
+        worlds = worlds.saturating_mul(alts.len() as u128);
+        let k = alts.len();
+        let alternatives = if k == 1 {
+            // Leave some mass slack occasionally: Def. 2 allows Σp < 1.
+            let p = if rng.gen_bool(0.2) { rng.gen_range(0.5..1.0) } else { 1.0 };
+            vec![LabelAlternative { label: alts[0], prob: p }]
+        } else {
+            let dominant = rng.gen_range(0.4..0.8);
+            let rest = (1.0 - dominant) / (k - 1) as f64;
+            alts.iter()
+                .enumerate()
+                .map(|(i, &label)| LabelAlternative {
+                    label,
+                    prob: if i == 0 { dominant } else { rest },
+                })
+                .collect()
+        };
+        g.add_vertex(UncertainVertex { alternatives });
+    }
+    for e in base.edges() {
+        g.add_edge(e.src, e.dst, e.label);
+    }
+    g
+}
+
+/// One random uncertain graph.
+pub fn gen_uncertain(table: &mut SymbolTable, cfg: &GenConfig, seed: u64) -> UncertainGraph {
+    let base = gen_certain(table, cfg, derive_seed(seed, 1));
+    blur(table, cfg, &base, derive_seed(seed, 2))
+}
+
+/// A near-threshold pair: a certain query `q` plus an uncertain graph `g`
+/// derived from `q` by at most `cfg.perturbation` edits (label
+/// substitutions, edge deletions, edge insertions) and then blurred. The
+/// exact GED of `(q, pw(g))` lands within a few units of zero, so τ
+/// values around the CSS bound exercise both sides of every filter.
+pub fn near_pair(table: &mut SymbolTable, cfg: &GenConfig, seed: u64) -> (Graph, UncertainGraph) {
+    let q = gen_certain(table, cfg, derive_seed(seed, 1));
+    let mut rng = rng_for(derive_seed(seed, 2));
+    // Re-build q mutably to apply perturbations.
+    let mut labels: Vec<Symbol> = q.vertex_labels().to_vec();
+    let mut edges: Vec<(u32, u32, Symbol)> =
+        q.edges().iter().map(|e| (e.src.0, e.dst.0, e.label)).collect();
+    let edits = rng.gen_range(0..=cfg.perturbation);
+    for _ in 0..edits {
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let v = rng.gen_range(0..labels.len());
+                labels[v] = vertex_label(table, cfg, &mut rng);
+            }
+            1 if !edges.is_empty() => {
+                let i = rng.gen_range(0..edges.len());
+                edges.swap_remove(i);
+            }
+            _ if labels.len() >= 2 => {
+                let s = rng.gen_range(0..labels.len()) as u32;
+                let d = rng.gen_range(0..labels.len()) as u32;
+                if s != d {
+                    let l = edge_label(table, cfg, &mut rng);
+                    edges.push((s, d, l));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut base = Graph::new();
+    for &l in &labels {
+        base.add_vertex(l);
+    }
+    for &(s, d, l) in &edges {
+        base.add_edge(VertexId(s), VertexId(d), l);
+    }
+    let g = blur(table, cfg, &base, derive_seed(seed, 3));
+    (q, g)
+}
+
+/// A full join workload: `count` certain queries and `count` uncertain
+/// graphs. The diagonal pairs are near-threshold (derived by
+/// perturbation); the rest are independent random graphs, so joins have
+/// both dense matches and clean rejections.
+pub fn workload(
+    table: &mut SymbolTable,
+    cfg: &GenConfig,
+    count: usize,
+    seed: u64,
+) -> (Vec<Graph>, Vec<UncertainGraph>) {
+    let mut d = Vec::with_capacity(count);
+    let mut u = Vec::with_capacity(count);
+    for i in 0..count {
+        let s = derive_seed(seed, i as u64);
+        if i % 2 == 0 {
+            let (q, g) = near_pair(table, cfg, s);
+            d.push(q);
+            u.push(g);
+        } else {
+            d.push(gen_certain(table, cfg, derive_seed(s, 10)));
+            u.push(gen_uncertain(table, cfg, derive_seed(s, 11)));
+        }
+    }
+    (d, u)
+}
+
+/// The canonical seeded Q/A dataset for serving-layer conformance tests
+/// (restart and compaction answer equivalence): a thin, deterministic
+/// wrapper over the QALD-like workload generator.
+pub fn qa_dataset(seed: u64, questions: usize, distractors: usize) -> Dataset {
+    qald_like(&DatasetConfig { questions, distractors, max_relations: 3, seed })
+}
+
+/// Which synthetic family a [`SyntheticSpec`] draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyntheticFamily {
+    /// Erdős–Rényi random graphs.
+    Er,
+    /// Scale-free graphs (preferential attachment).
+    Sf,
+    /// AIDS-like small labeled molecule graphs.
+    Aids,
+}
+
+/// A fully-seeded synthetic dataset specification: family + seed +
+/// [`RandomGraphConfig`]. This is the single construction path for the
+/// experiment binaries (`exp_fig12` … `exp_table2`) and the conformance
+/// runner's synthetic sweeps — the boilerplate of pairing a
+/// `SymbolTable`, a seeded RNG and a generator call lives here once.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticSpec {
+    /// Generator family.
+    pub family: SyntheticFamily,
+    /// RNG seed.
+    pub seed: u64,
+    /// Shape parameters.
+    pub config: RandomGraphConfig,
+}
+
+impl SyntheticSpec {
+    /// ER spec with the given seed and config.
+    pub fn er(seed: u64, config: RandomGraphConfig) -> Self {
+        Self { family: SyntheticFamily::Er, seed, config }
+    }
+
+    /// SF spec with the given seed and config.
+    pub fn sf(seed: u64, config: RandomGraphConfig) -> Self {
+        Self { family: SyntheticFamily::Sf, seed, config }
+    }
+
+    /// AIDS-like spec with the given seed and config.
+    pub fn aids(seed: u64, config: RandomGraphConfig) -> Self {
+        Self { family: SyntheticFamily::Aids, seed, config }
+    }
+
+    /// Generate the dataset into `table`.
+    pub fn generate(&self, table: &mut SymbolTable) -> (Vec<Graph>, Vec<UncertainGraph>) {
+        let mut rng = rng_for(self.seed);
+        match self.family {
+            SyntheticFamily::Er => erdos_renyi(table, &self.config, &mut rng),
+            SyntheticFamily::Sf => scale_free(table, &self.config, &mut rng),
+            SyntheticFamily::Aids => aids_like(table, &self.config, &mut rng),
+        }
+    }
+
+    /// Generate the dataset together with a fresh symbol table.
+    pub fn generate_fresh(&self) -> (SymbolTable, Vec<Graph>, Vec<UncertainGraph>) {
+        let mut table = SymbolTable::new();
+        let (d, u) = self.generate(&mut table);
+        (table, d, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut t1 = SymbolTable::new();
+        let mut t2 = SymbolTable::new();
+        let cfg = GenConfig::default();
+        for seed in [0u64, 7, 42, 1 << 40] {
+            let a = gen_certain(&mut t1, &cfg, seed);
+            let b = gen_certain(&mut t2, &cfg, seed);
+            assert_eq!(a, b, "seed {seed}");
+            let (qa, ga) = near_pair(&mut t1, &cfg, seed);
+            let (qb, gb) = near_pair(&mut t2, &cfg, seed);
+            assert_eq!(qa, qb);
+            assert_eq!(ga, gb);
+        }
+    }
+
+    #[test]
+    fn world_count_respects_cap() {
+        let mut t = SymbolTable::new();
+        let cfg = GenConfig::default();
+        for seed in 0..50u64 {
+            let g = gen_uncertain(&mut t, &cfg, seed);
+            assert!(g.world_count() <= cfg.max_worlds, "seed {seed}: {}", g.world_count());
+            assert!(g.vertex_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn near_pairs_are_actually_near() {
+        // Most diagonal pairs should survive the CSS filter at small τ —
+        // that is the whole point of boundary biasing.
+        let mut t = SymbolTable::new();
+        let cfg = GenConfig::default();
+        let mut close = 0;
+        let total = 40;
+        for seed in 0..total {
+            let (q, g) = near_pair(&mut t, &cfg, seed);
+            if uqsj_ged::lb_ged_css_uncertain(&t, &q, &g) <= 3 {
+                close += 1;
+            }
+        }
+        assert!(close * 2 >= total, "only {close}/{total} pairs near the boundary");
+    }
+
+    #[test]
+    fn synthetic_spec_matches_direct_generation() {
+        let cfg = RandomGraphConfig { count: 6, vertices: 8, edges: 10, ..Default::default() };
+        let (_, d1, u1) = SyntheticSpec::er(12, cfg).generate_fresh();
+        let mut table = SymbolTable::new();
+        let mut rng = rng_for(12);
+        let (d2, u2) = erdos_renyi(&mut table, &cfg, &mut rng);
+        assert_eq!(d1, d2);
+        assert_eq!(u1, u2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Metamorphic invariance checks.
+//!
+//! Where the [`crate::oracle`] layer compares two implementations on one
+//! input, this layer compares one implementation on two *equivalent*
+//! inputs. GED and `SimP_τ` are defined up to label identity and graph
+//! isomorphism, so they must be invariant under:
+//!
+//! * **label renaming** — a bijection on non-wildcard labels (vertex and
+//!   edge), applied consistently to both sides of a pair;
+//! * **insertion-order permutation** — shuffling the order vertices and
+//!   edges were added in (the vertex-id relabeling it induces is an
+//!   isomorphism);
+//!
+//! and monotone in the two thresholds:
+//!
+//! * `SimP_τ` is non-decreasing in τ (more worlds qualify);
+//! * a pair passing at α must pass at every α′ ≤ α.
+//!
+//! Each relation is checked on the exact evaluators, so a failure here
+//! means a genuine semantics bug, not filter slack.
+
+use crate::report::ConformanceReport;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use uqsj_ged::GedEngine;
+use uqsj_graph::{Graph, Symbol, SymbolTable, UncertainGraph, UncertainVertex, VertexId};
+use uqsj_uncertain::prob::verify_simp_with;
+
+/// Tolerance when the transformed input changes float accumulation order.
+const PROB_EPS: f64 = 1e-9;
+
+fn shuffled(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order
+}
+
+/// Collect every distinct symbol used by the pair, in first-use order.
+fn used_symbols(q: &Graph, g: &UncertainGraph) -> Vec<Symbol> {
+    let mut seen = Vec::new();
+    let push = |s: Symbol, seen: &mut Vec<Symbol>| {
+        if !seen.contains(&s) {
+            seen.push(s);
+        }
+    };
+    for &l in q.vertex_labels() {
+        push(l, &mut seen);
+    }
+    for e in q.edges() {
+        push(e.label, &mut seen);
+    }
+    for v in g.vertices() {
+        for a in &v.alternatives {
+            push(a.label, &mut seen);
+        }
+    }
+    for e in g.edges() {
+        push(e.label, &mut seen);
+    }
+    seen
+}
+
+/// Apply a random label bijection to both graphs. Non-wildcard symbols map
+/// to fresh, pairwise-distinct symbols (the `seed` keeps names unique per
+/// call, so the map is injective even against earlier renames in the same
+/// table); wildcards keep their identity, since `?x` matching everything
+/// is part of the semantics, not of the label alphabet.
+pub fn rename_labels(
+    table: &mut SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    seed: u64,
+    rng: &mut SmallRng,
+) -> (Graph, UncertainGraph) {
+    let sources = used_symbols(q, g);
+    let order = shuffled(sources.len(), rng);
+    let mut map: Vec<(Symbol, Symbol)> = Vec::with_capacity(sources.len());
+    for (slot, &src_idx) in order.iter().enumerate() {
+        let src = sources[src_idx];
+        let dst =
+            if table.is_wildcard(src) { src } else { table.intern(&format!("ren{seed}_{slot}")) };
+        map.push((src, dst));
+    }
+    let rename = |s: Symbol| map.iter().find(|(from, _)| *from == s).expect("mapped symbol").1;
+
+    let mut q2 = Graph::new();
+    for &l in q.vertex_labels() {
+        q2.add_vertex(rename(l));
+    }
+    for e in q.edges() {
+        q2.add_edge(e.src, e.dst, rename(e.label));
+    }
+    let mut g2 = UncertainGraph::new();
+    for v in g.vertices() {
+        let alternatives = v
+            .alternatives
+            .iter()
+            .map(|a| uqsj_graph::LabelAlternative { label: rename(a.label), prob: a.prob })
+            .collect();
+        g2.add_vertex(UncertainVertex { alternatives });
+    }
+    for e in g.edges() {
+        g2.add_edge(e.src, e.dst, rename(e.label));
+    }
+    (q2, g2)
+}
+
+/// Rebuild both graphs with vertex and edge insertion orders shuffled
+/// independently. The induced vertex-id relabeling is an isomorphism, so
+/// every exact quantity must be preserved.
+pub fn permute_insertion_order(
+    q: &Graph,
+    g: &UncertainGraph,
+    rng: &mut SmallRng,
+) -> (Graph, UncertainGraph) {
+    let qn = q.vertex_count();
+    let qorder = shuffled(qn, rng);
+    let mut qpos = vec![0u32; qn];
+    let mut q2 = Graph::new();
+    for (new, &old) in qorder.iter().enumerate() {
+        qpos[old] = new as u32;
+        q2.add_vertex(q.vertex_labels()[old]);
+    }
+    let qedges = shuffled(q.edges().len(), rng);
+    for &i in &qedges {
+        let e = &q.edges()[i];
+        q2.add_edge(VertexId(qpos[e.src.index()]), VertexId(qpos[e.dst.index()]), e.label);
+    }
+
+    let gn = g.vertex_count();
+    let gorder = shuffled(gn, rng);
+    let mut gpos = vec![0u32; gn];
+    let mut g2 = UncertainGraph::new();
+    for (new, &old) in gorder.iter().enumerate() {
+        gpos[old] = new as u32;
+        g2.add_vertex(g.vertices()[old].clone());
+    }
+    let gedges = shuffled(g.edges().len(), rng);
+    for &i in &gedges {
+        let e = &g.edges()[i];
+        g2.add_edge(VertexId(gpos[e.src.index()]), VertexId(gpos[e.dst.index()]), e.label);
+    }
+    (q2, g2)
+}
+
+/// Run every metamorphic relation on `(q, g)`, recording violations into
+/// `report`. `seed` is the pair's replay seed; `rng` drives the random
+/// bijections/permutations and is itself derived from that seed by the
+/// caller.
+pub fn check_metamorphic(
+    engine: &mut GedEngine,
+    table: &mut SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    seed: u64,
+    rng: &mut SmallRng,
+    report: &mut ConformanceReport,
+) {
+    const TAUS: [u32; 4] = [0, 1, 2, 4];
+    let exact: Vec<f64> = TAUS
+        .iter()
+        .map(|&tau| verify_simp_with(engine, table, q, g, tau, f64::INFINITY).prob)
+        .collect();
+
+    // Monotone in τ.
+    for w in exact.windows(2) {
+        report.metamorphic_checks += 1;
+        if w[1] + PROB_EPS < w[0] {
+            report.violation(
+                "monotone_tau",
+                seed,
+                format!("SimP decreased with τ: {} then {}", w[0], w[1]),
+            );
+        }
+    }
+
+    // Monotone in α: passing at a high α implies passing at any lower α.
+    for (&tau, &p) in TAUS.iter().zip(&exact) {
+        let hi = (p + 0.01).clamp(0.02, 1.0);
+        let lo = hi / 2.0;
+        // Skip α values inside the float guard band around the exact
+        // probability — the verdict there is legitimately order-dependent.
+        if (p - hi).abs() < 1e-6 || (p - lo).abs() < 1e-6 {
+            continue;
+        }
+        report.metamorphic_checks += 1;
+        let pass_hi = verify_simp_with(engine, table, q, g, tau, hi).passed;
+        let pass_lo = verify_simp_with(engine, table, q, g, tau, lo).passed;
+        if pass_hi && !pass_lo {
+            report.violation(
+                "monotone_alpha",
+                seed,
+                format!("τ={tau}: passed at α={hi} but failed at α={lo}"),
+            );
+        }
+    }
+
+    // Invariance under label renaming (same enumeration order, so the
+    // probabilities are bit-identical sums — but keep the tolerance to
+    // stay robust to future evaluator reorderings).
+    let (qr, gr) = rename_labels(table, q, g, seed, rng);
+    for (&tau, &p) in TAUS.iter().zip(&exact) {
+        report.metamorphic_checks += 1;
+        let renamed = verify_simp_with(engine, table, &qr, &gr, tau, f64::INFINITY).prob;
+        if (renamed - p).abs() > PROB_EPS {
+            report.violation(
+                "rename_invariance",
+                seed,
+                format!("τ={tau}: SimP {p} became {renamed} after label renaming"),
+            );
+        }
+    }
+
+    // Invariance under insertion-order permutation.
+    let (qp, gp) = permute_insertion_order(q, g, rng);
+    for (&tau, &p) in TAUS.iter().zip(&exact) {
+        report.metamorphic_checks += 1;
+        let permuted = verify_simp_with(engine, table, &qp, &gp, tau, f64::INFINITY).prob;
+        if (permuted - p).abs() > PROB_EPS {
+            report.violation(
+                "permutation_invariance",
+                seed,
+                format!("τ={tau}: SimP {p} became {permuted} after insertion-order permutation"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{near_pair, rng_for, GenConfig};
+    use uqsj_ged::reference::ged_reference;
+
+    #[test]
+    fn transforms_preserve_shape() {
+        let mut table = SymbolTable::new();
+        let cfg = GenConfig::default();
+        let mut rng = rng_for(9);
+        for seed in 0..10u64 {
+            let (q, g) = near_pair(&mut table, &cfg, seed);
+            let (qr, gr) = rename_labels(&mut table, &q, &g, seed, &mut rng);
+            assert_eq!(qr.vertex_count(), q.vertex_count());
+            assert_eq!(gr.edges().len(), g.edges().len());
+            let (qp, gp) = permute_insertion_order(&q, &g, &mut rng);
+            assert_eq!(qp.vertex_count(), q.vertex_count());
+            assert_eq!(gp.vertices().len(), g.vertices().len());
+        }
+    }
+
+    #[test]
+    fn ged_invariant_under_both_transforms() {
+        let mut table = SymbolTable::new();
+        let cfg = GenConfig::default();
+        let mut rng = rng_for(11);
+        for seed in 0..10u64 {
+            let q = crate::gen::gen_certain(&mut table, &cfg, seed);
+            let g = crate::gen::gen_certain(&mut table, &cfg, seed + 1000);
+            let d0 = ged_reference(&table, &q, &g).distance;
+            let blurred = crate::gen::blur(
+                &mut table,
+                &GenConfig { uncertain_fraction: 0.0, ..cfg },
+                &g,
+                seed,
+            );
+            let (qr, gr) = rename_labels(&mut table, &q, &blurred, seed, &mut rng);
+            let world = gr.possible_worlds().next().expect("one world").graph;
+            // The single world of the un-blurred graph is g itself (up to
+            // the rename), so the distance must be preserved.
+            assert_eq!(ged_reference(&table, &qr, &world).distance, d0, "seed {seed}");
+        }
+    }
+}

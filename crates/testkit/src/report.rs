@@ -1,0 +1,106 @@
+//! Conformance outcome types: violations and the aggregated report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One failed oracle check. `seed` regenerates the exact input via
+/// [`crate::runner::run_conformance`] (`uqsj-cli conformance --seed N`),
+/// so every violation is reproducible from its printed line alone.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the oracle that failed (e.g. `bound_le_exact`).
+    pub oracle: &'static str,
+    /// The sub-seed that regenerates the failing input.
+    pub seed: u64,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] seed={} {}", self.oracle, self.seed, self.detail)
+    }
+}
+
+/// Aggregated outcome of one conformance run: coverage counters plus the
+/// list of violations (empty on a passing run).
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// Pairs generated and checked.
+    pub pairs: usize,
+    /// Possible worlds enumerated across all pairs.
+    pub worlds: u64,
+    /// Per-bound check counts (bound name → `bound <= exact` checks).
+    pub bound_checks: BTreeMap<&'static str, u64>,
+    /// Engine-vs-reference GED comparisons.
+    pub engine_checks: u64,
+    /// Flat (enumeration) SimP evaluations.
+    pub simp_flat: u64,
+    /// Grouped (partitioned) SimP evaluations.
+    pub simp_grouped: u64,
+    /// Per-join-variant run counts (variant name → joins executed).
+    pub join_runs: BTreeMap<&'static str, u64>,
+    /// Metamorphic checks executed.
+    pub metamorphic_checks: u64,
+    /// All violations, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl ConformanceReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Record a violation.
+    pub fn violation(&mut self, oracle: &'static str, seed: u64, detail: String) {
+        self.violations.push(Violation { oracle, seed, detail });
+    }
+
+    /// Fold another report (e.g. from a different stage) into this one.
+    pub fn merge(&mut self, other: ConformanceReport) {
+        self.pairs += other.pairs;
+        self.worlds += other.worlds;
+        for (k, v) in other.bound_checks {
+            *self.bound_checks.entry(k).or_default() += v;
+        }
+        self.engine_checks += other.engine_checks;
+        self.simp_flat += other.simp_flat;
+        self.simp_grouped += other.simp_grouped;
+        for (k, v) in other.join_runs {
+            *self.join_runs.entry(k).or_default() += v;
+        }
+        self.metamorphic_checks += other.metamorphic_checks;
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conformance: {} pairs, {} possible worlds", self.pairs, self.worlds)?;
+        write!(f, "  bounds:")?;
+        for (name, count) in &self.bound_checks {
+            write!(f, " {name}={count}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  engine-vs-reference: {} | SimP flat: {} grouped: {} | metamorphic: {}",
+            self.engine_checks, self.simp_flat, self.simp_grouped, self.metamorphic_checks
+        )?;
+        write!(f, "  joins:")?;
+        for (name, count) in &self.join_runs {
+            write!(f, " {name}={count}")?;
+        }
+        writeln!(f)?;
+        if self.violations.is_empty() {
+            write!(f, "  PASS: zero violations")
+        } else {
+            writeln!(f, "  FAIL: {} violation(s)", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "    {v}")?;
+            }
+            write!(f, "  replay any line with: uqsj-cli conformance --seed <seed> --pairs 1")
+        }
+    }
+}

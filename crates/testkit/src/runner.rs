@@ -1,0 +1,122 @@
+//! The conformance runner behind `uqsj-cli conformance` and CI.
+//!
+//! One run is a pure function of `(profile, seed, pairs)`. Each generated
+//! pair gets its own sub-seed derived from the base seed, and every
+//! violation carries the sub-seed of the input that produced it — so a
+//! failing CI line replays locally with
+//! `uqsj-cli conformance --seed <sub-seed> --pairs 1`.
+
+use crate::gen::{
+    derive_seed, gen_certain, gen_uncertain, near_pair, rng_for, workload, GenConfig,
+};
+use crate::metamorphic::check_metamorphic;
+use crate::oracle::{check_join_agreement, PairOracles};
+use crate::report::ConformanceReport;
+use uqsj_ged::GedEngine;
+use uqsj_graph::SymbolTable;
+
+/// How much work one conformance run does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// The per-push CI gate: small shapes, tens of pairs, a few seconds.
+    Quick,
+    /// The scheduled fuzz loop: larger shapes and many more pairs.
+    Deep,
+}
+
+/// Parameters of one conformance run.
+#[derive(Clone, Copy, Debug)]
+pub struct ConformanceConfig {
+    /// Base seed; every generated object derives its sub-seed from it.
+    pub seed: u64,
+    /// Number of pairs to generate and check.
+    pub pairs: usize,
+    /// Workload shapes and depth.
+    pub profile: Profile,
+}
+
+impl ConformanceConfig {
+    /// The per-push profile (~seconds in a release build).
+    pub fn quick(seed: u64) -> Self {
+        Self { seed, pairs: 48, profile: Profile::Quick }
+    }
+
+    /// The scheduled fuzz profile.
+    pub fn deep(seed: u64) -> Self {
+        Self { seed, pairs: 384, profile: Profile::Deep }
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        match self.profile {
+            Profile::Quick => GenConfig::default(),
+            Profile::Deep => GenConfig::deep(),
+        }
+    }
+}
+
+/// Run the full conformance suite: per-pair differential oracles,
+/// metamorphic relations, and join-driver agreement. Returns the
+/// aggregated report; `report.passed()` is the verdict.
+pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
+    let gen_cfg = cfg.gen_config();
+    let mut table = SymbolTable::new();
+    let mut engine = GedEngine::new();
+    let mut report = ConformanceReport::default();
+    let oracles = PairOracles::new();
+
+    // Stage 1+2: pair oracles and metamorphic relations. Two in three
+    // pairs are near-threshold (boundary-biased); the rest independent,
+    // so clean rejections are covered too.
+    for i in 0..cfg.pairs {
+        let sub = derive_seed(cfg.seed, i as u64);
+        let (q, g) = if i % 3 == 2 {
+            (
+                gen_certain(&mut table, &gen_cfg, derive_seed(sub, 10)),
+                gen_uncertain(&mut table, &gen_cfg, derive_seed(sub, 11)),
+            )
+        } else {
+            near_pair(&mut table, &gen_cfg, sub)
+        };
+        oracles.check_pair(&mut engine, &table, &q, &g, sub, &mut report);
+        if i % 2 == 0 || cfg.profile == Profile::Deep {
+            let mut rng = rng_for(derive_seed(sub, 99));
+            check_metamorphic(&mut engine, &mut table, &q, &g, sub, &mut rng, &mut report);
+        }
+    }
+
+    // Stage 3: five-way join agreement on small workloads, at (τ, α)
+    // combinations on both sides of typical pair probabilities.
+    let join_rounds = match cfg.profile {
+        Profile::Quick => 2,
+        Profile::Deep => 6,
+    };
+    let count = match cfg.profile {
+        Profile::Quick => 5,
+        Profile::Deep => 8,
+    };
+    for round in 0..join_rounds {
+        let sub = derive_seed(cfg.seed, 1_000_000 + round);
+        let (d, u) = workload(&mut table, &gen_cfg, count, sub);
+        let tau = 1 + (round % 2) as u32;
+        let alpha = if round % 2 == 0 { 0.3 } else { 0.6 };
+        check_join_agreement(&mut engine, &table, &d, &u, tau, alpha, sub, &mut report);
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = ConformanceConfig { seed: 7, pairs: 4, profile: Profile::Quick };
+        let a = run_conformance(&cfg);
+        let b = run_conformance(&cfg);
+        assert_eq!(a.passed(), b.passed());
+        assert_eq!(a.worlds, b.worlds);
+        assert_eq!(a.bound_checks, b.bound_checks);
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-test driver for the metamorphic relations: rather than the
+//! runner's fixed pair mix, this samples generator seeds and τ values and
+//! asserts each relation directly, so a failure names the exact seed.
+
+use proptest::prelude::*;
+use uqsj_ged::reference::ged_reference;
+use uqsj_ged::GedEngine;
+use uqsj_graph::SymbolTable;
+use uqsj_testkit::gen::{derive_seed, gen_certain, near_pair, rng_for, GenConfig};
+use uqsj_testkit::metamorphic::{permute_insertion_order, rename_labels};
+use uqsj_uncertain::prob::verify_simp_with;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact SimP is invariant under a random label bijection and a random
+    /// insertion-order permutation of the same pair.
+    #[test]
+    fn simp_invariant_under_equivalence(seed in 0u64..1 << 48, tau in 0u32..4) {
+        let cfg = GenConfig::default();
+        let mut table = SymbolTable::new();
+        let mut engine = GedEngine::new();
+        let (q, g) = near_pair(&mut table, &cfg, seed);
+        let base = verify_simp_with(&mut engine, &table, &q, &g, tau, f64::INFINITY).prob;
+
+        let mut rng = rng_for(derive_seed(seed, 99));
+        let (qr, gr) = rename_labels(&mut table, &q, &g, seed, &mut rng);
+        let renamed = verify_simp_with(&mut engine, &table, &qr, &gr, tau, f64::INFINITY).prob;
+        prop_assert!((renamed - base).abs() < 1e-9, "rename: {base} -> {renamed} (seed {seed})");
+
+        let (qp, gp) = permute_insertion_order(&q, &g, &mut rng);
+        let permuted = verify_simp_with(&mut engine, &table, &qp, &gp, tau, f64::INFINITY).prob;
+        prop_assert!((permuted - base).abs() < 1e-9, "permute: {base} -> {permuted} (seed {seed})");
+    }
+
+    /// Certain-certain GED is invariant under insertion-order permutation.
+    #[test]
+    fn ged_invariant_under_permutation(seed in 0u64..1 << 48) {
+        let cfg = GenConfig::default();
+        let mut table = SymbolTable::new();
+        let q = gen_certain(&mut table, &cfg, seed);
+        let g = gen_certain(&mut table, &cfg, derive_seed(seed, 1));
+        let blurred = uqsj_testkit::gen::blur(
+            &mut table,
+            &GenConfig { uncertain_fraction: 0.0, ..cfg },
+            &g,
+            derive_seed(seed, 2),
+        );
+        let base = ged_reference(&table, &q, &g).distance;
+        let mut rng = rng_for(derive_seed(seed, 3));
+        let (qp, gp) = permute_insertion_order(&q, &blurred, &mut rng);
+        let world = gp.possible_worlds().next().expect("single world").graph;
+        prop_assert_eq!(ged_reference(&table, &qp, &world).distance, base, "seed {}", seed);
+    }
+
+    /// SimP is non-decreasing in τ on sampled pairs.
+    #[test]
+    fn simp_monotone_in_tau(seed in 0u64..1 << 48) {
+        let cfg = GenConfig::default();
+        let mut table = SymbolTable::new();
+        let mut engine = GedEngine::new();
+        let (q, g) = near_pair(&mut table, &cfg, seed);
+        let mut prev = 0.0f64;
+        for tau in 0..5u32 {
+            let p = verify_simp_with(&mut engine, &table, &q, &g, tau, f64::INFINITY).prob;
+            prop_assert!(p + 1e-9 >= prev, "τ={} dropped {} -> {} (seed {})", tau, prev, p, seed);
+            prev = p;
+        }
+    }
+}
