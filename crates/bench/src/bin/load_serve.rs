@@ -1,0 +1,287 @@
+//! Closed-loop load test against a live `uqsj-net` server.
+//!
+//! By default the binary hosts its own sharded server on a random
+//! loopback port, then drives it with `--clients` keep-alive connections
+//! over real sockets: each client loops a mixed workload (single
+//! answers, small batches, periodic template ingests, metric scrapes)
+//! for `--seconds`, recording per-request latency and status. Pass
+//! `--addr HOST:PORT` to aim at an externally started server instead
+//! (the self-hosted one is then skipped, and shutdown is the caller's
+//! problem).
+//!
+//! Emits `BENCH_serve.json` at the repo root — p50/p99 latency, QPS,
+//! shed rate, status-class counts, plus the server's metric registries —
+//! and exits nonzero if the run saw zero successful answers or any 5xx
+//! that was not a deadline/drain 503 (CI's acceptance gate).
+//!
+//! ```text
+//! cargo run --release -p uqsj-bench --bin load_serve -- \
+//!     [--clients M] [--seconds S] [--shards N] [--workers W]
+//!     [--queue-depth Q] [--deadline-ms D] [--scale F]
+//!     [--addr HOST:PORT] [--metrics-out FILE]
+//! ```
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uqsj::net::{Client, NetConfig};
+use uqsj::pipeline::generate_templates;
+use uqsj::prelude::*;
+use uqsj::serve::{ServeConfig, ShardedQaServer};
+use uqsj::workload::DatasetConfig;
+
+/// `--key value` lookup over argv.
+fn arg(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.windows(2).find(|w| w[0] == format!("--{key}")).map(|w| w[1].clone())
+}
+
+fn num<T: std::str::FromStr>(key: &str, default: T) -> T {
+    arg(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Per-client tally, merged after the run.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ok_2xx: u64,
+    shed_429: u64,
+    unavailable_503: u64,
+    other_4xx: u64,
+    hard_5xx: u64,
+    transport_errors: u64,
+    answers_nonempty: u64,
+    reconnects: u64,
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    questions: &[String],
+    ingest_body: &str,
+    worker: usize,
+    stop: &AtomicBool,
+) -> Tally {
+    let mut tally = Tally::default();
+    let timeout = Duration::from_secs(5);
+    let Ok(mut client) = Client::connect(addr, timeout) else {
+        tally.transport_errors += 1;
+        return tally;
+    };
+    let mut i = worker; // deterministic, distinct phase per client
+    while !stop.load(Ordering::Relaxed) {
+        let question = &questions[i % questions.len()];
+        // Mixed workload: mostly single answers, a batch every 7th
+        // request, an ingest every 31st, a metrics scrape every 53rd.
+        let (path, body): (&str, String) = if i % 53 == 11 {
+            ("/metrics", String::new())
+        } else if i % 31 == 7 {
+            ("/v1/templates", ingest_body.to_owned())
+        } else if i % 7 == 3 {
+            let batch: Vec<String> = (0..4)
+                .map(|k| format!("\"{}\"", questions[(i + k) % questions.len()].replace('"', "")))
+                .collect();
+            ("/v1/answer", format!("{{\"questions\": [{}], \"threads\": 2}}", batch.join(",")))
+        } else {
+            ("/v1/answer", format!("{{\"question\": \"{}\"}}", question.replace('"', "")))
+        };
+        i += 1;
+        let started = Instant::now();
+        let result = if path == "/metrics" { client.get(path) } else { client.post(path, &body) };
+        match result {
+            Ok(resp) => {
+                tally.latencies_us.push(started.elapsed().as_micros() as u64);
+                match resp.status {
+                    200..=299 => {
+                        tally.ok_2xx += 1;
+                        if resp.body.contains("\"answers\":[\"") {
+                            tally.answers_nonempty += 1;
+                        }
+                    }
+                    429 => tally.shed_429 += 1,
+                    503 => tally.unavailable_503 += 1,
+                    400..=499 => tally.other_4xx += 1,
+                    _ => tally.hard_5xx += 1,
+                }
+                if resp.close && client.reconnect(timeout).is_err() {
+                    tally.transport_errors += 1;
+                    break;
+                }
+                if resp.close {
+                    tally.reconnects += 1;
+                }
+            }
+            Err(_) => {
+                tally.transport_errors += 1;
+                if client.reconnect(timeout).is_err() {
+                    break;
+                }
+                tally.reconnects += 1;
+            }
+        }
+    }
+    tally
+}
+
+fn main() -> ExitCode {
+    let clients: usize = num("clients", 4);
+    let seconds: u64 = num("seconds", 3);
+    let shards: usize = num("shards", 4);
+    let scale: f64 = num("scale", 1.0);
+
+    // The workload: a mined library plus its question set. Built even
+    // when targeting an external server — the drivers need questions.
+    let dataset = uqsj::workload::qald_like(&DatasetConfig {
+        questions: ((60.0 * scale) as usize).max(20),
+        distractors: ((40.0 * scale) as usize).max(10),
+        ..Default::default()
+    });
+    let result = generate_templates(&dataset, JoinParams::simj(1, 0.5));
+    let questions: Vec<String> = dataset.pairs.iter().map(|p| p.question.clone()).collect();
+    // A small re-ingest payload (idempotent: the server dedups).
+    let ingest_slice = {
+        let mut lib = TemplateLibrary::new();
+        for t in result.library.templates().iter().take(3) {
+            lib.add(t.clone());
+        }
+        uqsj::template::io::to_text(&lib)
+    };
+    let ingest_body =
+        format!("{{\"templates\": {}}}", uqsj::net::Value::from(ingest_slice.as_str()).render());
+
+    // A live server: self-hosted unless --addr points elsewhere.
+    let (addr, hosted) = match arg("addr") {
+        Some(a) => match a.parse() {
+            Ok(addr) => (addr, None),
+            Err(e) => {
+                eprintln!("bad --addr {a:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let qa = Arc::new(ShardedQaServer::new(
+                result.library,
+                dataset.kb.lexicon.clone(),
+                dataset.kb.triple_store(),
+                shards,
+                ServeConfig { min_phi: 1.0, cache_capacity: 1024 },
+            ));
+            let net = NetConfig {
+                workers: num("workers", 4),
+                queue_depth: num("queue-depth", 64),
+                deadline: Duration::from_millis(num("deadline-ms", 2000)),
+                ..NetConfig::default()
+            };
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let handle = uqsj::net::serve_on(qa, listener, net).expect("start server");
+            (handle.local_addr(), Some(handle))
+        }
+    };
+    eprintln!(
+        "load_serve: {clients} clients x {seconds}s against {addr} \
+         ({} questions, {shards} shards)",
+        questions.len()
+    );
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|w| {
+                let (questions, ingest_body, stop) = (&questions, &ingest_body, &stop);
+                scope.spawn(move || client_loop(addr, questions, ingest_body, w, stop))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs(seconds));
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    // Scrape the live server's registries before tearing it down.
+    let metrics_text = Client::connect(addr, Duration::from_secs(5))
+        .and_then(|mut c| c.get("/metrics"))
+        .map(|r| r.body)
+        .unwrap_or_default();
+    if let Some(path) = arg("metrics-out") {
+        if let Err(e) = std::fs::write(&path, &metrics_text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote scraped /metrics to {path}");
+    }
+    let registry_json = hosted
+        .as_ref()
+        .map(|h| {
+            format!(
+                "{{\"net\":{},\"serve\":{}}}",
+                h.metrics().registry().snapshot_json().trim_end(),
+                h.qa().metrics_registry().snapshot_json().trim_end()
+            )
+        })
+        .unwrap_or_else(|| "null".to_owned());
+    if let Some(handle) = hosted {
+        handle.shutdown().expect("graceful drain");
+    }
+
+    // Merge and report.
+    let mut merged = Tally::default();
+    for t in tallies {
+        merged.latencies_us.extend(t.latencies_us);
+        merged.ok_2xx += t.ok_2xx;
+        merged.shed_429 += t.shed_429;
+        merged.unavailable_503 += t.unavailable_503;
+        merged.other_4xx += t.other_4xx;
+        merged.hard_5xx += t.hard_5xx;
+        merged.transport_errors += t.transport_errors;
+        merged.answers_nonempty += t.answers_nonempty;
+        merged.reconnects += t.reconnects;
+    }
+    merged.latencies_us.sort_unstable();
+    let total = merged.latencies_us.len() as u64;
+    let qps = merged.ok_2xx as f64 / elapsed;
+    let shed_rate = merged.shed_429 as f64 / (total.max(1)) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"load_serve\",\n  \"clients\": {clients},\n  \
+         \"seconds\": {elapsed:.2},\n  \"shards\": {shards},\n  \
+         \"requests\": {total},\n  \"qps_2xx\": {qps:.1},\n  \
+         \"p50_request_us\": {p50},\n  \"p99_request_us\": {p99},\n  \
+         \"ok_2xx\": {ok},\n  \"shed_429\": {shed},\n  \"shed_rate\": {shed_rate:.4},\n  \
+         \"unavailable_503\": {u503},\n  \"other_4xx\": {o4},\n  \"hard_5xx\": {h5},\n  \
+         \"transport_errors\": {terr},\n  \"reconnects\": {rec},\n  \
+         \"answers_nonempty\": {nonempty},\n  \"registry\": {registry_json}\n}}\n",
+        p50 = percentile(&merged.latencies_us, 50),
+        p99 = percentile(&merged.latencies_us, 99),
+        ok = merged.ok_2xx,
+        shed = merged.shed_429,
+        u503 = merged.unavailable_503,
+        o4 = merged.other_4xx,
+        h5 = merged.hard_5xx,
+        terr = merged.transport_errors,
+        rec = merged.reconnects,
+        nonempty = merged.answers_nonempty,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {path}:\n{json}");
+
+    // Acceptance gates: the server must have answered (non-zero QPS) and
+    // must never have produced a 5xx other than a deadline/drain 503.
+    if merged.ok_2xx == 0 {
+        eprintln!("FAIL: zero successful requests");
+        return ExitCode::FAILURE;
+    }
+    if merged.hard_5xx > 0 {
+        eprintln!("FAIL: {} hard 5xx responses (non-deadline)", merged.hard_5xx);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

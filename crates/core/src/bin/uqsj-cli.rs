@@ -30,6 +30,20 @@
 //!     metrics line every N questions; --log-out installs the structured
 //!     JSON log sink (FILE, or - for stderr).
 //!
+//! uqsj-cli serve --listen HOST:PORT [--shards N] [--replicas R]
+//!                [--workers W] [--queue-depth Q] [--deadline-ms D]
+//!                [--dir artifacts | --data-dir DIR] [--min-phi F]
+//!                [--cache C]
+//!     Serve over HTTP instead of a question file: a sharded (and, with
+//!     --data-dir, replicated + durable) template store behind the
+//!     uqsj-net front end. With --data-dir, an existing sharded
+//!     directory (holding a SHARDS file) is recovered; an empty or
+//!     absent one is bootstrapped from the --dir artifacts (any other
+//!     layout — e.g. a single-store dir from `snapshot` — is refused
+//!     rather than mixed). Runs until SIGINT/SIGTERM,
+//!     then drains gracefully: stops accepting, finishes in-flight
+//!     requests, fsyncs every shard's replica WALs.
+//!
 //! uqsj-cli snapshot --dir artifacts --data-dir data
 //!     Import text artifacts into a storage directory as a fresh binary
 //!     snapshot generation.
@@ -253,9 +267,159 @@ fn answer(opts: &Options) -> ExitCode {
     }
 }
 
+/// Cooperative shutdown flag raised by SIGINT/SIGTERM. On non-unix
+/// targets installation is a no-op and the HTTP server runs until the
+/// process is killed.
+mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        // Raw libc signal(2) via FFI — the workspace carries no libc
+        // crate, and the handler only flips an atomic (async-signal-safe).
+        extern "C" fn on_signal(_signum: i32) {
+            REQUESTED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// `serve --listen`: the HTTP front end over a sharded store.
+fn serve_http(opts: &Options, listen: &str) -> ExitCode {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use uqsj::net::NetConfig;
+    use uqsj::serve::{ServeConfig, ShardedQaServer};
+
+    let config =
+        ServeConfig { min_phi: opts.num("min-phi", 1.0), cache_capacity: opts.num("cache", 1024) };
+    let shards: usize = opts.num("shards", 4);
+    let replicas: usize = opts.num("replicas", 1);
+    let qa = if let Some(data_dir) = opts.get("data-dir") {
+        let dir = Path::new(data_dir);
+        if dir.join("SHARDS").exists() {
+            match ShardedQaServer::open(dir, config) {
+                Ok(qa) => {
+                    println!(
+                        "recovered {} templates from {data_dir} \
+                         ({} shards x {} replicas)",
+                        qa.template_count(),
+                        qa.shard_count(),
+                        qa.replica_count()
+                    );
+                    qa
+                }
+                Err(e) => {
+                    eprintln!("cannot open sharded data dir {data_dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            // Only bootstrap into a fresh directory. A non-empty one
+            // without SHARDS is some other layout — most likely a
+            // single-store data dir from `snapshot` — and scattering
+            // shard subdirectories into it would leave two stores
+            // diverging in one place.
+            let occupied =
+                std::fs::read_dir(dir).map(|mut entries| entries.next().is_some()).unwrap_or(false);
+            if occupied {
+                eprintln!(
+                    "{data_dir} exists but is not a sharded data dir (no SHARDS file); \
+                     if it came from `uqsj-cli snapshot`, serve it without --listen, or \
+                     point --data-dir at a fresh directory to shard the --dir artifacts into"
+                );
+                return ExitCode::FAILURE;
+            }
+            let artifacts = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
+            let (library, lexicon, store) = match load_artifacts(&artifacts) {
+                Ok(x) => x,
+                Err(code) => return code,
+            };
+            match ShardedQaServer::create(dir, library, lexicon, store, shards, replicas, config) {
+                Ok(qa) => {
+                    println!(
+                        "bootstrapped {data_dir}: {} templates over {shards} shards x \
+                         {replicas} replicas",
+                        qa.template_count()
+                    );
+                    qa
+                }
+                Err(e) => {
+                    eprintln!("cannot bootstrap sharded data dir {data_dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        let artifacts = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
+        let (library, lexicon, store) = match load_artifacts(&artifacts) {
+            Ok(x) => x,
+            Err(code) => return code,
+        };
+        ShardedQaServer::new(library, lexicon, store, shards, config)
+    };
+
+    let net = NetConfig {
+        workers: opts.num("workers", 4),
+        queue_depth: opts.num("queue-depth", 64),
+        deadline: Duration::from_millis(opts.num("deadline-ms", 2000)),
+        ..NetConfig::default()
+    };
+    let handle = match uqsj::net::serve(Arc::new(qa), listen, net) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on http://{} ({} shards, {} workers, queue {}, deadline {}ms)",
+        handle.local_addr(),
+        handle.qa().shard_count(),
+        net.workers,
+        net.queue_depth,
+        net.deadline.as_millis()
+    );
+    shutdown::install();
+    while !shutdown::requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutdown requested; draining");
+    match handle.shutdown() {
+        Ok(()) => {
+            println!("drained: in-flight requests finished, WALs synced");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn serve(opts: &Options) -> ExitCode {
     use uqsj::serve::{QaServer, ServeConfig, TemplateStore};
 
+    if let Some(listen) = opts.get("listen") {
+        return serve_http(opts, listen);
+    }
     let config =
         ServeConfig { min_phi: opts.num("min-phi", 1.0), cache_capacity: opts.num("cache", 1024) };
     let threads: usize = opts.num("threads", 1);

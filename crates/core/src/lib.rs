@@ -43,6 +43,7 @@
 pub use uqsj_ged as ged;
 pub use uqsj_graph as graph;
 pub use uqsj_matching as matching;
+pub use uqsj_net as net;
 pub use uqsj_nlp as nlp;
 pub use uqsj_obs as obs;
 pub use uqsj_rdf as rdf;

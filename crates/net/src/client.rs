@@ -1,0 +1,108 @@
+//! A minimal blocking HTTP/1.1 client — enough protocol for the load
+//! bench, the CI smoke test, and the e2e tests to drive a live server
+//! over real sockets. Keep-alive by default; callers reconnect when a
+//! request fails or the server answered with `Connection: close`.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a server.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// A decoded response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub body: String,
+    /// Server asked to close; the next request must reconnect.
+    pub close: bool,
+}
+
+impl Client {
+    /// Connect with a read/write timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { addr, stream, buf: Vec::new() })
+    }
+
+    /// Drop the current connection and dial a new one.
+    pub fn reconnect(&mut self, timeout: Duration) -> io::Result<()> {
+        *self = Self::connect(self.addr, timeout)?;
+        Ok(())
+    }
+
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    pub fn post(&mut self, path: &str, json_body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(json_body))
+    }
+
+    /// Send one request and read the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: uqsj\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        loop {
+            if let Some(head_len) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head_len = head_len + 4;
+                let head = String::from_utf8_lossy(&self.buf[..head_len]).into_owned();
+                let status: u16 = head
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| io::Error::other(format!("bad status line: {head:?}")))?;
+                let lower = head.to_ascii_lowercase();
+                let content_length: usize = lower
+                    .lines()
+                    .find_map(|l| l.strip_prefix("content-length:"))
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or_else(|| io::Error::other("response without Content-Length"))?;
+                let close = lower.lines().any(|l| l.trim() == "connection: close");
+                let total = head_len + content_length;
+                while self.buf.len() < total {
+                    self.fill()?;
+                }
+                let body = String::from_utf8_lossy(&self.buf[head_len..total]).into_owned();
+                self.buf.drain(..total);
+                return Ok(ClientResponse { status, body, close });
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk)? {
+            0 => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")),
+            n => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! HTTP/1.1 framing over a raw `TcpStream`: an incremental request
+//! reader and a response writer. No async runtime — the server runs
+//! blocking reads with a short poll timeout so workers stay responsive
+//! to drain and deadline checks between reads.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers section. Anything legitimate the
+/// protocol sends fits in a fraction of this.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection at a request boundary.
+    Closed,
+    /// No new bytes arrived within the stream's read timeout. Retryable:
+    /// buffered partial input is kept for the next call.
+    Timeout,
+    /// Head or body exceeds its cap → respond 413 and close.
+    TooLarge,
+    /// Unparseable framing → respond 400 and close.
+    Malformed(String),
+    /// Transport error.
+    Io(io::Error),
+}
+
+/// Incremental request reader over one connection. Bytes are buffered
+/// across [`ConnReader::read_request`] calls, so a read timeout in the
+/// middle of a slow request loses nothing.
+#[derive(Debug)]
+pub struct ConnReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ConnReader {
+    pub fn new(stream: TcpStream) -> Self {
+        Self { stream, buf: Vec::new() }
+    }
+
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Bytes of a partially received request are already buffered — a
+    /// timeout now is mid-request, not an idle keep-alive gap.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Read one full request, growing the buffer until the head and the
+    /// `Content-Length` body are both complete.
+    pub fn read_request(&mut self, max_body: usize) -> Result<Request, RecvError> {
+        loop {
+            if let Some(head_len) = find_head_end(&self.buf) {
+                let head = std::str::from_utf8(&self.buf[..head_len])
+                    .map_err(|_| RecvError::Malformed("head is not UTF-8".into()))?;
+                let (method, path, headers) = parse_head(head)?;
+                let body_len = match header_value(&headers, "content-length") {
+                    Some(v) => v
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| RecvError::Malformed("bad Content-Length".into()))?,
+                    None => 0,
+                };
+                if body_len > max_body {
+                    return Err(RecvError::TooLarge);
+                }
+                let total = head_len + body_len;
+                if self.buf.len() < total {
+                    self.fill(total - self.buf.len())?;
+                    continue;
+                }
+                let body = self.buf[head_len..total].to_vec();
+                self.buf.drain(..total);
+                return Ok(Request { method, path, headers, body });
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(RecvError::TooLarge);
+            }
+            self.fill(1)?;
+        }
+    }
+
+    /// Read at least 1 and up to ~4 KiB more bytes into the buffer.
+    fn fill(&mut self, _want: usize) -> Result<(), RecvError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(RecvError::Closed),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                Err(RecvError::Timeout)
+            }
+            Err(e) => Err(RecvError::Io(e)),
+        }
+    }
+}
+
+/// Byte length of the head including the blank line, if complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// (method, path, headers) from a parsed request head.
+type Head = (String, String, Vec<(String, String)>);
+
+fn parse_head(head: &str) -> Result<Head, RecvError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(RecvError::Malformed(format!("bad request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed(format!("unsupported version {version:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RecvError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok((method.to_ascii_uppercase(), path, headers))
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Send `Connection: close` and drop the connection afterwards.
+    pub close: bool,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: "application/json", body: body.into_bytes(), close: false }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = crate::json::object([("error", message.into())]).render();
+        Self::json(status, body)
+    }
+
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize and send a response. Returns the transport error, if any —
+/// callers treat a failed write as a dead connection.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        if response.close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected socket pair via a loopback listener.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn reads_pipelined_requests_and_bodies() {
+        let (mut client, server) = pair();
+        let mut reader = ConnReader::new(server);
+        client
+            .write_all(
+                b"POST /v1/answer?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n",
+            )
+            .expect("write");
+        let first = reader.read_request(1024).expect("first request");
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/v1/answer");
+        assert_eq!(first.body, b"body");
+        let second = reader.read_request(1024).expect("pipelined request");
+        assert_eq!((second.method.as_str(), second.path.as_str()), ("GET", "/healthz"));
+        assert!(second.body.is_empty());
+    }
+
+    #[test]
+    fn timeout_preserves_partial_input() {
+        let (mut client, server) = pair();
+        server.set_read_timeout(Some(std::time::Duration::from_millis(30))).expect("set timeout");
+        let mut reader = ConnReader::new(server);
+        client.write_all(b"GET /hea").expect("write prefix");
+        assert!(matches!(reader.read_request(1024), Err(RecvError::Timeout)));
+        assert!(reader.mid_request());
+        client.write_all(b"lthz HTTP/1.1\r\n\r\n").expect("write rest");
+        let req = reader.read_request(1024).expect("completed request");
+        assert_eq!(req.path, "/healthz");
+        assert!(!reader.mid_request());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let (mut client, server) = pair();
+        let mut reader = ConnReader::new(server);
+        client
+            .write_all(b"POST /v1/templates HTTP/1.1\r\nContent-Length: 99\r\n\r\n")
+            .expect("write");
+        assert!(matches!(reader.read_request(10), Err(RecvError::TooLarge)));
+
+        let (mut client, server) = pair();
+        let mut reader = ConnReader::new(server);
+        client.write_all(b"NOT-HTTP\r\n\r\n").expect("write");
+        assert!(matches!(reader.read_request(10), Err(RecvError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let (mut client, mut server) = pair();
+        let response = Response::error(429, "over capacity").closing();
+        write_response(&mut server, &response).expect("write response");
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).expect("read");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("{\"error\":\"over capacity\"}"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The `uqsj_net_*` metric families: admission control, per-route
+//! traffic, and request latency for the HTTP front end. One registry per
+//! server instance (same pattern as `ServeMetrics`), concatenated with
+//! the serving and global registries by `GET /metrics`.
+
+use std::time::Duration;
+use uqsj_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Metrics owned by one [`crate::ServerHandle`].
+#[derive(Debug)]
+pub struct NetMetrics {
+    registry: Registry,
+    /// Connections accepted (sheds included).
+    pub connections: Counter,
+    /// Connections turned away with 429 because the accept queue was full.
+    pub shed: Counter,
+    /// Requests that blew their deadline at a stage boundary (503).
+    pub deadline_expired: Counter,
+    /// Templates accepted through `POST /v1/templates`.
+    pub ingested_templates: Counter,
+    /// Requests currently being parsed or answered.
+    pub in_flight: Gauge,
+    /// End-to-end request latency (queue wait included), microseconds.
+    pub request_us: Histogram,
+}
+
+impl Default for NetMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetMetrics {
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let connections =
+            registry.counter("uqsj_net_connections_total", "TCP connections accepted");
+        let shed =
+            registry.counter("uqsj_net_shed_total", "connections rejected with 429 (queue full)");
+        let deadline_expired = registry.counter(
+            "uqsj_net_deadline_expired_total",
+            "requests abandoned at a stage boundary after their deadline (503)",
+        );
+        let ingested_templates = registry.counter(
+            "uqsj_net_ingested_templates_total",
+            "templates accepted via the ingest route",
+        );
+        let in_flight = registry.gauge("uqsj_net_in_flight", "requests currently in flight");
+        let request_us =
+            registry.histogram("uqsj_net_request_us", "request latency including queue wait, us");
+        Self {
+            registry,
+            connections,
+            shed,
+            deadline_expired,
+            ingested_templates,
+            in_flight,
+            request_us,
+        }
+    }
+
+    /// Per-route request counter. Unknown paths all land on `other`
+    /// (label values must be static, and an unbounded label set from
+    /// attacker-chosen paths would bloat the registry anyway).
+    pub fn requests(&self, route: &str) -> Counter {
+        let labels: uqsj_obs::registry::Labels = match route {
+            "answer" => &[("route", "answer")],
+            "templates" => &[("route", "templates")],
+            "metrics" => &[("route", "metrics")],
+            "healthz" => &[("route", "healthz")],
+            "readyz" => &[("route", "readyz")],
+            _ => &[("route", "other")],
+        };
+        self.registry.counter_with("uqsj_net_requests_total", labels, "requests by route")
+    }
+
+    /// Response counter by status class.
+    pub fn responses(&self, status: u16) -> Counter {
+        let labels: uqsj_obs::registry::Labels = match status / 100 {
+            2 => &[("class", "2xx")],
+            3 => &[("class", "3xx")],
+            4 => &[("class", "4xx")],
+            _ => &[("class", "5xx")],
+        };
+        self.registry.counter_with("uqsj_net_responses_total", labels, "responses by status class")
+    }
+
+    /// Record one finished request.
+    pub fn record(&self, route: &str, status: u16, elapsed: Duration) {
+        self.requests(route).inc();
+        self.responses(status).inc();
+        self.request_us.observe_duration(elapsed);
+    }
+
+    /// This server's `uqsj_net_*` registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_render_with_route_and_class_labels() {
+        let m = NetMetrics::new();
+        m.record("answer", 200, Duration::from_micros(150));
+        m.record("unknown-path", 404, Duration::from_micros(20));
+        m.shed.inc();
+        let text = m.registry().render_prometheus();
+        assert!(text.contains("uqsj_net_requests_total{route=\"answer\"} 1"));
+        assert!(text.contains("uqsj_net_requests_total{route=\"other\"} 1"));
+        assert!(text.contains("uqsj_net_responses_total{class=\"2xx\"} 1"));
+        assert!(text.contains("uqsj_net_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("uqsj_net_shed_total 1"));
+        assert!(text.contains("uqsj_net_request_us_count 2"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Route dispatch: the five endpoints of the wire protocol.
+//!
+//! | route              | method | body                                       |
+//! |--------------------|--------|--------------------------------------------|
+//! | `/v1/answer`       | POST   | `{"question": "..."}` or `{"questions": [...], "threads": N}` |
+//! | `/v1/templates`    | POST   | `{"templates": "<uqsj_template::io text>"}` |
+//! | `/metrics`         | GET    | — (Prometheus text)                        |
+//! | `/healthz`         | GET    | — (liveness: always 200 while running)     |
+//! | `/readyz`          | GET    | — (readiness: 503 once draining)           |
+
+use crate::http::{Request, Response};
+use crate::json::{self, object, Value};
+use crate::metrics::NetMetrics;
+use std::time::Instant;
+use uqsj_serve::ShardedQaServer;
+use uqsj_template::QaOutcome;
+
+/// Stable route name for metric labels.
+pub fn route_name(path: &str) -> &'static str {
+    match path {
+        "/v1/answer" => "answer",
+        "/v1/templates" => "templates",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/readyz" => "readyz",
+        _ => "other",
+    }
+}
+
+/// Handle one parsed request. `deadline` is the request's drop-dead
+/// instant: the expensive stages (answering, ingest) re-check it at
+/// their boundary and give up with 503 rather than start work whose
+/// caller has already timed out.
+pub fn dispatch(
+    qa: &ShardedQaServer,
+    metrics: &NetMetrics,
+    request: &Request,
+    draining: bool,
+    deadline: Instant,
+) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if draining {
+                Response::error(503, "draining")
+            } else {
+                Response::text(200, "ready\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            let mut text = metrics.registry().render_prometheus();
+            text.push_str(&qa.metrics_registry().render_prometheus());
+            text.push_str(&uqsj_obs::global().render_prometheus());
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: text.into_bytes(),
+                close: false,
+            }
+        }
+        ("POST", "/v1/answer") => answer(qa, metrics, &request.body, deadline),
+        ("POST", "/v1/templates") => ingest(qa, metrics, &request.body, deadline),
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/answer" | "/v1/templates") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// Deadline gate at a stage boundary: `Some(503)` if the budget is gone.
+fn expired(metrics: &NetMetrics, deadline: Instant) -> Option<Response> {
+    if Instant::now() >= deadline {
+        metrics.deadline_expired.inc();
+        Some(Response::error(503, "deadline exceeded"))
+    } else {
+        None
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, Response> {
+    let text = std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+}
+
+/// One outcome as a JSON object. `shard`/`shards_touched` are present
+/// only on the single-question path (the batch path does not track them).
+fn outcome_json(o: &QaOutcome, shard: Option<usize>, touched: Option<usize>) -> Value {
+    let mut fields = vec![
+        ("answers".to_owned(), o.answers.iter().map(|a| Value::from(a.as_str())).collect()),
+        (
+            "sparql".to_owned(),
+            o.sparql.as_ref().map_or(Value::Null, |q| Value::from(q.to_string())),
+        ),
+        ("template_index".to_owned(), o.template_index.map_or(Value::Null, Value::from)),
+        ("phi".to_owned(), Value::from(o.phi)),
+    ];
+    if let Some(s) = shard {
+        fields.push(("shard".to_owned(), Value::from(s)));
+    }
+    if let Some(t) = touched {
+        fields.push(("shards_touched".to_owned(), Value::from(t)));
+    }
+    Value::Object(fields.into_iter().collect())
+}
+
+fn answer(qa: &ShardedQaServer, metrics: &NetMetrics, body: &[u8], deadline: Instant) -> Response {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    // Boundary: parsing done, answering not yet started.
+    if let Some(resp) = expired(metrics, deadline) {
+        return resp;
+    }
+    if let Some(question) = doc.get("question").and_then(Value::as_str) {
+        let answered = qa.answer(question);
+        let body = outcome_json(&answered.outcome, answered.shard, Some(answered.shards_touched));
+        return Response::json(200, body.render());
+    }
+    if let Some(items) = doc.get("questions").and_then(Value::as_array) {
+        let mut questions = Vec::with_capacity(items.len());
+        for item in items {
+            match item.as_str() {
+                Some(q) => questions.push(q.to_owned()),
+                None => return Response::error(400, "questions must be an array of strings"),
+            }
+        }
+        let threads = match doc.get("threads") {
+            None => 1,
+            Some(v) => match v.as_usize() {
+                Some(t) => t,
+                None => return Response::error(400, "threads must be a non-negative integer"),
+            },
+        };
+        let outcomes = qa.answer_batch(&questions, threads);
+        let results: Value = outcomes.iter().map(|o| outcome_json(o, None, None)).collect();
+        return Response::json(200, object([("results", results)]).render());
+    }
+    Response::error(400, "body needs a \"question\" string or \"questions\" array")
+}
+
+fn ingest(qa: &ShardedQaServer, metrics: &NetMetrics, body: &[u8], deadline: Instant) -> Response {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let Some(text) = doc.get("templates").and_then(Value::as_str) else {
+        return Response::error(400, "body needs a \"templates\" string (template text format)");
+    };
+    let library = match uqsj_template::io::from_text(text) {
+        Ok(library) => library,
+        Err(e) => return Response::error(400, &format!("invalid template text: {e}")),
+    };
+    // Boundary: decoding done, the journaled ingest not yet started.
+    if let Some(resp) = expired(metrics, deadline) {
+        return resp;
+    }
+    let offered = library.len();
+    match qa.insert_templates(library.templates().iter().cloned()) {
+        Ok(added) => {
+            metrics.ingested_templates.add(added as u64);
+            let body = object([
+                ("added", added.into()),
+                ("offered", offered.into()),
+                ("count", qa.template_count().into()),
+            ]);
+            Response::json(200, body.render())
+        }
+        Err(e) => Response::error(500, &format!("ingest failed: {e}")),
+    }
+}

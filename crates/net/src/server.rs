@@ -1,0 +1,341 @@
+//! The server core: a listener thread feeding a bounded connection
+//! queue, a fixed pool of worker threads draining it, and a drain
+//! protocol for clean shutdown.
+//!
+//! Admission control is a state machine per connection:
+//!
+//! ```text
+//!            queue full                     deadline passed at a
+//!   accept ────────────► shed (429, close)  stage boundary
+//!     │                                          │
+//!     ▼ queue has room                           ▼
+//!   queued ──► parsing ──► routing ──► answering ──► respond
+//!                  │            │
+//!                  └── 503 ◄────┘  (deadline checked between stages)
+//! ```
+//!
+//! The deadline clock starts when the connection is *enqueued* — queue
+//! wait is part of the budget, so a server drowning in backlog sheds
+//! work it could never finish in time instead of answering into the
+//! void. Keep-alive requests after the first get a fresh budget from
+//! their first byte.
+//!
+//! **Drain** ([`ServerHandle::shutdown`]): stop accepting (listener
+//! thread exits), mark draining (`/readyz` flips to 503), let workers
+//! finish every queued and in-flight request, join all threads, then
+//! fsync every shard's replica WALs. In-flight responses during a drain
+//! carry `Connection: close`.
+
+use crate::http::{write_response, ConnReader, RecvError, Response};
+use crate::metrics::NetMetrics;
+use crate::routes::{dispatch, route_name};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use uqsj_serve::ShardedQaServer;
+
+/// Tuning for the HTTP front end.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before new arrivals are
+    /// shed with 429.
+    pub queue_depth: usize,
+    /// Per-request budget from enqueue to response; checked at stage
+    /// boundaries (parse → route → answer), overruns get 503.
+    pub deadline: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection is held open.
+    pub keep_alive_idle: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(2),
+            max_body_bytes: 1 << 20,
+            keep_alive_idle: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A connection waiting for (or held by) a worker.
+struct Conn {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// State shared by the listener thread, the workers, and the handle.
+struct Shared {
+    qa: Arc<ShardedQaServer>,
+    config: NetConfig,
+    metrics: NetMetrics,
+    queue: Mutex<VecDeque<Conn>>,
+    /// Signals workers that the queue gained a connection or that a
+    /// drain started.
+    wake: Condvar,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts the drain protocol (threads are
+/// detached); call `shutdown` for the graceful path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Bind `listen` and start the server. Returns once the listener and
+/// worker threads are running.
+pub fn serve(
+    qa: Arc<ShardedQaServer>,
+    listen: &str,
+    config: NetConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(listen)?;
+    serve_on(qa, listener, config)
+}
+
+/// Start the server on an already bound listener (tests bind port 0 and
+/// read the assigned address back).
+pub fn serve_on(
+    qa: Arc<ShardedQaServer>,
+    listener: TcpListener,
+    config: NetConfig,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        qa,
+        config,
+        metrics: NetMetrics::new(),
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        draining: AtomicBool::new(false),
+    });
+    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("uqsj-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    for i in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("uqsj-net-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle { addr, shared, threads })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core behind this listener.
+    pub fn qa(&self) -> &Arc<ShardedQaServer> {
+        &self.shared.qa
+    }
+
+    /// This server's `uqsj_net_*` metrics.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.shared.metrics
+    }
+
+    /// Is the server in its drain phase?
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Graceful drain: stop accepting, finish queued and in-flight
+    /// requests, join every thread, fsync the shard WALs. Idempotent in
+    /// effect; consumes the handle.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        self.shared.qa.sync_wals().map_err(io::Error::other)
+    }
+}
+
+/// Poll interval for the nonblocking accept loop and for worker reads —
+/// the upper bound on how stale a drain check can be.
+const POLL: Duration = Duration::from_millis(25);
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.connections.inc();
+                let _ = stream.set_nodelay(true);
+                admit(shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            // Transient accept errors (e.g. the peer reset before we got
+            // to it) — keep serving.
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Enqueue an accepted connection, or shed it with 429 if the queue is
+/// at capacity.
+fn admit(shared: &Shared, mut stream: TcpStream) {
+    let shed = {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.config.queue_depth {
+            true
+        } else {
+            queue.push_back(Conn { stream, enqueued: Instant::now() });
+            shared.wake.notify_one();
+            return;
+        }
+    };
+    debug_assert!(shed);
+    shared.metrics.shed.inc();
+    shared.metrics.responses(429).inc();
+    let _ = write_response(&mut stream, &Response::error(429, "over capacity").closing());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break conn;
+                }
+                if shared.draining() {
+                    return; // queue fully drained, drain in progress
+                }
+                queue = shared.wake.wait(queue).expect("queue lock");
+            }
+        };
+        handle_connection(shared, conn);
+    }
+}
+
+/// Serve one connection until it closes, errors, idles out, or the
+/// server drains.
+fn handle_connection(shared: &Shared, conn: Conn) {
+    let Conn { stream, enqueued } = conn;
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut reader = ConnReader::new(stream);
+    // The first request's budget started at enqueue time: queue wait
+    // counts against the deadline.
+    let mut started = enqueued;
+    let mut idle_since = Instant::now();
+    loop {
+        let request = match reader.read_request(shared.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(RecvError::Timeout) => {
+                if reader.mid_request() {
+                    // A slow sender burns its own budget; cut it off once
+                    // the deadline passes rather than holding the worker.
+                    if started + shared.config.deadline <= Instant::now() {
+                        shared.metrics.deadline_expired.inc();
+                        respond(shared, &mut reader, "other", started, || {
+                            Response::error(503, "deadline exceeded").closing()
+                        });
+                        return;
+                    }
+                } else {
+                    started = Instant::now(); // budget starts at first byte
+                    if shared.draining() || idle_since.elapsed() > shared.config.keep_alive_idle {
+                        return; // idle keep-alive connection: just close
+                    }
+                }
+                continue;
+            }
+            Err(RecvError::Closed) => return,
+            Err(RecvError::TooLarge) => {
+                respond(shared, &mut reader, "other", started, || {
+                    Response::error(413, "request too large").closing()
+                });
+                return;
+            }
+            Err(RecvError::Malformed(why)) => {
+                respond(shared, &mut reader, "other", started, || {
+                    Response::error(400, &why).closing()
+                });
+                return;
+            }
+            Err(RecvError::Io(_)) => return,
+        };
+        // Boundary: request parsed, not yet routed.
+        let deadline = started + shared.config.deadline;
+        let route = route_name(&request.path);
+        let close = request.wants_close() || shared.draining();
+        shared.metrics.in_flight.add(1);
+        respond(shared, &mut reader, route, started, || {
+            let mut response = if Instant::now() >= deadline {
+                shared.metrics.deadline_expired.inc();
+                Response::error(503, "deadline exceeded")
+            } else {
+                dispatch(&shared.qa, &shared.metrics, &request, shared.draining(), deadline)
+            };
+            response.close |= close;
+            response
+        });
+        shared.metrics.in_flight.add(-1);
+        if close {
+            return;
+        }
+        // Next keep-alive request: fresh budget, fresh idle window.
+        started = Instant::now();
+        idle_since = Instant::now();
+    }
+}
+
+/// Build, record, and write one response. (A closure so the in-flight
+/// gauge and latency clock wrap the dispatch itself.)
+fn respond(
+    shared: &Shared,
+    reader: &mut ConnReader,
+    route: &str,
+    started: Instant,
+    build: impl FnOnce() -> Response,
+) {
+    let response = build();
+    shared.metrics.record(route, response.status, started.elapsed());
+    let _ = write_response(reader.stream_mut(), &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = NetConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= c.workers);
+        assert!(c.deadline > Duration::ZERO);
+    }
+}

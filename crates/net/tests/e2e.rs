@@ -1,0 +1,218 @@
+//! End-to-end tests over real loopback sockets: a live [`uqsj_net`]
+//! server in front of a sharded store, driven by the crate's own
+//! blocking client.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+use uqsj_net::{json, Client, NetConfig};
+use uqsj_serve::{ServeConfig, ShardedQaServer};
+use uqsj_sparql::{SparqlQuery, Term, Triple};
+use uqsj_template::template::{slot_term, SlotBinding};
+use uqsj_template::{Template, TemplateLibrary};
+
+const SLOT: &str = "<_>";
+
+/// "Which <_> graduated from <_> ?" against `predicate`.
+fn graduated_template(predicate: &str, confidence: f64) -> Template {
+    let sparql = SparqlQuery {
+        select: vec!["x".into()],
+        triples: vec![
+            Triple {
+                subject: Term::Var("x".into()),
+                predicate: Term::Iri("type".into()),
+                object: slot_term(0),
+            },
+            Triple {
+                subject: Term::Var("x".into()),
+                predicate: Term::Iri(predicate.into()),
+                object: slot_term(1),
+            },
+        ],
+    };
+    Template::new(
+        ["Which", SLOT, "graduated", "from", SLOT, "?"].map(String::from).to_vec(),
+        sparql,
+        vec![SlotBinding::Bound, SlotBinding::Bound],
+        confidence,
+    )
+}
+
+fn sharded(seed: Vec<Template>, shards: usize) -> Arc<ShardedQaServer> {
+    let mut lexicon = uqsj_nlp::lexicon::paper_lexicon();
+    lexicon.add_class("physicist", "Physicist");
+    let mut triples = uqsj_rdf::TripleStore::new();
+    triples.insert("Alice", "type", "Physicist");
+    triples.insert("Alice", "graduatedFrom", "Carnegie_Mellon_University");
+    triples.ensure_indexes();
+    let mut library = TemplateLibrary::new();
+    for t in seed {
+        library.add(t);
+    }
+    Arc::new(ShardedQaServer::new(
+        library,
+        lexicon,
+        triples,
+        shards,
+        ServeConfig { min_phi: 1.0, cache_capacity: 64 },
+    ))
+}
+
+fn start(qa: Arc<ShardedQaServer>, config: NetConfig) -> (uqsj_net::ServerHandle, Client) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = uqsj_net::serve_on(qa, listener, config).expect("start server");
+    let client = Client::connect(handle.local_addr(), Duration::from_secs(5)).expect("connect");
+    (handle, client)
+}
+
+#[test]
+fn answers_over_the_wire() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 3);
+    let (handle, mut client) = start(qa, NetConfig::default());
+
+    assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+    assert_eq!(client.get("/readyz").expect("readyz").status, 200);
+
+    let resp = client
+        .post("/v1/answer", r#"{"question": "Which physicist graduated from CMU?"}"#)
+        .expect("answer");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let doc = json::parse(&resp.body).expect("json body");
+    let answers = doc.get("answers").and_then(json::Value::as_array).expect("answers");
+    assert_eq!(answers[0].as_str(), Some("Alice"));
+    assert!(doc.get("sparql").and_then(json::Value::as_str).is_some());
+    assert!(doc.get("shards_touched").and_then(json::Value::as_usize).is_some());
+
+    // Keep-alive: the same connection serves the next request.
+    assert!(!resp.close);
+    let again = client
+        .post(
+            "/v1/answer",
+            r#"{"questions": ["Which physicist graduated from CMU?", "gibberish"], "threads": 2}"#,
+        )
+        .expect("batch answer");
+    assert_eq!(again.status, 200);
+    let doc = json::parse(&again.body).expect("json body");
+    let results = doc.get("results").and_then(json::Value::as_array).expect("results");
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].get("answers").and_then(json::Value::as_array).map(<[_]>::len), Some(1));
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn ingest_over_the_wire_updates_answers() {
+    // Seed with a template whose predicate the KB never uses.
+    let qa = sharded(vec![graduated_template("wrongPredicate", 0.5)], 4);
+    let (handle, mut client) = start(qa, NetConfig::default());
+
+    let question = r#"{"question": "Which physicist graduated from CMU?"}"#;
+    let stale = client.post("/v1/answer", question).expect("stale answer");
+    let doc = json::parse(&stale.body).expect("json");
+    assert_eq!(
+        doc.get("answers").and_then(json::Value::as_array).map(<[_]>::len),
+        Some(0),
+        "seed template must not answer"
+    );
+
+    // Ship a better template through the ingest route (text format,
+    // carried as a JSON string).
+    let mut library = TemplateLibrary::new();
+    library.add(graduated_template("graduatedFrom", 0.99));
+    let body = json::object([("templates", uqsj_template::io::to_text(&library).as_str().into())]);
+    let resp = client.post("/v1/templates", &body.render()).expect("ingest");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let doc = json::parse(&resp.body).expect("json");
+    assert_eq!(doc.get("added").and_then(json::Value::as_usize), Some(1));
+    assert_eq!(doc.get("count").and_then(json::Value::as_usize), Some(2));
+
+    // The cached stale outcome must not survive the ingest.
+    let fresh = client.post("/v1/answer", question).expect("fresh answer");
+    let doc = json::parse(&fresh.body).expect("json");
+    let answers = doc.get("answers").and_then(json::Value::as_array).expect("answers");
+    assert_eq!(answers[0].as_str(), Some("Alice"), "ingested template must win");
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("uqsj_net_ingested_templates_total 1"));
+    assert!(metrics.body.contains("uqsj_net_requests_total{route=\"answer\"}"));
+    assert!(metrics.body.contains("uqsj_shard_count 4"));
+    assert!(metrics.body.contains("uqsj_serve_"));
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn rejects_bad_requests_with_the_right_status() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
+    let config = NetConfig { max_body_bytes: 256, ..NetConfig::default() };
+    let (handle, mut client) = start(qa, config);
+
+    // Unknown route and wrong method.
+    assert_eq!(client.get("/nope").expect("404").status, 404);
+    assert_eq!(client.get("/v1/answer").expect("405").status, 405);
+
+    // Malformed and mis-shaped JSON.
+    assert_eq!(client.post("/v1/answer", "{not json").expect("400").status, 400);
+    assert_eq!(client.post("/v1/answer", r#"{"threads": 2}"#).expect("400").status, 400);
+    assert_eq!(client.post("/v1/answer", r#"{"questions": [1,2]}"#).expect("400").status, 400);
+    assert_eq!(
+        client.post("/v1/templates", r##"{"templates": "#garbage"}"##).expect("400").status,
+        400
+    );
+
+    // Oversized body: 413 and the connection closes.
+    let huge = format!(r#"{{"question": "{}"}}"#, "x".repeat(1024));
+    let resp = client.post("/v1/answer", &huge).expect("413");
+    assert_eq!(resp.status, 413);
+    assert!(resp.close);
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn zero_deadline_expires_requests_with_503() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
+    let config = NetConfig { deadline: Duration::ZERO, ..NetConfig::default() };
+    let (handle, mut client) = start(qa, config);
+
+    let resp = client
+        .post("/v1/answer", r#"{"question": "Which physicist graduated from CMU?"}"#)
+        .expect("deadline response");
+    assert_eq!(resp.status, 503, "body: {}", resp.body);
+    assert!(handle.metrics().deadline_expired.value() >= 1);
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn zero_queue_depth_sheds_every_connection() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
+    let config = NetConfig { queue_depth: 0, ..NetConfig::default() };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = uqsj_net::serve_on(qa, listener, config).expect("start server");
+
+    let mut client = Client::connect(handle.local_addr(), Duration::from_secs(5)).expect("connect");
+    let resp = client.get("/healthz").expect("shed response");
+    assert_eq!(resp.status, 429);
+    assert!(resp.close);
+    assert!(handle.metrics().shed.value() >= 1);
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn shutdown_finishes_queued_work_and_stops_listening() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
+    let (handle, mut client) = start(qa, NetConfig::default());
+    let addr = handle.local_addr();
+
+    assert_eq!(client.get("/readyz").expect("ready").status, 200);
+    handle.shutdown().expect("drain");
+
+    // The port no longer serves: connecting either fails outright or the
+    // socket goes nowhere (no listener thread left to answer).
+    match Client::connect(addr, Duration::from_millis(300)) {
+        Err(_) => {}
+        Ok(mut dead) => assert!(dead.get("/healthz").is_err(), "server must be gone"),
+    }
+}

@@ -14,10 +14,19 @@ pub fn normalize_question(question: &str) -> String {
 }
 
 /// Bounded LRU map from normalized question to its outcome.
+///
+/// The cache is **generation-versioned** against the template library it
+/// caches answers for: [`AnswerCache::invalidate`] (called on every
+/// ingest that changes the library) empties the cache *and* bumps the
+/// generation, and [`AnswerCache::put_at`] drops any insert stamped with
+/// an older generation. This closes the read-compute-put race where an
+/// answer computed against the pre-ingest library would be cached *after*
+/// the ingest's clear and then served stale forever.
 #[derive(Debug)]
 pub struct AnswerCache {
     capacity: usize,
     clock: u64,
+    generation: u64,
     entries: HashMap<String, (QaOutcome, u64)>,
 }
 
@@ -25,7 +34,32 @@ impl AnswerCache {
     /// A cache holding at most `capacity` answers. `capacity == 0`
     /// disables caching entirely.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, clock: 0, entries: HashMap::with_capacity(capacity) }
+        Self { capacity, clock: 0, generation: 0, entries: HashMap::with_capacity(capacity) }
+    }
+
+    /// The current library generation. Capture this *before* computing an
+    /// answer and hand it back to [`AnswerCache::put_at`] so an ingest
+    /// that lands in between invalidates the insert.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Empty the cache and advance the generation — call whenever the
+    /// template library changes. Outstanding computations that started
+    /// before this call carry an older generation and their
+    /// [`AnswerCache::put_at`] becomes a no-op.
+    pub fn invalidate(&mut self) {
+        self.generation += 1;
+        self.entries.clear();
+    }
+
+    /// Insert under a *normalized* key, unless the library generation has
+    /// advanced past the one the outcome was computed against.
+    pub fn put_at(&mut self, generation: u64, key: String, outcome: QaOutcome) {
+        if generation != self.generation {
+            return;
+        }
+        self.put(key, outcome);
     }
 
     /// Look up a *normalized* key, refreshing its recency on hit.
@@ -115,5 +149,31 @@ mod tests {
         c.put("a".into(), outcome(0));
         c.clear();
         assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn invalidate_discards_stale_generation_puts() {
+        let mut c = AnswerCache::new(4);
+        // An answer computation captures the generation, then an ingest
+        // invalidates before the put lands: the stale outcome must not be
+        // cached.
+        let stale_generation = c.generation();
+        c.invalidate();
+        c.put_at(stale_generation, "a".into(), outcome(0));
+        assert!(c.get("a").is_none(), "stale-generation put must be dropped");
+        // A put stamped with the fresh generation is accepted.
+        let fresh = c.generation();
+        c.put_at(fresh, "a".into(), outcome(1));
+        assert_eq!(c.get("a").map(|o| o.template_index), Some(Some(1)));
+    }
+
+    #[test]
+    fn invalidate_empties_and_advances() {
+        let mut c = AnswerCache::new(4);
+        let g0 = c.generation();
+        c.put("a".into(), outcome(0));
+        c.invalidate();
+        assert!(c.is_empty());
+        assert_eq!(c.generation(), g0 + 1);
     }
 }

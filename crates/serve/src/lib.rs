@@ -20,10 +20,12 @@ pub mod cache;
 pub mod ingest;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 pub mod store;
 
 pub use cache::AnswerCache;
 pub use ingest::{IngestError, IngestOutcome, Ingestor};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use server::{QaServer, ServeConfig};
+pub use shard::{shard_of_tokens, ShardedAnswer, ShardedQaServer};
 pub use store::{StoreAnswer, TemplateStore};

@@ -10,6 +10,7 @@ use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::store::TemplateStore;
 use parking_lot::{Mutex, RwLock};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 use uqsj_nlp::Lexicon;
 use uqsj_rdf::TripleStore;
@@ -34,8 +35,8 @@ impl Default for ServeConfig {
 /// An online question-answering endpoint over a template store.
 pub struct QaServer {
     store: RwLock<TemplateStore>,
-    lexicon: Lexicon,
-    triples: TripleStore,
+    lexicon: Arc<Lexicon>,
+    triples: Arc<TripleStore>,
     config: ServeConfig,
     cache: Mutex<AnswerCache>,
     metrics: ServeMetrics,
@@ -51,6 +52,18 @@ impl QaServer {
         store: TemplateStore,
         lexicon: Lexicon,
         triples: TripleStore,
+        config: ServeConfig,
+    ) -> Self {
+        Self::with_shared(store, Arc::new(lexicon), Arc::new(triples), config)
+    }
+
+    /// Like [`QaServer::new`] but sharing the lexicon and RDF store with
+    /// other servers — the sharded front end keeps one copy of both for
+    /// all of its shards.
+    pub fn with_shared(
+        store: TemplateStore,
+        lexicon: Arc<Lexicon>,
+        triples: Arc<TripleStore>,
         config: ServeConfig,
     ) -> Self {
         Self {
@@ -105,10 +118,17 @@ impl QaServer {
     pub fn answer(&self, question: &str) -> QaOutcome {
         let started = Instant::now();
         let key = normalize_question(question);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            self.metrics.record_hit(started.elapsed());
-            return hit;
-        }
+        // Capture the cache generation *before* computing: if an ingest
+        // changes the library while this answer is in flight, the
+        // generation moves on and the stale put below is dropped.
+        let generation = {
+            let mut cache = self.cache.lock();
+            if let Some(hit) = cache.get(&key) {
+                self.metrics.record_hit(started.elapsed());
+                return hit;
+            }
+            cache.generation()
+        };
         let answered =
             self.store.read().answer(&self.lexicon, &self.triples, question, self.config.min_phi);
         self.metrics.record_miss(
@@ -117,18 +137,21 @@ impl QaServer {
             answered.library_size,
             answered.stats.ted_computed,
         );
-        self.cache.lock().put(key, answered.outcome.clone());
+        self.cache.lock().put_at(generation, key, answered.outcome.clone());
         answered.outcome
     }
 
-    /// Answer a batch across `threads` workers. Output order matches input
+    /// Answer a batch across worker threads. Output order matches input
     /// order; each worker takes a contiguous chunk, like the parallel join
     /// driver partitions the uncertain side.
     ///
-    /// # Panics
-    /// Panics if `threads == 0`.
+    /// # Contract
+    /// `threads` is a *hint*: it is clamped to `1..=questions.len()`
+    /// (never below one worker, never more workers than questions), so
+    /// `threads == 0`, oversized thread counts, and empty batches are all
+    /// well-defined and never spawn an idle scoped worker.
     pub fn answer_batch(&self, questions: &[String], threads: usize) -> Vec<QaOutcome> {
-        assert!(threads >= 1, "need at least one thread");
+        let threads = threads.max(1).min(questions.len().max(1));
         if threads == 1 || questions.len() <= 1 {
             return questions.iter().map(|q| self.answer(q)).collect();
         }
@@ -149,9 +172,10 @@ impl QaServer {
     }
 
     /// Add templates to the live store (e.g. from incremental ingestion).
-    /// Returns how many were new; the answer cache is cleared whenever the
-    /// library changed, since cached outcomes were ranked against the old
-    /// template set.
+    /// Returns how many were new; the answer cache is invalidated
+    /// (generation-bumped, see [`AnswerCache::invalidate`]) whenever the
+    /// library changed, since cached outcomes — including ones still being
+    /// computed — were ranked against the old template set.
     ///
     /// On a durable server the templates are appended to the WAL and
     /// fsynced *before* they are applied: a crash after this returns
@@ -176,7 +200,11 @@ impl QaServer {
         }
         drop(store);
         if added > 0 {
-            self.cache.lock().clear();
+            // Invalidate (not just clear): bumping the generation also
+            // voids in-flight answers computed against the old library,
+            // whose put_at would otherwise re-cache a stale outcome after
+            // this clear.
+            self.cache.lock().invalidate();
         }
         Ok(added)
     }

@@ -1,0 +1,244 @@
+//! Sharded-server conformance (ISSUE 6 tentpole): a `ShardedQaServer`
+//! must answer *exactly* like a single store over the shard libraries
+//! concatenated in shard order, for any shard count; a durable sharded
+//! directory must recover equivalently after a kill, including with a
+//! corrupted replica.
+
+use std::path::PathBuf;
+use uqsj_serve::{ServeConfig, ShardedQaServer};
+use uqsj_simjoin::{sim_join, JoinParams};
+use uqsj_template::{
+    answer_question, generate_template, QaOutcome, TemplateLibrary, TemplateSource,
+};
+use uqsj_testkit::gen::qa_dataset;
+use uqsj_workload::Dataset;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uqsj-sharded-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn batch_library(dataset: &Dataset, n: usize, params: JoinParams) -> TemplateLibrary {
+    let (matches, _) = sim_join(
+        &dataset.table,
+        &dataset.d_graphs,
+        &dataset.u_graphs[..n.min(dataset.u_graphs.len())],
+        params,
+    );
+    let mut library = TemplateLibrary::new();
+    for m in &matches {
+        let source = TemplateSource {
+            analysis: &dataset.analyses[m.g_index],
+            query: &dataset.d_queries[m.q_index],
+            query_terms: &dataset.d_terms[m.q_index],
+            mapping: &m.mapping,
+            confidence: m.prob,
+        };
+        if let Some(t) = generate_template(&source) {
+            library.add(t);
+        }
+    }
+    library
+}
+
+fn clone_library(library: &TemplateLibrary) -> TemplateLibrary {
+    let mut clone = TemplateLibrary::new();
+    for t in library.templates() {
+        clone.add(t.clone());
+    }
+    clone
+}
+
+/// Map a sharded answer's (shard, local index) to the index in the
+/// canonical concatenated library.
+fn global_index(
+    server: &ShardedQaServer,
+    shard: Option<usize>,
+    local: Option<usize>,
+) -> Option<usize> {
+    let (shard, local) = (shard?, local?);
+    let offset: usize = server.shard_template_counts()[..shard].iter().sum();
+    Some(offset + local)
+}
+
+fn assert_matches_oracle(
+    server: &ShardedQaServer,
+    got: &uqsj_serve::ShardedAnswer,
+    want: &QaOutcome,
+    context: &str,
+) {
+    assert_eq!(
+        got.outcome.sparql.as_ref().map(ToString::to_string),
+        want.sparql.as_ref().map(ToString::to_string),
+        "sparql diverged: {context}"
+    );
+    assert_eq!(got.outcome.answers, want.answers, "answers diverged: {context}");
+    assert_eq!(
+        global_index(server, got.shard, got.outcome.template_index),
+        want.template_index,
+        "template diverged: {context}"
+    );
+    assert!((got.outcome.phi - want.phi).abs() < 1e-12, "phi diverged: {context}");
+}
+
+/// The tentpole consistency contract: for shard counts 1, 2, 4, 7, every
+/// question answers identically to `answer_question` over the canonical
+/// concatenated library — including the chosen template, mapped through
+/// the shard's offset.
+#[test]
+fn sharded_answers_equal_canonical_library_for_any_shard_count() {
+    let dataset = qa_dataset(777, 40, 25);
+    let params = JoinParams::simj(1, 0.5);
+    let library = batch_library(&dataset, 40, params);
+    assert!(library.len() >= 4, "need a non-trivial library, got {}", library.len());
+    let lexicon = dataset.kb.lexicon.clone();
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 0 };
+
+    for shards in [1usize, 2, 4, 7] {
+        let server = ShardedQaServer::new(
+            clone_library(&library),
+            lexicon.clone(),
+            dataset.kb.triple_store(),
+            shards,
+            config,
+        );
+        assert_eq!(server.shard_count(), shards);
+        assert_eq!(server.template_count(), library.len());
+        let canonical = server.canonical_library();
+        let triples = dataset.kb.triple_store();
+        for pair in &dataset.pairs {
+            let want = answer_question(&canonical, &lexicon, &triples, &pair.question, 1.0);
+            let got = server.answer(&pair.question);
+            assert_matches_oracle(
+                &server,
+                &got,
+                &want,
+                &format!("shards={shards} question={:?}", pair.question),
+            );
+        }
+    }
+}
+
+/// Kill-and-restart (ISSUE 6 acceptance): a sharded, replicated durable
+/// server that ingests templates and is dropped without ceremony (the
+/// WAL appends are already fsynced) must reopen to a state equivalent to
+/// replaying the surviving WALs — answering exactly like a server that
+/// never went down.
+#[test]
+fn reopened_sharded_directory_answers_like_an_uninterrupted_server() {
+    let dir = scratch_dir("reopen");
+    let dataset = qa_dataset(778, 40, 25);
+    let params = JoinParams::simj(1, 0.5);
+    let seed_library = batch_library(&dataset, 20, params);
+    let full_library = batch_library(&dataset, 40, params);
+    assert!(full_library.len() > seed_library.len(), "need templates to ingest");
+    let lexicon = dataset.kb.lexicon.clone();
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 64 };
+
+    let uninterrupted = ShardedQaServer::new(
+        clone_library(&seed_library),
+        lexicon.clone(),
+        dataset.kb.triple_store(),
+        3,
+        config,
+    );
+    let durable = ShardedQaServer::create(
+        &dir,
+        clone_library(&seed_library),
+        lexicon.clone(),
+        dataset.kb.triple_store(),
+        3,
+        2,
+        config,
+    )
+    .expect("bootstrap sharded dir");
+    assert_eq!(durable.replica_count(), 2);
+
+    // Both servers ingest the same batch; the durable one journals it to
+    // every replica WAL of each touched shard.
+    let batch: Vec<_> = full_library.templates().to_vec();
+    let added_mem = uninterrupted.insert_templates(batch.clone()).expect("in-memory ingest");
+    let added_durable = durable.insert_templates(batch).expect("durable ingest");
+    assert_eq!(added_mem, added_durable);
+    assert!(added_durable > 0);
+
+    // Kill: drop without compaction or shutdown. Appends are durable.
+    drop(durable);
+
+    let reopened = ShardedQaServer::open(&dir, config).expect("recover sharded dir");
+    assert_eq!(reopened.template_count(), uninterrupted.template_count());
+    assert_eq!(reopened.shard_template_counts(), uninterrupted.shard_template_counts());
+    let triples = dataset.kb.triple_store();
+    let canonical = uninterrupted.canonical_library();
+    for pair in &dataset.pairs {
+        let want = answer_question(&canonical, &lexicon, &triples, &pair.question, 1.0);
+        let got = reopened.answer(&pair.question);
+        assert_matches_oracle(&reopened, &got, &want, &format!("question={:?}", pair.question));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replica failover: trashing one replica of every shard (bit-flipped
+/// snapshot, truncated WAL, even a deleted directory) must not lose
+/// state — recovery adopts a surviving replica and re-converges the
+/// damaged one.
+#[test]
+fn recovery_survives_a_corrupted_replica_per_shard() {
+    let dir = scratch_dir("failover");
+    let dataset = qa_dataset(779, 30, 20);
+    let params = JoinParams::simj(1, 0.5);
+    let library = batch_library(&dataset, 30, params);
+    assert!(!library.is_empty());
+    let lexicon = dataset.kb.lexicon.clone();
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 0 };
+
+    let durable = ShardedQaServer::create(
+        &dir,
+        clone_library(&library),
+        lexicon.clone(),
+        dataset.kb.triple_store(),
+        2,
+        2,
+        config,
+    )
+    .expect("bootstrap sharded dir");
+    let counts = durable.shard_template_counts();
+    drop(durable);
+
+    // Shard 0: flip bytes in the middle of replica-00's snapshot.
+    let r0 = dir.join("shard-0000").join("replica-00");
+    let snapshot = std::fs::read_dir(&r0)
+        .expect("replica dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("snapshot-")))
+        .expect("snapshot file");
+    let mut bytes = std::fs::read(&snapshot).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    let end = (mid + 16).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xff;
+    }
+    std::fs::write(&snapshot, bytes).expect("corrupt snapshot");
+    // Shard 1: delete replica-00 wholesale.
+    std::fs::remove_dir_all(dir.join("shard-0001").join("replica-00")).expect("drop replica");
+
+    let reopened = ShardedQaServer::open(&dir, config).expect("failover recovery");
+    assert_eq!(reopened.shard_template_counts(), counts, "failover lost templates");
+    let triples = dataset.kb.triple_store();
+    let canonical = reopened.canonical_library();
+    for pair in dataset.pairs.iter().take(10) {
+        let want = answer_question(&canonical, &lexicon, &triples, &pair.question, 1.0);
+        let got = reopened.answer(&pair.question);
+        assert_matches_oracle(&reopened, &got, &want, &format!("question={:?}", pair.question));
+    }
+
+    // And the convergence compaction healed both damaged replicas: a
+    // second recovery (no corruption this time) sees identical state.
+    drop(reopened);
+    let again = ShardedQaServer::open(&dir, config).expect("second recovery");
+    assert_eq!(again.shard_template_counts(), counts);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -194,6 +194,13 @@ impl StorageEngine {
         &self.dir
     }
 
+    /// Fsync barrier on the active WAL. Appends are durable when
+    /// [`StorageEngine::append_templates`] returns; drain paths call this
+    /// for an explicit flush point before shutdown.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
     /// Path of the active generation's WAL (the file the fault-injection
     /// tests truncate).
     pub fn wal_file(&self) -> &Path {

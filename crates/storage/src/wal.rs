@@ -189,6 +189,15 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Re-fsync the log file. Appends are already durable when
+    /// [`WalWriter::append`] returns, so this is a barrier for callers
+    /// that want an explicit flush point (e.g. the network server's
+    /// graceful drain) rather than a correctness requirement.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
     /// The file being appended to.
     pub fn path(&self) -> &Path {
         &self.path

@@ -21,7 +21,10 @@ pub mod qa;
 pub mod template;
 
 pub use generate::{generate_template, TemplateSource};
-pub use qa::{answer_question, answer_with_candidates, AnswerStats, QaOutcome, TemplateLibrary};
+pub use qa::{
+    answer_across, answer_question, answer_with_candidates, AnswerStats, CandidateRef, MultiAnswer,
+    QaOutcome, TemplateLibrary,
+};
 pub use template::{SlotBinding, Template};
 
 /// The NL slot marker (re-exported for the persistence format).

@@ -95,11 +95,35 @@ pub struct AnswerStats {
 
 /// One aligned candidate awaiting TED ranking.
 struct Aligned {
+    /// Which library of the candidate slice the template lives in.
+    lib: usize,
     index: usize,
     phi: f64,
     confidence: f64,
     slots: Vec<Vec<String>>,
     ted_lb: u32,
+}
+
+/// A template reference for [`answer_across`]: position `index` of
+/// library `library` in the slice handed to the call. The serving layer's
+/// sharded store passes `(shard, local index)` pairs here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CandidateRef {
+    /// Index into the library slice.
+    pub library: usize,
+    /// Template index within that library.
+    pub index: usize,
+}
+
+/// Result of [`answer_across`]: the outcome plus which library the chosen
+/// template came from ([`QaOutcome::template_index`] is the index *within*
+/// that library).
+#[derive(Clone, Debug, Default)]
+pub struct MultiAnswer {
+    /// The Q/A outcome; `template_index` is local to `library`.
+    pub outcome: QaOutcome,
+    /// Library slot of the chosen template, if one applied.
+    pub library: Option<usize>,
 }
 
 /// Answer a question by verifying only `candidates` (ascending template
@@ -124,18 +148,45 @@ pub fn answer_with_candidates(
     question: &str,
     min_phi: f64,
 ) -> (QaOutcome, AnswerStats) {
+    let (multi, stats) = answer_across(
+        &[library],
+        candidates.into_iter().map(|index| CandidateRef { library: 0, index }),
+        lexicon,
+        store,
+        question,
+        min_phi,
+    );
+    (multi.outcome, stats)
+}
+
+/// Answer a question by ranking candidates drawn from *several* libraries
+/// at once — the sharded template store's merge path. The total order is
+/// (φ desc, TED asc, confidence desc, (library, index) asc): with a
+/// single library this is exactly [`answer_with_candidates`]'s order, and
+/// for a sharded store it equals ranking the concatenation of the shard
+/// libraries in shard order. Candidates must arrive in ascending
+/// (library, index) order for the equal-φ tiebreak to hold.
+pub fn answer_across(
+    libraries: &[&TemplateLibrary],
+    candidates: impl IntoIterator<Item = CandidateRef>,
+    lexicon: &Lexicon,
+    store: &TripleStore,
+    question: &str,
+    min_phi: f64,
+) -> (MultiAnswer, AnswerStats) {
     let mut stats = AnswerStats::default();
     let tokens = tokenize(question);
     if tokens.is_empty() {
-        return (QaOutcome::default(), stats);
+        return (MultiAnswer::default(), stats);
     }
     let question_tree = parse_dependency_tokens(&tokens);
     let question_sig = NlSignature::of_tokens(&tokens);
 
-    // Alignment pass over the candidate set, in ascending index order.
+    // Alignment pass over the candidate set, in ascending (library, index)
+    // order.
     let mut aligned: Vec<Aligned> = Vec::new();
-    for i in candidates {
-        let t = &library.templates()[i];
+    for c in candidates {
+        let t = &libraries[c.library].templates()[c.index];
         stats.candidates_examined += 1;
         let hit = if let Some(slots) = align_with_slots(&t.nl_tokens, &tokens) {
             Some((1.0, slots))
@@ -147,14 +198,21 @@ pub fn answer_with_candidates(
         };
         if let Some((phi, slots)) = hit {
             let ted_lb = NlSignature::of_tokens(&t.nl_tokens).ted_lower_bound(&question_sig);
-            aligned.push(Aligned { index: i, phi, confidence: t.confidence, slots, ted_lb });
+            aligned.push(Aligned {
+                lib: c.library,
+                index: c.index,
+                phi,
+                confidence: t.confidence,
+                slots,
+                ted_lb,
+            });
         }
     }
     stats.candidates_aligned = aligned.len();
 
-    // Stable sort by φ descending keeps ascending index order within each
-    // equal-φ group, so group processing below reproduces the original
-    // (φ, TED, confidence, insertion-order) total order.
+    // Stable sort by φ descending keeps ascending (library, index) order
+    // within each equal-φ group, so group processing below reproduces the
+    // original (φ, TED, confidence, insertion-order) total order.
     aligned.sort_by(|a, b| b.phi.partial_cmp(&a.phi).expect("phi is finite"));
 
     let mut start = 0;
@@ -163,34 +221,42 @@ pub fn answer_with_candidates(
         while end < aligned.len() && aligned[end].phi == aligned[start].phi {
             end += 1;
         }
-        if let Some(outcome) =
-            try_group(library, &mut aligned[start..end], &question_tree, lexicon, store, &mut stats)
-        {
-            return (outcome, stats);
+        if let Some(answer) = try_group(
+            libraries,
+            &mut aligned[start..end],
+            &question_tree,
+            lexicon,
+            store,
+            &mut stats,
+        ) {
+            return (answer, stats);
         }
         start = end;
     }
-    (QaOutcome::default(), stats)
+    (MultiAnswer::default(), stats)
 }
 
 /// Try every candidate of one equal-φ group in exact (TED asc, confidence
 /// desc, index asc) order, computing exact TEDs only when the signature
 /// lower bound cannot already separate candidates.
 fn try_group(
-    library: &TemplateLibrary,
+    libraries: &[&TemplateLibrary],
     group: &mut [Aligned],
     question_tree: &uqsj_nlp::DepTree,
     lexicon: &Lexicon,
     store: &TripleStore,
     stats: &mut AnswerStats,
-) -> Option<QaOutcome> {
-    let attempt = |c: &Aligned| -> Option<QaOutcome> {
-        let template = &library.templates()[c.index];
-        fill_and_execute(template, &c.slots, lexicon, store).map(|(sparql, answers)| QaOutcome {
-            sparql: Some(sparql),
-            answers,
-            template_index: Some(c.index),
-            phi: c.phi,
+) -> Option<MultiAnswer> {
+    let attempt = |c: &Aligned| -> Option<MultiAnswer> {
+        let template = &libraries[c.lib].templates()[c.index];
+        fill_and_execute(template, &c.slots, lexicon, store).map(|(sparql, answers)| MultiAnswer {
+            outcome: QaOutcome {
+                sparql: Some(sparql),
+                answers,
+                template_index: Some(c.index),
+                phi: c.phi,
+            },
+            library: Some(c.lib),
         })
     };
 
@@ -199,11 +265,11 @@ fn try_group(
         return attempt(single);
     }
 
-    // Unverified candidates ordered by (lower bound, index); exact TEDs
-    // fill `verified` only while the smallest outstanding bound could still
-    // beat (or tie, which matters for the confidence tiebreak) the best
-    // verified candidate.
-    group.sort_by_key(|c| (c.ted_lb, c.index));
+    // Unverified candidates ordered by (lower bound, library, index);
+    // exact TEDs fill `verified` only while the smallest outstanding bound
+    // could still beat (or tie, which matters for the confidence tiebreak)
+    // the best verified candidate.
+    group.sort_by_key(|c| (c.ted_lb, c.lib, c.index));
     let mut unverified: std::collections::VecDeque<&Aligned> = group.iter().collect();
     let mut verified: Vec<(u32, &Aligned)> = Vec::new();
     loop {
@@ -212,7 +278,7 @@ fn try_group(
             if best_ted.is_some_and(|b| next.ted_lb > b) {
                 break;
             }
-            let template = &library.templates()[next.index];
+            let template = &libraries[next.lib].templates()[next.index];
             let ted = tree_edit_distance(&template.dep_tree, question_tree);
             stats.ted_computed += 1;
             verified.push((ted, next));
@@ -224,15 +290,15 @@ fn try_group(
             .min_by(|(_, (ta, a)), (_, (tb, b))| {
                 ta.cmp(tb)
                     .then(b.confidence.partial_cmp(&a.confidence).expect("confidence is finite"))
-                    .then(a.index.cmp(&b.index))
+                    .then((a.lib, a.index).cmp(&(b.lib, b.index)))
             })
             .map(|(k, _)| k)
         else {
             return None; // group exhausted
         };
         let (_, candidate) = verified.swap_remove(best);
-        if let Some(outcome) = attempt(candidate) {
-            return Some(outcome);
+        if let Some(answer) = attempt(candidate) {
+            return Some(answer);
         }
     }
 }
@@ -583,6 +649,67 @@ mod tests {
                     stats.ted_computed <= stats.candidates_aligned,
                     "lazy path must never exceed one TED per aligned candidate"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn answer_across_split_libraries_matches_whole_library() {
+        // Deal the crowded library round-robin into 3 sub-libraries; the
+        // (library, index) ascending candidate order then visits templates
+        // in an order that differs from insertion, but the concatenation
+        // of the sub-libraries in slice order IS a valid library, and
+        // answer_across must rank exactly like a linear scan over it.
+        let whole = crowded_library();
+        let parts_count = 3;
+        let mut parts: Vec<TemplateLibrary> =
+            (0..parts_count).map(|_| TemplateLibrary::new()).collect();
+        for (i, t) in whole.templates().iter().enumerate() {
+            parts[i % parts_count].add(t.clone());
+        }
+        let mut concat = TemplateLibrary::new();
+        for p in &parts {
+            for t in p.templates() {
+                concat.add(t.clone());
+            }
+        }
+        let part_refs: Vec<&TemplateLibrary> = parts.iter().collect();
+        let candidates: Vec<CandidateRef> = (0..parts_count)
+            .flat_map(|lib| {
+                (0..part_refs[lib].len()).map(move |index| CandidateRef { library: lib, index })
+            })
+            .collect();
+
+        let mut lex = uqsj_nlp::lexicon::paper_lexicon();
+        lex.add_class("physicist", "Physicist");
+        let store = store();
+        let questions = [
+            "Which physicist graduated from CMU?",
+            "Which physicist born in CMU?",
+            "Who graduated from CMU?",
+            "Which physicist graduated from CMU please tell me now",
+            "Name every mountain on Mars",
+        ];
+        for q in questions {
+            for min_phi in [1.0, 0.5] {
+                let want = answer_question(&concat, &lex, &store, q, min_phi);
+                let (got, _) =
+                    answer_across(&part_refs, candidates.iter().copied(), &lex, &store, q, min_phi);
+                assert_eq!(
+                    got.outcome.sparql.as_ref().map(ToString::to_string),
+                    want.sparql.as_ref().map(ToString::to_string),
+                    "sparql diverged on {q:?} min_phi={min_phi}"
+                );
+                assert_eq!(got.outcome.answers, want.answers, "answers diverged on {q:?}");
+                assert!((got.outcome.phi - want.phi).abs() < 1e-12, "phi diverged on {q:?}");
+                // The chosen template must be the same one: its global
+                // index in the concatenation is the prefix sum of the
+                // earlier parts plus the local index.
+                let global = got.library.map(|lib| {
+                    part_refs[..lib].iter().map(|p| p.len()).sum::<usize>()
+                        + got.outcome.template_index.expect("library implies index")
+                });
+                assert_eq!(global, want.template_index, "template diverged on {q:?}");
             }
         }
     }
