@@ -18,6 +18,7 @@ use uqsj::ged::upper::ged_upper_bipartite;
 use uqsj::ged::GedEngine;
 use uqsj::graph::{SymbolTable, UncertainGraph};
 use uqsj::prelude::*;
+use uqsj::sample::{sample_simp_with, SampleParams};
 use uqsj::uncertain::verify_simp_with;
 use uqsj::workload::{erdos_renyi, RandomGraphConfig};
 
@@ -41,7 +42,7 @@ fn bench_join(c: &mut Criterion) {
         ("simj_opt", JoinStrategy::SimJOpt { group_count: 8 }),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| sim_join(&table, &d, &u, JoinParams { tau: 2, alpha: 0.5, strategy }))
+            b.iter(|| sim_join(&table, &d, &u, JoinParams { strategy, ..JoinParams::simj(2, 0.5) }))
         });
     }
     group.bench_function("simj_parallel_4", |b| {
@@ -119,6 +120,73 @@ fn verify_naive(
     (acc, verified)
 }
 
+/// A chain pair with `k` uncertain vertices of two alternatives each
+/// (2^k possible worlds): the certain chain plus a per-vertex 0.7/0.3
+/// label split, so a world's GED to `q` is its mismatch count.
+fn chain_pair(t: &mut SymbolTable, k: usize) -> (Graph, UncertainGraph) {
+    let mut bq = GraphBuilder::new(t);
+    for i in 0..k {
+        bq.vertex(&format!("v{i}"), &format!("L{}", i % 4));
+    }
+    for i in 1..k {
+        bq.edge(&format!("v{}", i - 1), &format!("v{i}"), "e");
+    }
+    let q = bq.into_graph();
+    let mut bg = GraphBuilder::new(t);
+    for i in 0..k {
+        let keep = format!("L{}", i % 4);
+        let alt = format!("X{}", i % 3);
+        bg.uncertain_vertex(&format!("v{i}"), &[(keep.as_str(), 0.7), (alt.as_str(), 0.3)]);
+    }
+    for i in 1..k {
+        bg.edge(&format!("v{}", i - 1), &format!("v{i}"), "e");
+    }
+    (q, bg.into_uncertain())
+}
+
+/// Exact-vs-sample crossover on chain pairs of growing world count: the
+/// same decision through full enumeration and through the Monte-Carlo
+/// tier, timed on one engine. Returns the `sample_crossover` JSON array
+/// embedded in `BENCH_join.json`. τ tracks k so the exact probability
+/// (a binomial tail) stays far from α and the two tiers must agree.
+fn sample_crossover_json() -> String {
+    let mut table = SymbolTable::new();
+    let mut engine = GedEngine::new();
+    let (eps, alpha) = (0.05f64, 0.5f64);
+    let params = SampleParams { epsilon: eps, delta: 0.02, ..SampleParams::default() };
+    let mut rows = Vec::new();
+    for k in [4usize, 8, 12, 14] {
+        let (q, g) = chain_pair(&mut table, k);
+        let tau = (3 * k / 10 + 1) as u32;
+
+        let s = Instant::now();
+        let exact = verify_simp_with(&mut engine, &table, &q, &g, tau, f64::INFINITY);
+        let exact_us = s.elapsed().as_secs_f64() * 1e6;
+
+        let s = Instant::now();
+        let sampled =
+            sample_simp_with(&mut engine, &table, &q, &g, tau, alpha, None, &params, 17 + k as u64);
+        let sample_us = s.elapsed().as_secs_f64() * 1e6;
+
+        let agree = sampled.passed == (exact.prob >= alpha);
+        assert!(
+            agree || (exact.prob - alpha).abs() <= eps,
+            "k={k}: sampled verdict {} disagrees with exact SimP {} outside the ε band",
+            sampled.passed,
+            exact.prob
+        );
+        rows.push(format!(
+            "{{\"uncertain_vertices\": {k}, \"world_count\": {wc}, \"tau\": {tau}, \
+             \"exact_prob\": {p:.4}, \"exact_us\": {exact_us:.1}, \"sample_us\": {sample_us:.1}, \
+             \"sample_draws\": {draws}, \"agree\": {agree}}}",
+            wc = g.world_count(),
+            p = exact.prob,
+            draws = sampled.worlds_sampled,
+        ));
+    }
+    format!("[\n    {}\n  ]", rows.join(",\n    "))
+}
+
 fn percentile(sorted: &[Duration], p: usize) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -172,6 +240,7 @@ fn emit_join_json() {
     // Attach the process metric registry (GED engine + world-verification
     // counters accumulated by the run above) so a bench artifact carries
     // the same observability snapshot an operator would scrape.
+    let crossover = sample_crossover_json();
     let registry = uqsj::obs::global().snapshot_json();
     let json = format!(
         "{{\n  \"bench\": \"deep_verify_10x10\",\n  \"tau\": {tau},\n  \"alpha\": {alpha},\n  \
@@ -179,7 +248,8 @@ fn emit_join_json() {
          \"worlds_verified\": {worlds},\n  \"worlds_verified_per_sec\": {wps:.1},\n  \
          \"p50_pair_verify_us\": {p50:.1},\n  \"p99_pair_verify_us\": {p99:.1},\n  \
          \"engine_total_ms\": {et:.2},\n  \"naive_reference_total_ms\": {nt:.2},\n  \
-         \"speedup_vs_reference\": {speedup:.2},\n  \"registry\": {reg}\n}}\n",
+         \"speedup_vs_reference\": {speedup:.2},\n  \
+         \"sample_crossover\": {crossover},\n  \"registry\": {reg}\n}}\n",
         reg = registry.trim_end(),
         pairs = times.len(),
         pps = times.len() as f64 / secs,

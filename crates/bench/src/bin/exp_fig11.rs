@@ -22,14 +22,17 @@ fn main() {
             &d.table,
             &d.d_graphs,
             &d.u_graphs,
-            JoinParams { tau: 1, alpha, strategy: JoinStrategy::CssOnly },
+            JoinParams { strategy: JoinStrategy::CssOnly, ..JoinParams::simj(1, alpha) },
         );
         let (_, simj) = sim_join(&d.table, &d.d_graphs, &d.u_graphs, JoinParams::simj(1, alpha));
         let (_, opt) = sim_join(
             &d.table,
             &d.d_graphs,
             &d.u_graphs,
-            JoinParams { tau: 1, alpha, strategy: JoinStrategy::SimJOpt { group_count: 8 } },
+            JoinParams {
+                strategy: JoinStrategy::SimJOpt { group_count: 8 },
+                ..JoinParams::simj(1, alpha)
+            },
         );
         println!(
             "{:>5.1} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",

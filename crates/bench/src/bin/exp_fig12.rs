@@ -31,14 +31,17 @@ fn main() {
             &table,
             &d,
             &u,
-            JoinParams { tau, alpha: 0.5, strategy: JoinStrategy::CssOnly },
+            JoinParams { strategy: JoinStrategy::CssOnly, ..JoinParams::simj(tau, 0.5) },
         );
         let (_, simj) = sim_join(&table, &d, &u, JoinParams::simj(tau, 0.5));
         let (_, opt) = sim_join(
             &table,
             &d,
             &u,
-            JoinParams { tau, alpha: 0.5, strategy: JoinStrategy::SimJOpt { group_count: 8 } },
+            JoinParams {
+                strategy: JoinStrategy::SimJOpt { group_count: 8 },
+                ..JoinParams::simj(tau, 0.5)
+            },
         );
         println!(
             "{:>4} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",

@@ -25,8 +25,12 @@ fn main() {
     println!("Fig. 13 — SF, tau = {tau}, alpha = {alpha} (|D| = |U| = {})\n", d.len());
 
     // Reference lines (GN-insensitive).
-    let (_, css) =
-        sim_join(&table, &d, &u, JoinParams { tau, alpha, strategy: JoinStrategy::CssOnly });
+    let (_, css) = sim_join(
+        &table,
+        &d,
+        &u,
+        JoinParams { strategy: JoinStrategy::CssOnly, ..JoinParams::simj(tau, alpha) },
+    );
     let (_, simj) = sim_join(&table, &d, &u, JoinParams::simj(tau, alpha));
     println!(
         "reference: CSS-only candidates {} ({}), SimJ candidates {} ({}), Real {}\n",
@@ -46,7 +50,10 @@ fn main() {
             &table,
             &d,
             &u,
-            JoinParams { tau, alpha, strategy: JoinStrategy::SimJOpt { group_count: gn } },
+            JoinParams {
+                strategy: JoinStrategy::SimJOpt { group_count: gn },
+                ..JoinParams::simj(tau, alpha)
+            },
         );
         println!(
             "{:>4} | {:>10} {:>12} {:>10} | {:>10} {:>10}",

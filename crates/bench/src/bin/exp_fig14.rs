@@ -31,14 +31,21 @@ fn main() {
             ..Default::default()
         };
         let (table, d, u) = SyntheticSpec::er(14, cfg).generate_fresh();
-        let (_, css) =
-            sim_join(&table, &d, &u, JoinParams { tau, alpha, strategy: JoinStrategy::CssOnly });
+        let (_, css) = sim_join(
+            &table,
+            &d,
+            &u,
+            JoinParams { strategy: JoinStrategy::CssOnly, ..JoinParams::simj(tau, alpha) },
+        );
         let (_, simj) = sim_join(&table, &d, &u, JoinParams::simj(tau, alpha));
         let (_, opt) = sim_join(
             &table,
             &d,
             &u,
-            JoinParams { tau, alpha, strategy: JoinStrategy::SimJOpt { group_count: 8 } },
+            JoinParams {
+                strategy: JoinStrategy::SimJOpt { group_count: 8 },
+                ..JoinParams::simj(tau, alpha)
+            },
         );
         println!(
             "{:>6.1} | {:>10} {:>12} {:>10} | {:>9} {:>9} {:>9} {:>9}",

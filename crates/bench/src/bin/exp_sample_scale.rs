@@ -1,0 +1,118 @@
+//! Sampling-tier scale experiment: a join whose uncertain graphs carry
+//! enough uncertain vertices (≥ 10 each, thousands of possible worlds)
+//! that exact enumeration is the bottleneck, run under the adaptive
+//! `--simp-mode auto` policy.
+//!
+//! The run fails (nonzero exit) if the auto join does not complete or if
+//! the sampling tier never fires — the regime exists precisely so that
+//! it must. Alongside the auto run it times the exact-only join on the
+//! same workload and reports the tier split, the verdict agreement
+//! (exempting pairs whose exact `SimP_τ` sits inside the ε band around
+//! α), and the speedup.
+//!
+//! `--smoke` shrinks the workload for the CI gate; `--scale` grows it.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use uqsj::prelude::*;
+use uqsj::workload::{erdos_renyi, RandomGraphConfig};
+use uqsj_bench::{scale, scaled, secs};
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let s = if smoke { 0.5 } else { scale() };
+    let uncertain_vertices = if smoke { 10 } else { 12 };
+    let mut table = SymbolTable::new();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(27);
+    let cfg = RandomGraphConfig {
+        count: scaled(12, s, 6),
+        vertices: uncertain_vertices,
+        edges: uncertain_vertices + uncertain_vertices / 2,
+        label_pool: 6,
+        avg_labels: 2.0,
+        uncertain_fraction: 1.0,
+        perturbation: 3,
+        ..Default::default()
+    };
+    let (d, u) = erdos_renyi(&mut table, &cfg, &mut rng);
+    let worlds_min = u.iter().map(|g| g.world_count()).min().unwrap_or(0);
+    let worlds_max = u.iter().map(|g| g.world_count()).max().unwrap_or(0);
+    println!(
+        "sampling-tier scale — {} x {} pairs, {} uncertain vertices/graph, \
+         {worlds_min}..{worlds_max} possible worlds",
+        d.len(),
+        u.len(),
+        uncertain_vertices
+    );
+
+    let (tau, alpha, eps) = (5u32, 0.2f64, 0.05f64);
+    let exact_params = JoinParams::simj(tau, alpha);
+    let auto_params =
+        JoinParams { simp: SimpPolicy::auto(eps, 0.05, 42).with_threshold(256), ..exact_params };
+
+    let started = Instant::now();
+    let (auto_matches, auto_stats) = sim_join(&table, &d, &u, auto_params);
+    let auto_elapsed = started.elapsed();
+    println!(
+        "auto:  {} results in {}s | tiers: exact {} sampled {} | worlds verified {} sampled {}",
+        auto_matches.len(),
+        secs(auto_elapsed),
+        auto_stats.verified_exact,
+        auto_stats.verified_sampled,
+        auto_stats.worlds_verified,
+        auto_stats.worlds_sampled,
+    );
+    if auto_stats.verified_sampled == 0 {
+        eprintln!(
+            "FAIL: the sampling tier never fired — every candidate fell below the \
+             world-count threshold, so the experiment exercised nothing"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let started = Instant::now();
+    let (exact_matches, exact_stats) = sim_join(&table, &d, &u, exact_params);
+    let exact_elapsed = started.elapsed();
+    println!(
+        "exact: {} results in {}s | worlds verified {}",
+        exact_matches.len(),
+        secs(exact_elapsed),
+        exact_stats.worlds_verified,
+    );
+
+    // Verdict agreement: symmetric difference of the match sets, with
+    // pairs inside the ε band around α exempt (the tier's contract).
+    let keys = |ms: &[JoinMatch]| {
+        let mut ks: Vec<(usize, usize)> = ms.iter().map(|m| (m.q_index, m.g_index)).collect();
+        ks.sort_unstable();
+        ks
+    };
+    let (auto_keys, exact_keys) = (keys(&auto_matches), keys(&exact_matches));
+    let mut out_of_band = 0usize;
+    let mut in_band = 0usize;
+    for &(qi, gi) in auto_keys
+        .iter()
+        .filter(|k| !exact_keys.contains(k))
+        .chain(exact_keys.iter().filter(|k| !auto_keys.contains(k)))
+    {
+        let p = uqsj::uncertain::verify_simp(&table, &d[qi], &u[gi], tau, f64::INFINITY).prob;
+        if (p - alpha).abs() <= eps {
+            in_band += 1;
+        } else {
+            out_of_band += 1;
+            eprintln!("disagreement outside the ε band: pair ({qi}, {gi}) exact SimP {p}");
+        }
+    }
+    println!(
+        "agreement: {} shared, {} ε-band disagreements, {} out-of-band | speedup {:.2}x",
+        auto_keys.iter().filter(|k| exact_keys.contains(k)).count(),
+        in_band,
+        out_of_band,
+        exact_elapsed.as_secs_f64() / auto_elapsed.as_secs_f64().max(1e-9),
+    );
+    if out_of_band > 0 {
+        eprintln!("FAIL: {out_of_band} verdicts flipped outside the tier's (ε,δ) contract");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -41,7 +41,8 @@ fn main() {
         ("SimJ", JoinStrategy::SimJ),
         ("SimJ+opt", JoinStrategy::SimJOpt { group_count: 8 }),
     ] {
-        let (matches, stats) = sim_join(&table, &d, &u, JoinParams { tau, alpha, strategy });
+        let (matches, stats) =
+            sim_join(&table, &d, &u, JoinParams { strategy, ..JoinParams::simj(tau, alpha) });
         println!(
             "{:<10} {:>10} {:>11.2}% {:>10} {:>10.1?} {:>10.1?}",
             name,

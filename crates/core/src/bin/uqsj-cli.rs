@@ -12,11 +12,20 @@
 //!
 //! uqsj-cli join [--questions N] [--distractors M] [--tau T] [--alpha A]
 //!               [--strategy css|simj|opt] [--metrics-out FILE]
-//!               [--trace-out FILE]
+//!               [--trace-out FILE] [--simp-mode exact|sample|auto]
+//!               [--epsilon E] [--delta D] [--sample-seed S]
 //!     Run the join only and print per-stage statistics. --metrics-out
 //!     writes the process metric registry as Prometheus text to FILE and
 //!     as JSON to FILE.json; --trace-out dumps the span flight recorder
 //!     as a Chrome trace.
+//!
+//!     Sampling flags (join and generate): --simp-mode picks the SimP
+//!     verification tier — exact enumeration (default), Monte-Carlo
+//!     sampling with an (ε,δ) guarantee, or auto (sample only pairs whose
+//!     possible-world count exceeds --sample-threshold, default 4096).
+//!     --epsilon and --delta (both default 0.05) set the tolerance and
+//!     failure probability; --sample-seed (default 42) makes every
+//!     sampled decision replayable.
 //!
 //! uqsj-cli serve --dir artifacts [--file questions.txt] [--min-phi F]
 //!                [--threads N] [--cache C] [--metrics-out FILE]
@@ -55,10 +64,12 @@
 //! uqsj-cli conformance [--seed S] [--pairs N] [--profile quick|deep]
 //!     Run the differential conformance suite: seeded boundary-biased
 //!     pairs, every lower bound vs. the exact reference GED per possible
-//!     world, both SimP evaluators, all five join drivers, and the
-//!     metamorphic relations. Prints the coverage report; any violation
-//!     prints the sub-seed that replays it (re-run with
-//!     --seed <sub-seed> --pairs 1) and exits nonzero.
+//!     world, both SimP evaluators, all six join drivers (including the
+//!     forced sampling tier), the Monte-Carlo sampler vs. exact
+//!     enumeration under its δ budget, and the metamorphic relations.
+//!     Prints the coverage report; any violation prints the sub-seed
+//!     that replays it (re-run with --seed <sub-seed> --pairs 1) and
+//!     exits nonzero.
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -159,13 +170,35 @@ fn dataset_config(opts: &Options) -> DatasetConfig {
     }
 }
 
+fn simp_policy(opts: &Options) -> SimpPolicy {
+    let epsilon = opts.num("epsilon", 0.05);
+    let delta = opts.num("delta", 0.05);
+    let seed = opts.num("sample-seed", 42u64);
+    let policy = match opts.get("simp-mode").unwrap_or("exact") {
+        "sample" => SimpPolicy::sample(epsilon, delta, seed),
+        "auto" => SimpPolicy::auto(epsilon, delta, seed),
+        other => {
+            if other != "exact" {
+                eprintln!("unknown --simp-mode {other:?}; expected exact|sample|auto, using exact");
+            }
+            SimpPolicy::exact()
+        }
+    };
+    policy.with_threshold(opts.num("sample-threshold", SimpPolicy::DEFAULT_AUTO_THRESHOLD))
+}
+
 fn join_params(opts: &Options) -> JoinParams {
     let strategy = match opts.get("strategy").unwrap_or("simj") {
         "css" => JoinStrategy::CssOnly,
         "opt" => JoinStrategy::SimJOpt { group_count: opts.num("groups", 8) },
         _ => JoinStrategy::SimJ,
     };
-    JoinParams { tau: opts.num("tau", 1), alpha: opts.num("alpha", 0.7), strategy }
+    JoinParams {
+        tau: opts.num("tau", 1),
+        alpha: opts.num("alpha", 0.7),
+        strategy,
+        simp: simp_policy(opts),
+    }
 }
 
 fn generate(opts: &Options) -> ExitCode {
@@ -627,6 +660,14 @@ fn join(opts: &Options) -> ExitCode {
         precision * 100.0,
         stats.pruning_time,
         stats.verification_time
+    );
+    println!(
+        "tiers: exact {} sampled {} | worlds verified {} sampled {} | seed {}",
+        stats.verified_exact,
+        stats.verified_sampled,
+        stats.worlds_verified,
+        stats.worlds_sampled,
+        params.simp.seed
     );
     if let Some(path) = opts.get("metrics-out") {
         if let Err(e) = write_metrics(uqsj::obs::global(), path) {

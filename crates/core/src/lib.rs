@@ -47,6 +47,7 @@ pub use uqsj_net as net;
 pub use uqsj_nlp as nlp;
 pub use uqsj_obs as obs;
 pub use uqsj_rdf as rdf;
+pub use uqsj_sample as sample;
 pub use uqsj_serve as serve;
 pub use uqsj_simjoin as simjoin;
 pub use uqsj_sparql as sparql;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::ged::{ged, ged_bounded, lb_ged_css_certain, lb_ged_css_uncertain};
     pub use crate::graph::{Graph, GraphBuilder, Symbol, SymbolTable, UncertainGraph, VertexId};
     pub use crate::pipeline::{generate_templates, PipelineResult};
+    pub use crate::sample::{SimpMode, SimpPolicy};
     pub use crate::serve::{Ingestor, QaServer, ServeConfig, TemplateStore};
     pub use crate::simjoin::{sim_join, JoinMatch, JoinParams, JoinStats, JoinStrategy};
     pub use crate::template::{answer_question, Template, TemplateLibrary};

@@ -65,7 +65,7 @@ fn strategies_return_identical_pairs_on_real_workload() {
             &d.table,
             &d.d_graphs,
             &d.u_graphs,
-            JoinParams { tau: 1, alpha: 0.8, strategy },
+            JoinParams { strategy, ..JoinParams::simj(1, 0.8) },
         );
         let mut pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.q_index, x.g_index)).collect();
         pairs.sort_unstable();

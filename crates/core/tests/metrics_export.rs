@@ -56,8 +56,10 @@ fn registry_deltas_match_join_stats() {
         distractors: 20,
         ..Default::default()
     });
-    let params =
-        JoinParams { tau: 1, alpha: 0.5, strategy: JoinStrategy::SimJOpt { group_count: 8 } };
+    let params = JoinParams {
+        strategy: JoinStrategy::SimJOpt { group_count: 8 },
+        ..JoinParams::simj(1, 0.5)
+    };
     let (matches, stats) = sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
 
     // --- join counters agree exactly with JoinStats --------------------

@@ -157,11 +157,26 @@ impl UncertainGraph {
     }
 
     /// Number of possible worlds: the product of per-vertex label counts.
+    ///
+    /// The product **saturates** at [`u128::MAX`] instead of wrapping:
+    /// graphs with hundreds of multi-label vertices overflow `u128`, and a
+    /// wrapped count (possibly small, or even 0 once a factor of 2^128
+    /// accumulates) would silently route an enumeration-infeasible graph
+    /// to the exact verifier. A saturated count is detectable via
+    /// [`Self::world_count_saturated`] and compares greater than every
+    /// real threshold, so tier dispatch always sends it to sampling.
     pub fn world_count(&self) -> u128 {
         self.vertices
             .iter()
             .map(|v| v.alternatives.len() as u128)
             .fold(1u128, |a, b| a.saturating_mul(b))
+    }
+
+    /// Whether [`Self::world_count`] overflowed `u128` and clamped. The
+    /// true count then exceeds `2^128 − 1`; exact enumeration is
+    /// impossible and callers must use the sampling tier.
+    pub fn world_count_saturated(&self) -> bool {
+        self.world_count() == u128::MAX
     }
 
     /// Average number of alternatives per vertex (`avg |L(v)|` in Table 2).
@@ -339,6 +354,31 @@ mod tests {
         g.add_edge(v0, v3, t.intern("birthPlace"));
         g.add_edge(v3, v1, t.intern("locatedIn"));
         g
+    }
+
+    #[test]
+    fn world_count_saturates_instead_of_wrapping() {
+        // 2^130 worlds: a wrapping product would land on 0 (128 factors
+        // of 2 zero out every u128 bit); saturation must clamp at MAX.
+        let mut t = SymbolTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        let mut g = UncertainGraph::new();
+        for _ in 0..130 {
+            g.add_vertex(UncertainVertex {
+                alternatives: vec![
+                    LabelAlternative { label: a, prob: 0.5 },
+                    LabelAlternative { label: b, prob: 0.5 },
+                ],
+            });
+        }
+        assert_eq!(g.world_count(), u128::MAX, "count must saturate, not wrap");
+        assert!(g.world_count_saturated());
+        // Any graph that actually fits in u128 reports a faithful count.
+        let mut small = UncertainGraph::new();
+        small.add_certain_vertex(a);
+        assert_eq!(small.world_count(), 1);
+        assert!(!small.world_count_saturated());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Anytime-valid confidence sequence for a Bernoulli mean.
+//!
+//! The sampler draws i.i.d. indicator variables `X_n = 1{ged(q, pw_n) ≤ τ}`
+//! and must be allowed to *peek after every draw* without invalidating its
+//! error guarantee. A fixed-n Hoeffding interval does not survive optional
+//! stopping, so the budget δ is spread over all sample sizes with the
+//! union bound `δ_n = δ / (n(n+1))` (which telescopes to exactly δ), and
+//! at each `n` the interval is the tighter of
+//!
+//! * the Hoeffding radius `sqrt(ln(4/δ_n) / 2n)`, and
+//! * the empirical-Bernstein radius (Maurer & Pontil 2009)
+//!   `sqrt(2 V̂_n ln(8/δ_n) / n) + 7 ln(8/δ_n) / (3(n−1))`,
+//!
+//! each run at half the per-n budget so their minimum is simultaneously
+//! valid. Empirical Bernstein wins decisively when the pass probability is
+//! near 0 or 1 — the common case for α-threshold decisions after the
+//! filter cascade — because the sample variance `V̂_n ≈ p̂(1−p̂)` collapses.
+//!
+//! With probability at least `1 − δ`, **every** interval
+//! `[mean − radius, mean + radius]` produced over the whole stream
+//! contains the true mean; any stopping rule built on those intervals
+//! inherits the guarantee.
+
+/// Running state of the confidence sequence over a Bernoulli stream.
+#[derive(Clone, Debug)]
+pub struct ConfidenceSequence {
+    delta: f64,
+    n: u64,
+    successes: u64,
+}
+
+impl ConfidenceSequence {
+    /// A fresh sequence with total error budget `delta ∈ (0, 1)`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got {delta}");
+        Self { delta, n: 0, successes: 0 }
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, success: bool) {
+        self.n += 1;
+        self.successes += u64::from(success);
+    }
+
+    /// Number of observations so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Empirical mean `p̂_n` (0 before the first observation).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.n as f64
+        }
+    }
+
+    /// `ln(n(n+1)/δ)` — the log inverse of the per-n budget.
+    fn log_inv_budget(&self) -> f64 {
+        let n = self.n as f64;
+        (n * (n + 1.0) / self.delta).ln()
+    }
+
+    /// Two-sided radius valid *simultaneously for all n* at level δ; the
+    /// mean is a probability, so the radius is clamped to 1.
+    pub fn radius(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        let n = self.n as f64;
+        let hoeffding = ((4.0f64.ln() + self.log_inv_budget()) / (2.0 * n)).sqrt();
+        let bernstein = if self.n >= 2 {
+            let l = 8.0f64.ln() + self.log_inv_budget();
+            let p = self.mean();
+            // Unbiased sample variance of a Bernoulli sample.
+            let v = (n / (n - 1.0)) * p * (1.0 - p);
+            (2.0 * v * l / n).sqrt() + 7.0 * l / (3.0 * (n - 1.0))
+        } else {
+            f64::INFINITY
+        };
+        hoeffding.min(bernstein).min(1.0)
+    }
+
+    /// Smallest `n` at which the Hoeffding arm of the radius is guaranteed
+    /// to have shrunk to `epsilon` — a worst-case sample budget for a
+    /// stopping rule that terminates once `radius() ≤ epsilon`. (The
+    /// Bernstein arm can only stop earlier.)
+    pub fn budget(epsilon: f64, delta: f64) -> u64 {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        let radius_at = |n: f64| ((4.0f64.ln() + (n * (n + 1.0) / delta).ln()) / (2.0 * n)).sqrt();
+        let mut hi = 64u64;
+        while radius_at(hi as f64) > epsilon {
+            hi = hi.saturating_mul(2);
+            if hi >= 1 << 40 {
+                return hi; // pathological (ε, δ); caller caps anyway
+            }
+        }
+        let mut lo = hi / 2;
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if radius_at(mid as f64) > epsilon {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::{derive_seed, rng_for};
+    use rand::Rng;
+
+    #[test]
+    fn radius_shrinks_with_n() {
+        let mut cs = ConfidenceSequence::new(0.05);
+        let mut rng = rng_for(1);
+        let mut at = vec![cs.radius()];
+        for checkpoint in [10u64, 100, 2000] {
+            while cs.n() < checkpoint {
+                cs.observe(rng.gen_bool(0.3));
+            }
+            at.push(cs.radius());
+        }
+        for w in at.windows(2) {
+            assert!(w[1] < w[0], "radius did not shrink across checkpoints: {at:?}");
+        }
+        assert!(at[3] < 0.08, "radius after 2000 draws: {}", at[3]);
+    }
+
+    #[test]
+    fn bernstein_beats_hoeffding_on_skewed_streams() {
+        // At p = 0.02 the variance term is tiny; the combined radius must
+        // be well below the Hoeffding-only radius.
+        let mut cs = ConfidenceSequence::new(0.05);
+        let mut rng = rng_for(2);
+        for _ in 0..4000 {
+            cs.observe(rng.gen_bool(0.02));
+        }
+        let n = cs.n() as f64;
+        let hoeffding = ((4.0f64.ln() + (n * (n + 1.0) / 0.05).ln()) / (2.0 * n)).sqrt();
+        assert!(cs.radius() < 0.6 * hoeffding, "{} vs {}", cs.radius(), hoeffding);
+    }
+
+    #[test]
+    fn coverage_holds_under_continuous_peeking() {
+        // Empirical check of the anytime guarantee: streams where the
+        // interval *ever* excludes the true mean must be rarer than δ
+        // (with a generous margin — the bound is conservative).
+        let delta = 0.1;
+        let mut bad_streams = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let p = match t % 4 {
+                0 => 0.05,
+                1 => 0.3,
+                2 => 0.7,
+                _ => 0.95,
+            };
+            let mut rng = rng_for(derive_seed(99, t));
+            let mut cs = ConfidenceSequence::new(delta);
+            let mut violated = false;
+            for _ in 0..600 {
+                cs.observe(rng.gen_bool(p));
+                if (cs.mean() - p).abs() > cs.radius() {
+                    violated = true;
+                    break;
+                }
+            }
+            bad_streams += u32::from(violated);
+        }
+        assert!(
+            f64::from(bad_streams) <= delta * trials as f64,
+            "{bad_streams}/{trials} streams broke coverage at delta={delta}"
+        );
+    }
+
+    #[test]
+    fn budget_is_monotone_and_sufficient() {
+        let b1 = ConfidenceSequence::budget(0.1, 0.05);
+        let b2 = ConfidenceSequence::budget(0.05, 0.05);
+        let b3 = ConfidenceSequence::budget(0.05, 0.01);
+        assert!(b1 < b2, "tighter epsilon needs more samples");
+        assert!(b2 <= b3, "tighter delta needs more samples");
+        // After `budget` all-failure observations the radius has resolved.
+        let mut cs = ConfidenceSequence::new(0.05);
+        for _ in 0..b2 {
+            cs.observe(false);
+        }
+        assert!(cs.radius() <= 0.05, "radius {} after {} draws", cs.radius(), b2);
+    }
+}

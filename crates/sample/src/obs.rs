@@ -1,0 +1,94 @@
+//! Metric handles for the sampling verification tier: how pairs were
+//! dispatched between exact enumeration and Monte-Carlo sampling, how many
+//! worlds each sampled decision drew, which stopping rule ended it, and
+//! how tight the certified estimate was at the stop.
+//!
+//! Handles are registered once in [`uqsj_obs::global()`] and shared; every
+//! per-draw update is a single striped-counter add.
+
+pub(crate) struct SampleObs {
+    /// Pairs routed to each verification tier, labelled `tier=...`.
+    pub dispatch_exact: uqsj_obs::Counter,
+    pub dispatch_sample: uqsj_obs::Counter,
+    /// Worlds drawn by the sampler (every i.i.d. draw, memoized or not).
+    pub worlds: uqsj_obs::Counter,
+    /// Draws answered from the per-pair world memo without re-verifying.
+    pub memo_hits: uqsj_obs::Counter,
+    /// Worlds folded in exactly from pruned or enumerable strata.
+    pub exact_fold_worlds: uqsj_obs::Counter,
+    /// Sampled decisions by final answer, labelled `result=...`.
+    pub decide_accept: uqsj_obs::Counter,
+    pub decide_reject: uqsj_obs::Counter,
+    /// Confidence-sequence stops before the ε-resolution budget,
+    /// labelled `kind=...`.
+    pub early_accept: uqsj_obs::Counter,
+    pub early_reject: uqsj_obs::Counter,
+    /// Decisions forced by the sample budget (no (ε,δ) certificate).
+    pub budget_exhausted: uqsj_obs::Counter,
+    /// Draws per sampled decision.
+    pub draws: uqsj_obs::Histogram,
+    /// Certified half-width of the SimP estimate at the stop, in basis
+    /// points (1e-4) — the sampling analogue of an error bar.
+    pub estimate_error_bp: uqsj_obs::Histogram,
+}
+
+pub(crate) fn sample_obs() -> &'static SampleObs {
+    use std::sync::OnceLock;
+    static OBS: OnceLock<SampleObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = uqsj_obs::global();
+        let dispatch = "pairs routed to each SimP verification tier";
+        let decide = "sampled SimP >= alpha decisions by final answer";
+        let early = "confidence-sequence stops before the epsilon-resolution budget";
+        SampleObs {
+            dispatch_exact: r.counter_with(
+                "uqsj_sample_tier_dispatch_total",
+                &[("tier", "exact")],
+                dispatch,
+            ),
+            dispatch_sample: r.counter_with(
+                "uqsj_sample_tier_dispatch_total",
+                &[("tier", "sample")],
+                dispatch,
+            ),
+            worlds: r.counter("uqsj_sample_worlds_total", "possible worlds drawn by the sampler"),
+            memo_hits: r.counter(
+                "uqsj_sample_memo_hits_total",
+                "sampled draws answered from the per-pair world memo",
+            ),
+            exact_fold_worlds: r.counter(
+                "uqsj_sample_exact_fold_worlds_total",
+                "worlds folded in exactly from enumerable strata",
+            ),
+            decide_accept: r.counter_with(
+                "uqsj_sample_decisions_total",
+                &[("result", "accept")],
+                decide,
+            ),
+            decide_reject: r.counter_with(
+                "uqsj_sample_decisions_total",
+                &[("result", "reject")],
+                decide,
+            ),
+            early_accept: r.counter_with(
+                "uqsj_sample_early_stop_total",
+                &[("kind", "accept")],
+                early,
+            ),
+            early_reject: r.counter_with(
+                "uqsj_sample_early_stop_total",
+                &[("kind", "reject")],
+                early,
+            ),
+            budget_exhausted: r.counter(
+                "uqsj_sample_budget_exhausted_total",
+                "sampled decisions forced by the draw budget without a certificate",
+            ),
+            draws: r.histogram("uqsj_sample_draws", "worlds drawn per sampled decision"),
+            estimate_error_bp: r.histogram(
+                "uqsj_sample_estimate_error_bp",
+                "certified SimP half-width at the stop, in basis points",
+            ),
+        }
+    })
+}

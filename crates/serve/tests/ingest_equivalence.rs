@@ -4,7 +4,7 @@
 //! re-join over the augmented workload builds.
 
 use uqsj_serve::Ingestor;
-use uqsj_simjoin::{sim_join, JoinMatch, JoinParams};
+use uqsj_simjoin::{sim_join, JoinMatch, JoinParams, SimpPolicy};
 use uqsj_template::{generate_template, Template, TemplateLibrary, TemplateSource};
 use uqsj_workload::{qald_like, Dataset, DatasetConfig};
 
@@ -123,4 +123,75 @@ fn replaying_every_question_incrementally_rebuilds_the_batch_library() {
     assert!(ingested_any_templates);
     assert_eq!(all_matches, full_matches, "concatenated ingest matches != batch matches");
     assert_eq!(incremental.templates(), full.templates());
+}
+
+/// The sampling verification tier through the serving path: an ingestor
+/// whose policy forces Monte-Carlo SimP decisions must reproduce the
+/// exact ingestor's match set on enumerable questions — except possibly
+/// on pairs whose exact probability sits inside the tier's ε band around
+/// α, where the (ε,δ) contract permits either verdict.
+#[test]
+fn sampled_policy_ingestor_agrees_with_exact_ingestor() {
+    let d = dataset();
+    let exact_params = params();
+    let eps = 0.01;
+    // δ so small that an out-of-band disagreement means a sampler bug,
+    // not sampling noise; threshold 2 forces the tier onto every refined
+    // pair with any uncertainty at all.
+    let sampled_params =
+        JoinParams { simp: SimpPolicy::auto(eps, 1e-9, 7).with_threshold(2), ..exact_params };
+
+    let ingest = |p: JoinParams| -> Vec<JoinMatch> {
+        let mut ing = Ingestor::new(
+            d.table.clone(),
+            d.d_graphs.clone(),
+            d.d_queries.clone(),
+            d.d_terms.clone(),
+            p,
+            0,
+        );
+        let mut matches = Vec::new();
+        for pair in &d.pairs {
+            let outcome = ing.ingest(&d.kb.lexicon, &pair.question).expect("analyzable");
+            matches.extend(outcome.matches);
+        }
+        matches
+    };
+    let exact_matches = ingest(exact_params);
+    let sampled_matches = ingest(sampled_params);
+    assert!(!exact_matches.is_empty(), "exact ingestor found nothing — test is vacuous");
+
+    let keys = |ms: &[JoinMatch]| -> Vec<(usize, usize)> {
+        let mut ks: Vec<_> = ms.iter().map(|m| (m.q_index, m.g_index)).collect();
+        ks.sort_unstable();
+        ks
+    };
+    let exact_keys = keys(&exact_matches);
+    let sampled_keys = keys(&sampled_matches);
+
+    // Any disagreement must lie inside the ε band around α.
+    for &(qi, gi) in exact_keys
+        .iter()
+        .filter(|k| !sampled_keys.contains(k))
+        .chain(sampled_keys.iter().filter(|k| !exact_keys.contains(k)))
+    {
+        let p = uqsj_uncertain::verify_simp(
+            &d.table,
+            &d.d_graphs[qi],
+            &d.u_graphs[gi],
+            exact_params.tau,
+            f64::INFINITY,
+        )
+        .prob;
+        assert!(
+            (p - exact_params.alpha).abs() <= eps + 1e-9,
+            "pair ({qi}, {gi}) disagreed with exact SimP {p}, which is outside \
+             the ε={eps} band around α={}",
+            exact_params.alpha
+        );
+    }
+
+    // Coverage: the band exemption must not have excused everything.
+    let agreed = sampled_keys.iter().filter(|k| exact_keys.contains(k)).count();
+    assert!(agreed > 0, "no pair was matched by both tiers");
 }

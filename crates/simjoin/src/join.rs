@@ -11,8 +11,8 @@ use uqsj_ged::bounds::size::SizeBound;
 use uqsj_ged::bounds::LowerBound;
 use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
-use uqsj_uncertain::groups::{ub_simp_grouped, verify_simp_groups_with};
-use uqsj_uncertain::prob::verify_simp_with;
+use uqsj_sample::{pair_seed, verify_pair_with, SimpPolicy, Tier};
+use uqsj_uncertain::groups::ub_simp_grouped;
 use uqsj_uncertain::prob_bound::ub_simp_with_terms;
 
 /// Which pruning pipeline to run (the three lines of Figs. 11–14).
@@ -31,7 +31,7 @@ pub enum JoinStrategy {
 }
 
 /// Join parameters: the GED threshold τ and probability threshold α of
-/// Def. 7, plus the pruning strategy.
+/// Def. 7, plus the pruning strategy and the verification-tier policy.
 #[derive(Clone, Copy, Debug)]
 pub struct JoinParams {
     /// GED threshold τ.
@@ -40,12 +40,22 @@ pub struct JoinParams {
     pub alpha: f64,
     /// Pruning pipeline.
     pub strategy: JoinStrategy,
+    /// How `SimP ≥ α` is decided per candidate: exact enumeration,
+    /// Monte-Carlo sampling, or world-count-adaptive dispatch between the
+    /// two (see [`uqsj_sample::SimpPolicy`]).
+    pub simp: SimpPolicy,
 }
 
 impl JoinParams {
-    /// Algorithm-1 parameters (`SimJ`) with the paper's defaults.
+    /// Algorithm-1 parameters (`SimJ`) with the paper's defaults:
+    /// exact-only verification.
     pub fn simj(tau: u32, alpha: f64) -> Self {
-        Self { tau, alpha, strategy: JoinStrategy::SimJ }
+        Self { tau, alpha, strategy: JoinStrategy::SimJ, simp: SimpPolicy::exact() }
+    }
+
+    /// The same parameters with a different verification-tier policy.
+    pub fn with_simp(self, simp: SimpPolicy) -> Self {
+        Self { simp, ..self }
     }
 }
 
@@ -56,7 +66,9 @@ pub struct JoinMatch {
     pub q_index: usize,
     /// Index into `U`.
     pub g_index: usize,
-    /// The (possibly early-exited, always `>= α`) similarity probability.
+    /// The similarity probability: on the exact tier a possibly
+    /// early-exited value that is always `>= α`; on the sampling tier the
+    /// certified point estimate, which may sit up to ε below α.
     pub prob: f64,
     /// GED mapping (q vertex → world vertex) of the most probable
     /// qualifying world — the input to template generation.
@@ -181,20 +193,34 @@ pub(crate) fn join_pair(
     }
     stats.pruning_time += pruning_started.elapsed();
 
-    // Refinement (lines 7-15).
+    // Refinement (lines 7-15), dispatched to the exact or sampling tier
+    // by the policy. The sub-seed is a pure function of the pair indices,
+    // so sampled decisions are identical whichever driver — sequential,
+    // parallel, indexed — reaches the pair, and replayable from
+    // `params.simp.seed` alone.
     stats.candidates += 1;
     obs.candidates.inc();
     let verification_started = Instant::now();
-    let outcome = match &groups {
-        Some(parts) => {
-            verify_simp_groups_with(engine, table, q, g, params.tau, params.alpha, parts)
-        }
-        None => verify_simp_with(engine, table, q, g, params.tau, params.alpha),
-    };
+    let outcome = verify_pair_with(
+        engine,
+        table,
+        q,
+        g,
+        params.tau,
+        params.alpha,
+        groups.as_deref(),
+        &params.simp,
+        pair_seed(params.simp.seed, qi, gi),
+    );
     let verify_elapsed = verification_started.elapsed();
     obs.t_verify.observe_duration(verify_elapsed);
     stats.verification_time += verify_elapsed;
     stats.worlds_verified += outcome.worlds_verified as u64;
+    stats.worlds_sampled += outcome.worlds_sampled;
+    match outcome.tier {
+        Tier::Exact => stats.verified_exact += 1,
+        Tier::Sample => stats.verified_sampled += 1,
+    }
     if outcome.passed {
         stats.results += 1;
         obs.results.inc();
@@ -268,7 +294,7 @@ mod tests {
         let mut t = SymbolTable::new();
         let (d, u) = workload(&mut t);
         let collect = |strategy| {
-            let (m, _) = sim_join(&t, &d, &u, JoinParams { tau: 1, alpha: 0.3, strategy });
+            let (m, _) = sim_join(&t, &d, &u, JoinParams { strategy, ..JoinParams::simj(1, 0.3) });
             let mut pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.q_index, x.g_index)).collect();
             pairs.sort_unstable();
             pairs
@@ -285,7 +311,7 @@ mod tests {
         let mut t = SymbolTable::new();
         let (d, u) = workload(&mut t);
         let candidates = |strategy| {
-            sim_join(&t, &d, &u, JoinParams { tau: 0, alpha: 0.9, strategy }).1.candidates
+            sim_join(&t, &d, &u, JoinParams { strategy, ..JoinParams::simj(0, 0.9) }).1.candidates
         };
         let css = candidates(JoinStrategy::CssOnly);
         let simj = candidates(JoinStrategy::SimJ);

@@ -28,3 +28,4 @@ pub use parallel::sim_join_parallel;
 pub use stats::JoinStats;
 pub use topk::{sim_join_topk, TopKMatch};
 pub use uqsj_ged::GedEngine;
+pub use uqsj_sample::{SimpMode, SimpPolicy, Tier};

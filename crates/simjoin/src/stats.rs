@@ -37,6 +37,13 @@ pub struct JoinStats {
     pub results: u64,
     /// Possible worlds on which A\* ran.
     pub worlds_verified: u64,
+    /// Possible worlds drawn by the Monte-Carlo sampler (memoized draws
+    /// included); zero under exact-only verification.
+    pub worlds_sampled: u64,
+    /// Candidates decided by exact enumeration.
+    pub verified_exact: u64,
+    /// Candidates decided by the sampling tier.
+    pub verified_sampled: u64,
     /// CPU time spent in the pruning phase (summed per pair).
     pub pruning_time: Duration,
     /// CPU time spent in the refinement (verification) phase.
@@ -99,6 +106,9 @@ impl JoinStats {
         self.candidates += other.candidates;
         self.results += other.results;
         self.worlds_verified += other.worlds_verified;
+        self.worlds_sampled += other.worlds_sampled;
+        self.verified_exact += other.verified_exact;
+        self.verified_sampled += other.verified_sampled;
         self.pruning_time += other.pruning_time;
         self.verification_time += other.verification_time;
         self.wall_time = self.wall_time.max(other.wall_time);
@@ -143,6 +153,26 @@ mod tests {
         assert_eq!(a.pruned_size, 3);
         assert_eq!(a.pruned_label_multiset, 1);
         assert_eq!(a.pruned_total(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates_tier_counters() {
+        let mut a = JoinStats {
+            worlds_sampled: 100,
+            verified_exact: 2,
+            verified_sampled: 1,
+            ..Default::default()
+        };
+        let b = JoinStats {
+            worlds_sampled: 50,
+            verified_exact: 1,
+            verified_sampled: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.worlds_sampled, 150);
+        assert_eq!(a.verified_exact, 3);
+        assert_eq!(a.verified_sampled, 5);
     }
 
     #[test]

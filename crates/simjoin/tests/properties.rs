@@ -176,7 +176,7 @@ proptest! {
     ) {
         let (t, d, u) = build(&raw);
         let collect = |strategy| {
-            let (m, _) = sim_join(&t, &d, &u, JoinParams { tau, alpha: 0.5, strategy });
+            let (m, _) = sim_join(&t, &d, &u, JoinParams { tau, strategy, ..JoinParams::simj(tau, 0.5) });
             let mut pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.q_index, x.g_index)).collect();
             pairs.sort_unstable();
             pairs

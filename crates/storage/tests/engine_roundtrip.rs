@@ -32,7 +32,7 @@ fn snapshot_and_wal_replay_roundtrip_the_full_state() {
     assert_eq!(engine.generation(), 1);
 
     let extra = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
-    engine.append_templates(&[extra.clone()]).expect("append");
+    engine.append_templates(std::slice::from_ref(&extra)).expect("append");
     drop(engine);
 
     let (engine, recovered) = StorageEngine::open(&dir).expect("recover");
@@ -63,7 +63,7 @@ fn compaction_folds_the_wal_and_rotates_generations() {
     engine.compact(&state.library, &state.lexicon, &state.triples).expect("seed");
 
     let extra = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
-    engine.append_templates(&[extra.clone()]).expect("append");
+    engine.append_templates(std::slice::from_ref(&extra)).expect("append");
     drop(engine);
 
     // Recover (snapshot gen 1 + 1 WAL record), then compact the merged

@@ -94,7 +94,7 @@ fn reopening_after_torn_tail_truncation_appends_cleanly() {
     let (mut engine, recovered) = StorageEngine::open(&dir).expect("reopen torn");
     assert_same_library(&recovered.state.library, &pre, "torn tail dropped");
     let again = template(&["Who", "directed", "<_>", "?"], "director", 0.9);
-    engine.append_templates(&[again.clone()]).expect("re-append");
+    engine.append_templates(std::slice::from_ref(&again)).expect("re-append");
     drop(engine);
     let (_, recovered) = StorageEngine::open(&dir).expect("reopen clean");
     assert_eq!(recovered.wal_records, 1);

@@ -12,7 +12,7 @@
 //! answer on such workloads instead of hiding behind slack.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use uqsj_graph::{
     Graph, LabelAlternative, Symbol, SymbolTable, UncertainGraph, UncertainVertex, VertexId,
 };
@@ -70,19 +70,11 @@ impl GenConfig {
     }
 }
 
-/// Deterministic RNG for a derived sub-seed.
-pub fn rng_for(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
-}
-
-/// Mix a stream index into a base seed (splitmix64 finalizer), so each
-/// generated object has an independent, replayable sub-seed.
-pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+// Seeded RNG plumbing lives in `uqsj_sample::seed` (shared with the
+// Monte-Carlo sampler, so a conformance sub-seed and a sampled join
+// decision derive from the same splitmix64 stream discipline); re-export
+// the original testkit names.
+pub use uqsj_sample::seed::{derive_seed, rng_for};
 
 fn vertex_label(table: &mut SymbolTable, cfg: &GenConfig, rng: &mut SmallRng) -> Symbol {
     if rng.gen_bool(cfg.wildcard_prob) {

@@ -16,6 +16,10 @@
 //!   Markov/grouped probability bounds against exact `SimP_τ`, and the
 //!   five join drivers against each other *and* against a brute-force
 //!   membership predicate.
+//! * [`sample_oracle`] — the Monte-Carlo tier's differential check:
+//!   sampled accept/reject decisions vs. exact enumeration on enumerable
+//!   instances, with the aggregate failure rate held to the sampler's δ
+//!   budget and hard violations for its deterministic invariants.
 //! * [`metamorphic`] — invariance checks: label renaming, vertex/edge
 //!   insertion-order permutation, and monotonicity in τ and α.
 //! * [`runner`] — the conformance runner behind `uqsj-cli conformance`
@@ -31,6 +35,7 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod report;
 pub mod runner;
+pub mod sample_oracle;
 
 pub use gen::{GenConfig, SyntheticFamily, SyntheticSpec};
 pub use report::{ConformanceReport, Violation};

@@ -16,11 +16,13 @@
 //! | `alpha_decision` | early exits are one-sided but the pass/fail verdict is exact | `verify_simp(α)` vs. exact `SimP_τ ≥ α` |
 //! | `joins_agree` | pruning must not change results | all five join drivers vs. each other and vs. brute-force membership |
 
+use crate::gen::derive_seed;
 use crate::report::ConformanceReport;
 use uqsj_ged::bounds::{all_bounds, LowerBound};
 use uqsj_ged::reference::{ged_bounded_reference, ged_reference};
 use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+use uqsj_sample::SimpPolicy;
 use uqsj_simjoin::{sim_join, sim_join_indexed, sim_join_parallel, JoinParams, JoinStrategy};
 use uqsj_uncertain::groups::{partition_groups, ub_simp_grouped, verify_simp_groups_with};
 use uqsj_uncertain::prob::verify_simp_with;
@@ -345,7 +347,7 @@ pub fn check_join_agreement(
         expected.iter().filter(|&&(_, p)| p >= alpha).map(|&(pair, _)| pair).collect();
     want.sort_unstable();
 
-    let params = |strategy| JoinParams { tau, alpha, strategy };
+    let params = |strategy| JoinParams { strategy, ..JoinParams::simj(tau, alpha) };
     let runs: Vec<(&'static str, Vec<(usize, usize)>)> = vec![
         ("css_only", pair_set(&sim_join(table, d, u, params(JoinStrategy::CssOnly)).0)),
         ("simj", pair_set(&sim_join(table, d, u, params(JoinStrategy::SimJ)).0)),
@@ -368,6 +370,42 @@ pub fn check_join_agreement(
             );
         }
     }
+
+    // Sixth run: the adaptive sampling tier, forced onto every refined
+    // pair by a world-count threshold of 2. α is re-placed a full
+    // guarantee band (ε plus margin) away from every exact probability,
+    // and δ is pushed so low that a disagreement is evidence of a bug in
+    // the sampler, not sampling noise — which makes a hard violation the
+    // right response even for a probabilistic tier.
+    let sample_eps = 0.05;
+    let sample_alpha = guard_alpha_band(alpha, &exact, sample_eps + 0.01);
+    let mut sampled_want: Vec<(usize, usize)> =
+        expected.iter().filter(|&&(_, p)| p >= sample_alpha).map(|&(pair, _)| pair).collect();
+    sampled_want.sort_unstable();
+    let policy = SimpPolicy::auto(sample_eps, 1e-9, derive_seed(seed, 61)).with_threshold(2);
+    let sampled_params = JoinParams { simp: policy, ..JoinParams::simj(tau, sample_alpha) };
+    let sampled = pair_set(&sim_join(table, d, u, sampled_params).0);
+    *report.join_runs.entry("auto_tier").or_default() += 1;
+    if sampled != sampled_want {
+        report.violation(
+            "joins_agree",
+            seed,
+            format!(
+                "τ={tau} α={sample_alpha}: auto_tier returned {sampled:?}, \
+                 brute force expects {sampled_want:?}"
+            ),
+        );
+    }
+}
+
+/// Like [`guard_alpha`] but with a caller-chosen band: push α upward
+/// until it clears every exact probability by more than `band`, so the
+/// sampling tier's (ε,δ) guarantee applies to every membership verdict.
+fn guard_alpha_band(mut alpha: f64, exact: &[f64], band: f64) -> f64 {
+    while exact.iter().any(|p| (p - alpha).abs() <= band) {
+        alpha += 1.5 * band;
+    }
+    alpha
 }
 
 #[cfg(test)]

@@ -42,6 +42,12 @@ pub struct ConformanceReport {
     pub join_runs: BTreeMap<&'static str, u64>,
     /// Metamorphic checks executed.
     pub metamorphic_checks: u64,
+    /// Sampled SimP decisions made under an (ε,δ) certificate.
+    pub sample_trials: u64,
+    /// Guaranteed sampled decisions that disagreed with exact
+    /// enumeration. Bounded by δ in aggregate (the runner enforces the
+    /// budget); individual failures are expected noise, not violations.
+    pub sample_failures: u64,
     /// All violations, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -71,6 +77,8 @@ impl ConformanceReport {
             *self.join_runs.entry(k).or_default() += v;
         }
         self.metamorphic_checks += other.metamorphic_checks;
+        self.sample_trials += other.sample_trials;
+        self.sample_failures += other.sample_failures;
         self.violations.extend(other.violations);
     }
 }
@@ -93,6 +101,11 @@ impl fmt::Display for ConformanceReport {
             write!(f, " {name}={count}")?;
         }
         writeln!(f)?;
+        writeln!(
+            f,
+            "  sampler: trials={} guaranteed-failures={}",
+            self.sample_trials, self.sample_failures
+        )?;
         if self.violations.is_empty() {
             write!(f, "  PASS: zero violations")
         } else {

@@ -12,6 +12,7 @@ use crate::gen::{
 use crate::metamorphic::check_metamorphic;
 use crate::oracle::{check_join_agreement, PairOracles};
 use crate::report::ConformanceReport;
+use crate::sample_oracle::{allowed_failures, check_sampler_pair, SAMPLE_DELTA};
 use uqsj_ged::GedEngine;
 use uqsj_graph::SymbolTable;
 
@@ -100,6 +101,31 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
         let tau = 1 + (round % 2) as u32;
         let alpha = if round % 2 == 0 { 0.3 } else { 0.6 };
         check_join_agreement(&mut engine, &table, &d, &u, tau, alpha, sub, &mut report);
+    }
+
+    // Stage 4: the sampling tier vs. exact enumeration, pair by pair.
+    // Individual wrong decisions are allowed (the tier is probabilistic);
+    // the aggregate failure rate must stay inside the δ budget.
+    let sample_pairs = match cfg.profile {
+        Profile::Quick => cfg.pairs / 2,
+        Profile::Deep => cfg.pairs,
+    };
+    for i in 0..sample_pairs {
+        let sub = derive_seed(cfg.seed, 2_000_000 + i as u64);
+        let (q, g) = near_pair(&mut table, &gen_cfg, sub);
+        check_sampler_pair(&mut engine, &table, &q, &g, sub, &mut report);
+    }
+    let allowed = allowed_failures(report.sample_trials, SAMPLE_DELTA);
+    if report.sample_failures > allowed {
+        report.violation(
+            "sampler_delta",
+            cfg.seed,
+            format!(
+                "{} guaranteed sampled decisions failed over {} trials; \
+                 the δ={SAMPLE_DELTA} budget allows {allowed}",
+                report.sample_failures, report.sample_trials
+            ),
+        );
     }
 
     report

@@ -1,0 +1,141 @@
+//! Differential oracle for the Monte-Carlo sampling tier.
+//!
+//! On enumerable instances the exact `SimP_τ` is computable by full
+//! possible-world enumeration, so every sampled accept/reject decision
+//! can be cross-examined against ground truth. The sampler's contract is
+//! probabilistic — a decision may be wrong with probability at most δ
+//! when `|SimP_τ − α| > ε` — so single disagreements are *counted*, not
+//! flagged; the runner checks the aggregate failure rate against the δ
+//! budget (with a binomial slack margin). Deterministic invariants
+//! (accept implies a witness mapping, estimates stay in `[0, 1]`,
+//! replayability from the printed seed) are hard violations.
+
+use crate::gen::derive_seed;
+use crate::report::ConformanceReport;
+use uqsj_ged::GedEngine;
+use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
+use uqsj_sample::{sample_simp_with, SampleParams};
+use uqsj_uncertain::prob::verify_simp_with;
+
+/// Tolerance the sampled trials run with.
+pub const SAMPLE_EPS: f64 = 0.05;
+/// Per-decision failure budget the sampled trials run with.
+pub const SAMPLE_DELTA: f64 = 0.05;
+/// Extra distance beyond ε when placing α, so every trial sits strictly
+/// outside the guarantee band and the δ bound applies to all of them.
+const ALPHA_MARGIN: f64 = 0.01;
+
+/// Allowed guaranteed-decision failures for `trials` attempts at
+/// per-decision budget δ: the binomial mean plus three standard
+/// deviations plus one (so tiny trial counts never flag on one fluke).
+pub fn allowed_failures(trials: u64, delta: f64) -> u64 {
+    let n = trials as f64;
+    (delta * n + 3.0 * (delta * (1.0 - delta) * n).sqrt()).ceil() as u64 + 1
+}
+
+/// Run sampled accept/reject decisions against exact enumeration on one
+/// enumerable pair. α is placed on both sides of the exact probability,
+/// a full `ε + margin` away, so the (ε,δ) certificate covers every
+/// trial; exact folding is disabled so the Monte-Carlo loop itself is
+/// exercised, not the enumeration fallback.
+pub fn check_sampler_pair(
+    engine: &mut GedEngine,
+    table: &SymbolTable,
+    q: &Graph,
+    g: &UncertainGraph,
+    seed: u64,
+    report: &mut ConformanceReport,
+) {
+    let params =
+        SampleParams { exact_stratum_worlds: 0, ..SampleParams::new(SAMPLE_EPS, SAMPLE_DELTA) };
+    for (ti, tau) in [1u32, 2].into_iter().enumerate() {
+        let exact = verify_simp_with(engine, table, q, g, tau, f64::INFINITY).prob;
+        let band = SAMPLE_EPS + ALPHA_MARGIN;
+        for (ai, alpha) in [exact - band, exact + band].into_iter().enumerate() {
+            // Degenerate thresholds make the decision trivial (α ≤ 0
+            // always accepts, α > 1 always rejects) — no sampling tested.
+            if alpha <= 0.0 || alpha > 1.0 {
+                continue;
+            }
+            let sub = derive_seed(seed, 40 + (ti * 2 + ai) as u64);
+            let out = sample_simp_with(engine, table, q, g, tau, alpha, None, &params, sub);
+
+            // Deterministic invariants first — these hold regardless of
+            // which worlds the RNG drew.
+            if out.passed && out.best_mapping.is_none() {
+                report.violation(
+                    "sampler_invariants",
+                    seed,
+                    format!("τ={tau} α={alpha}: sampled accept without a witness mapping"),
+                );
+            }
+            if !(0.0..=1.0 + 1e-9).contains(&out.estimate) {
+                report.violation(
+                    "sampler_invariants",
+                    seed,
+                    format!("τ={tau} α={alpha}: estimate {} outside [0, 1]", out.estimate),
+                );
+            }
+            let replay = sample_simp_with(engine, table, q, g, tau, alpha, None, &params, sub);
+            if replay.passed != out.passed || replay.worlds_sampled != out.worlds_sampled {
+                report.violation(
+                    "sampler_invariants",
+                    seed,
+                    format!(
+                        "τ={tau} α={alpha}: seed {sub} did not replay \
+                         (passed {}→{}, draws {}→{})",
+                        out.passed, replay.passed, out.worlds_sampled, replay.worlds_sampled
+                    ),
+                );
+            }
+
+            // The probabilistic contract: count guaranteed decisions and
+            // their failures; the runner compares the aggregate against
+            // the δ budget. Budget-exhausted outcomes carry no
+            // certificate and are excluded.
+            if out.guaranteed {
+                report.sample_trials += 1;
+                if out.passed != (exact >= alpha) {
+                    report.sample_failures += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{near_pair, GenConfig};
+
+    #[test]
+    fn sampler_matches_enumeration_on_seeded_pairs() {
+        let cfg = GenConfig::default();
+        let mut engine = GedEngine::new();
+        let mut table = SymbolTable::new();
+        let mut report = ConformanceReport::default();
+        for seed in 0..30u64 {
+            let (q, g) = near_pair(&mut table, &cfg, seed);
+            check_sampler_pair(&mut engine, &table, &q, &g, seed, &mut report);
+        }
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert!(report.sample_trials > 0, "no sampled decisions were exercised");
+        assert!(
+            report.sample_failures <= allowed_failures(report.sample_trials, SAMPLE_DELTA),
+            "{} failures over {} trials exceeds the δ={} budget",
+            report.sample_failures,
+            report.sample_trials,
+            SAMPLE_DELTA
+        );
+    }
+
+    #[test]
+    fn failure_allowance_scales_with_trials() {
+        assert!(allowed_failures(0, 0.05) >= 1);
+        let small = allowed_failures(40, 0.05);
+        let large = allowed_failures(4000, 0.05);
+        assert!(large > small);
+        // The allowance stays a small fraction of large trial counts.
+        assert!((large as f64) < 0.1 * 4000.0);
+    }
+}

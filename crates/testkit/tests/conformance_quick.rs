@@ -4,9 +4,9 @@
 use uqsj_testkit::{run_conformance, ConformanceConfig};
 
 /// Zero violations, and the coverage counters prove the run actually
-/// exercised all seven lower bounds, both SimP evaluators, and all five
-/// join drivers — an accidentally-skipped oracle fails here even if
-/// nothing is wrong with the code under test.
+/// exercised all seven lower bounds, both SimP evaluators, the sampling
+/// tier, and all six join drivers — an accidentally-skipped oracle fails
+/// here even if nothing is wrong with the code under test.
 #[test]
 fn quick_profile_passes_with_full_coverage() {
     let report = run_conformance(&ConformanceConfig::quick(42));
@@ -25,7 +25,7 @@ fn quick_profile_passes_with_full_coverage() {
     assert!(report.simp_flat > 0, "flat SimP evaluator never exercised");
     assert!(report.simp_grouped > 0, "grouped SimP evaluator never exercised");
 
-    let expected_joins = ["css_only", "simj", "simj_opt", "parallel", "indexed"];
+    let expected_joins = ["css_only", "simj", "simj_opt", "parallel", "indexed", "auto_tier"];
     assert_eq!(report.join_runs.len(), expected_joins.len(), "{:?}", report.join_runs);
     for name in expected_joins {
         assert!(
@@ -36,6 +36,7 @@ fn quick_profile_passes_with_full_coverage() {
     }
 
     assert!(report.worlds > 0 && report.engine_checks > 0 && report.metamorphic_checks > 0);
+    assert!(report.sample_trials > 0, "sampling-tier oracle never exercised");
 }
 
 /// Different base seeds generate different workloads but the suite stays

@@ -62,8 +62,22 @@ impl PossibleWorldGroup {
     }
 
     /// Number of possible worlds in the group.
+    ///
+    /// Saturates at [`u128::MAX`] instead of wrapping (mirroring
+    /// `UncertainGraph::world_count`): a wrapped product on a group with
+    /// hundreds of multi-label vertices could masquerade as a tiny —
+    /// enumerable-looking — count and stall the verifier. A saturated
+    /// count is detectable via [`Self::world_count_saturated`] and always
+    /// exceeds any enumeration threshold, routing the group to the
+    /// sampling tier.
     pub fn world_count(&self) -> u128 {
         self.label_sets.iter().map(|s| s.len() as u128).fold(1, |a, b| a.saturating_mul(b))
+    }
+
+    /// Whether [`Self::world_count`] overflowed `u128` and clamped; the
+    /// group is then enumeration-infeasible by definition.
+    pub fn world_count_saturated(&self) -> bool {
+        self.world_count() == u128::MAX
     }
 
     /// Just the labels, for the restricted CSS bound.
@@ -451,6 +465,24 @@ mod tests {
         assert_eq!(tail.label_sets[1].len(), 2);
         // Highest-probability alternative goes to the head.
         assert!((head.label_sets[1][0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_world_count_saturates_instead_of_wrapping() {
+        // 2^130 worlds: a wrapping product would hit 0 once 128 factors
+        // of 2 accumulate; the count must clamp at u128::MAX so the group
+        // never looks enumerable.
+        let mut t = SymbolTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        let grp = PossibleWorldGroup { label_sets: vec![vec![(a, 0.5), (b, 0.5)]; 130] };
+        assert_eq!(grp.world_count(), u128::MAX);
+        assert!(grp.world_count_saturated());
+        // Splitting a saturated group still works and stays saturated.
+        let (head, tail) = grp.split_at(0).unwrap();
+        assert_eq!(head.world_count(), u128::MAX, "2^129 still saturates");
+        assert!(!PossibleWorldGroup { label_sets: vec![vec![(a, 1.0)]] }.world_count_saturated());
+        drop(tail);
     }
 
     #[test]
