@@ -1,0 +1,224 @@
+//! Cascade-drift experiment: the workload family switches mid-stream and
+//! the adaptive planner must re-rank its filter cascade within one epoch.
+//!
+//! Phase A is an ER-flavored stream of structure-identical chain pairs
+//! whose uncertain labels carry little matching mass: every GED lower
+//! bound passes (the graphs are isomorphic up to labels, so the bounds
+//! are blind) and only the Markov α-filter prunes. The planner converges
+//! to a Markov-only plan and correctly evicts the never-firing bounds.
+//!
+//! Phase B swaps in an AIDS-like stream of label-saturated star-vs-chain
+//! pairs: every vertex label matches (the Markov bound is vacuous) but
+//! the structures are > τ apart, so only the CSS bound can prune. The
+//! stale Markov-only plan sends the first pairs to verification; probe
+//! pairs hand CSS fresh firing evidence, and the next epoch replan must
+//! put CSS back — the experiment fails (nonzero exit) if the plan does
+//! not change within one epoch of the switch, or if CSS does not end up
+//! ahead of Markov (or Markov dropped) once re-ranked.
+//!
+//! Every phase is also joined under the fixed cascade and the match sets
+//! compared — adaptation is a cost optimization, never a result change.
+//!
+//! `--smoke` shrinks both phases for the CI gate.
+
+use std::process::ExitCode;
+use uqsj::graph::{Graph, GraphBuilder, SymbolTable, UncertainGraph};
+use uqsj::prelude::*;
+use uqsj::simjoin::{sim_join_in, CascadeRuntime};
+
+const TAU: u32 = 2;
+const ALPHA: f64 = 0.5;
+
+/// Phase A certain side: chains over the two labels the uncertain side
+/// rarely commits to. `salt` rotates which label leads, so the stream is
+/// not one graph repeated.
+fn chain_query(t: &mut SymbolTable, n: usize, salt: usize) -> Graph {
+    let mut b = GraphBuilder::new(t);
+    for i in 0..n {
+        let label = if (i + salt).is_multiple_of(2) { "A" } else { "B" };
+        b.vertex(&format!("v{i}"), label);
+    }
+    for i in 1..n {
+        b.edge(&format!("v{}", i - 1), &format!("v{i}"), "e");
+    }
+    b.into_graph()
+}
+
+/// Phase A uncertain side: the same chain topology, but each vertex puts
+/// only 0.15 mass on a label the queries use and the rest on a decoy.
+/// Optimistically every vertex *can* match (the GED bounds pass); in
+/// expectation almost nothing does (E(Y) = 0.15·n, so the Markov bound
+/// is far below α and fires).
+fn chain_uncertain(t: &mut SymbolTable, n: usize, salt: usize) -> UncertainGraph {
+    let mut b = GraphBuilder::new(t);
+    for i in 0..n {
+        let match_label = if (i + salt).is_multiple_of(2) { "A" } else { "B" };
+        let decoy = format!("D{}", (i + salt) % 4);
+        b.uncertain_vertex(&format!("v{i}"), &[(match_label, 0.15), (decoy.as_str(), 0.85)]);
+    }
+    for i in 1..n {
+        b.edge(&format!("v{}", i - 1), &format!("v{i}"), "e");
+    }
+    b.into_uncertain()
+}
+
+/// Phase B certain side: stars over the same `{A, B}` labels the phase B
+/// uncertain side is saturated with.
+fn star_query(t: &mut SymbolTable, n: usize, salt: usize) -> Graph {
+    let mut b = GraphBuilder::new(t);
+    for i in 0..n {
+        let label = if (i + salt).is_multiple_of(2) { "A" } else { "B" };
+        b.vertex(&format!("v{i}"), label);
+    }
+    for i in 1..n {
+        b.edge("v0", &format!("v{i}"), "e");
+    }
+    b.into_graph()
+}
+
+/// Phase B uncertain side: chains whose every vertex splits its mass
+/// between the two labels the queries use, so *every* alternative
+/// matches (E(Y) = n, the Markov bound is vacuous) and each graph has
+/// 2^n possible worlds. The star-vs-chain structure keeps GED > τ in
+/// every world — only a structural bound can prune the pair, and
+/// skipping it costs a real multi-world verification.
+fn chain_label_saturated(t: &mut SymbolTable, n: usize, salt: usize) -> UncertainGraph {
+    let mut b = GraphBuilder::new(t);
+    for i in 0..n {
+        let (first, second) = if (i + salt).is_multiple_of(2) { ("A", "B") } else { ("B", "A") };
+        b.uncertain_vertex(&format!("v{i}"), &[(first, 0.5), (second, 0.5)]);
+    }
+    for i in 1..n {
+        b.edge(&format!("v{}", i - 1), &format!("v{i}"), "e");
+    }
+    b.into_uncertain()
+}
+
+fn match_keys(ms: &[JoinMatch]) -> Vec<(usize, usize)> {
+    let mut keys: Vec<_> = ms.iter().map(|m| (m.g_index, m.q_index)).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = 8usize; // vertices per graph in both phases
+    let (a_d, a_u, b_d, b_u) = if smoke { (24, 12, 12, 24) } else { (48, 24, 24, 24) };
+
+    let mut table = SymbolTable::new();
+    let phase_a_d: Vec<Graph> = (0..a_d).map(|s| chain_query(&mut table, n, s)).collect();
+    let phase_a_u: Vec<UncertainGraph> =
+        (0..a_u).map(|s| chain_uncertain(&mut table, n, s)).collect();
+    let phase_b_d: Vec<Graph> = (0..b_d).map(|s| star_query(&mut table, n, s)).collect();
+    let phase_b_u: Vec<UncertainGraph> =
+        (0..b_u).map(|s| chain_label_saturated(&mut table, n, s)).collect();
+
+    // A fast-turning policy: short epochs and dense probes, so the
+    // evidence window flips within one epoch of the family switch
+    // instead of amortizing the old family's statistics across several.
+    let policy = CascadePolicy::adaptive()
+        .with_calibration_pairs(64)
+        .with_epoch_pairs(32)
+        .with_probe_interval(4);
+    let params = JoinParams::simj(TAU, ALPHA).with_cascade(policy);
+    let fixed_params = JoinParams::simj(TAU, ALPHA);
+    let cascade = CascadeRuntime::new(policy, params.strategy);
+
+    // --- Phase A: ER-flavored, Markov-prunable ------------------------
+    let (a_matches, a_stats) = sim_join_in(&cascade, &table, &phase_a_d, &phase_a_u, params);
+    let (a_fixed, _) = sim_join(&table, &phase_a_d, &phase_a_u, fixed_params);
+    if match_keys(&a_matches) != match_keys(&a_fixed) {
+        eprintln!("FAIL: adaptive phase A results diverge from the fixed cascade");
+        return ExitCode::FAILURE;
+    }
+    let report_a = cascade.report();
+    println!(
+        "phase A (ER chains, low label mass): {} pairs, {} results, markov pruned {}",
+        a_stats.pairs_total,
+        a_matches.len(),
+        a_stats.pruned_probabilistic(),
+    );
+    println!("plan after phase A: {}", report_a.plan.join(" -> "));
+    if !report_a.plan.contains(&"markov") {
+        eprintln!("FAIL: phase A did not converge on the Markov filter");
+        return ExitCode::FAILURE;
+    }
+    if report_a.plan.contains(&"css") {
+        eprintln!(
+            "FAIL: css survived phase A ({}), leaving nothing to re-learn",
+            report_a.plan.join(" -> ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // --- Phase B: AIDS-like, CSS-prunable -----------------------------
+    // Stream one uncertain graph at a time so the plan can be observed
+    // mid-stream; the re-rank must land within one epoch of the switch.
+    let pairs_at_switch = report_a.pairs_seen;
+    let mut pairs_at_change = None;
+    let mut b_keys: Vec<(usize, usize)> = Vec::new();
+    for (i, g) in phase_b_u.iter().enumerate() {
+        let (ms, _) = sim_join_in(&cascade, &table, &phase_b_d, std::slice::from_ref(g), params);
+        b_keys.extend(ms.iter().map(|m| (i, m.q_index)));
+        let report = cascade.report();
+        if pairs_at_change.is_none() && report.plan != report_a.plan {
+            pairs_at_change = Some(report.pairs_seen);
+            println!(
+                "plan changed after {} phase-B pairs: {}",
+                report.pairs_seen - pairs_at_switch,
+                report.plan.join(" -> ")
+            );
+        }
+    }
+    let report_b = cascade.report();
+    println!("plan after phase B: {}", report_b.plan.join(" -> "));
+    println!("{report_b}");
+
+    let (b_fixed, b_fixed_stats) = sim_join(&table, &phase_b_d, &phase_b_u, fixed_params);
+    let fixed_keys = match_keys(&b_fixed);
+    b_keys.sort_unstable();
+    if b_keys != fixed_keys {
+        eprintln!("FAIL: adaptive phase B results diverge from the fixed cascade");
+        return ExitCode::FAILURE;
+    }
+    if b_fixed_stats.pruned_structural() == 0 {
+        eprintln!("FAIL: phase B workload is not CSS-prunable — nothing to drift toward");
+        return ExitCode::FAILURE;
+    }
+
+    // The re-rank deadline: one epoch after the family switch, plus the
+    // chunk granularity the plan is observed at.
+    let chunk = phase_b_d.len() as u64;
+    let deadline = policy.epoch_pairs + chunk;
+    match pairs_at_change {
+        None => {
+            eprintln!("FAIL: the plan never changed after the workload family switched");
+            ExitCode::FAILURE
+        }
+        Some(at) if at - pairs_at_switch > deadline => {
+            eprintln!(
+                "FAIL: re-rank took {} pairs (deadline {deadline} = one epoch + chunk)",
+                at - pairs_at_switch
+            );
+            ExitCode::FAILURE
+        }
+        Some(_) => {
+            let css_pos = report_b.plan.iter().position(|s| *s == "css");
+            let markov_pos = report_b.plan.iter().position(|s| *s == "markov");
+            match (css_pos, markov_pos) {
+                (None, _) => {
+                    eprintln!("FAIL: css missing from the re-ranked plan");
+                    ExitCode::FAILURE
+                }
+                (Some(c), Some(m)) if c > m => {
+                    eprintln!("FAIL: css re-added but still ranked behind markov");
+                    ExitCode::FAILURE
+                }
+                _ => {
+                    println!("OK: cascade re-ranked within one epoch of the family switch");
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+    }
+}

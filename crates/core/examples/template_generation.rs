@@ -33,8 +33,8 @@ fn main() {
     );
     println!(
         "Pruning: {} structural + {} probabilistic of {} pairs; {} candidates verified",
-        result.stats.pruned_structural,
-        result.stats.pruned_probabilistic,
+        result.stats.pruned_structural(),
+        result.stats.pruned_probabilistic(),
         result.stats.pairs_total,
         result.stats.candidates
     );

@@ -14,10 +14,23 @@
 //!               [--strategy css|simj|opt] [--metrics-out FILE]
 //!               [--trace-out FILE] [--simp-mode exact|sample|auto]
 //!               [--epsilon E] [--delta D] [--sample-seed S]
-//!     Run the join only and print per-stage statistics. --metrics-out
+//!               [--cascade fixed|adaptive|shuffled]
+//!               [--calibration-pairs K] [--epoch-pairs E]
+//!               [--probe-interval P] [--hysteresis H] [--shuffle-seed S]
+//!     Run the join only and print per-stage statistics plus the cascade
+//!     plan and per-bound selectivity/cost table. --metrics-out
 //!     writes the process metric registry as Prometheus text to FILE and
 //!     as JSON to FILE.json; --trace-out dumps the span flight recorder
 //!     as a Chrome trace.
+//!
+//!     Cascade flags (join and generate): --cascade picks the filter-stage
+//!     plan — the paper's fixed order (default), the adaptive
+//!     selectivity/cost planner over the full bound registry, or a
+//!     seed-derived shuffled plan (conformance aid). Every choice returns
+//!     identical results; only cost changes. --calibration-pairs (64) sets
+//!     the warm-start sample, --epoch-pairs (512) the re-plan period,
+//!     --probe-interval (64) the dropped-stage refresh cadence, and
+//!     --hysteresis (0.1) the adoption threshold.
 //!
 //!     Sampling flags (join and generate): --simp-mode picks the SimP
 //!     verification tier — exact enumeration (default), Monte-Carlo
@@ -187,6 +200,25 @@ fn simp_policy(opts: &Options) -> SimpPolicy {
     policy.with_threshold(opts.num("sample-threshold", SimpPolicy::DEFAULT_AUTO_THRESHOLD))
 }
 
+fn cascade_policy(opts: &Options) -> CascadePolicy {
+    let base = match opts.get("cascade").unwrap_or("fixed") {
+        "adaptive" => CascadePolicy::adaptive(),
+        "shuffled" => CascadePolicy::shuffled(opts.num("shuffle-seed", 42u64)),
+        other => {
+            if other != "fixed" {
+                eprintln!(
+                    "unknown --cascade {other:?}; expected fixed|adaptive|shuffled, using fixed"
+                );
+            }
+            CascadePolicy::fixed()
+        }
+    };
+    base.with_calibration_pairs(opts.num("calibration-pairs", base.calibration_pairs))
+        .with_epoch_pairs(opts.num("epoch-pairs", base.epoch_pairs))
+        .with_probe_interval(opts.num("probe-interval", base.probe_interval))
+        .with_hysteresis(opts.num("hysteresis", base.hysteresis))
+}
+
 fn join_params(opts: &Options) -> JoinParams {
     let strategy = match opts.get("strategy").unwrap_or("simj") {
         "css" => JoinStrategy::CssOnly,
@@ -198,6 +230,7 @@ fn join_params(opts: &Options) -> JoinParams {
         alpha: opts.num("alpha", 0.7),
         strategy,
         simp: simp_policy(opts),
+        cascade: cascade_policy(opts),
     }
 }
 
@@ -645,11 +678,11 @@ fn join(opts: &Options) -> ExitCode {
     println!(
         "pairs {} | pruned: size {} lm {} css {} markov {} grouped {} | candidates {} ({:.2}%)",
         stats.pairs_total,
-        stats.pruned_size,
-        stats.pruned_label_multiset,
-        stats.pruned_structural,
-        stats.pruned_probabilistic,
-        stats.pruned_grouped,
+        stats.pruned_size(),
+        stats.pruned_label_multiset(),
+        stats.pruned_structural(),
+        stats.pruned_probabilistic(),
+        stats.pruned_grouped(),
         stats.candidates,
         stats.candidate_ratio() * 100.0
     );
@@ -669,6 +702,9 @@ fn join(opts: &Options) -> ExitCode {
         stats.worlds_sampled,
         params.simp.seed
     );
+    if let Some(report) = &stats.cascade {
+        print!("{report}");
+    }
     if let Some(path) = opts.get("metrics-out") {
         if let Err(e) = write_metrics(uqsj::obs::global(), path) {
             eprintln!("cannot write metrics to {path}: {e}");

@@ -66,7 +66,9 @@ pub mod prelude {
     pub use crate::pipeline::{generate_templates, PipelineResult};
     pub use crate::sample::{SimpMode, SimpPolicy};
     pub use crate::serve::{Ingestor, QaServer, ServeConfig, TemplateStore};
-    pub use crate::simjoin::{sim_join, JoinMatch, JoinParams, JoinStats, JoinStrategy};
+    pub use crate::simjoin::{
+        sim_join, CascadeMode, CascadePolicy, JoinMatch, JoinParams, JoinStats, JoinStrategy,
+    };
     pub use crate::template::{answer_question, Template, TemplateLibrary};
     pub use crate::uncertain::{similarity_probability, ub_simp, verify_simp};
     pub use crate::workload::{qald_like, webq_like, Dataset, DatasetConfig};

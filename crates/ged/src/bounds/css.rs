@@ -165,6 +165,10 @@ impl LowerBound for CssBound {
         "CSS"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "css"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_css_certain(table, q, g)
     }

@@ -115,6 +115,10 @@ impl LowerBound for CStarBound {
         "CStar"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "cstar"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_cstar(table, q, g)
     }

@@ -115,6 +115,10 @@ impl LowerBound for KatBound {
         "kAT"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "kat"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_kat(table, q, g, self.depth)
     }

@@ -30,6 +30,10 @@ impl LowerBound for LabelMultisetBound {
         "LM"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "label_multiset"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_label_multiset(table, q, g)
     }

@@ -24,10 +24,18 @@ pub mod size;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 
 /// A uniform interface over all lower bounds, used by the
-/// filter-comparison experiment (Fig. 15) and the ablation benches.
+/// filter-comparison experiment (Fig. 15), the ablation benches, and the
+/// adaptive join cascade (which treats [`all_bounds`] as its stage
+/// registry).
 pub trait LowerBound {
     /// Short name for reporting ("CSS", "Path", ...).
     fn name(&self) -> &'static str;
+
+    /// Stable snake_case identifier for metrics and per-stage join
+    /// statistics (`uqsj_join_pruned_total{stage=...}`). Unlike
+    /// [`LowerBound::name`] this never changes spelling — dashboards and
+    /// the CI metric catalogue key on it.
+    fn stage_label(&self) -> &'static str;
 
     /// A lower bound on `ged(q, g)` for two certain graphs.
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32;
@@ -46,9 +54,11 @@ pub trait LowerBound {
 /// Every filtering lower bound at its default configuration, in cheap-to-
 /// expensive order: size, label-multiset, CSS, c-star, path n-grams,
 /// partition, SEGOS cascade. This is the canonical list the filter
-/// comparison (Fig. 15) and the conformance oracles iterate — adding a
-/// bound here automatically enrolls it in both.
-pub fn all_bounds() -> Vec<Box<dyn LowerBound>> {
+/// comparison (Fig. 15), the conformance oracles, and the adaptive join
+/// cascade iterate — adding a bound here automatically enrolls it in all
+/// three. `Send + Sync` because the cascade planner shares the registry
+/// across join workers.
+pub fn all_bounds() -> Vec<Box<dyn LowerBound + Send + Sync>> {
     vec![
         Box::new(size::SizeBound),
         Box::new(label_multiset::LabelMultisetBound),

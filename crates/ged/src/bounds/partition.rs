@@ -168,6 +168,10 @@ impl LowerBound for ParsBound {
         "Pars"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "partition"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_partition(table, q, g, self.max_size)
     }

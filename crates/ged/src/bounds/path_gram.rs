@@ -80,6 +80,10 @@ impl LowerBound for PathBound {
         "Path"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "path_gram"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_path(table, q, g)
     }

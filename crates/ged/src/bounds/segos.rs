@@ -50,6 +50,10 @@ impl LowerBound for SegosBound {
         "SEGOS"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "segos"
+    }
+
     fn certain(&self, table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_segos(table, q, g)
     }

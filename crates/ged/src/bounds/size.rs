@@ -21,6 +21,10 @@ impl LowerBound for SizeBound {
         "Size"
     }
 
+    fn stage_label(&self) -> &'static str {
+        "size"
+    }
+
     fn certain(&self, _table: &SymbolTable, q: &Graph, g: &Graph) -> u32 {
         lb_ged_size(q, g)
     }

@@ -22,15 +22,20 @@ pub fn normalize_question(question: &str) -> String {
 /// an older generation. This closes the read-compute-put race where an
 /// answer computed against the pre-ingest library would be cached *after*
 /// the ingest's clear and then served stale forever.
+///
+/// Generic over the cached value so callers can attach routing metadata
+/// to the outcome (the sharded server caches which shard answered, so a
+/// cache hit keeps its template attribution); plain servers use the
+/// default `QaOutcome`.
 #[derive(Debug)]
-pub struct AnswerCache {
+pub struct AnswerCache<V = QaOutcome> {
     capacity: usize,
     clock: u64,
     generation: u64,
-    entries: HashMap<String, (QaOutcome, u64)>,
+    entries: HashMap<String, (V, u64)>,
 }
 
-impl AnswerCache {
+impl<V: Clone> AnswerCache<V> {
     /// A cache holding at most `capacity` answers. `capacity == 0`
     /// disables caching entirely.
     pub fn new(capacity: usize) -> Self {
@@ -55,7 +60,7 @@ impl AnswerCache {
 
     /// Insert under a *normalized* key, unless the library generation has
     /// advanced past the one the outcome was computed against.
-    pub fn put_at(&mut self, generation: u64, key: String, outcome: QaOutcome) {
+    pub fn put_at(&mut self, generation: u64, key: String, outcome: V) {
         if generation != self.generation {
             return;
         }
@@ -63,7 +68,7 @@ impl AnswerCache {
     }
 
     /// Look up a *normalized* key, refreshing its recency on hit.
-    pub fn get(&mut self, key: &str) -> Option<QaOutcome> {
+    pub fn get(&mut self, key: &str) -> Option<V> {
         self.clock += 1;
         let clock = self.clock;
         self.entries.get_mut(key).map(|(outcome, stamp)| {
@@ -74,7 +79,7 @@ impl AnswerCache {
 
     /// Insert under a *normalized* key, evicting the least recently used
     /// entry when full.
-    pub fn put(&mut self, key: String, outcome: QaOutcome) {
+    pub fn put(&mut self, key: String, outcome: V) {
         if self.capacity == 0 {
             return;
         }

@@ -108,7 +108,10 @@ pub struct ShardedQaServer {
     triples: Arc<TripleStore>,
     config: ServeConfig,
     replicas: usize,
-    cache: Mutex<AnswerCache>,
+    /// Caches the answering shard alongside the outcome, so a cache hit
+    /// keeps the (shard, local template index) attribution an uncached
+    /// answer carries.
+    cache: Mutex<AnswerCache<(QaOutcome, Option<usize>)>>,
     metrics: ServeMetrics,
     shard_touched: Histogram,
     ingest_fanout: Histogram,
@@ -314,9 +317,9 @@ impl ShardedQaServer {
         let key = normalize_question(question);
         let generation = {
             let mut cache = self.cache.lock();
-            if let Some(hit) = cache.get(&key) {
+            if let Some((outcome, shard)) = cache.get(&key) {
                 self.metrics.record_hit(started.elapsed());
-                return ShardedAnswer { outcome: hit, shard: None, shards_touched: 0 };
+                return ShardedAnswer { outcome, shard, shards_touched: 0 };
             }
             cache.generation()
         };
@@ -350,7 +353,7 @@ impl ShardedQaServer {
         drop(guards);
         self.metrics.record_miss(started.elapsed(), n_candidates, library_size, stats.ted_computed);
         self.shard_touched.observe(shards_touched as u64);
-        self.cache.lock().put_at(generation, key, multi.outcome.clone());
+        self.cache.lock().put_at(generation, key, (multi.outcome.clone(), multi.library));
         ShardedAnswer { outcome: multi.outcome, shard: multi.library, shards_touched }
     }
 

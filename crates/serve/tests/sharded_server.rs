@@ -78,7 +78,7 @@ fn assert_matches_oracle(
     assert_eq!(
         global_index(server, got.shard, got.outcome.template_index),
         want.template_index,
-        "template diverged: {context}"
+        "template diverged: {context}\ngot={got:?}\nwant={want:?}"
     );
     assert!((got.outcome.phi - want.phi).abs() < 1e-12, "phi diverged: {context}");
 }
@@ -178,6 +178,40 @@ fn reopened_sharded_directory_answers_like_an_uninterrupted_server() {
         assert_matches_oracle(&reopened, &got, &want, &format!("question={:?}", pair.question));
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cache hit must preserve the (shard, local template index)
+/// attribution the uncached answer carried — a repeated question used to
+/// come back with `shard: None`, making the local index unmappable.
+#[test]
+fn cached_answers_keep_shard_attribution() {
+    let dataset = qa_dataset(780, 40, 25);
+    let params = JoinParams::simj(1, 0.5);
+    let library = batch_library(&dataset, 40, params);
+    assert!(library.len() >= 4);
+    let lexicon = dataset.kb.lexicon.clone();
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 8 };
+    let server = ShardedQaServer::new(
+        clone_library(&library),
+        lexicon,
+        dataset.kb.triple_store(),
+        3,
+        config,
+    );
+    let answered = dataset
+        .pairs
+        .iter()
+        .find(|p| server.answer(&p.question).outcome.template_index.is_some())
+        .expect("at least one answerable question");
+    let cold = server.answer(&answered.question);
+    let hot = server.answer(&answered.question); // second ask: cache hit
+    assert_eq!(hot.shards_touched, 0, "second ask should be served from cache");
+    assert_eq!(hot.shard, cold.shard, "cache hit lost shard attribution");
+    assert_eq!(hot.outcome.template_index, cold.outcome.template_index);
+    assert_eq!(
+        global_index(&server, hot.shard, hot.outcome.template_index),
+        global_index(&server, cold.shard, cold.outcome.template_index),
+    );
 }
 
 /// Replica failover: trashing one replica of every shard (bit-flipped

@@ -1,19 +1,14 @@
 //! The SimJ procedure (Algorithm 1) and its group-optimized variant
 //! (Algorithm 2).
 
+use crate::cascade::{CascadeCursor, CascadeOutcome, CascadePolicy, CascadeRuntime};
 use crate::obs::join_obs;
 use crate::stats::JoinStats;
 use std::time::Instant;
 use uqsj_ged::astar::GedResult;
-use uqsj_ged::bounds::css::{css_terms_uncertain, lb_ged_css_uncertain};
-use uqsj_ged::bounds::label_multiset::LabelMultisetBound;
-use uqsj_ged::bounds::size::SizeBound;
-use uqsj_ged::bounds::LowerBound;
 use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 use uqsj_sample::{pair_seed, verify_pair_with, SimpPolicy, Tier};
-use uqsj_uncertain::groups::ub_simp_grouped;
-use uqsj_uncertain::prob_bound::ub_simp_with_terms;
 
 /// Which pruning pipeline to run (the three lines of Figs. 11–14).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,18 +39,34 @@ pub struct JoinParams {
     /// Monte-Carlo sampling, or world-count-adaptive dispatch between the
     /// two (see [`uqsj_sample::SimpPolicy`]).
     pub simp: SimpPolicy,
+    /// How the filter stages are ordered and selected: the paper's fixed
+    /// cascade, the adaptive selectivity/cost planner, or a seeded
+    /// shuffle (see [`crate::cascade::CascadePolicy`]). Every choice
+    /// yields the identical result pair set.
+    pub cascade: CascadePolicy,
 }
 
 impl JoinParams {
     /// Algorithm-1 parameters (`SimJ`) with the paper's defaults:
-    /// exact-only verification.
+    /// exact-only verification, fixed stage order.
     pub fn simj(tau: u32, alpha: f64) -> Self {
-        Self { tau, alpha, strategy: JoinStrategy::SimJ, simp: SimpPolicy::exact() }
+        Self {
+            tau,
+            alpha,
+            strategy: JoinStrategy::SimJ,
+            simp: SimpPolicy::exact(),
+            cascade: CascadePolicy::fixed(),
+        }
     }
 
     /// The same parameters with a different verification-tier policy.
     pub fn with_simp(self, simp: SimpPolicy) -> Self {
         Self { simp, ..self }
+    }
+
+    /// The same parameters with a different cascade policy.
+    pub fn with_cascade(self, cascade: CascadePolicy) -> Self {
+        Self { cascade, ..self }
     }
 }
 
@@ -85,15 +96,44 @@ pub fn sim_join(
     u: &[UncertainGraph],
     params: JoinParams,
 ) -> (Vec<JoinMatch>, JoinStats) {
+    let cascade = CascadeRuntime::new(params.cascade, params.strategy);
+    sim_join_in(&cascade, table, d, u, params)
+}
+
+/// [`sim_join`] against a caller-owned cascade runtime, so several runs
+/// (or a streaming driver) can share one planner's accumulated
+/// estimates. The runtime must have been built with the same strategy as
+/// `params.strategy`.
+pub fn sim_join_in(
+    cascade: &CascadeRuntime,
+    table: &SymbolTable,
+    d: &[Graph],
+    u: &[UncertainGraph],
+    params: JoinParams,
+) -> (Vec<JoinMatch>, JoinStats) {
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
     // One search workspace for the whole candidate stream.
     let mut engine = GedEngine::new();
+    let mut cursor = CascadeCursor::new();
     for (gi, g) in u.iter().enumerate() {
         for (qi, q) in d.iter().enumerate() {
-            join_pair(&mut engine, table, qi, q, gi, g, params, &mut out, &mut stats);
+            join_pair(
+                &mut engine,
+                cascade,
+                &mut cursor,
+                table,
+                qi,
+                q,
+                gi,
+                g,
+                params,
+                &mut out,
+                &mut stats,
+            );
         }
     }
+    stats.cascade = Some(cascade.report());
     (out, stats)
 }
 
@@ -101,6 +141,8 @@ pub fn sim_join(
 #[allow(clippy::too_many_arguments)] // the join loop's full context
 pub(crate) fn join_pair(
     engine: &mut GedEngine,
+    cascade: &CascadeRuntime,
+    cursor: &mut CascadeCursor,
     table: &SymbolTable,
     qi: usize,
     q: &Graph,
@@ -113,85 +155,17 @@ pub(crate) fn join_pair(
     stats.pairs_total += 1;
     let obs = join_obs();
     obs.pairs.inc();
+
+    // Filtering: run the pair through whatever plan the cascade runtime
+    // currently holds. Every stage is individually sound, so the plan
+    // only decides *cost*, never the result set.
     let pruning_started = Instant::now();
-
-    // Stage 1: size bound — the cheapest filter, and exactly the window
-    // [`crate::JoinIndex`] skips, so indexed and plain joins agree on
-    // `pruned_size`. Sound for every world (structure is certain).
-    let stage = Instant::now();
-    let pruned = SizeBound.uncertain(table, q, g) > params.tau;
-    obs.t_size.observe_duration(stage.elapsed());
-    if pruned {
-        stats.pruned_size += 1;
-        obs.pruned_size.inc();
-        stats.pruning_time += pruning_started.elapsed();
-        return;
-    }
-
-    // Stage 2: label-multiset bound (uncertain lift). Dominated by CSS
-    // (Theorem 2), so it never changes the candidate set — it only lets
-    // pairs fail before the more expensive CSS computation.
-    let stage = Instant::now();
-    let pruned = LabelMultisetBound.uncertain(table, q, g) > params.tau;
-    obs.t_label_multiset.observe_duration(stage.elapsed());
-    if pruned {
-        stats.pruned_label_multiset += 1;
-        obs.pruned_label_multiset.inc();
-        stats.pruning_time += pruning_started.elapsed();
-        return;
-    }
-
-    // Stage 3: CSS structural filter (Algorithm 1, lines 3-4).
-    let stage = Instant::now();
-    let pruned = lb_ged_css_uncertain(table, q, g) > params.tau;
-    obs.t_css.observe_duration(stage.elapsed());
-    if pruned {
-        stats.pruned_structural += 1;
-        obs.pruned_css.inc();
-        stats.pruning_time += pruning_started.elapsed();
-        return;
-    }
-
-    // Stages 4-5: probabilistic filter(s) (lines 5-6 / Algorithm 2).
-    let mut groups = None;
-    match params.strategy {
-        JoinStrategy::CssOnly => {}
-        JoinStrategy::SimJ => {
-            let stage = Instant::now();
-            let terms = css_terms_uncertain(table, q, g);
-            let pruned = ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha;
-            obs.t_markov.observe_duration(stage.elapsed());
-            if pruned {
-                stats.pruned_probabilistic += 1;
-                obs.pruned_markov.inc();
-                stats.pruning_time += pruning_started.elapsed();
-                return;
-            }
-        }
-        JoinStrategy::SimJOpt { group_count } => {
-            let stage = Instant::now();
-            let terms = css_terms_uncertain(table, q, g);
-            let pruned = ub_simp_with_terms(table, q, g, params.tau, &terms) < params.alpha;
-            obs.t_markov.observe_duration(stage.elapsed());
-            if pruned {
-                stats.pruned_probabilistic += 1;
-                obs.pruned_markov.inc();
-                stats.pruning_time += pruning_started.elapsed();
-                return;
-            }
-            let stage = Instant::now();
-            let (ub, parts) = ub_simp_grouped(table, q, g, params.tau, group_count);
-            obs.t_grouped.observe_duration(stage.elapsed());
-            if ub < params.alpha {
-                stats.pruned_grouped += 1;
-                obs.pruned_grouped.inc();
-                stats.pruning_time += pruning_started.elapsed();
-                return;
-            }
-            groups = Some(parts);
-        }
-    }
+    let outcome = cascade.run_pair(cursor, table, q, g, params.tau, params.alpha, stats);
     stats.pruning_time += pruning_started.elapsed();
+    let groups = match outcome {
+        CascadeOutcome::Pruned => return,
+        CascadeOutcome::Candidate(groups) => groups,
+    };
 
     // Refinement (lines 7-15), dispatched to the exact or sampling tier
     // by the policy. The sub-seed is a pure function of the pair indices,
@@ -214,6 +188,7 @@ pub(crate) fn join_pair(
     );
     let verify_elapsed = verification_started.elapsed();
     obs.t_verify.observe_duration(verify_elapsed);
+    cascade.record_verify(verify_elapsed);
     stats.verification_time += verify_elapsed;
     stats.worlds_verified += outcome.worlds_verified as u64;
     stats.worlds_sampled += outcome.worlds_sampled;
@@ -327,6 +302,42 @@ mod tests {
         let count = |alpha| sim_join(&t, &d, &u, JoinParams::simj(1, alpha)).0.len();
         assert!(count(0.1) >= count(0.5));
         assert!(count(0.5) >= count(0.95));
+    }
+
+    #[test]
+    fn cascade_policies_agree_on_results() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let collect = |cascade| {
+            let params = JoinParams::simj(1, 0.3).with_cascade(cascade);
+            let (m, _) = sim_join(&t, &d, &u, params);
+            let mut pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.q_index, x.g_index)).collect();
+            pairs.sort_unstable();
+            pairs
+        };
+        let fixed = collect(CascadePolicy::fixed());
+        // Tiny knobs so the adaptive planner calibrates and replans even
+        // on this four-pair workload.
+        let adaptive =
+            collect(CascadePolicy::adaptive().with_calibration_pairs(2).with_epoch_pairs(1));
+        assert_eq!(fixed, adaptive, "plan choice must not change results");
+        for seed in 0..8 {
+            assert_eq!(
+                fixed,
+                collect(CascadePolicy::shuffled(seed)),
+                "shuffled plan (seed {seed}) changed the result set"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_carry_a_cascade_report() {
+        let mut t = SymbolTable::new();
+        let (d, u) = workload(&mut t);
+        let (_, stats) = sim_join(&t, &d, &u, JoinParams::simj(1, 0.5));
+        let report = stats.cascade.expect("sequential driver stamps the report");
+        assert_eq!(report.pairs_seen, stats.pairs_total);
+        assert_eq!(report.plan.first(), Some(&"size"));
     }
 
     #[test]

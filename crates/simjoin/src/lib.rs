@@ -14,6 +14,7 @@
 //!   with the cost model of Sec. 6.2 for a tighter probability bound and
 //!   group-pruned verification: Algorithm 2.
 
+pub mod cascade;
 pub mod filter_eval;
 pub mod index;
 pub mod join;
@@ -22,10 +23,11 @@ pub mod parallel;
 pub mod stats;
 pub mod topk;
 
+pub use cascade::{CascadeCursor, CascadeMode, CascadePolicy, CascadeReport, CascadeRuntime};
 pub use index::{sim_join_indexed, JoinIndex};
-pub use join::{sim_join, JoinMatch, JoinParams, JoinStrategy};
+pub use join::{sim_join, sim_join_in, JoinMatch, JoinParams, JoinStrategy};
 pub use parallel::sim_join_parallel;
 pub use stats::JoinStats;
-pub use topk::{sim_join_topk, TopKMatch};
+pub use topk::{sim_join_topk, sim_join_topk_with, TopKMatch};
 pub use uqsj_ged::GedEngine;
 pub use uqsj_sample::{SimpMode, SimpPolicy, Tier};

@@ -1,8 +1,17 @@
 //! Join instrumentation: everything the efficiency experiments report.
 
+use crate::cascade::CascadeReport;
 use std::time::Duration;
 
 /// Counters and timers accumulated over one join run.
+///
+/// # Per-stage counters
+///
+/// Pruned-pair counts are keyed by cascade stage label (the same
+/// `stage=...` labels `uqsj_join_pruned_total` carries), so a bound added
+/// to the [`uqsj_ged::bounds::all_bounds`] registry gets its own counter
+/// without touching this file. The historical per-stage field names
+/// survive as accessor methods ([`JoinStats::pruned_size`], ...).
 ///
 /// # Time accounting
 ///
@@ -20,17 +29,10 @@ use std::time::Duration;
 pub struct JoinStats {
     /// `|D| × |U|`.
     pub pairs_total: u64,
-    /// Pairs discarded by the vertex/edge-count size bound — the same
-    /// window [`crate::JoinIndex`] skips without touching the pair.
-    pub pruned_size: u64,
-    /// Pairs discarded by the label-multiset bound (uncertain lift).
-    pub pruned_label_multiset: u64,
-    /// Pairs discarded by the CSS structural filter (Theorem 3).
-    pub pruned_structural: u64,
-    /// Pairs discarded by the single-group Markov filter (Theorem 4).
-    pub pruned_probabilistic: u64,
-    /// Pairs discarded by the group-refined bound (Algorithm 2).
-    pub pruned_grouped: u64,
+    /// Pairs discarded per cascade stage, keyed by stage label in the
+    /// order the stages first fired. Small (≤ registry size), so a linear
+    /// scan beats a hash map on the per-pair hot path.
+    pruned: Vec<(&'static str, u64)>,
     /// Pairs that reached verification.
     pub candidates: u64,
     /// Pairs verified with `SimP_τ >= α`.
@@ -52,9 +54,59 @@ pub struct JoinStats {
     /// workers overlap (zero means "not measured": sequential runs, where
     /// [`JoinStats::cpu_time`] already *is* the wall clock).
     pub wall_time: Duration,
+    /// Final cascade-planner snapshot (chosen plan, per-stage
+    /// selectivity/cost), stamped by the drivers when the run ends.
+    pub cascade: Option<CascadeReport>,
 }
 
 impl JoinStats {
+    /// Record `n` pairs discarded by the stage labelled `label`.
+    pub fn record_pruned(&mut self, label: &'static str, n: u64) {
+        if let Some(entry) = self.pruned.iter_mut().find(|(l, _)| *l == label) {
+            entry.1 += n;
+        } else {
+            self.pruned.push((label, n));
+        }
+    }
+
+    /// Pairs discarded by the stage labelled `label` (0 if it never ran).
+    pub fn pruned_by(&self, label: &str) -> u64 {
+        self.pruned.iter().find(|(l, _)| *l == label).map_or(0, |(_, n)| *n)
+    }
+
+    /// Every stage that discarded at least one pair, with its count.
+    pub fn pruned_stages(&self) -> &[(&'static str, u64)] {
+        &self.pruned
+    }
+
+    /// Pairs discarded by the vertex/edge-count size bound — the same
+    /// window [`crate::JoinIndex`] skips without touching the pair.
+    pub fn pruned_size(&self) -> u64 {
+        self.pruned_by("size")
+    }
+
+    /// Pairs discarded by the label-multiset bound (uncertain lift).
+    pub fn pruned_label_multiset(&self) -> u64 {
+        self.pruned_by("label_multiset")
+    }
+
+    /// Pairs discarded by the CSS structural filter (Theorem 3).
+    pub fn pruned_structural(&self) -> u64 {
+        self.pruned_by("css")
+    }
+
+    /// Pairs discarded by the single-group Markov filter (Theorem 4),
+    /// summed over both probabilistic call sites (the `SimJ` filter and
+    /// the `SimJOpt` pre-filter, which report separate stage labels).
+    pub fn pruned_probabilistic(&self) -> u64 {
+        self.pruned_by("markov") + self.pruned_by("markov_opt")
+    }
+
+    /// Pairs discarded by the group-refined bound (Algorithm 2).
+    pub fn pruned_grouped(&self) -> u64 {
+        self.pruned_by("grouped")
+    }
+
     /// Candidate ratio: candidates / total pairs (the y-axis of
     /// Figs. 11(b), 12(b), 13(b), 14(b), 15(b)).
     pub fn candidate_ratio(&self) -> f64 {
@@ -68,11 +120,7 @@ impl JoinStats {
 
     /// Pairs discarded before verification, across all filter stages.
     pub fn pruned_total(&self) -> u64 {
-        self.pruned_size
-            + self.pruned_label_multiset
-            + self.pruned_structural
-            + self.pruned_probabilistic
-            + self.pruned_grouped
+        self.pruned.iter().map(|(_, n)| n).sum()
     }
 
     /// Summed per-pair CPU time (pruning + verification) — the paper's
@@ -98,11 +146,9 @@ impl JoinStats {
     /// intervals overlap — summing them would double-count the clock.
     pub fn merge(&mut self, other: &JoinStats) {
         self.pairs_total += other.pairs_total;
-        self.pruned_size += other.pruned_size;
-        self.pruned_label_multiset += other.pruned_label_multiset;
-        self.pruned_structural += other.pruned_structural;
-        self.pruned_probabilistic += other.pruned_probabilistic;
-        self.pruned_grouped += other.pruned_grouped;
+        for &(label, n) in &other.pruned {
+            self.record_pruned(label, n);
+        }
         self.candidates += other.candidates;
         self.results += other.results;
         self.worlds_verified += other.worlds_verified;
@@ -112,6 +158,9 @@ impl JoinStats {
         self.pruning_time += other.pruning_time;
         self.verification_time += other.verification_time;
         self.wall_time = self.wall_time.max(other.wall_time);
+        if self.cascade.is_none() {
+            self.cascade = other.cascade.clone();
+        }
     }
 }
 
@@ -136,23 +185,33 @@ mod tests {
     }
 
     #[test]
+    fn pruned_counters_are_keyed_by_stage_label() {
+        let mut s = JoinStats::default();
+        s.record_pruned("size", 3);
+        s.record_pruned("css", 2);
+        s.record_pruned("size", 1);
+        s.record_pruned("markov_opt", 5);
+        assert_eq!(s.pruned_size(), 4);
+        assert_eq!(s.pruned_structural(), 2);
+        assert_eq!(s.pruned_probabilistic(), 5);
+        assert_eq!(s.pruned_by("segos"), 0);
+        assert_eq!(s.pruned_total(), 11);
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = JoinStats { pairs_total: 5, candidates: 2, ..Default::default() };
-        let b = JoinStats {
-            pairs_total: 7,
-            candidates: 1,
-            results: 1,
-            pruned_size: 3,
-            pruned_label_multiset: 1,
-            ..Default::default()
-        };
+        let mut b = JoinStats { pairs_total: 7, candidates: 1, results: 1, ..Default::default() };
+        b.record_pruned("size", 3);
+        b.record_pruned("label_multiset", 1);
+        a.record_pruned("size", 2);
         a.merge(&b);
         assert_eq!(a.pairs_total, 12);
         assert_eq!(a.candidates, 3);
         assert_eq!(a.results, 1);
-        assert_eq!(a.pruned_size, 3);
-        assert_eq!(a.pruned_label_multiset, 1);
-        assert_eq!(a.pruned_total(), 4);
+        assert_eq!(a.pruned_size(), 5);
+        assert_eq!(a.pruned_label_multiset(), 1);
+        assert_eq!(a.pruned_total(), 6);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use uqsj_ged::reference::{ged_bounded_reference, ged_reference};
 use uqsj_ged::GedEngine;
 use uqsj_graph::{Graph, SymbolTable, UncertainGraph};
 use uqsj_sample::SimpPolicy;
-use uqsj_simjoin::{sim_join, sim_join_indexed, sim_join_parallel, JoinParams, JoinStrategy};
+use uqsj_simjoin::{
+    sim_join, sim_join_indexed, sim_join_parallel, CascadePolicy, JoinParams, JoinStrategy,
+};
 use uqsj_uncertain::groups::{partition_groups, ub_simp_grouped, verify_simp_groups_with};
 use uqsj_uncertain::prob::verify_simp_with;
 use uqsj_uncertain::prob_bound::{ub_simp, ub_simp_exact_tail};
@@ -42,7 +44,7 @@ const ALPHA_GUARD: f64 = 1e-6;
 /// mutation hook can deliberately weaken one bound to prove the suite
 /// detects over-pruning (see `mutation` below).
 pub struct PairOracles {
-    bounds: Vec<Box<dyn LowerBound>>,
+    bounds: Vec<Box<dyn LowerBound + Send + Sync>>,
     /// When set, the named bound's value is inflated by this much before
     /// the admissibility comparison — a deliberate, test-only fault
     /// injection. Compiled only under `cfg(test)`, so release binaries
@@ -369,6 +371,49 @@ pub fn check_join_agreement(
                 ),
             );
         }
+    }
+
+    // Cascade-plan invariance: every filter stage is individually sound,
+    // so *any* permutation or subset of the cascade must return exactly
+    // the brute-force result set. Twelve seed-derived shuffled plans per
+    // call (each a different order + drop mask over the full bound
+    // registry and the probabilistic stages), plus one adaptive run with
+    // the planner's knobs shrunk so calibration, probing, and epoch
+    // re-planning all exercise on this small workload. Replay a failure
+    // with `uqsj-cli conformance --seed <sub-seed> --pairs 1`.
+    for k in 0..12u64 {
+        let shuffle_seed = derive_seed(seed, 70 + k);
+        let strategy =
+            if k % 2 == 0 { JoinStrategy::SimJ } else { JoinStrategy::SimJOpt { group_count: 4 } };
+        let shuffled_params = params(strategy).with_cascade(CascadePolicy::shuffled(shuffle_seed));
+        let got = pair_set(&sim_join(table, d, u, shuffled_params).0);
+        *report.join_runs.entry("shuffled_cascade").or_default() += 1;
+        if got != want {
+            report.violation(
+                "joins_agree",
+                seed,
+                format!(
+                    "τ={tau} α={alpha} shuffle_seed={shuffle_seed}: shuffled_cascade returned \
+                     {got:?}, brute force expects {want:?}"
+                ),
+            );
+        }
+    }
+    let adaptive = CascadePolicy::adaptive()
+        .with_calibration_pairs(4)
+        .with_epoch_pairs(8)
+        .with_probe_interval(4);
+    let got = pair_set(&sim_join(table, d, u, params(JoinStrategy::SimJ).with_cascade(adaptive)).0);
+    *report.join_runs.entry("adaptive_cascade").or_default() += 1;
+    if got != want {
+        report.violation(
+            "joins_agree",
+            seed,
+            format!(
+                "τ={tau} α={alpha}: adaptive_cascade returned {got:?}, \
+                 brute force expects {want:?}"
+            ),
+        );
     }
 
     // Sixth run: the adaptive sampling tier, forced onto every refined

@@ -5,8 +5,9 @@ use uqsj_testkit::{run_conformance, ConformanceConfig};
 
 /// Zero violations, and the coverage counters prove the run actually
 /// exercised all seven lower bounds, both SimP evaluators, the sampling
-/// tier, and all six join drivers — an accidentally-skipped oracle fails
-/// here even if nothing is wrong with the code under test.
+/// tier, all six join drivers, and both cascade-plan oracles (shuffled
+/// and adaptive) — an accidentally-skipped oracle fails here even if
+/// nothing is wrong with the code under test.
 #[test]
 fn quick_profile_passes_with_full_coverage() {
     let report = run_conformance(&ConformanceConfig::quick(42));
@@ -25,7 +26,16 @@ fn quick_profile_passes_with_full_coverage() {
     assert!(report.simp_flat > 0, "flat SimP evaluator never exercised");
     assert!(report.simp_grouped > 0, "grouped SimP evaluator never exercised");
 
-    let expected_joins = ["css_only", "simj", "simj_opt", "parallel", "indexed", "auto_tier"];
+    let expected_joins = [
+        "css_only",
+        "simj",
+        "simj_opt",
+        "parallel",
+        "indexed",
+        "auto_tier",
+        "shuffled_cascade",
+        "adaptive_cascade",
+    ];
     assert_eq!(report.join_runs.len(), expected_joins.len(), "{:?}", report.join_runs);
     for name in expected_joins {
         assert!(
@@ -34,6 +44,13 @@ fn quick_profile_passes_with_full_coverage() {
             report.join_runs
         );
     }
+    // The acceptance bar for cascade soundness: at least 20 distinct
+    // randomized plans proven result-identical per conformance run.
+    assert!(
+        report.join_runs.get("shuffled_cascade").copied().unwrap_or(0) >= 20,
+        "fewer than 20 shuffled cascade plans exercised: {:?}",
+        report.join_runs
+    );
 
     assert!(report.worlds > 0 && report.engine_checks > 0 && report.metamorphic_checks > 0);
     assert!(report.sample_trials > 0, "sampling-tier oracle never exercised");

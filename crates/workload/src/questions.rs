@@ -228,12 +228,22 @@ fn generate_one(kb: &KnowledgeBase, cfg: &QuestionConfig, rng: &mut SmallRng) ->
         // candidate has a different class than the intended object.
         if let Some(first_entity) = entities.first().cloned() {
             let target_class = kb.class_of(&first_entity)?.to_owned();
-            let misleading = kb.lexicon.surface_forms.iter().find(|(_, cands)| {
-                cands.len() >= 2
-                    && cands[0].class != target_class
-                    && cands.iter().any(|c| c.class == target_class)
-            });
-            if let Some((phrase, cands)) = misleading {
+            // `surface_forms` is a HashMap; pick the first *in phrase
+            // order*, not iteration order, so the generated question is
+            // a pure function of the seed across processes (the testkit
+            // replay contract depends on generator purity).
+            let mut eligible: Vec<(&String, &Vec<uqsj_nlp::EntityCandidate>)> = kb
+                .lexicon
+                .surface_forms
+                .iter()
+                .filter(|(_, cands)| {
+                    cands.len() >= 2
+                        && cands[0].class != target_class
+                        && cands.iter().any(|c| c.class == target_class)
+                })
+                .collect();
+            eligible.sort_by(|a, b| a.0.cmp(b.0));
+            if let Some((phrase, cands)) = eligible.first().copied() {
                 if let Some(surface) = kb.surface_of(&first_entity) {
                     // Make the question point at this group's entity of
                     // the right class, but through the misleading phrase.
