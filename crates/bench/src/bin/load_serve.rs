@@ -9,6 +9,16 @@
 //! (the self-hosted one is then skipped, and shutdown is the caller's
 //! problem).
 //!
+//! When self-hosted the workload runs **twice**: a baseline phase with
+//! span tracing and exemplar capture disabled
+//! (`uqsj_obs::trace::set_enabled(false)`) against a fresh server, then
+//! the traced phase (the production configuration) against another fresh
+//! server. Both p99s land in the JSON and the run fails if tracing moved
+//! p99 by more than `--overhead-tolerance` (default 0.05 — the <5%
+//! observability budget) beyond a small absolute jitter floor. The
+//! traced phase also smokes the `/debug/slow` and `/debug/cascade`
+//! endpoints and fails on malformed JSON.
+//!
 //! Emits `BENCH_serve.json` at the repo root — p50/p99 latency, QPS,
 //! shed rate, status-class counts, plus the server's metric registries —
 //! and exits nonzero if the run saw zero successful answers or any 5xx
@@ -18,6 +28,7 @@
 //! cargo run --release -p uqsj-bench --bin load_serve -- \
 //!     [--clients M] [--seconds S] [--shards N] [--workers W]
 //!     [--queue-depth Q] [--deadline-ms D] [--scale F]
+//!     [--overhead-tolerance F]
 //!     [--addr HOST:PORT] [--metrics-out FILE]
 //! ```
 
@@ -131,11 +142,79 @@ fn client_loop(
     tally
 }
 
+/// Drive `clients` closed-loop connections for `seconds`; returns the
+/// merged tally (latencies sorted) and the measured wall time.
+fn drive(
+    addr: SocketAddr,
+    questions: &[String],
+    ingest_body: &str,
+    clients: usize,
+    seconds: u64,
+) -> (Tally, f64) {
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|w| {
+                let (questions, ingest_body, stop) = (questions, ingest_body, &stop);
+                scope.spawn(move || client_loop(addr, questions, ingest_body, w, stop))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs(seconds));
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let mut merged = Tally::default();
+    for t in tallies {
+        merged.latencies_us.extend(t.latencies_us);
+        merged.ok_2xx += t.ok_2xx;
+        merged.shed_429 += t.shed_429;
+        merged.unavailable_503 += t.unavailable_503;
+        merged.other_4xx += t.other_4xx;
+        merged.hard_5xx += t.hard_5xx;
+        merged.transport_errors += t.transport_errors;
+        merged.answers_nonempty += t.answers_nonempty;
+        merged.reconnects += t.reconnects;
+    }
+    merged.latencies_us.sort_unstable();
+    (merged, elapsed)
+}
+
+/// Hit the live-introspection endpoints and check their JSON parses into
+/// the expected shape (the CI debug-endpoint smoke).
+fn smoke_debug_endpoints(addr: SocketAddr) -> Result<(), String> {
+    let mut client = Client::connect(addr, Duration::from_secs(5))
+        .map_err(|e| format!("debug smoke connect: {e}"))?;
+    let slow = client.get("/debug/slow").map_err(|e| format!("/debug/slow: {e}"))?;
+    if slow.status != 200 {
+        return Err(format!("/debug/slow returned {}", slow.status));
+    }
+    let doc = uqsj::net::json::parse(&slow.body)
+        .map_err(|e| format!("/debug/slow body is not JSON: {e}"))?;
+    let reports =
+        doc.get("slow").and_then(uqsj::net::Value::as_array).ok_or("/debug/slow lacks slow[]")?;
+    if reports.is_empty() {
+        return Err("slow log empty after a full load phase".to_owned());
+    }
+    let cascade = client.get("/debug/cascade").map_err(|e| format!("/debug/cascade: {e}"))?;
+    if cascade.status != 200 {
+        return Err(format!("/debug/cascade returned {}", cascade.status));
+    }
+    let doc = uqsj::net::json::parse(&cascade.body)
+        .map_err(|e| format!("/debug/cascade body is not JSON: {e}"))?;
+    doc.get("sources")
+        .and_then(uqsj::net::Value::as_array)
+        .ok_or("/debug/cascade lacks sources[]")?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let clients: usize = num("clients", 4);
     let seconds: u64 = num("seconds", 3);
     let shards: usize = num("shards", 4);
     let scale: f64 = num("scale", 1.0);
+    let tolerance: f64 = num("overhead-tolerance", 0.05);
 
     // The workload: a mined library plus its question set. Built even
     // when targeting an external server — the drivers need questions.
@@ -157,60 +236,94 @@ fn main() -> ExitCode {
     let ingest_body =
         format!("{{\"templates\": {}}}", uqsj::net::Value::from(ingest_slice.as_str()).render());
 
-    // A live server: self-hosted unless --addr points elsewhere.
-    let (addr, hosted) = match arg("addr") {
+    let net = NetConfig {
+        workers: num("workers", 4),
+        queue_depth: num("queue-depth", 64),
+        deadline: Duration::from_millis(num("deadline-ms", 2000)),
+        ..NetConfig::default()
+    };
+    // Each self-hosted phase gets its own fresh server (cold cache), so
+    // the no-trace and traced measurements see identical state.
+    let clone_library = || {
+        let mut lib = TemplateLibrary::new();
+        for t in result.library.templates() {
+            lib.add(t.clone());
+        }
+        lib
+    };
+    let host = |library: TemplateLibrary| {
+        let qa = Arc::new(ShardedQaServer::new(
+            library,
+            dataset.kb.lexicon.clone(),
+            dataset.kb.triple_store(),
+            shards,
+            ServeConfig { min_phi: 1.0, cache_capacity: 1024 },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        uqsj::net::serve_on(qa, listener, net).expect("start server")
+    };
+    let scrape = |addr: SocketAddr| {
+        Client::connect(addr, Duration::from_secs(5))
+            .and_then(|mut c| c.get("/metrics"))
+            .map(|r| r.body)
+            .unwrap_or_default()
+    };
+
+    let external: Option<SocketAddr> = match arg("addr") {
         Some(a) => match a.parse() {
-            Ok(addr) => (addr, None),
+            Ok(addr) => Some(addr),
             Err(e) => {
                 eprintln!("bad --addr {a:?}: {e}");
                 return ExitCode::FAILURE;
             }
         },
-        None => {
-            let qa = Arc::new(ShardedQaServer::new(
-                result.library,
-                dataset.kb.lexicon.clone(),
-                dataset.kb.triple_store(),
-                shards,
-                ServeConfig { min_phi: 1.0, cache_capacity: 1024 },
-            ));
-            let net = NetConfig {
-                workers: num("workers", 4),
-                queue_depth: num("queue-depth", 64),
-                deadline: Duration::from_millis(num("deadline-ms", 2000)),
-                ..NetConfig::default()
-            };
-            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-            let handle = uqsj::net::serve_on(qa, listener, net).expect("start server");
-            (handle.local_addr(), Some(handle))
-        }
+        None => None,
     };
-    eprintln!(
-        "load_serve: {clients} clients x {seconds}s against {addr} \
-         ({} questions, {shards} shards)",
-        questions.len()
-    );
 
-    let stop = AtomicBool::new(false);
-    let started = Instant::now();
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..clients)
-            .map(|w| {
-                let (questions, ingest_body, stop) = (&questions, &ingest_body, &stop);
-                scope.spawn(move || client_loop(addr, questions, ingest_body, w, stop))
-            })
-            .collect();
-        std::thread::sleep(Duration::from_secs(seconds));
-        stop.store(true, Ordering::Relaxed);
-        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
-    });
-    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let (merged, elapsed, p99_no_trace, registry_json, metrics_text, debug_smoke) =
+        if let Some(addr) = external {
+            // External server: single traced run, no overhead baseline
+            // (the trace switch is process-local and the server is not).
+            eprintln!(
+                "load_serve: {clients} clients x {seconds}s against {addr} \
+                 ({} questions, external)",
+                questions.len()
+            );
+            let (merged, elapsed) = drive(addr, &questions, &ingest_body, clients, seconds);
+            let smoke = smoke_debug_endpoints(addr);
+            (merged, elapsed, None, "null".to_owned(), scrape(addr), smoke)
+        } else {
+            // Phase 1 — baseline: span tracing and exemplar capture off.
+            uqsj::obs::trace::set_enabled(false);
+            let handle = host(clone_library());
+            eprintln!(
+                "load_serve: baseline (no-trace) phase, {clients} clients x {seconds}s \
+                 against {} ({} questions, {shards} shards)",
+                handle.local_addr(),
+                questions.len()
+            );
+            let (baseline, _) =
+                drive(handle.local_addr(), &questions, &ingest_body, clients, seconds);
+            handle.shutdown().expect("baseline drain");
+            let p99_base = percentile(&baseline.latencies_us, 99);
 
-    // Scrape the live server's registries before tearing it down.
-    let metrics_text = Client::connect(addr, Duration::from_secs(5))
-        .and_then(|mut c| c.get("/metrics"))
-        .map(|r| r.body)
-        .unwrap_or_default();
+            // Phase 2 — traced: the production configuration.
+            uqsj::obs::trace::set_enabled(true);
+            let handle = host(clone_library());
+            let addr = handle.local_addr();
+            eprintln!("load_serve: traced phase, {clients} clients x {seconds}s against {addr}");
+            let (merged, elapsed) = drive(addr, &questions, &ingest_body, clients, seconds);
+            let smoke = smoke_debug_endpoints(addr);
+            let metrics_text = scrape(addr);
+            let registry_json = format!(
+                "{{\"net\":{},\"serve\":{}}}",
+                handle.metrics().registry().snapshot_json().trim_end(),
+                handle.qa().metrics_registry().snapshot_json().trim_end()
+            );
+            handle.shutdown().expect("graceful drain");
+            (merged, elapsed, Some(p99_base), registry_json, metrics_text, smoke)
+        };
+
     if let Some(path) = arg("metrics-out") {
         if let Err(e) = std::fs::write(&path, &metrics_text) {
             eprintln!("cannot write {path}: {e}");
@@ -218,48 +331,25 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote scraped /metrics to {path}");
     }
-    let registry_json = hosted
-        .as_ref()
-        .map(|h| {
-            format!(
-                "{{\"net\":{},\"serve\":{}}}",
-                h.metrics().registry().snapshot_json().trim_end(),
-                h.qa().metrics_registry().snapshot_json().trim_end()
-            )
-        })
-        .unwrap_or_else(|| "null".to_owned());
-    if let Some(handle) = hosted {
-        handle.shutdown().expect("graceful drain");
-    }
 
-    // Merge and report.
-    let mut merged = Tally::default();
-    for t in tallies {
-        merged.latencies_us.extend(t.latencies_us);
-        merged.ok_2xx += t.ok_2xx;
-        merged.shed_429 += t.shed_429;
-        merged.unavailable_503 += t.unavailable_503;
-        merged.other_4xx += t.other_4xx;
-        merged.hard_5xx += t.hard_5xx;
-        merged.transport_errors += t.transport_errors;
-        merged.answers_nonempty += t.answers_nonempty;
-        merged.reconnects += t.reconnects;
-    }
-    merged.latencies_us.sort_unstable();
     let total = merged.latencies_us.len() as u64;
     let qps = merged.ok_2xx as f64 / elapsed;
     let shed_rate = merged.shed_429 as f64 / (total.max(1)) as f64;
+    let p99_traced = percentile(&merged.latencies_us, 99);
     let json = format!(
         "{{\n  \"bench\": \"load_serve\",\n  \"clients\": {clients},\n  \
          \"seconds\": {elapsed:.2},\n  \"shards\": {shards},\n  \
          \"requests\": {total},\n  \"qps_2xx\": {qps:.1},\n  \
          \"p50_request_us\": {p50},\n  \"p99_request_us\": {p99},\n  \
+         \"p99_no_trace_us\": {p99_base},\n  \"p99_traced_us\": {p99_traced},\n  \
+         \"trace_overhead_tolerance\": {tolerance},\n  \
          \"ok_2xx\": {ok},\n  \"shed_429\": {shed},\n  \"shed_rate\": {shed_rate:.4},\n  \
          \"unavailable_503\": {u503},\n  \"other_4xx\": {o4},\n  \"hard_5xx\": {h5},\n  \
          \"transport_errors\": {terr},\n  \"reconnects\": {rec},\n  \
          \"answers_nonempty\": {nonempty},\n  \"registry\": {registry_json}\n}}\n",
         p50 = percentile(&merged.latencies_us, 50),
-        p99 = percentile(&merged.latencies_us, 99),
+        p99 = p99_traced,
+        p99_base = p99_no_trace.map(|v| v.to_string()).unwrap_or_else(|| "null".to_owned()),
         ok = merged.ok_2xx,
         shed = merged.shed_429,
         u503 = merged.unavailable_503,
@@ -282,6 +372,23 @@ fn main() -> ExitCode {
     if merged.hard_5xx > 0 {
         eprintln!("FAIL: {} hard 5xx responses (non-deadline)", merged.hard_5xx);
         return ExitCode::FAILURE;
+    }
+    if let Err(e) = debug_smoke {
+        eprintln!("FAIL: debug endpoint smoke: {e}");
+        return ExitCode::FAILURE;
+    }
+    // The observability budget: tracing + exemplars may not move p99 by
+    // more than the tolerance. A 250us absolute floor absorbs scheduler
+    // jitter on short runs where relative comparison is meaningless.
+    if let Some(base) = p99_no_trace {
+        let budget = base as f64 * (1.0 + tolerance) + 250.0;
+        if p99_traced as f64 > budget {
+            eprintln!(
+                "FAIL: tracing overhead: p99 {p99_traced}us traced vs {base}us untraced \
+                 exceeds budget {budget:.0}us (tolerance {tolerance})"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

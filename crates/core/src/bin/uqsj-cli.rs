@@ -12,13 +12,18 @@
 //!
 //! uqsj-cli join [--questions N] [--distractors M] [--tau T] [--alpha A]
 //!               [--strategy css|simj|opt] [--metrics-out FILE]
-//!               [--trace-out FILE] [--simp-mode exact|sample|auto]
+//!               [--trace-out FILE] [--explain N]
+//!               [--simp-mode exact|sample|auto]
 //!               [--epsilon E] [--delta D] [--sample-seed S]
 //!               [--cascade fixed|adaptive|shuffled]
 //!               [--calibration-pairs K] [--epoch-pairs E]
 //!               [--probe-interval P] [--hysteresis H] [--shuffle-seed S]
 //!     Run the join only and print per-stage statistics plus the cascade
-//!     plan and per-bound selectivity/cost table. --metrics-out
+//!     plan and per-bound selectivity/cost table. --explain N re-joins
+//!     the first N questions one at a time against the same (calibrated)
+//!     cascade runtime and prints a per-question EXPLAIN report — the
+//!     filter funnel, verification tiers, stopping reasons, and GED
+//!     effort for that question alone. --metrics-out
 //!     writes the process metric registry as Prometheus text to FILE and
 //!     as JSON to FILE.json; --trace-out dumps the span flight recorder
 //!     as a Chrome trace.
@@ -673,7 +678,14 @@ fn compact(opts: &Options) -> ExitCode {
 fn join(opts: &Options) -> ExitCode {
     let dataset = uqsj::workload::qald_like(&dataset_config(opts));
     let params = join_params(opts);
-    let (matches, stats) = sim_join(&dataset.table, &dataset.d_graphs, &dataset.u_graphs, params);
+    let cascade = uqsj::simjoin::CascadeRuntime::new(params.cascade, params.strategy);
+    let (matches, stats) = uqsj::simjoin::sim_join_in(
+        &cascade,
+        &dataset.table,
+        &dataset.d_graphs,
+        &dataset.u_graphs,
+        params,
+    );
     let (correct, precision) = join_quality(&dataset, &matches);
     println!(
         "pairs {} | pruned: size {} lm {} css {} markov {} grouped {} | candidates {} ({:.2}%)",
@@ -705,6 +717,10 @@ fn join(opts: &Options) -> ExitCode {
     if let Some(report) = &stats.cascade {
         print!("{report}");
     }
+    let explain: usize = opts.num("explain", 0);
+    if explain > 0 {
+        explain_questions(&dataset, &cascade, params, explain);
+    }
     if let Some(path) = opts.get("metrics-out") {
         if let Err(e) = write_metrics(uqsj::obs::global(), path) {
             eprintln!("cannot write metrics to {path}: {e}");
@@ -720,6 +736,40 @@ fn join(opts: &Options) -> ExitCode {
         println!("wrote chrome trace to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// `join --explain N`: re-join each of the first `N` questions alone
+/// against the full SPARQL workload, on the already-calibrated cascade
+/// runtime, and print one EXPLAIN report per question — that question's
+/// own filter funnel, verification tiers, stopping reasons, and GED
+/// effort, stamped with a fresh trace id.
+fn explain_questions(
+    dataset: &uqsj::workload::Dataset,
+    cascade: &uqsj::simjoin::CascadeRuntime,
+    params: JoinParams,
+    n: usize,
+) {
+    use uqsj::serve::{JoinReport, QueryReport};
+
+    let count = n.min(dataset.u_graphs.len());
+    println!("explain: first {count} of {} questions", dataset.u_graphs.len());
+    for i in 0..count {
+        let ctx = uqsj::obs::RequestCtx::new().with_explain(true);
+        let trace_id = ctx.trace_id.0;
+        let _ctx = uqsj::obs::ctx::install(ctx);
+        let started = std::time::Instant::now();
+        let one = &dataset.u_graphs[i..=i];
+        let (_, q_stats) =
+            uqsj::simjoin::sim_join_in(cascade, &dataset.table, &dataset.d_graphs, one, params);
+        let report = QueryReport {
+            trace_id,
+            question: dataset.pairs[i].question.clone(),
+            total_us: started.elapsed().as_micros() as u64,
+            join: Some(JoinReport::from_stats(&q_stats)),
+            ..Default::default()
+        };
+        print!("{}", report.render_text());
+    }
 }
 
 fn conformance(opts: &Options) -> ExitCode {

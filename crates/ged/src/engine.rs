@@ -414,6 +414,9 @@ struct SearchSpace {
     leave_buf: Vec<(u32, u32)>,
     /// Effort counters of the current/last call.
     stats: RunStats,
+    /// Effort summed over every call on this engine (counters add,
+    /// `heap_peak` max-merges) — the per-question EXPLAIN source.
+    cumulative: RunStats,
 }
 
 /// Metric handles, registered once in the global registry.
@@ -504,6 +507,14 @@ impl GedEngine {
     pub fn last_run_stats(&self) -> RunStats {
         self.ws.stats
     }
+
+    /// Search effort summed over every call since the engine was built
+    /// (`heap_peak` is the high-water mark across calls). A caller that
+    /// wants per-section effort — e.g. per verified pair — snapshots this
+    /// before and after and subtracts.
+    pub fn cumulative_stats(&self) -> RunStats {
+        self.ws.cumulative
+    }
 }
 
 thread_local! {
@@ -534,6 +545,10 @@ fn run_astar(ws: &mut SearchSpace, p: &PairProfile, tau: u32) -> Option<GedResul
     obs.expanded.observe(ws.stats.expanded);
     obs.heuristic_evals.observe(ws.stats.heuristic_evals);
     obs.heap_peak.observe(ws.stats.heap_peak);
+    ws.cumulative.expanded += ws.stats.expanded;
+    ws.cumulative.heuristic_evals += ws.stats.heuristic_evals;
+    ws.cumulative.enqueued += ws.stats.enqueued;
+    ws.cumulative.heap_peak = ws.cumulative.heap_peak.max(ws.stats.heap_peak);
     result
 }
 

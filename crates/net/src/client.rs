@@ -22,6 +22,9 @@ pub struct ClientResponse {
     pub body: String,
     /// Server asked to close; the next request must reconnect.
     pub close: bool,
+    /// The `X-Request-Id` header, if the server echoed one (16 lowercase
+    /// hex digits).
+    pub request_id: Option<String>,
 }
 
 impl Client {
@@ -55,11 +58,24 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<ClientResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// Send one request with extra headers (e.g. `X-Request-Id`) and
+    /// read the full response.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: uqsj\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: uqsj\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body.as_bytes())?;
         self.stream.flush()?;
@@ -83,13 +99,17 @@ impl Client {
                     .and_then(|v| v.trim().parse().ok())
                     .ok_or_else(|| io::Error::other("response without Content-Length"))?;
                 let close = lower.lines().any(|l| l.trim() == "connection: close");
+                let request_id = lower
+                    .lines()
+                    .find_map(|l| l.strip_prefix("x-request-id:"))
+                    .map(|v| v.trim().to_owned());
                 let total = head_len + content_length;
                 while self.buf.len() < total {
                     self.fill()?;
                 }
                 let body = String::from_utf8_lossy(&self.buf[head_len..total]).into_owned();
                 self.buf.drain(..total);
-                return Ok(ClientResponse { status, body, close });
+                return Ok(ClientResponse { status, body, close, request_id });
             }
             self.fill()?;
         }

@@ -17,6 +17,8 @@ pub struct Request {
     pub method: String,
     /// Path without query string.
     pub path: String,
+    /// The query string after `?` (empty when the target has none).
+    pub query: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
@@ -32,6 +34,14 @@ impl Request {
     /// Did the client ask to close the connection after this exchange?
     pub fn wants_close(&self) -> bool {
         self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Value of one `key=value` query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 }
 
@@ -86,7 +96,7 @@ impl ConnReader {
             if let Some(head_len) = find_head_end(&self.buf) {
                 let head = std::str::from_utf8(&self.buf[..head_len])
                     .map_err(|_| RecvError::Malformed("head is not UTF-8".into()))?;
-                let (method, path, headers) = parse_head(head)?;
+                let (method, path, query, headers) = parse_head(head)?;
                 let body_len = match header_value(&headers, "content-length") {
                     Some(v) => v
                         .trim()
@@ -104,7 +114,7 @@ impl ConnReader {
                 }
                 let body = self.buf[head_len..total].to_vec();
                 self.buf.drain(..total);
-                return Ok(Request { method, path, headers, body });
+                return Ok(Request { method, path, query, headers, body });
             }
             if self.buf.len() > MAX_HEAD_BYTES {
                 return Err(RecvError::TooLarge);
@@ -139,8 +149,8 @@ fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a s
     headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
 }
 
-/// (method, path, headers) from a parsed request head.
-type Head = (String, String, Vec<(String, String)>);
+/// (method, path, query, headers) from a parsed request head.
+type Head = (String, String, String, Vec<(String, String)>);
 
 fn parse_head(head: &str) -> Result<Head, RecvError> {
     let mut lines = head.split("\r\n");
@@ -153,7 +163,10 @@ fn parse_head(head: &str) -> Result<Head, RecvError> {
     if !version.starts_with("HTTP/1.") {
         return Err(RecvError::Malformed(format!("unsupported version {version:?}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -164,7 +177,7 @@ fn parse_head(head: &str) -> Result<Head, RecvError> {
             .ok_or_else(|| RecvError::Malformed(format!("bad header line {line:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
-    Ok((method.to_ascii_uppercase(), path, headers))
+    Ok((method.to_ascii_uppercase(), path, query, headers))
 }
 
 /// A response ready to serialize.
@@ -175,11 +188,21 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Send `Connection: close` and drop the connection afterwards.
     pub close: bool,
+    /// When nonzero, echoed as an `X-Request-Id: {:016x}` response
+    /// header — the request's trace id, accepted from the client or
+    /// generated by the server.
+    pub request_id: u64,
 }
 
 impl Response {
     pub fn json(status: u16, body: String) -> Self {
-        Self { status, content_type: "application/json", body: body.into_bytes(), close: false }
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+            request_id: 0,
+        }
     }
 
     pub fn text(status: u16, body: impl Into<String>) -> Self {
@@ -188,6 +211,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             close: false,
+            request_id: 0,
         }
     }
 
@@ -199,6 +223,12 @@ impl Response {
 
     pub fn closing(mut self) -> Self {
         self.close = true;
+        self
+    }
+
+    /// The same response stamped with a request id to echo.
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = request_id;
         self
     }
 }
@@ -220,12 +250,17 @@ fn status_text(status: u16) -> &'static str {
 /// Serialize and send a response. Returns the transport error, if any —
 /// callers treat a failed write as a dead connection.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let request_id = match response.request_id {
+        0 => String::new(),
+        id => format!("X-Request-Id: {id:016x}\r\n"),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
+        request_id,
         if response.close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
@@ -259,9 +294,13 @@ mod tests {
         let first = reader.read_request(1024).expect("first request");
         assert_eq!(first.method, "POST");
         assert_eq!(first.path, "/v1/answer");
+        assert_eq!(first.query, "x=1");
+        assert_eq!(first.query_param("x"), Some("1"));
+        assert_eq!(first.query_param("y"), None);
         assert_eq!(first.body, b"body");
         let second = reader.read_request(1024).expect("pipelined request");
         assert_eq!((second.method.as_str(), second.path.as_str()), ("GET", "/healthz"));
+        assert!(second.query.is_empty());
         assert!(second.body.is_empty());
     }
 
@@ -304,6 +343,18 @@ mod tests {
         client.read_to_string(&mut text).expect("read");
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Connection: close"));
+        assert!(!text.contains("X-Request-Id"), "no id stamped, no header");
         assert!(text.ends_with("{\"error\":\"over capacity\"}"));
+    }
+
+    #[test]
+    fn response_echoes_request_id() {
+        let (mut client, mut server) = pair();
+        let response = Response::text(200, "ok\n").with_request_id(0xabcd);
+        write_response(&mut server, &response).expect("write response");
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).expect("read");
+        assert!(text.contains("X-Request-Id: 000000000000abcd\r\n"), "{text}");
     }
 }

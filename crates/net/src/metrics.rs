@@ -18,6 +18,8 @@ pub struct NetMetrics {
     pub deadline_expired: Counter,
     /// Templates accepted through `POST /v1/templates`.
     pub ingested_templates: Counter,
+    /// Hits on the `/debug/*` introspection routes.
+    pub debug_requests: Counter,
     /// Requests currently being parsed or answered.
     pub in_flight: Gauge,
     /// End-to-end request latency (queue wait included), microseconds.
@@ -45,6 +47,8 @@ impl NetMetrics {
             "uqsj_net_ingested_templates_total",
             "templates accepted via the ingest route",
         );
+        let debug_requests =
+            registry.counter("uqsj_net_debug_requests_total", "requests to the /debug/* routes");
         let in_flight = registry.gauge("uqsj_net_in_flight", "requests currently in flight");
         let request_us =
             registry.histogram("uqsj_net_request_us", "request latency including queue wait, us");
@@ -54,6 +58,7 @@ impl NetMetrics {
             shed,
             deadline_expired,
             ingested_templates,
+            debug_requests,
             in_flight,
             request_us,
         }
@@ -69,6 +74,7 @@ impl NetMetrics {
             "metrics" => &[("route", "metrics")],
             "healthz" => &[("route", "healthz")],
             "readyz" => &[("route", "readyz")],
+            "debug" => &[("route", "debug")],
             _ => &[("route", "other")],
         };
         self.registry.counter_with("uqsj_net_requests_total", labels, "requests by route")

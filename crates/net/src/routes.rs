@@ -1,12 +1,16 @@
-//! Route dispatch: the five endpoints of the wire protocol.
+//! Route dispatch: the endpoints of the wire protocol.
 //!
 //! | route              | method | body                                       |
 //! |--------------------|--------|--------------------------------------------|
-//! | `/v1/answer`       | POST   | `{"question": "..."}` or `{"questions": [...], "threads": N}` |
+//! | `/v1/answer`       | POST   | `{"question": "...", "explain": bool}` or `{"questions": [...], "threads": N}` |
 //! | `/v1/templates`    | POST   | `{"templates": "<uqsj_template::io text>"}` |
 //! | `/metrics`         | GET    | — (Prometheus text)                        |
 //! | `/healthz`         | GET    | — (liveness: always 200 while running)     |
 //! | `/readyz`          | GET    | — (readiness: 503 once draining)           |
+//! | `/debug/slow`      | GET    | — (worst-N query reports, slowest first)   |
+//! | `/debug/trace`     | GET    | — (`?id=<16-hex>`: that request's spans)   |
+//! | `/debug/cascade`   | GET    | — (attached cascade planners' live plans)  |
+//! | `/debug/cache`     | GET    | — (answer-cache occupancy and generation)  |
 
 use crate::http::{Request, Response};
 use crate::json::{self, object, Value};
@@ -15,8 +19,12 @@ use std::time::Instant;
 use uqsj_serve::ShardedQaServer;
 use uqsj_template::QaOutcome;
 
-/// Stable route name for metric labels.
+/// Stable route name for metric labels. Every `/debug/*` path shares one
+/// label value — the set is bounded by design.
 pub fn route_name(path: &str) -> &'static str {
+    if path.starts_with("/debug/") {
+        return "debug";
+    }
     match path {
         "/v1/answer" => "answer",
         "/v1/templates" => "templates",
@@ -56,15 +64,84 @@ pub fn dispatch(
                 content_type: "text/plain; version=0.0.4",
                 body: text.into_bytes(),
                 close: false,
+                request_id: 0,
             }
         }
         ("POST", "/v1/answer") => answer(qa, metrics, &request.body, deadline),
         ("POST", "/v1/templates") => ingest(qa, metrics, &request.body, deadline),
-        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/answer" | "/v1/templates") => {
-            Response::error(405, "method not allowed")
+        ("GET", "/debug/slow") => {
+            metrics.debug_requests.inc();
+            Response::json(200, format!("{{\"slow\":{}}}", qa.slow_log().to_json()))
         }
+        ("GET", "/debug/trace") => {
+            metrics.debug_requests.inc();
+            debug_trace(request)
+        }
+        ("GET", "/debug/cascade") => {
+            metrics.debug_requests.inc();
+            debug_cascade(qa)
+        }
+        ("GET", "/debug/cache") => {
+            metrics.debug_requests.inc();
+            let (entries, capacity, generation) = qa.cache_debug();
+            let body = object([
+                ("entries", entries.into()),
+                ("capacity", capacity.into()),
+                ("generation", Value::from(generation as f64)),
+            ]);
+            Response::json(200, body.render())
+        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/v1/answer" | "/v1/templates" | "/debug/slow"
+            | "/debug/trace" | "/debug/cascade" | "/debug/cache",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /debug/trace?id=<16-hex>`: the flight-recorder events stamped
+/// with that trace id, oldest first.
+fn debug_trace(request: &Request) -> Response {
+    let Some(id) = request.query_param("id") else {
+        return Response::error(400, "missing ?id=<16-hex trace id>");
+    };
+    let Ok(trace_id) = u64::from_str_radix(id.trim(), 16) else {
+        return Response::error(400, "id must be a hex trace id");
+    };
+    let events = uqsj_obs::trace::recorder().events_for(trace_id);
+    let mut body = format!("{{\"trace_id\":\"{trace_id:016x}\",\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"name\":");
+        uqsj_obs::push_json_string(&mut body, e.name);
+        body.push_str(&format!(
+            ",\"start_us\":{},\"dur_us\":{},\"tid\":{},\"depth\":{}}}",
+            e.start_us, e.dur_us, e.tid, e.depth
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /debug/cascade`: live plan + estimate snapshots of every cascade
+/// planner attached to the serving core.
+fn debug_cascade(qa: &ShardedQaServer) -> Response {
+    let mut body = String::from("{\"sources\":[");
+    for (i, (label, report)) in qa.cascade_reports().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"name\":");
+        uqsj_obs::push_json_string(&mut body, label);
+        body.push_str(",\"cascade\":");
+        body.push_str(report.to_json("").trim());
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
 }
 
 /// Deadline gate at a stage boundary: `Some(503)` if the budget is gone.
@@ -112,7 +189,14 @@ fn answer(qa: &ShardedQaServer, metrics: &NetMetrics, body: &[u8], deadline: Ins
     if let Some(resp) = expired(metrics, deadline) {
         return resp;
     }
+    // The batch path ignores `explain`: per-question reports across a
+    // thread pool would need per-item context plumbing the protocol does
+    // not promise; ask one question at a time for an EXPLAIN.
+    let explain = doc.get("explain").and_then(Value::as_bool).unwrap_or(false);
     if let Some(question) = doc.get("question").and_then(Value::as_str) {
+        if explain {
+            return answer_explained(qa, question);
+        }
         let answered = qa.answer(question);
         let body = outcome_json(&answered.outcome, answered.shard, Some(answered.shards_touched));
         return Response::json(200, body.render());
@@ -137,6 +221,28 @@ fn answer(qa: &ShardedQaServer, metrics: &NetMetrics, body: &[u8], deadline: Ins
         return Response::json(200, object([("results", results)]).render());
     }
     Response::error(400, "body needs a \"question\" string or \"questions\" array")
+}
+
+/// Single-question answer with a structured EXPLAIN report attached
+/// under an `"explain"` key. The report carries the same trace id the
+/// response echoes in `X-Request-Id`, so `/debug/trace?id=` finds its
+/// spans.
+fn answer_explained(qa: &ShardedQaServer, question: &str) -> Response {
+    // Flip `explain` on the installed request context (same trace id)
+    // so deeper stages see `explain_requested()` while answering.
+    let ctx = uqsj_obs::ctx::current().unwrap_or_default().with_explain(true);
+    let _ctx = uqsj_obs::ctx::install(ctx);
+    qa.serve_metrics().record_explain();
+    let (answered, report) = qa.answer_explained(question);
+    let mut body =
+        outcome_json(&answered.outcome, answered.shard, Some(answered.shards_touched)).render();
+    // Splice the hand-rendered report in as a raw value: an object render
+    // always ends with '}', so swap it for `,"explain":<report>}`.
+    body.pop();
+    body.push_str(",\"explain\":");
+    body.push_str(&report.to_json());
+    body.push('}');
+    Response::json(200, body)
 }
 
 fn ingest(qa: &ShardedQaServer, metrics: &NetMetrics, body: &[u8], deadline: Instant) -> Response {

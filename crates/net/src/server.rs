@@ -292,8 +292,19 @@ fn handle_connection(shared: &Shared, conn: Conn) {
         let deadline = started + shared.config.deadline;
         let route = route_name(&request.path);
         let close = request.wants_close() || shared.draining();
+        // Every routed request gets a trace id — the client's
+        // `X-Request-Id` if it sent one, else a fresh one — echoed back
+        // in the response header and stamped on every span recorded
+        // while the request context is installed.
+        let trace_id = request
+            .header("x-request-id")
+            .map(uqsj_obs::ctx::TraceId::from_client)
+            .unwrap_or_else(uqsj_obs::ctx::TraceId::generate);
         shared.metrics.in_flight.add(1);
         respond(shared, &mut reader, route, started, || {
+            let ctx = uqsj_obs::ctx::RequestCtx::with_trace_id(trace_id).with_deadline(deadline);
+            let _ctx = uqsj_obs::ctx::install(ctx);
+            let _span = uqsj_obs::span("net.request");
             let mut response = if Instant::now() >= deadline {
                 shared.metrics.deadline_expired.inc();
                 Response::error(503, "deadline exceeded")
@@ -301,7 +312,7 @@ fn handle_connection(shared: &Shared, conn: Conn) {
                 dispatch(&shared.qa, &shared.metrics, &request, shared.draining(), deadline)
             };
             response.close |= close;
-            response
+            response.with_request_id(trace_id.0)
         });
         shared.metrics.in_flight.add(-1);
         if close {

@@ -201,6 +201,148 @@ fn zero_queue_depth_sheds_every_connection() {
 }
 
 #[test]
+fn request_id_round_trips_and_explain_report_reconciles() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 3);
+    let (handle, mut client) = start(qa, NetConfig::default());
+
+    // A client-supplied 16-hex X-Request-Id is echoed verbatim, appears
+    // as the EXPLAIN report's trace id, and keys the flight-recorder
+    // events served by /debug/trace.
+    let sent_id = "00000000deadbeef";
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/v1/answer",
+            Some(r#"{"question": "Which physicist graduated from CMU?", "explain": true}"#),
+            &[("X-Request-Id", sent_id)],
+        )
+        .expect("explain answer");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.request_id.as_deref(), Some(sent_id), "header must echo");
+
+    let doc = json::parse(&resp.body).expect("json body");
+    let answers = doc.get("answers").and_then(json::Value::as_array).expect("answers");
+    assert_eq!(answers[0].as_str(), Some("Alice"));
+    let explain = doc.get("explain").expect("explain report");
+    assert_eq!(explain.get("trace_id").and_then(json::Value::as_str), Some(sent_id));
+    assert_eq!(explain.get("cache_hit").and_then(json::Value::as_bool), Some(false));
+
+    // The serving funnel must account for the whole library: pruned
+    // counts across the stages plus the chosen template sum to the
+    // library size the signature stage started from.
+    let stages = explain.get("stages").and_then(json::Value::as_array).expect("stages");
+    assert!(!stages.is_empty());
+    let entering =
+        stages[0].get("input").and_then(json::Value::as_usize).expect("first stage input");
+    let pruned: usize = stages
+        .iter()
+        .map(|s| s.get("pruned").and_then(json::Value::as_usize).expect("pruned"))
+        .sum();
+    let chosen =
+        usize::from(explain.get("template_index").and_then(json::Value::as_usize).is_some());
+    assert_eq!(pruned + chosen, entering, "funnel must reconcile: {}", resp.body);
+
+    // /debug/trace?id= serves the spans recorded under that trace id.
+    let trace = client.get(&format!("/debug/trace?id={sent_id}")).expect("trace");
+    assert_eq!(trace.status, 200);
+    let doc = json::parse(&trace.body).expect("trace json");
+    assert_eq!(doc.get("trace_id").and_then(json::Value::as_str), Some(sent_id));
+    let events = doc.get("events").and_then(json::Value::as_array).expect("events");
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(json::Value::as_str)).collect();
+    assert!(names.contains(&"net.request"), "names: {names:?}");
+    assert!(names.contains(&"serve.answer"), "names: {names:?}");
+
+    // An answer this slow log is empty-or-not is environment-dependent,
+    // but the explain counter must have moved.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("uqsj_serve_explain_total 1"), "{}", metrics.body);
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn request_ids_round_trip_through_batch_and_are_generated_when_absent() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
+    let (handle, mut client) = start(qa, NetConfig::default());
+
+    // Batch request with a client id: echoed on the response.
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/v1/answer",
+            Some(
+                r#"{"questions": ["Which physicist graduated from CMU?", "noise"], "threads": 2}"#,
+            ),
+            &[("X-Request-Id", "0000000000000abc")],
+        )
+        .expect("batch");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.request_id.as_deref(), Some("0000000000000abc"));
+
+    // Non-hex client ids map to a stable hash, echoed in canonical form.
+    let a = client
+        .request_with_headers("GET", "/healthz", None, &[("X-Request-Id", "client-77")])
+        .expect("healthz");
+    let b = client
+        .request_with_headers("GET", "/healthz", None, &[("X-Request-Id", "client-77")])
+        .expect("healthz");
+    assert_eq!(a.request_id, b.request_id, "same client id must map to the same trace id");
+    assert_eq!(a.request_id.as_deref().map(str::len), Some(16));
+
+    // No header: the server generates a fresh id per request.
+    let c = client.get("/healthz").expect("healthz");
+    let d = client.get("/healthz").expect("healthz");
+    assert!(c.request_id.is_some());
+    assert_ne!(c.request_id, d.request_id, "generated ids must differ");
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
+fn debug_endpoints_serve_well_formed_json() {
+    let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
+    let (handle, mut client) = start(qa, NetConfig::default());
+
+    // Answer twice (one miss, one cache hit) so the slow log and cache
+    // have content.
+    let q = r#"{"question": "Which physicist graduated from CMU?"}"#;
+    assert_eq!(client.post("/v1/answer", q).expect("answer").status, 200);
+    assert_eq!(client.post("/v1/answer", q).expect("answer").status, 200);
+
+    let slow = client.get("/debug/slow").expect("slow");
+    assert_eq!(slow.status, 200);
+    let doc = json::parse(&slow.body).expect("slow json");
+    let reports = doc.get("slow").and_then(json::Value::as_array).expect("slow array");
+    assert!(!reports.is_empty(), "two answers must leave slow-log entries");
+    assert!(reports[0].get("total_us").and_then(json::Value::as_usize).is_some());
+
+    let cache = client.get("/debug/cache").expect("cache");
+    assert_eq!(cache.status, 200);
+    let doc = json::parse(&cache.body).expect("cache json");
+    assert!(doc.get("entries").and_then(json::Value::as_usize).is_some_and(|n| n >= 1));
+    assert_eq!(doc.get("capacity").and_then(json::Value::as_usize), Some(64));
+
+    // No cascade attached to this serving core: an empty source list,
+    // still well-formed.
+    let cascade = client.get("/debug/cascade").expect("cascade");
+    assert_eq!(cascade.status, 200);
+    let doc = json::parse(&cascade.body).expect("cascade json");
+    assert_eq!(doc.get("sources").and_then(json::Value::as_array).map(<[_]>::len), Some(0));
+
+    // Trace endpoint input validation.
+    assert_eq!(client.get("/debug/trace").expect("400").status, 400);
+    assert_eq!(client.get("/debug/trace?id=zzz").expect("400").status, 400);
+    assert_eq!(client.post("/debug/slow", "{}").expect("405").status, 405);
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("uqsj_net_debug_requests_total"), "{}", metrics.body);
+    assert!(metrics.body.contains("uqsj_net_requests_total{route=\"debug\"}"), "{}", metrics.body);
+
+    handle.shutdown().expect("drain");
+}
+
+#[test]
 fn shutdown_finishes_queued_work_and_stops_listening() {
     let qa = sharded(vec![graduated_template("graduatedFrom", 0.9)], 2);
     let (handle, mut client) = start(qa, NetConfig::default());

@@ -1,0 +1,213 @@
+//! Request-scoped context: a cheap copyable [`RequestCtx`] installed on
+//! the current thread for the duration of one request, carrying the
+//! trace id, the request deadline, and whether the caller asked for an
+//! EXPLAIN report.
+//!
+//! The context rides a scoped thread-local: [`install`] returns a guard
+//! that restores the previous context on drop, so nested installs (a
+//! batch worker serving a sub-request inside a request) compose, and a
+//! panic unwinding through the guard still restores the outer context.
+//! [`trace_id`] is the hot-path read — one thread-local `Cell` load —
+//! used by `trace::span` to stamp every [`crate::TraceEvent`] and by the
+//! histogram exemplar path.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A request trace id: a nonzero `u64`, displayed as 16 lowercase hex
+/// digits (`0` is reserved for "no request context").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// A fresh, effectively unique id: a splitmix64-style mix of a
+    /// process-wide counter, the current time, and the thread, so ids
+    /// from concurrent requests and across restarts do not collide in
+    /// practice. Never zero.
+    pub fn generate() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut z = nanos ^ count.rotate_left(32) ^ (crate::trace::current_tid() << 17);
+        // splitmix64 finalizer: avalanche every input bit.
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        Self(z.max(1))
+    }
+
+    /// Map an arbitrary client-supplied id string (an `X-Request-Id`
+    /// header) onto a trace id: a 16-hex-digit string parses to its
+    /// value; anything else hashes (FNV-1a) so any stable client id maps
+    /// to a stable trace id. Never zero.
+    pub fn from_client(s: &str) -> Self {
+        let t = s.trim();
+        if t.len() == 16 && t.bytes().all(|b| b.is_ascii_hexdigit()) {
+            if let Ok(v) = u64::from_str_radix(t, 16) {
+                return Self(v.max(1));
+            }
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in t.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self(h.max(1))
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Per-request context, cheap to copy across worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestCtx {
+    /// The request's trace id, stamped on every span recorded while the
+    /// context is installed.
+    pub trace_id: TraceId,
+    /// The request's drop-dead instant, if it has one. Carried here so
+    /// deep stages can check the budget without threading a parameter.
+    pub deadline: Option<Instant>,
+    /// Did the caller ask for a structured EXPLAIN report?
+    pub explain: bool,
+}
+
+impl RequestCtx {
+    /// A context with a freshly generated trace id, no deadline, and no
+    /// explain request.
+    pub fn new() -> Self {
+        Self { trace_id: TraceId::generate(), deadline: None, explain: false }
+    }
+
+    /// A context carrying a specific trace id — e.g. one accepted from a
+    /// client's `X-Request-Id` header.
+    pub fn with_trace_id(trace_id: TraceId) -> Self {
+        Self { trace_id, deadline: None, explain: false }
+    }
+
+    /// The same context with `explain` set.
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// The same context with a deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl Default for RequestCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+std::thread_local! {
+    static CURRENT: Cell<Option<RequestCtx>> = const { Cell::new(None) };
+}
+
+/// Install `ctx` on this thread until the returned guard drops; the
+/// previously installed context (if any) is restored then.
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn install(ctx: RequestCtx) -> CtxGuard {
+    let previous = CURRENT.with(|c| c.replace(Some(ctx)));
+    CtxGuard { previous }
+}
+
+/// The context currently installed on this thread.
+pub fn current() -> Option<RequestCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// The active trace id as a raw `u64`, or 0 with no context installed —
+/// the form the flight recorder and exemplar paths store.
+#[inline]
+pub fn trace_id() -> u64 {
+    CURRENT.with(Cell::get).map_or(0, |c| c.trace_id.0)
+}
+
+/// Whether the active context asked for an EXPLAIN report.
+#[inline]
+pub fn explain_requested() -> bool {
+    CURRENT.with(Cell::get).is_some_and(|c| c.explain)
+}
+
+/// Scope guard restoring the previously installed context on drop.
+pub struct CtxGuard {
+    previous: Option<RequestCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous.take()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_and_nests() {
+        assert!(current().is_none());
+        let outer = RequestCtx::new().with_explain(true);
+        {
+            let _g = install(outer);
+            assert_eq!(current().map(|c| c.trace_id), Some(outer.trace_id));
+            assert!(explain_requested());
+            let inner = RequestCtx::new();
+            {
+                let _g2 = install(inner);
+                assert_eq!(current().map(|c| c.trace_id), Some(inner.trace_id));
+                assert!(!explain_requested());
+            }
+            assert_eq!(current().map(|c| c.trace_id), Some(outer.trace_id));
+        }
+        assert!(current().is_none());
+        assert_eq!(trace_id(), 0);
+    }
+
+    #[test]
+    fn guard_restores_across_panic() {
+        let result = std::panic::catch_unwind(|| {
+            let _g = install(RequestCtx::new());
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert!(current().is_none(), "unwinding must restore the outer (empty) context");
+    }
+
+    #[test]
+    fn generated_ids_are_nonzero_and_distinct() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a.0, 0);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string().len(), 16);
+    }
+
+    #[test]
+    fn client_ids_parse_hex_or_hash_stably() {
+        let hex = TraceId::from_client("00000000deadbeef");
+        assert_eq!(hex.0, 0xdeadbeef);
+        // Round-trip: our own display form parses back to the same id.
+        let id = TraceId::generate();
+        assert_eq!(TraceId::from_client(&id.to_string()), id);
+        // Arbitrary strings hash deterministically and never to zero.
+        let a = TraceId::from_client("client-req-1234");
+        let b = TraceId::from_client("client-req-1234");
+        assert_eq!(a, b);
+        assert_ne!(a.0, 0);
+        assert_ne!(TraceId::from_client("").0, 0);
+    }
+}

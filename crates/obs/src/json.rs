@@ -1,0 +1,64 @@
+//! The one JSON string-escape routine shared by every hand-rolled JSON
+//! producer in this crate (trace dumps, log records, metric snapshots).
+//!
+//! Span names used to be the only strings reaching the trace exports and
+//! were `&'static str` by construction, so the exporters interpolated
+//! them raw. Request-scoped tracing changes the threat model: trace ids
+//! and explain payloads can carry client-influenced text, so everything
+//! that lands inside a JSON string goes through here.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes, and control characters.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a quoted JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        // Non-ASCII passes through unescaped (valid JSON).
+        assert_eq!(json_string("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn breakout_attempts_stay_inside_the_string() {
+        let hostile = "\",\"injected\":true,\"x\":\"";
+        let escaped = json_string(hostile);
+        // The only unescaped quotes are the delimiters.
+        let unescaped_quotes =
+            escaped.as_bytes().windows(2).filter(|w| w[1] == b'"' && w[0] != b'\\').count();
+        assert_eq!(unescaped_quotes, 1, "{escaped}");
+        assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+    }
+}

@@ -12,20 +12,30 @@
 //!
 //! * [`metric`] — [`Counter`] (thread-striped), [`Gauge`], and the
 //!   power-of-two-bucket [`Histogram`] (generalized from the latency
-//!   histogram that used to live in `uqsj-serve`).
+//!   histogram that used to live in `uqsj-serve`), with opt-in
+//!   per-bucket trace-id exemplars.
 //! * [`registry`] — named metrics with Prometheus text exposition and a
 //!   JSON snapshot export; [`global()`] is the process-wide instance,
 //!   per-instance registries isolate subsystems and tests.
-//! * [`trace`] — `span("name")` guards feeding a ring-buffer flight
-//!   recorder, dumpable as JSON lines / Chrome trace, or on panic.
+//! * [`ctx`] — the request context: a scoped [`RequestCtx`] carrying the
+//!   trace id, deadline, and EXPLAIN flag through the serving pipeline.
+//! * [`trace`] — `span("name")` guards feeding per-thread lock-free
+//!   flight-recorder rings, dumpable as JSON lines / Chrome trace, on
+//!   panic, or filtered by request via `events_for(trace_id)`.
 //! * [`log`] — quiet-by-default single-line JSON records.
+//! * [`json`] — the shared JSON string-escape helper every hand-rolled
+//!   exporter in the workspace uses.
 
+pub mod ctx;
+pub mod json;
 pub mod log;
 pub mod metric;
 pub mod registry;
 pub mod trace;
 
-pub use metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use ctx::{CtxGuard, RequestCtx, TraceId};
+pub use json::{json_string, push_json_string};
+pub use metric::{Counter, Exemplar, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, Registry};
 pub use trace::{span, FlightRecorder, Span, TraceEvent};
 

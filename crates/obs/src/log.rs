@@ -65,21 +65,7 @@ impl JsonRecord {
     }
 
     fn push_json_string(&mut self, s: &str) {
-        self.buf.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => self.buf.push_str("\\\""),
-                '\\' => self.buf.push_str("\\\\"),
-                '\n' => self.buf.push_str("\\n"),
-                '\r' => self.buf.push_str("\\r"),
-                '\t' => self.buf.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => self.buf.push(c),
-            }
-        }
-        self.buf.push('"');
+        crate::json::push_json_string(&mut self.buf, s);
     }
 
     /// Add a string field.

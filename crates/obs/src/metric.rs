@@ -7,7 +7,7 @@
 //! thread-striped cell, a histogram observation is three.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Number of counter stripes. Threads hash onto stripes by a per-thread
@@ -115,10 +115,32 @@ impl std::fmt::Debug for Gauge {
     }
 }
 
+/// One per-bucket exemplar: the largest recent observation that carried
+/// a request trace id. `trace_id == 0` means the slot is empty.
+#[derive(Default)]
+struct ExemplarSlot {
+    value: AtomicU64,
+    trace_id: AtomicU64,
+}
+
+/// A captured exemplar for one bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index (see [`bucket_upper_edge`]).
+    pub bucket: usize,
+    /// The observed value.
+    pub value: u64,
+    /// The request trace id active when the value was observed.
+    pub trace_id: u64,
+}
+
 struct HistogramInner {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Present only after [`Histogram::enable_exemplars`]: the default
+    /// observe path pays a single `OnceLock` load for the feature.
+    exemplars: OnceLock<Box<[ExemplarSlot; HISTOGRAM_BUCKETS]>>,
 }
 
 impl Default for HistogramInner {
@@ -127,6 +149,7 @@ impl Default for HistogramInner {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
     }
 }
@@ -169,9 +192,62 @@ impl Histogram {
     #[inline]
     pub fn observe(&self, v: u64) {
         let inner = &*self.inner;
-        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        let bucket = bucket_of(v);
+        inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
+        if let Some(slots) = inner.exemplars.get() {
+            if !crate::trace::enabled() {
+                return;
+            }
+            let trace_id = crate::ctx::trace_id();
+            if trace_id != 0 {
+                let slot = &slots[bucket];
+                // Keep the worst recent observation per bucket. The two
+                // stores are independent relaxed atomics, so a racing
+                // smaller observation can briefly own the id — exemplars
+                // are diagnostic pointers, not exact aggregates.
+                if v >= slot.value.fetch_max(v, Ordering::Relaxed) {
+                    slot.trace_id.store(trace_id, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Turn on per-bucket exemplar capture for this histogram (shared by
+    /// every clone of the handle). Observations made under an installed
+    /// request context ([`crate::ctx`]) retain the trace id of the worst
+    /// recent value per bucket; without a context nothing is captured.
+    pub fn enable_exemplars(&self) -> &Self {
+        self.inner
+            .exemplars
+            .get_or_init(|| Box::new(std::array::from_fn(|_| ExemplarSlot::default())));
+        self
+    }
+
+    /// Whether exemplar capture is enabled.
+    pub fn exemplars_enabled(&self) -> bool {
+        self.inner.exemplars.get().is_some()
+    }
+
+    /// The captured exemplars, one per non-empty bucket. Empty when
+    /// exemplar capture is off or nothing was observed under a request
+    /// context.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let Some(slots) = self.inner.exemplars.get() else {
+            return Vec::new();
+        };
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(|(bucket, slot)| {
+                let trace_id = slot.trace_id.load(Ordering::Relaxed);
+                if trace_id == 0 {
+                    return None;
+                }
+                Some(Exemplar { bucket, value: slot.value.load(Ordering::Relaxed), trace_id })
+            })
+            .collect()
     }
 
     /// Record one duration in microseconds.
@@ -268,6 +344,38 @@ mod tests {
         assert_eq!(h.count(), 100);
         assert_eq!(h.quantile(0.50), 16);
         assert!(h.quantile(0.99) > 32_768);
+    }
+
+    #[test]
+    fn exemplars_capture_worst_per_bucket_under_ctx() {
+        // Serialize with tests that flip the process-wide tracing switch.
+        let _serial = crate::trace::test_guard();
+        let h = Histogram::new();
+        h.observe(100); // capture off: nothing retained
+        assert!(h.exemplars().is_empty());
+        h.enable_exemplars();
+        h.observe(100); // no request context: still nothing
+        assert!(h.exemplars().is_empty());
+        let ctx = crate::ctx::RequestCtx::new();
+        let other = crate::ctx::RequestCtx::new();
+        {
+            let _g = crate::ctx::install(ctx);
+            h.observe(100);
+            h.observe(120); // same bucket [64,128): replaces the exemplar
+        }
+        {
+            let _g = crate::ctx::install(other);
+            h.observe(110); // smaller than 120: bucket exemplar unchanged
+            h.observe(5000); // a different bucket gains its own exemplar
+        }
+        let exemplars = h.exemplars();
+        assert_eq!(exemplars.len(), 2);
+        let low = exemplars.iter().find(|e| e.bucket == bucket_of(120)).expect("low bucket");
+        assert_eq!(low.value, 120);
+        assert_eq!(low.trace_id, ctx.trace_id.0);
+        let high = exemplars.iter().find(|e| e.bucket == bucket_of(5000)).expect("high bucket");
+        assert_eq!(high.value, 5000);
+        assert_eq!(high.trace_id, other.trace_id.0);
     }
 
     #[test]

@@ -236,7 +236,10 @@ impl Registry {
 
     /// JSON snapshot of every registered metric: counters/gauges with
     /// their value, histograms with count, sum, p50/p99 estimates, and
-    /// the non-empty `[upper_edge, count]` buckets.
+    /// the non-empty `[upper_edge, count]` buckets. Histograms with
+    /// exemplar capture enabled additionally expose
+    /// `"exemplars": [[upper_edge, value, "trace_id"], ...]` — the trace
+    /// id of the worst recent observation per bucket.
     pub fn snapshot_json(&self) -> String {
         let inner = self.inner.read().expect("registry lock");
         let mut items = Vec::new();
@@ -255,7 +258,7 @@ impl Registry {
                         .filter(|(_, &c)| c > 0)
                         .map(|(i, &c)| format!("[{},{}]", bucket_upper_edge(i), c))
                         .collect();
-                    format!(
+                    let mut body = format!(
                         "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\
                          \"buckets\":[{}]",
                         h.count(),
@@ -263,7 +266,23 @@ impl Registry {
                         quantile_of(&buckets, 0.50),
                         quantile_of(&buckets, 0.99),
                         pairs.join(",")
-                    )
+                    );
+                    if h.exemplars_enabled() {
+                        let exemplars: Vec<String> = h
+                            .exemplars()
+                            .iter()
+                            .map(|x| {
+                                format!(
+                                    "[{},{},\"{:016x}\"]",
+                                    bucket_upper_edge(x.bucket),
+                                    x.value,
+                                    x.trace_id
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(",\"exemplars\":[{}]", exemplars.join(",")));
+                    }
+                    body
                 }
             };
             items.push(format!("{{\"name\":\"{}\",\"labels\":{labels},{body}}}", e.name));
@@ -335,6 +354,27 @@ mod tests {
         assert!(json.contains("\"value\":7"));
         assert!(json.contains("\"kind\":\"histogram\""));
         assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn snapshot_exposes_exemplars_when_enabled() {
+        // Serialize with tests that flip the process-wide tracing switch.
+        let _serial = crate::trace::test_guard();
+        let r = Registry::new();
+        let h = r.histogram("ex_us", "exemplar-enabled latency");
+        h.enable_exemplars();
+        let ctx = crate::ctx::RequestCtx::new();
+        {
+            let _g = crate::ctx::install(ctx);
+            h.observe(100);
+        }
+        let json = r.snapshot_json();
+        let expected = format!("\"exemplars\":[[128,100,\"{:016x}\"]]", ctx.trace_id.0);
+        assert!(json.contains(&expected), "{json}");
+        // A histogram without exemplars enabled omits the key entirely.
+        let plain = Registry::new();
+        plain.histogram("plain_us", "no exemplars").observe(5);
+        assert!(!plain.snapshot_json().contains("exemplars"));
     }
 
     #[test]

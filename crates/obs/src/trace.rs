@@ -1,24 +1,51 @@
-//! Lightweight span tracing with a ring-buffer flight recorder.
+//! Lightweight span tracing with a per-thread ring-buffer flight
+//! recorder.
 //!
 //! A [`span`] guard records a named interval on a thread-local stack:
 //! entry takes a monotonic timestamp, drop computes the duration and
-//! pushes one [`TraceEvent`] into the global recorder ring. The ring
-//! holds the most recent [`FlightRecorder::capacity`] events — a flight
-//! recorder, not a full trace — and can be dumped on demand as JSON lines
-//! or as a Chrome-trace (`chrome://tracing`, Perfetto) document, or
-//! automatically on panic via [`install_panic_dump`].
+//! pushes one [`TraceEvent`] into the recording thread's own ring. Each
+//! thread writes a private fixed-size ring of atomic slots, so the
+//! span-drop hot path takes **no lock** — readers (trace dumps, the
+//! `/debug/trace` endpoint) snapshot every thread's ring through a
+//! per-slot sequence validation and merge them by a global order stamp.
+//! The recorder holds the most recent [`FlightRecorder::capacity`]
+//! events *per thread* — a flight recorder, not a full trace — and can
+//! be dumped on demand as JSON lines or as a Chrome-trace
+//! (`chrome://tracing`, Perfetto) document, or automatically on panic
+//! via [`install_panic_dump`].
+//!
+//! Every event is stamped with the request trace id active on its
+//! thread at span entry (see [`crate::ctx`]); [`FlightRecorder::events_for`]
+//! pulls one request's spans back out by that id.
 //!
 //! Timestamps are microsecond offsets from the first use of the module
 //! (a process-local monotonic epoch), so dumps need no wall clock.
 
-use std::cell::Cell;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-/// Default ring capacity.
+/// Default per-thread ring capacity.
 const DEFAULT_CAPACITY: usize = 4096;
+
+/// Process-wide tracing switch, on by default. When off, [`span`] guards
+/// become no-ops (no clock reads, no ring writes) and histogram exemplar
+/// capture is skipped — the lever the serve bench uses to measure
+/// tracing overhead against a no-trace baseline.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turn span recording (and exemplar capture) on or off process-wide.
+/// Spans already open keep the recording decision made at entry.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -33,11 +60,60 @@ pub fn now_us() -> u64 {
 std::thread_local! {
     static TID: u64 = next_tid();
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// This thread's leased ring, registered with the global recorder on
+    /// first span. The `Arc` in the recorder's registry keeps a ring
+    /// readable after its thread exits; the lease's drop returns the
+    /// ring to the recorder's free pool so short-lived threads (batch
+    /// workers) reuse rings instead of growing the registry forever.
+    static RING: RefCell<Option<RingLease>> = const { RefCell::new(None) };
+    /// Span-name intern cache, keyed by the `&'static str` pointer so a
+    /// hit is a short scan with no hashing and no lock.
+    static NAME_CACHE: RefCell<Vec<(*const u8, usize, u32)>> = const { RefCell::new(Vec::new()) };
 }
 
 fn next_tid() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// This thread's small trace id (order of first trace use, not the OS
+/// tid) — shared with `ctx` for trace-id generation entropy.
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// The global span-name intern table. Names are `&'static str` from call
+/// sites, so the table is bounded by the set of distinct instrumentation
+/// points, not by call volume. Rings store the `u32` id; dumps map back.
+fn names() -> &'static RwLock<Vec<&'static str>> {
+    static NAMES: OnceLock<RwLock<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Intern `name`, hitting the thread-local pointer-keyed cache first so
+/// the steady-state span path never takes the table lock.
+fn intern_name(name: &'static str) -> u32 {
+    let key = (name.as_ptr(), name.len());
+    let cached = NAME_CACHE
+        .with(|c| c.borrow().iter().find(|&&(p, l, _)| (p, l) == key).map(|&(_, _, id)| id));
+    if let Some(id) = cached {
+        return id;
+    }
+    let mut table = names().write().expect("name table lock");
+    let id = match table.iter().position(|n| *n == name) {
+        Some(i) => i as u32,
+        None => {
+            table.push(name);
+            (table.len() - 1) as u32
+        }
+    };
+    drop(table);
+    NAME_CACHE.with(|c| c.borrow_mut().push((key.0, key.1, id)));
+    id
+}
+
+fn name_of(id: u32) -> &'static str {
+    names().read().expect("name table lock").get(id as usize).copied().unwrap_or("?")
 }
 
 /// One completed span.
@@ -53,20 +129,38 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Nesting depth at entry (0 = top-level span on its thread).
     pub depth: u32,
+    /// The request trace id active at span entry (see [`crate::ctx`]);
+    /// 0 when no request context was installed.
+    pub trace_id: u64,
 }
 
 /// An in-flight span; completing (dropping) it records a [`TraceEvent`].
 #[must_use = "a span records on drop; binding it to _ discards the measurement immediately"]
 pub struct Span {
-    name: &'static str,
+    name_id: u32,
     start: Instant,
     start_us: u64,
     depth: u32,
+    trace_id: u64,
+    /// Captured from the process switch at entry; a disabled span did
+    /// not touch DEPTH and records nothing on drop.
+    record: bool,
 }
 
 /// Open a span; the returned guard records it into the global flight
-/// recorder when dropped.
+/// recorder when dropped. A no-op guard while tracing is disabled
+/// ([`set_enabled`]).
 pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            name_id: 0,
+            start: Instant::now(),
+            start_us: 0,
+            depth: 0,
+            trace_id: 0,
+            record: false,
+        };
+    }
     let start = Instant::now();
     let start_us = now_us();
     let depth = DEPTH.with(|d| {
@@ -74,70 +168,264 @@ pub fn span(name: &'static str) -> Span {
         d.set(depth + 1);
         depth
     });
-    Span { name, start, start_us, depth }
+    Span {
+        name_id: intern_name(name),
+        start,
+        start_us,
+        depth,
+        trace_id: crate::ctx::trace_id(),
+        record: true,
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if !self.record {
+            return;
+        }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        let event = TraceEvent {
-            name: self.name,
+        let dur_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        recorder().record(Raw {
+            name_id: self.name_id,
             start_us: self.start_us,
-            dur_us: self.start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            dur_us,
             tid: TID.with(|t| *t),
             depth: self.depth,
-        };
-        recorder().record(event);
+            trace_id: self.trace_id,
+        });
     }
 }
 
-/// The global ring of recent [`TraceEvent`]s.
+/// Field bundle handed from the span guard to the ring writer.
+struct Raw {
+    name_id: u32,
+    start_us: u64,
+    dur_us: u64,
+    tid: u64,
+    depth: u32,
+    trace_id: u64,
+}
+
+/// One ring slot: all fields are plain atomics guarded by a per-slot
+/// seqlock (`seq == 0` marks empty or mid-write; otherwise it is the
+/// event's global order stamp).
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    name_id: AtomicU32,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+    tid: AtomicU64,
+    depth: AtomicU32,
+    trace_id: AtomicU64,
+}
+
+/// One thread's private ring. Only the owning thread writes; any thread
+/// may read through the seqlock protocol.
+struct ThreadRing {
+    slots: Box<[Slot]>,
+    /// Next write position (owner-only writes, monotonically increasing).
+    head: AtomicUsize,
+}
+
+impl ThreadRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Slot::default()).collect(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Owner-only: publish one event with the given global stamp.
+    fn push(&self, raw: Raw, stamp: u64) {
+        let i = self.head.load(Ordering::Relaxed);
+        self.head.store(i + 1, Ordering::Relaxed);
+        let slot = &self.slots[i % self.slots.len()];
+        // Seqlock write: invalidate, publish fields, then stamp. A reader
+        // that observes any new field will also observe seq == 0 or the
+        // new stamp on its validation load and discard the read.
+        slot.seq.store(0, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.name_id.store(raw.name_id, Ordering::Relaxed);
+        slot.start_us.store(raw.start_us, Ordering::Relaxed);
+        slot.dur_us.store(raw.dur_us, Ordering::Relaxed);
+        slot.tid.store(raw.tid, Ordering::Relaxed);
+        slot.depth.store(raw.depth, Ordering::Relaxed);
+        slot.trace_id.store(raw.trace_id, Ordering::Relaxed);
+        slot.seq.store(stamp, Ordering::Release);
+    }
+
+    /// Any thread: snapshot the consistent slots as `(stamp, event)`.
+    fn snapshot(&self, floor: u64, out: &mut Vec<(u64, TraceEvent)>) {
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 <= floor {
+                continue;
+            }
+            let raw = Raw {
+                name_id: slot.name_id.load(Ordering::Relaxed),
+                start_us: slot.start_us.load(Ordering::Relaxed),
+                dur_us: slot.dur_us.load(Ordering::Relaxed),
+                tid: slot.tid.load(Ordering::Relaxed),
+                depth: slot.depth.load(Ordering::Relaxed),
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+            };
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 != s2 {
+                continue; // torn by a concurrent rewrite: skip the slot
+            }
+            out.push((
+                s1,
+                TraceEvent {
+                    name: name_of(raw.name_id),
+                    start_us: raw.start_us,
+                    dur_us: raw.dur_us,
+                    tid: raw.tid,
+                    depth: raw.depth,
+                    trace_id: raw.trace_id,
+                },
+            ));
+        }
+    }
+}
+
+/// Holds a thread's ring for its lifetime; dropping (thread exit)
+/// returns the ring to the recorder's free pool for the next thread.
+/// The ring stays in the registry throughout, so its events remain
+/// readable until a later lease overwrites them.
+struct RingLease {
+    ring: Arc<ThreadRing>,
+}
+
+impl Drop for RingLease {
+    fn drop(&mut self) {
+        recorder().release(Arc::clone(&self.ring));
+    }
+}
+
+/// The flight recorder: a registry of per-thread rings. The registry
+/// mutex is taken on thread registration and on the read paths only —
+/// never by the span-drop hot path, which writes the recording thread's
+/// own ring lock-free. Rings are pooled: a thread leases one on its
+/// first span and returns it at exit, so the registry is bounded by the
+/// peak number of concurrently tracing threads, not by thread churn.
 pub struct FlightRecorder {
-    ring: Mutex<VecDeque<TraceEvent>>,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    /// Rings whose owning thread has exited, ready for re-lease.
+    free: Mutex<Vec<Arc<ThreadRing>>>,
     capacity: usize,
+    /// Global order stamp; gives merged dumps a total order across rings.
+    next_stamp: AtomicU64,
+    /// Stamps at or below this watermark are logically cleared.
+    cleared: AtomicU64,
 }
 
 /// The process-global flight recorder.
 pub fn recorder() -> &'static FlightRecorder {
     static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
     RECORDER.get_or_init(|| FlightRecorder {
-        ring: Mutex::new(VecDeque::with_capacity(DEFAULT_CAPACITY)),
+        rings: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
         capacity: DEFAULT_CAPACITY,
+        next_stamp: AtomicU64::new(0),
+        cleared: AtomicU64::new(0),
     })
 }
 
 impl FlightRecorder {
-    /// Maximum number of retained events.
+    /// Maximum number of retained events per recording thread.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    fn record(&self, event: TraceEvent) {
-        let mut ring = self.ring.lock().expect("recorder lock");
-        if ring.len() == self.capacity {
-            ring.pop_front();
+    /// The calling thread's ring, leasing one on first use: a pooled
+    /// ring from an exited thread when available, else a fresh ring
+    /// registered with the recorder.
+    fn thread_ring(&'static self) -> Arc<ThreadRing> {
+        RING.with(|r| {
+            let mut r = r.borrow_mut();
+            if let Some(lease) = r.as_ref() {
+                return Arc::clone(&lease.ring);
+            }
+            let pooled = self.free.lock().expect("recorder free-pool lock").pop();
+            let ring = match pooled {
+                Some(ring) => ring,
+                None => {
+                    let ring = Arc::new(ThreadRing::new(self.capacity));
+                    self.rings.lock().expect("recorder registry lock").push(Arc::clone(&ring));
+                    ring
+                }
+            };
+            *r = Some(RingLease { ring: Arc::clone(&ring) });
+            ring
+        })
+    }
+
+    /// Return an exited thread's ring to the pool (lease drop).
+    fn release(&self, ring: Arc<ThreadRing>) {
+        self.free.lock().expect("recorder free-pool lock").push(ring);
+    }
+
+    /// How many rings the recorder has ever registered — bounded by the
+    /// peak number of concurrently tracing threads thanks to pooling.
+    pub fn ring_count(&self) -> usize {
+        self.rings.lock().expect("recorder registry lock").len()
+    }
+
+    fn record(&'static self, raw: Raw) {
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        self.thread_ring().push(raw, stamp);
+    }
+
+    /// Rings snapshotted and merged into `(stamp, event)` pairs, oldest
+    /// first.
+    fn merged(&self) -> Vec<(u64, TraceEvent)> {
+        let floor = self.cleared.load(Ordering::Relaxed);
+        let rings: Vec<Arc<ThreadRing>> =
+            self.rings.lock().expect("recorder registry lock").iter().map(Arc::clone).collect();
+        let mut out = Vec::new();
+        for ring in rings {
+            ring.snapshot(floor, &mut out);
         }
-        ring.push_back(event);
+        out.sort_unstable_by_key(|(stamp, _)| *stamp);
+        out
     }
 
-    /// Copy out the retained events, oldest first.
+    /// Copy out the retained events, oldest first (global order across
+    /// all recording threads).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.ring.lock().expect("recorder lock").iter().cloned().collect()
+        self.merged().into_iter().map(|(_, e)| e).collect()
     }
 
-    /// Drop all retained events (test isolation).
+    /// The retained events recorded under the given request trace id,
+    /// oldest first — the `/debug/trace?id=` lookup.
+    pub fn events_for(&self, trace_id: u64) -> Vec<TraceEvent> {
+        self.merged().into_iter().filter(|(_, e)| e.trace_id == trace_id).map(|(_, e)| e).collect()
+    }
+
+    /// Drop all retained events (test isolation). Events already being
+    /// written concurrently may land after the clear.
     pub fn clear(&self) {
-        self.ring.lock().expect("recorder lock").clear();
+        self.cleared.store(self.next_stamp.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
-    /// One JSON object per line, oldest first.
+    /// One JSON object per line, oldest first. `trace_id` is included
+    /// (as 16 hex digits) only on events recorded under a request
+    /// context.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
+            out.push_str("{\"name\":");
+            crate::json::push_json_string(&mut out, e.name);
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"tid\":{},\"depth\":{}}}\n",
-                e.name, e.start_us, e.dur_us, e.tid, e.depth
+                ",\"start_us\":{},\"dur_us\":{},\"tid\":{},\"depth\":{}",
+                e.start_us, e.dur_us, e.tid, e.depth
             ));
+            if e.trace_id != 0 {
+                out.push_str(&format!(",\"trace_id\":\"{:016x}\"", e.trace_id));
+            }
+            out.push_str("}\n");
         }
         out
     }
@@ -148,14 +436,31 @@ impl FlightRecorder {
             .events()
             .iter()
             .map(|e| {
-                format!(
-                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
-                    e.name, e.start_us, e.dur_us, e.tid
-                )
+                let mut line = String::from("{\"name\":");
+                crate::json::push_json_string(&mut line, e.name);
+                line.push_str(&format!(
+                    ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                    e.start_us, e.dur_us, e.tid
+                ));
+                if e.trace_id != 0 {
+                    line.push_str(&format!(",\"args\":{{\"trace_id\":\"{:016x}\"}}", e.trace_id));
+                }
+                line.push('}');
+                line
             })
             .collect();
         format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
     }
+}
+
+/// Serializes tests touching process-global trace state (the [`enabled`]
+/// switch, the recorder's clear watermark) across this crate's test
+/// modules — a sibling test flipping the switch mid-assertion would
+/// otherwise flake the exemplar tests.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Install a panic hook that dumps the flight recorder (JSON lines) to
@@ -173,8 +478,17 @@ pub fn install_panic_dump(path: std::path::PathBuf) {
 mod tests {
     use super::*;
 
+    /// The recorder (and its clear watermark) is process-global, so the
+    /// tests below serialize on the crate-wide [`test_guard`] — a
+    /// concurrent `clear` or switch flip from a sibling test would
+    /// otherwise drop events mid-assertion.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        test_guard()
+    }
+
     #[test]
     fn spans_record_and_nest() {
+        let _serial = serial();
         recorder().clear();
         {
             let _outer = span("outer");
@@ -186,10 +500,194 @@ mod tests {
         let outer = events.iter().find(|e| e.name == "outer").expect("outer recorded");
         assert_eq!(inner.depth, outer.depth + 1);
         assert!(outer.dur_us >= inner.dur_us);
+        assert_eq!(inner.trace_id, 0, "no request context installed");
         let jsonl = recorder().to_json_lines();
         assert!(jsonl.contains("\"name\":\"inner\""));
         let chrome = recorder().to_chrome_trace();
         assert!(chrome.starts_with("{\"traceEvents\":["));
         assert!(chrome.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn spans_carry_the_installed_trace_id() {
+        let _serial = serial();
+        let ctx = crate::ctx::RequestCtx::new();
+        {
+            let _g = crate::ctx::install(ctx);
+            let _s = span("ctx_span");
+        }
+        let events = recorder().events_for(ctx.trace_id.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "ctx_span");
+        // The id query is exact: a different id finds nothing of ours.
+        assert!(recorder()
+            .events_for(ctx.trace_id.0 ^ 1)
+            .iter()
+            .all(|e| e.name != "ctx_span" || e.trace_id != ctx.trace_id.0));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_per_thread() {
+        let _serial = serial();
+        // Fill this thread's ring past capacity; the retained events for
+        // a unique marker id must be the most recent ones.
+        let ctx = crate::ctx::RequestCtx::new();
+        let _g = crate::ctx::install(ctx);
+        let extra = 32;
+        for _ in 0..recorder().capacity() + extra {
+            let _s = span("overflow");
+        }
+        let mine = recorder().events_for(ctx.trace_id.0);
+        assert!(mine.len() <= recorder().capacity());
+        assert!(mine.len() >= recorder().capacity() - 1, "ring retains ~capacity events");
+    }
+
+    #[test]
+    fn depth_recovers_after_panic_inside_nested_spans() {
+        let _serial = serial();
+        // Unwinding runs the span guards' Drop impls, so DEPTH must come
+        // back to its pre-panic value and subsequent spans record at the
+        // right depth with a consistent recorder.
+        let before = DEPTH.with(|d| d.get());
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("panic_outer");
+            let _inner = span("panic_inner");
+            panic!("unwind through nested spans");
+        });
+        assert!(result.is_err());
+        assert_eq!(DEPTH.with(|d| d.get()), before, "DEPTH must be restored by unwinding");
+        // Both spans were recorded on the way out, inner first.
+        let events = recorder().events();
+        let inner_pos = events.iter().rposition(|e| e.name == "panic_inner").expect("inner");
+        let outer_pos = events.iter().rposition(|e| e.name == "panic_outer").expect("outer");
+        assert!(inner_pos < outer_pos, "inner drops (records) before outer during unwind");
+        assert_eq!(events[inner_pos].depth, events[outer_pos].depth + 1);
+        // And the recorder still works normally afterwards.
+        {
+            let _s = span("after_panic");
+        }
+        assert!(recorder().events().iter().any(|e| e.name == "after_panic"));
+        let top = recorder().events().into_iter().rev().find(|e| e.name == "after_panic").unwrap();
+        assert_eq!(top.depth, before);
+    }
+
+    #[test]
+    fn concurrent_threads_yield_disjoint_events_for_sets() {
+        let _serial = serial();
+        // N threads, each under its own request context, each recording
+        // its own spans: `events_for(id)` must return exactly that
+        // thread's events, with no bleed between ids.
+        let n = 8;
+        let per_thread = 25;
+        let ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let ctx = crate::ctx::RequestCtx::new();
+                        let _g = crate::ctx::install(ctx);
+                        for _ in 0..per_thread {
+                            let _s = span("disjoint");
+                        }
+                        ctx.trace_id.0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("trace thread")).collect()
+        });
+        for (i, &id) in ids.iter().enumerate() {
+            let events = recorder().events_for(id);
+            assert_eq!(events.len(), per_thread, "thread {i} events");
+            assert!(events.iter().all(|e| e.trace_id == id));
+            // Disjoint: one thread, one tid per id set.
+            let tid = events[0].tid;
+            assert!(events.iter().all(|e| e.tid == tid));
+        }
+        // Pairwise disjoint by construction of distinct generated ids.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "generated ids must be distinct");
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_and_keeps_depth_balanced() {
+        let _serial = serial();
+        recorder().clear();
+        let before = DEPTH.with(|d| d.get());
+        set_enabled(false);
+        {
+            let _outer = span("disabled_outer");
+            let _inner = span("disabled_inner");
+            assert_eq!(DEPTH.with(|d| d.get()), before, "disabled spans must not touch DEPTH");
+        }
+        set_enabled(true);
+        assert_eq!(DEPTH.with(|d| d.get()), before);
+        assert!(recorder().events().iter().all(|e| !e.name.starts_with("disabled_")));
+        // Back on: recording resumes.
+        {
+            let _s = span("reenabled");
+        }
+        assert!(recorder().events().iter().any(|e| e.name == "reenabled"));
+    }
+
+    #[test]
+    fn thread_churn_reuses_pooled_rings() {
+        let _serial = serial();
+        // Warm this thread's ring, then measure registry growth across
+        // many short-lived threads: each joins before the next spawns,
+        // so its lease returns to the pool and the next thread reuses
+        // it. Without pooling this grows the registry by one ring (and
+        // one ring's worth of memory) per thread, forever.
+        {
+            let _s = span("churn_warm");
+        }
+        let before = recorder().ring_count();
+        for _ in 0..32 {
+            std::thread::spawn(|| {
+                let _s = span("churn");
+            })
+            .join()
+            .expect("churn thread");
+        }
+        let grown = recorder().ring_count() - before;
+        assert!(grown <= 1, "sequential thread churn grew the registry by {grown} rings");
+        // The pooled ring's events are still readable after reuse.
+        assert!(recorder().events().iter().any(|e| e.name == "churn"));
+    }
+
+    #[test]
+    fn clear_drops_retained_events() {
+        let _serial = serial();
+        let ctx = crate::ctx::RequestCtx::new();
+        let _g = crate::ctx::install(ctx);
+        {
+            let _s = span("before_clear");
+        }
+        assert!(!recorder().events_for(ctx.trace_id.0).is_empty());
+        recorder().clear();
+        assert!(recorder().events_for(ctx.trace_id.0).is_empty());
+        {
+            let _s = span("after_clear");
+        }
+        let after = recorder().events_for(ctx.trace_id.0);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].name, "after_clear");
+    }
+
+    #[test]
+    fn json_lines_escape_names() {
+        let _serial = serial();
+        // Span names are &'static str, but nothing stops a call site
+        // from embedding quotes; the exporter must keep them inside the
+        // string literal.
+        recorder().clear();
+        {
+            let _s = span("quote\"in\\name");
+        }
+        let jsonl = recorder().to_json_lines();
+        let line = jsonl.lines().find(|l| l.contains("quote")).expect("span line");
+        assert!(line.contains("\"quote\\\"in\\\\name\""), "{line}");
+        let chrome = recorder().to_chrome_trace();
+        assert!(chrome.contains("\"quote\\\"in\\\\name\""), "{chrome}");
     }
 }

@@ -98,6 +98,20 @@ pub enum StopReason {
     BudgetExhausted,
 }
 
+impl StopReason {
+    /// Stable snake_case label, used by metric labels, EXPLAIN reports,
+    /// and the join layer's name-keyed stop-reason counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::ExactOnly => "exact_only",
+            StopReason::CertainAccept => "certain_accept",
+            StopReason::CertainReject => "certain_reject",
+            StopReason::Resolved => "resolved",
+            StopReason::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
 /// Result of one sampled (or exactly folded) `SimP ≥ α` decision.
 #[derive(Clone, Debug)]
 pub struct SampleOutcome {

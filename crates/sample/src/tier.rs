@@ -129,6 +129,10 @@ pub struct TierOutcome {
     pub worlds_sampled: u64,
     /// False only when the sampler's draw budget ran out.
     pub guaranteed: bool,
+    /// Why the decision terminated: always
+    /// [`StopReason::ExactOnly`] on the exact tier, the sampler's
+    /// confidence-sequence stopping rule on the sampled tier.
+    pub stop: StopReason,
     /// The pair's replay seed (meaningful on the sampled tier).
     pub seed: u64,
 }
@@ -170,6 +174,7 @@ pub fn verify_pair_with(
                 tier: Tier::Exact,
                 worlds_sampled: 0,
                 guaranteed: true,
+                stop: StopReason::ExactOnly,
                 seed: pair_seed,
             }
         }
@@ -199,6 +204,7 @@ pub fn verify_pair_with(
                 tier: Tier::Sample,
                 worlds_sampled: out.worlds_sampled,
                 guaranteed: out.stop != StopReason::BudgetExhausted,
+                stop: out.stop,
                 seed: pair_seed,
             }
         }

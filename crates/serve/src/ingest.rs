@@ -69,8 +69,9 @@ pub struct Ingestor {
     /// Cascade planner shared across every ingested question, so under an
     /// adaptive policy the selectivity/cost estimates learned on earlier
     /// arrivals keep steering the filter order for later ones instead of
-    /// restarting cold per question.
-    cascade: CascadeRuntime,
+    /// restarting cold per question. Shared (`Arc`) so a serving front
+    /// end can expose the live plan through `/debug/cascade`.
+    cascade: std::sync::Arc<CascadeRuntime>,
     cursor: CascadeCursor,
 }
 
@@ -100,7 +101,7 @@ impl Ingestor {
     ) -> Self {
         assert_eq!(d_graphs.len(), d_queries.len());
         assert_eq!(d_graphs.len(), d_terms.len());
-        let cascade = CascadeRuntime::new(params.cascade, params.strategy);
+        let cascade = std::sync::Arc::new(CascadeRuntime::new(params.cascade, params.strategy));
         Self {
             table,
             d_graphs,
@@ -117,6 +118,13 @@ impl Ingestor {
     /// Size of the SPARQL workload joined against.
     pub fn d_len(&self) -> usize {
         self.d_graphs.len()
+    }
+
+    /// The shared cascade planner — attach it to a
+    /// [`crate::ShardedQaServer`] so `/debug/cascade` reports this
+    /// ingestor's live plan and estimates.
+    pub fn cascade(&self) -> std::sync::Arc<CascadeRuntime> {
+        std::sync::Arc::clone(&self.cascade)
     }
 
     /// Analyze one new question, join its uncertain graph against `D`

@@ -19,6 +19,7 @@
 pub mod cache;
 pub mod ingest;
 pub mod metrics;
+pub mod report;
 pub mod server;
 pub mod shard;
 pub mod store;
@@ -26,6 +27,7 @@ pub mod store;
 pub use cache::AnswerCache;
 pub use ingest::{IngestError, IngestOutcome, Ingestor};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use report::{JoinReport, QueryReport, SlowLog, StageReport};
 pub use server::{QaServer, ServeConfig};
 pub use shard::{shard_of_tokens, ShardedAnswer, ShardedQaServer};
 pub use store::{StoreAnswer, TemplateStore};

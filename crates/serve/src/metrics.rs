@@ -24,6 +24,8 @@ pub struct ServeMetrics {
     candidates_total: Counter,
     library_total: Counter,
     ted_total: Counter,
+    slow_queries: Counter,
+    explains: Counter,
     latency: Histogram,
 }
 
@@ -77,7 +79,20 @@ impl ServeMetrics {
             ),
             ted_total: registry
                 .counter("uqsj_serve_ted_total", "exact TED computations, summed over misses"),
-            latency: registry.histogram("uqsj_serve_answer_us", "answer latency per question"),
+            slow_queries: registry.counter(
+                "uqsj_serve_slow_queries_total",
+                "answers admitted to the worst-N slow-query log",
+            ),
+            explains: registry
+                .counter("uqsj_serve_explain_total", "answers that carried an EXPLAIN request"),
+            latency: {
+                let h = registry.histogram("uqsj_serve_answer_us", "answer latency per question");
+                // Retain the trace id of the worst recent observation per
+                // bucket, so a latency spike in the exposition points
+                // straight at a replayable request.
+                h.enable_exemplars();
+                h
+            },
             registry,
         }
     }
@@ -105,6 +120,16 @@ impl ServeMetrics {
         self.library_total.add(library as u64);
         self.ted_total.add(ted as u64);
         self.latency.observe_duration(latency);
+    }
+
+    /// Record an answer admitted to the slow-query log.
+    pub fn record_slow_query(&self) {
+        self.slow_queries.inc();
+    }
+
+    /// Record an answer that carried `"explain": true`.
+    pub fn record_explain(&self) {
+        self.explains.inc();
     }
 
     /// Copy out the counters. Every derived ratio is zero (never NaN or

@@ -42,6 +42,7 @@
 
 use crate::cache::{normalize_question, AnswerCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::report::{QueryReport, SlowLog, StageReport};
 use crate::server::ServeConfig;
 use crate::store::TemplateStore;
 use parking_lot::{Mutex, RwLock};
@@ -51,10 +52,14 @@ use std::time::Instant;
 use uqsj_nlp::signature::NlSignature;
 use uqsj_nlp::token::tokenize;
 use uqsj_nlp::Lexicon;
-use uqsj_obs::{Gauge, Histogram};
+use uqsj_obs::{span, Gauge, Histogram};
 use uqsj_rdf::TripleStore;
+use uqsj_simjoin::cascade::{CascadeReport, CascadeRuntime};
 use uqsj_storage::{StorageEngine, StorageError};
 use uqsj_template::{answer_across, CandidateRef, QaOutcome, Template, TemplateLibrary};
+
+/// How many worst-latency reports the slow-query log retains.
+const SLOW_LOG_CAPACITY: usize = 32;
 
 /// Name of the shard-topology file under a sharded data directory.
 const SHARDS_FILE: &str = "SHARDS";
@@ -116,6 +121,12 @@ pub struct ShardedQaServer {
     shard_touched: Histogram,
     ingest_fanout: Histogram,
     shard_templates: Gauge,
+    /// Worst-N answer reports, behind `GET /debug/slow`.
+    slow_log: SlowLog,
+    /// Labelled cascade planners attached for `/debug/cascade` — the
+    /// serving path itself never joins, but the ingest pipeline feeding
+    /// this server does, and its live plan is operator-relevant.
+    cascades: Mutex<Vec<(String, Arc<CascadeRuntime>)>>,
 }
 
 fn shard_dir(data_dir: &Path, shard: usize) -> PathBuf {
@@ -199,6 +210,8 @@ impl ShardedQaServer {
             shard_touched,
             ingest_fanout,
             shard_templates,
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+            cascades: Mutex::new(Vec::new()),
         };
         server.shard_templates.set(server.template_count() as i64);
         server
@@ -313,16 +326,41 @@ impl ShardedQaServer {
     /// over the shard libraries concatenated in shard order — see the
     /// module docs for the consistency argument.
     pub fn answer(&self, question: &str) -> ShardedAnswer {
+        self.answer_explained(question).0
+    }
+
+    /// [`ShardedQaServer::answer`] plus the per-question EXPLAIN report.
+    /// The report is built for every answer (its counters are ones the
+    /// pipeline tracks anyway) and offered to the slow-query log; callers
+    /// that requested EXPLAIN get it back verbatim.
+    pub fn answer_explained(&self, question: &str) -> (ShardedAnswer, QueryReport) {
+        let _span = span("serve.answer");
         let started = Instant::now();
+        let trace_id = uqsj_obs::ctx::trace_id();
         let key = normalize_question(question);
         let generation = {
             let mut cache = self.cache.lock();
             if let Some((outcome, shard)) = cache.get(&key) {
-                self.metrics.record_hit(started.elapsed());
-                return ShardedAnswer { outcome, shard, shards_touched: 0 };
+                let elapsed = started.elapsed();
+                self.metrics.record_hit(elapsed);
+                let report = QueryReport {
+                    trace_id,
+                    question: question.to_owned(),
+                    cache_hit: true,
+                    shard,
+                    shards_touched: 0,
+                    total_us: elapsed.as_micros() as u64,
+                    ted_computed: 0,
+                    answers: outcome.answers.len(),
+                    phi: outcome.phi,
+                    template_index: outcome.template_index,
+                    ..Default::default()
+                };
+                return (ShardedAnswer { outcome, shard, shards_touched: 0 }, report);
             }
             cache.generation()
         };
+        let filter_started = Instant::now();
         let tokens = tokenize(question);
         let sig = NlSignature::of_tokens(&tokens);
         // Snapshot the shard set: all read locks, ascending shard order
@@ -332,29 +370,82 @@ impl ShardedQaServer {
         let mut candidates: Vec<CandidateRef> = Vec::new();
         let mut shards_touched = 0usize;
         let mut library_size = 0usize;
-        for (si, guard) in guards.iter().enumerate() {
-            library_size += guard.len();
-            let local = guard.candidates(&sig, self.config.min_phi);
-            if !local.is_empty() {
-                shards_touched += 1;
+        {
+            let _span = span("serve.filter");
+            for (si, guard) in guards.iter().enumerate() {
+                library_size += guard.len();
+                let local = guard.candidates(&sig, self.config.min_phi);
+                if !local.is_empty() {
+                    shards_touched += 1;
+                }
+                candidates
+                    .extend(local.into_iter().map(|index| CandidateRef { library: si, index }));
             }
-            candidates.extend(local.into_iter().map(|index| CandidateRef { library: si, index }));
         }
+        let filter_us = filter_started.elapsed().as_micros() as u64;
         let n_candidates = candidates.len();
         let libraries: Vec<&TemplateLibrary> = guards.iter().map(|g| g.library()).collect();
-        let (multi, stats) = answer_across(
-            &libraries,
-            candidates,
-            &self.lexicon,
-            &self.triples,
-            question,
-            self.config.min_phi,
-        );
+        let rank_started = Instant::now();
+        let (multi, stats) = {
+            let _span = span("serve.rank");
+            answer_across(
+                &libraries,
+                candidates,
+                &self.lexicon,
+                &self.triples,
+                question,
+                self.config.min_phi,
+            )
+        };
+        let rank_us = rank_started.elapsed().as_micros() as u64;
         drop(guards);
-        self.metrics.record_miss(started.elapsed(), n_candidates, library_size, stats.ted_computed);
+        let elapsed = started.elapsed();
+        self.metrics.record_miss(elapsed, n_candidates, library_size, stats.ted_computed);
         self.shard_touched.observe(shards_touched as u64);
         self.cache.lock().put_at(generation, key, (multi.outcome.clone(), multi.library));
-        ShardedAnswer { outcome: multi.outcome, shard: multi.library, shards_touched }
+        // The serving funnel: pruned counts plus the chosen template sum
+        // back to the library size, so EXPLAIN output reconciles with the
+        // aggregated `uqsj_serve_*` counters.
+        let examined = stats.candidates_examined as u64;
+        let aligned = stats.candidates_aligned as u64;
+        let chosen = u64::from(multi.outcome.template_index.is_some());
+        let report = QueryReport {
+            trace_id,
+            question: question.to_owned(),
+            cache_hit: false,
+            shard: multi.library,
+            shards_touched,
+            total_us: elapsed.as_micros() as u64,
+            stages: vec![
+                StageReport {
+                    label: "signature",
+                    input: library_size as u64,
+                    pruned: (library_size as u64).saturating_sub(examined),
+                    us: filter_us,
+                },
+                StageReport {
+                    label: "align",
+                    input: examined,
+                    pruned: examined.saturating_sub(aligned),
+                    us: rank_us,
+                },
+                StageReport {
+                    label: "ted",
+                    input: aligned,
+                    pruned: aligned.saturating_sub(chosen),
+                    us: 0,
+                },
+            ],
+            ted_computed: stats.ted_computed as u64,
+            answers: multi.outcome.answers.len(),
+            phi: multi.outcome.phi,
+            template_index: multi.outcome.template_index,
+            join: None,
+        };
+        if self.slow_log.offer(report.clone()) {
+            self.metrics.record_slow_query();
+        }
+        (ShardedAnswer { outcome: multi.outcome, shard: multi.library, shards_touched }, report)
     }
 
     /// Answer a batch across worker threads; same contract as
@@ -369,10 +460,15 @@ impl ShardedQaServer {
         let chunk = questions.len().div_ceil(threads);
         let slots: Vec<Mutex<Vec<QaOutcome>>> =
             questions.chunks(chunk).map(|_| Mutex::new(Vec::new())).collect();
+        // Re-install the caller's request context on each worker: the
+        // batch's trace id (and EXPLAIN/deadline flags) must follow the
+        // questions across threads for `events_for` and exemplars.
+        let ctx = uqsj_obs::ctx::current();
         crossbeam::thread::scope(|scope| {
             for (ci, slice) in questions.chunks(chunk).enumerate() {
                 let slot = &slots[ci];
                 scope.spawn(move |_| {
+                    let _ctx = ctx.map(uqsj_obs::ctx::install);
                     let outcomes: Vec<QaOutcome> =
                         slice.iter().map(|q| self.answer(q).outcome).collect();
                     *slot.lock() = outcomes;
@@ -492,9 +588,38 @@ impl ShardedQaServer {
         library
     }
 
+    /// The worst-N slow-query log behind `GET /debug/slow`.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// Attach a labelled cascade planner (typically the ingest
+    /// pipeline's) so [`ShardedQaServer::cascade_reports`] — and thus
+    /// `GET /debug/cascade` — can snapshot its live plan and estimates.
+    pub fn attach_cascade(&self, label: impl Into<String>, cascade: Arc<CascadeRuntime>) {
+        self.cascades.lock().push((label.into(), cascade));
+    }
+
+    /// Live plan + estimate snapshots of every attached cascade planner.
+    pub fn cascade_reports(&self) -> Vec<(String, CascadeReport)> {
+        self.cascades.lock().iter().map(|(label, rt)| (label.clone(), rt.report())).collect()
+    }
+
+    /// Answer-cache introspection for `GET /debug/cache`:
+    /// `(entries, capacity, generation)`.
+    pub fn cache_debug(&self) -> (usize, usize, u64) {
+        let cache = self.cache.lock();
+        (cache.len(), self.config.cache_capacity, cache.generation())
+    }
+
     /// Current serving counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The serving metrics handles (counter access for the front end).
+    pub fn serve_metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// This server's private metric registry (`uqsj_serve_*` plus the

@@ -175,6 +175,7 @@ pub(crate) fn join_pair(
     stats.candidates += 1;
     obs.candidates.inc();
     let verification_started = Instant::now();
+    let expanded_before = engine.cumulative_stats().expanded;
     let outcome = verify_pair_with(
         engine,
         table,
@@ -192,6 +193,8 @@ pub(crate) fn join_pair(
     stats.verification_time += verify_elapsed;
     stats.worlds_verified += outcome.worlds_verified as u64;
     stats.worlds_sampled += outcome.worlds_sampled;
+    stats.ged_expanded += engine.cumulative_stats().expanded - expanded_before;
+    stats.record_stop(outcome.stop.label());
     match outcome.tier {
         Tier::Exact => stats.verified_exact += 1,
         Tier::Sample => stats.verified_sampled += 1,

@@ -46,6 +46,12 @@ pub struct JoinStats {
     pub verified_exact: u64,
     /// Candidates decided by the sampling tier.
     pub verified_sampled: u64,
+    /// A\* states expanded during verification, summed over every world
+    /// the run searched (the per-question EXPLAIN figure).
+    pub ged_expanded: u64,
+    /// Verification decisions per stopping reason, keyed by
+    /// `StopReason::label()` in the order the reasons first fired.
+    stops: Vec<(&'static str, u64)>,
     /// CPU time spent in the pruning phase (summed per pair).
     pub pruning_time: Duration,
     /// CPU time spent in the refinement (verification) phase.
@@ -77,6 +83,25 @@ impl JoinStats {
     /// Every stage that discarded at least one pair, with its count.
     pub fn pruned_stages(&self) -> &[(&'static str, u64)] {
         &self.pruned
+    }
+
+    /// Record one verification decision that stopped for `label`.
+    pub fn record_stop(&mut self, label: &'static str) {
+        if let Some(entry) = self.stops.iter_mut().find(|(l, _)| *l == label) {
+            entry.1 += 1;
+        } else {
+            self.stops.push((label, 1));
+        }
+    }
+
+    /// Every verification stopping reason seen, with its count.
+    pub fn stop_reasons(&self) -> &[(&'static str, u64)] {
+        &self.stops
+    }
+
+    /// Decisions that stopped for `label` (0 if the reason never fired).
+    pub fn stopped_by(&self, label: &str) -> u64 {
+        self.stops.iter().find(|(l, _)| *l == label).map_or(0, |(_, n)| *n)
     }
 
     /// Pairs discarded by the vertex/edge-count size bound — the same
@@ -155,6 +180,14 @@ impl JoinStats {
         self.worlds_sampled += other.worlds_sampled;
         self.verified_exact += other.verified_exact;
         self.verified_sampled += other.verified_sampled;
+        self.ged_expanded += other.ged_expanded;
+        for &(label, n) in &other.stops {
+            if let Some(entry) = self.stops.iter_mut().find(|(l, _)| *l == label) {
+                entry.1 += n;
+            } else {
+                self.stops.push((label, n));
+            }
+        }
         self.pruning_time += other.pruning_time;
         self.verification_time += other.verification_time;
         self.wall_time = self.wall_time.max(other.wall_time);
@@ -212,6 +245,24 @@ mod tests {
         assert_eq!(a.pruned_size(), 5);
         assert_eq!(a.pruned_label_multiset(), 1);
         assert_eq!(a.pruned_total(), 6);
+    }
+
+    #[test]
+    fn stop_reasons_key_count_and_merge() {
+        let mut a = JoinStats::default();
+        a.record_stop("exact_only");
+        a.record_stop("certain_accept");
+        a.record_stop("exact_only");
+        let mut b = JoinStats { ged_expanded: 7, ..Default::default() };
+        b.record_stop("certain_accept");
+        b.record_stop("resolved");
+        a.merge(&b);
+        assert_eq!(a.stopped_by("exact_only"), 2);
+        assert_eq!(a.stopped_by("certain_accept"), 2);
+        assert_eq!(a.stopped_by("resolved"), 1);
+        assert_eq!(a.stopped_by("budget_exhausted"), 0);
+        assert_eq!(a.ged_expanded, 7);
+        assert_eq!(a.stop_reasons().iter().map(|(_, n)| n).sum::<u64>(), 5);
     }
 
     #[test]

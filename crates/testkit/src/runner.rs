@@ -5,6 +5,11 @@
 //! violation carries the sub-seed of the input that produced it — so a
 //! failing CI line replays locally with
 //! `uqsj-cli conformance --seed <sub-seed> --pairs 1`.
+//!
+//! Each pair is additionally checked under a request context whose trace
+//! id **is** the sub-seed, so a replayed failure's spans can be pulled
+//! from the flight recorder with `events_for(sub_seed)` — the same
+//! introspection path the serving pipeline uses for `/debug/trace?id=`.
 
 use crate::gen::{
     derive_seed, gen_certain, gen_uncertain, near_pair, rng_for, workload, GenConfig,
@@ -70,6 +75,12 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     // so clean rejections are covered too.
     for i in 0..cfg.pairs {
         let sub = derive_seed(cfg.seed, i as u64);
+        // Trace every pair under its sub-seed: a failing seed replays
+        // with its spans addressable via `events_for(sub)`.
+        let _ctx = uqsj_obs::ctx::install(uqsj_obs::ctx::RequestCtx::with_trace_id(
+            uqsj_obs::ctx::TraceId(sub.max(1)),
+        ));
+        let _span = uqsj_obs::span("conformance.pair");
         let (q, g) = if i % 3 == 2 {
             (
                 gen_certain(&mut table, &gen_cfg, derive_seed(sub, 10)),
@@ -97,6 +108,10 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     };
     for round in 0..join_rounds {
         let sub = derive_seed(cfg.seed, 1_000_000 + round);
+        let _ctx = uqsj_obs::ctx::install(uqsj_obs::ctx::RequestCtx::with_trace_id(
+            uqsj_obs::ctx::TraceId(sub.max(1)),
+        ));
+        let _span = uqsj_obs::span("conformance.join");
         let (d, u) = workload(&mut table, &gen_cfg, count, sub);
         let tau = 1 + (round % 2) as u32;
         let alpha = if round % 2 == 0 { 0.3 } else { 0.6 };
@@ -112,6 +127,10 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     };
     for i in 0..sample_pairs {
         let sub = derive_seed(cfg.seed, 2_000_000 + i as u64);
+        let _ctx = uqsj_obs::ctx::install(uqsj_obs::ctx::RequestCtx::with_trace_id(
+            uqsj_obs::ctx::TraceId(sub.max(1)),
+        ));
+        let _span = uqsj_obs::span("conformance.sample");
         let (q, g) = near_pair(&mut table, &gen_cfg, sub);
         check_sampler_pair(&mut engine, &table, &q, &g, sub, &mut report);
     }
@@ -144,5 +163,19 @@ mod tests {
         assert_eq!(a.worlds, b.worlds);
         assert_eq!(a.bound_checks, b.bound_checks);
         assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn pairs_are_traced_under_their_sub_seed() {
+        let cfg = ConformanceConfig { seed: 11, pairs: 2, profile: Profile::Quick };
+        run_conformance(&cfg);
+        // The first pair's spans are addressable by its sub-seed — the
+        // same lookup `/debug/trace?id=` and a failure replay would use.
+        let sub = derive_seed(cfg.seed, 0).max(1);
+        let events = uqsj_obs::trace::recorder().events_for(sub);
+        assert!(
+            events.iter().any(|e| e.name == "conformance.pair"),
+            "no conformance.pair span recorded under sub-seed {sub:016x}"
+        );
     }
 }
