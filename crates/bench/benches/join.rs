@@ -336,6 +336,121 @@ fn cascade_showdown_json() -> String {
     )
 }
 
+/// Reference-vs-lftj showdown on the cyclic/star/path families over one
+/// hub-skewed synthetic KB: alternate the two evaluators (min-of-4 each
+/// absorbs scheduler noise), prove the solution sets identical, and
+/// require the leapfrog join to beat the nested-loop reference ≥ 2x on
+/// the triangle family and be no slower anywhere. Returns the `bgp`
+/// JSON array embedded in `BENCH_join.json`.
+fn bgp_showdown_json() -> String {
+    use uqsj::rdf::{bgp, lftj, BgpEval};
+    use uqsj::sparql::{SparqlQuery, Term, Triple};
+    use uqsj::testkit::bgp::{build_store, gen_kb, BgpGenConfig};
+
+    // Large enough that the reference's materialized 2-paths dominate on
+    // cyclic shapes; the dense hub predicate comes from the generator.
+    let cfg = BgpGenConfig { entities: 120, predicates: 6, triples: 6000 };
+    let kb = gen_kb(&cfg, 4099);
+    let store = build_store(&kb);
+
+    let var = |v: &str| Term::Var(v.to_string());
+    let iri = |x: &str| Term::Iri(x.to_string());
+    let t = |s: Term, p: Term, o: Term| Triple { subject: s, predicate: p, object: o };
+    let q = |triples: Vec<Triple>| SparqlQuery { select: vec![], triples };
+    let families: [(&str, SparqlQuery); 3] = [
+        (
+            "triangle",
+            q(vec![
+                t(var("a"), iri("q0"), var("b")),
+                t(var("b"), iri("q0"), var("c")),
+                t(var("c"), iri("q0"), var("a")),
+            ]),
+        ),
+        (
+            "star",
+            q(vec![
+                t(var("x"), iri("q0"), var("o0")),
+                t(var("x"), iri("q1"), var("o1")),
+                t(var("x"), iri("q2"), var("o2")),
+            ]),
+        ),
+        (
+            "path",
+            q(vec![
+                t(var("a"), iri("q0"), var("b")),
+                t(var("b"), iri("q1"), var("c")),
+                t(var("c"), iri("q2"), var("d")),
+            ]),
+        ),
+    ];
+
+    let canon = |rows: Vec<uqsj::rdf::Bindings>| {
+        let mut out: Vec<Vec<(String, u32)>> = rows
+            .into_iter()
+            .map(|b| {
+                let mut row: Vec<(String, u32)> = b.into_iter().map(|(k, v)| (k, v.0)).collect();
+                row.sort();
+                row
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    };
+
+    let mut entries = Vec::new();
+    for (family, query) in &families {
+        let mut best = [Duration::MAX; 2]; // 0 = reference, 1 = lftj
+        let mut rows = [usize::MAX; 2];
+        for round in 0..8 {
+            let mode = round % 2;
+            let eval = if mode == 0 { BgpEval::Reference } else { BgpEval::Lftj };
+            let s = Instant::now();
+            let sols = bgp::solutions_with(&store, query, eval);
+            let elapsed = s.elapsed();
+            best[mode] = best[mode].min(elapsed);
+            let n = canon(sols).len();
+            assert!(rows[mode] == usize::MAX || rows[mode] == n, "{family}: nondeterministic");
+            rows[mode] = n;
+        }
+        assert_eq!(rows[0], rows[1], "{family}: evaluators disagree on the result set");
+        let (_, stats) = lftj::solutions_stats(&store, query);
+        let speedup = best[0].as_secs_f64() / best[1].as_secs_f64().max(1e-9);
+        // The smoke bars CI relies on: worst-case-optimality must show on
+        // the cyclic family, and never cost elsewhere (10% noise headroom).
+        if *family == "triangle" {
+            assert!(
+                speedup >= 2.0,
+                "triangle family: lftj only {speedup:.2}x over the reference \
+                 ({:?} vs {:?})",
+                best[1],
+                best[0]
+            );
+        }
+        assert!(
+            best[1].as_secs_f64() <= best[0].as_secs_f64() * 1.10,
+            "{family}: lftj slower than the nested-loop reference ({:?} vs {:?})",
+            best[1],
+            best[0]
+        );
+        eprintln!(
+            "bgp showdown {family}: reference {:?}, lftj {:?} ({speedup:.2}x, {} rows)",
+            best[0], best[1], rows[0]
+        );
+        entries.push(format!(
+            "{{\"family\": \"{family}\", \"rows\": {rows}, \"reference_ms\": {rf:.3}, \
+             \"lftj_ms\": {lf:.3}, \"speedup_lftj_vs_reference\": {speedup:.2}, \
+             \"lftj_seeks\": {seeks}, \"estimated_rows\": {est:.1}}}",
+            rows = rows[0],
+            rf = best[0].as_secs_f64() * 1e3,
+            lf = best[1].as_secs_f64() * 1e3,
+            seeks = stats.seeks,
+            est = stats.estimated_rows,
+        ));
+    }
+    format!("[\n    {}\n  ]", entries.join(",\n    "))
+}
+
 fn percentile(sorted: &[Duration], p: usize) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -391,6 +506,7 @@ fn emit_join_json() {
     // the same observability snapshot an operator would scrape.
     let crossover = sample_crossover_json();
     let cascade = cascade_showdown_json();
+    let bgp = bgp_showdown_json();
     let registry = uqsj::obs::global().snapshot_json();
     let json = format!(
         "{{\n  \"bench\": \"deep_verify_10x10\",\n  \"tau\": {tau},\n  \"alpha\": {alpha},\n  \
@@ -399,6 +515,7 @@ fn emit_join_json() {
          \"p50_pair_verify_us\": {p50:.1},\n  \"p99_pair_verify_us\": {p99:.1},\n  \
          \"engine_total_ms\": {et:.2},\n  \"naive_reference_total_ms\": {nt:.2},\n  \
          \"speedup_vs_reference\": {speedup:.2},\n  \"cascade\": {cascade},\n  \
+         \"bgp\": {bgp},\n  \
          \"sample_crossover\": {crossover},\n  \"registry\": {reg}\n}}\n",
         reg = registry.trim_end(),
         pairs = times.len(),

@@ -40,7 +40,7 @@ fn bench_serve(c: &mut Criterion) {
         rebuild_store(),
         lexicon.clone(),
         dataset.kb.triple_store(),
-        ServeConfig { min_phi: 1.0, cache_capacity: 0 },
+        ServeConfig { min_phi: 1.0, cache_capacity: 0, bgp_eval: None },
     );
     group.bench_function("indexed_store", |b| {
         b.iter(|| {
@@ -54,7 +54,7 @@ fn bench_serve(c: &mut Criterion) {
         rebuild_store(),
         lexicon.clone(),
         dataset.kb.triple_store(),
-        ServeConfig { min_phi: 1.0, cache_capacity: 1024 },
+        ServeConfig { min_phi: 1.0, cache_capacity: 1024, bgp_eval: None },
     );
     group.bench_function("indexed_store_cached", |b| {
         b.iter(|| {
@@ -68,7 +68,7 @@ fn bench_serve(c: &mut Criterion) {
         rebuild_store(),
         lexicon.clone(),
         dataset.kb.triple_store(),
-        ServeConfig { min_phi: 1.0, cache_capacity: 0 },
+        ServeConfig { min_phi: 1.0, cache_capacity: 0, bgp_eval: None },
     );
     group.bench_function("answer_batch_4", |b| {
         b.iter(|| criterion::black_box(batch.answer_batch(&questions, 4)))

@@ -7,7 +7,7 @@
 //!     artifacts/templates.txt, artifacts/lexicon.txt, artifacts/kb.nt.
 //!
 //! uqsj-cli answer --dir artifacts --question "Which politician ...?"
-//!                 [--min-phi F]
+//!                 [--min-phi F] [--bgp-eval lftj|reference]
 //!     Load the artifacts and answer a question with the templates.
 //!
 //! uqsj-cli join [--questions N] [--distractors M] [--tau T] [--alpha A]
@@ -45,8 +45,15 @@
 //!     failure probability; --sample-seed (default 42) makes every
 //!     sampled decision replayable.
 //!
+//!     BGP flag (generate, answer, join, serve): --bgp-eval picks the
+//!     SPARQL answer-retrieval evaluator — lftj (default), the
+//!     leapfrog-triejoin worst-case-optimal join under summary-based
+//!     cardinality planning, or reference, the nested-loop oracle. Both
+//!     return identical answers; only cost changes.
+//!
 //! uqsj-cli serve --dir artifacts [--file questions.txt] [--min-phi F]
-//!                [--threads N] [--cache C] [--metrics-out FILE]
+//!                [--threads N] [--cache C] [--bgp-eval lftj|reference]
+//!                [--metrics-out FILE]
 //!                [--stats-interval N] [--log-out FILE|-]
 //!     Serve questions (one per line, from --file or stdin) through the
 //!     signature-indexed template store, then print serving metrics.
@@ -188,6 +195,23 @@ fn dataset_config(opts: &Options) -> DatasetConfig {
     }
 }
 
+/// `--bgp-eval lftj|reference`: set the process-default BGP evaluator
+/// (answer retrieval for generate/answer/join/serve). Returns the choice
+/// so `serve` can also pin it per-server through `ServeConfig`.
+fn bgp_eval(opts: &Options) -> Option<uqsj::rdf::BgpEval> {
+    let raw = opts.get("bgp-eval")?;
+    match uqsj::rdf::BgpEval::parse(raw) {
+        Some(eval) => {
+            uqsj::rdf::bgp::set_default(eval);
+            Some(eval)
+        }
+        None => {
+            eprintln!("unknown --bgp-eval {raw:?}; expected lftj|reference, using lftj");
+            None
+        }
+    }
+}
+
 fn simp_policy(opts: &Options) -> SimpPolicy {
     let epsilon = opts.num("epsilon", 0.05);
     let delta = opts.num("delta", 0.05);
@@ -240,6 +264,7 @@ fn join_params(opts: &Options) -> JoinParams {
 }
 
 fn generate(opts: &Options) -> ExitCode {
+    bgp_eval(opts);
     let out_dir = PathBuf::from(opts.get("out-dir").unwrap_or("artifacts"));
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
@@ -311,6 +336,7 @@ fn answer(opts: &Options) -> ExitCode {
         eprintln!("answer requires --question \"...\"");
         return ExitCode::FAILURE;
     };
+    bgp_eval(opts);
     let dir = PathBuf::from(opts.get("dir").unwrap_or("artifacts"));
     let min_phi: f64 = opts.num("min-phi", 1.0);
     let (library, lexicon, store) = match load_artifacts(&dir) {
@@ -379,8 +405,11 @@ fn serve_http(opts: &Options, listen: &str) -> ExitCode {
     use uqsj::net::NetConfig;
     use uqsj::serve::{ServeConfig, ShardedQaServer};
 
-    let config =
-        ServeConfig { min_phi: opts.num("min-phi", 1.0), cache_capacity: opts.num("cache", 1024) };
+    let config = ServeConfig {
+        min_phi: opts.num("min-phi", 1.0),
+        cache_capacity: opts.num("cache", 1024),
+        bgp_eval: bgp_eval(opts),
+    };
     let shards: usize = opts.num("shards", 4);
     let replicas: usize = opts.num("replicas", 1);
     let qa = if let Some(data_dir) = opts.get("data-dir") {
@@ -491,8 +520,11 @@ fn serve(opts: &Options) -> ExitCode {
     if let Some(listen) = opts.get("listen") {
         return serve_http(opts, listen);
     }
-    let config =
-        ServeConfig { min_phi: opts.num("min-phi", 1.0), cache_capacity: opts.num("cache", 1024) };
+    let config = ServeConfig {
+        min_phi: opts.num("min-phi", 1.0),
+        cache_capacity: opts.num("cache", 1024),
+        bgp_eval: bgp_eval(opts),
+    };
     let threads: usize = opts.num("threads", 1);
     if threads == 0 {
         eprintln!("--threads must be >= 1");
@@ -676,6 +708,7 @@ fn compact(opts: &Options) -> ExitCode {
 }
 
 fn join(opts: &Options) -> ExitCode {
+    bgp_eval(opts);
     let dataset = uqsj::workload::qald_like(&dataset_config(opts));
     let params = join_params(opts);
     let cascade = uqsj::simjoin::CascadeRuntime::new(params.cascade, params.strategy);

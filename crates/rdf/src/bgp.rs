@@ -1,20 +1,122 @@
 //! Basic-graph-pattern evaluation over the triple store.
 //!
-//! The evaluator orders patterns greedily by estimated selectivity (fewest
-//! matching triples given already-bound variables), then performs
-//! index-nested-loop joins with backtracking. This is the classical
-//! strategy of RDF-3x-style engines, scaled to the in-memory store.
+//! Two evaluators share this entry point:
+//!
+//! * [`crate::lftj`] — the default: a leapfrog-triejoin worst-case-optimal
+//!   multiway join under a summary-based variable elimination order
+//!   ([`crate::plan`]), which never materializes pairwise cross-products.
+//! * [`mod@reference`] — the original selectivity-ordered index-nested-loop
+//!   evaluator, retained as the differential-test oracle.
+//!
+//! Which one runs is decided by [`current`]: a thread-local scoped
+//! override ([`scoped`]) if installed, else the process-wide default
+//! ([`set_default`], normally [`BgpEval::Lftj`], flipped by
+//! `uqsj-cli --bgp-eval reference`). Both produce identical solution
+//! *sets*; the reference may emit duplicate bindings when the store holds
+//! duplicate triples, which [`evaluate`]'s dedup step absorbs.
+
+pub mod reference;
 
 use crate::dict::TermId;
+use crate::lftj;
+use crate::obs::rdf_obs;
+use crate::plan::q_error;
 use crate::store::TripleStore;
+use std::cell::Cell;
 use std::collections::HashMap;
-use uqsj_sparql::{SparqlQuery, Term};
+use std::sync::atomic::{AtomicU8, Ordering};
+use uqsj_sparql::SparqlQuery;
 
 /// One solution: variable name → bound term.
 pub type Bindings = HashMap<String, TermId>;
 
+/// Which BGP evaluator answers queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BgpEval {
+    /// Leapfrog triejoin under the summary-based plan (default).
+    Lftj,
+    /// The nested-loop oracle — slower, but obviously correct.
+    Reference,
+}
+
+impl BgpEval {
+    /// Parse a CLI/user label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lftj" => Some(Self::Lftj),
+            "reference" => Some(Self::Reference),
+            _ => None,
+        }
+    }
+
+    /// Stable label (also the metric label value).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Lftj => "lftj",
+            Self::Reference => "reference",
+        }
+    }
+}
+
+static DEFAULT_EVAL: AtomicU8 = AtomicU8::new(0); // 0 = Lftj, 1 = Reference
+
+thread_local! {
+    static SCOPED: Cell<Option<BgpEval>> = const { Cell::new(None) };
+}
+
+/// Set the process-wide default evaluator (e.g. from `--bgp-eval`).
+pub fn set_default(eval: BgpEval) {
+    DEFAULT_EVAL.store(matches!(eval, BgpEval::Reference) as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default evaluator.
+pub fn default_eval() -> BgpEval {
+    if DEFAULT_EVAL.load(Ordering::Relaxed) == 0 {
+        BgpEval::Lftj
+    } else {
+        BgpEval::Reference
+    }
+}
+
+/// Restores the previous thread-local evaluator override on drop.
+pub struct EvalGuard {
+    prev: Option<BgpEval>,
+}
+
+impl Drop for EvalGuard {
+    fn drop(&mut self) {
+        SCOPED.with(|c| c.set(self.prev));
+    }
+}
+
+/// Override the evaluator on this thread until the guard drops — how a
+/// server honors a per-instance choice without perturbing the process
+/// default (the same shape as `trace::set_enabled`'s scoping).
+pub fn scoped(eval: BgpEval) -> EvalGuard {
+    let prev = SCOPED.with(|c| c.replace(Some(eval)));
+    EvalGuard { prev }
+}
+
+/// The evaluator a query issued now would use: the scoped override if
+/// one is installed on this thread, else the process default.
+pub fn current() -> BgpEval {
+    SCOPED.with(|c| c.get()).unwrap_or_else(default_eval)
+}
+
+/// The projected column names of a query: its `SELECT` list, or for
+/// `SELECT *` every variable of the pattern, sorted. Derived from the
+/// query alone, so an empty solution set still has well-defined columns.
+pub fn projection(query: &SparqlQuery) -> Vec<String> {
+    if query.select.is_empty() {
+        query.variables()
+    } else {
+        query.select.clone()
+    }
+}
+
 /// Evaluate a query; returns the projected rows (decoded strings, one
-/// column per `SELECT` variable; all variables if `SELECT *`).
+/// column per `SELECT` variable; all pattern variables if `SELECT *`),
+/// sorted and deduplicated.
 ///
 /// ```
 /// let mut store = uqsj_rdf::TripleStore::new();
@@ -27,15 +129,19 @@ pub type Bindings = HashMap<String, TermId>;
 /// assert_eq!(uqsj_rdf::bgp::evaluate(&store, &q), vec![vec!["Alice".to_string()]]);
 /// ```
 pub fn evaluate(store: &TripleStore, query: &SparqlQuery) -> Vec<Vec<String>> {
-    let solutions = solutions(store, query);
-    let projection: Vec<String> = if query.select.is_empty() {
-        let mut vars: Vec<String> =
-            solutions.first().map(|b| b.keys().cloned().collect()).unwrap_or_default();
-        vars.sort();
-        vars
-    } else {
-        query.select.clone()
-    };
+    evaluate_with(store, query, current())
+}
+
+/// All variable bindings satisfying the pattern, via the [`current`]
+/// evaluator.
+pub fn solutions(store: &TripleStore, query: &SparqlQuery) -> Vec<Bindings> {
+    solutions_with(store, query, current())
+}
+
+/// As [`evaluate`], with an explicit evaluator choice.
+pub fn evaluate_with(store: &TripleStore, query: &SparqlQuery, eval: BgpEval) -> Vec<Vec<String>> {
+    let solutions = solutions_with(store, query, eval);
+    let projection = projection(query);
     let mut rows: Vec<Vec<String>> = solutions
         .into_iter()
         .map(|b| {
@@ -50,92 +156,28 @@ pub fn evaluate(store: &TripleStore, query: &SparqlQuery) -> Vec<Vec<String>> {
     rows
 }
 
-/// All variable bindings satisfying the pattern.
-pub fn solutions(store: &TripleStore, query: &SparqlQuery) -> Vec<Bindings> {
-    // Resolve constant terms up front; a constant not in the dictionary
-    // means no results.
-    #[derive(Clone)]
-    enum Slot {
-        Const(TermId),
-        Var(String),
-    }
-    let resolve = |t: &Term| -> Option<Slot> {
-        match t {
-            Term::Var(v) => Some(Slot::Var(v.clone())),
-            Term::Iri(x) | Term::Literal(x) => store.dict.get(x).map(Slot::Const),
+/// As [`solutions`], with an explicit evaluator choice. Records the
+/// `uqsj_rdf_*` metric families.
+pub fn solutions_with(store: &TripleStore, query: &SparqlQuery, eval: BgpEval) -> Vec<Bindings> {
+    let obs = rdf_obs();
+    obs.patterns.add(query.triples.len() as u64);
+    match eval {
+        BgpEval::Reference => {
+            obs.queries_reference.inc();
+            reference::solutions(store, query)
         }
-    };
-    let mut patterns = Vec::with_capacity(query.triples.len());
-    for t in &query.triples {
-        match (resolve(&t.subject), resolve(&t.predicate), resolve(&t.object)) {
-            (Some(s), Some(p), Some(o)) => patterns.push([s, p, o]),
-            _ => return Vec::new(),
-        }
-    }
-
-    let mut results = Vec::new();
-    let mut bindings: Bindings = HashMap::new();
-    let mut used = vec![false; patterns.len()];
-
-    fn bound(slot: &Slot, b: &Bindings) -> Option<TermId>
-    where
-        Slot: Sized,
-    {
-        match slot {
-            Slot::Const(id) => Some(*id),
-            Slot::Var(v) => b.get(v).copied(),
-        }
-    }
-
-    fn recurse(
-        store: &TripleStore,
-        patterns: &[[Slot; 3]],
-        used: &mut Vec<bool>,
-        bindings: &mut Bindings,
-        results: &mut Vec<Bindings>,
-    ) {
-        // Pick the most selective unused pattern.
-        let next = (0..patterns.len()).filter(|&i| !used[i]).min_by_key(|&i| {
-            let [s, p, o] = &patterns[i];
-            store.count(bound(s, bindings), bound(p, bindings), bound(o, bindings))
-        });
-        let Some(i) = next else {
-            results.push(bindings.clone());
-            return;
-        };
-        used[i] = true;
-        let [s, p, o] = &patterns[i];
-        let matches = store.scan(bound(s, bindings), bound(p, bindings), bound(o, bindings));
-        for (ms, mp, mo) in matches {
-            let mut added: Vec<&String> = Vec::new();
-            let mut ok = true;
-            for (slot, val) in [(s, ms), (p, mp), (o, mo)] {
-                if let Slot::Var(v) = slot {
-                    match bindings.get(v) {
-                        Some(&existing) if existing != val => {
-                            ok = false;
-                            break;
-                        }
-                        Some(_) => {}
-                        None => {
-                            bindings.insert(v.clone(), val);
-                            added.push(v);
-                        }
-                    }
-                }
+        BgpEval::Lftj => {
+            obs.queries_lftj.inc();
+            let (sols, stats) = lftj::solutions_stats(store, query);
+            obs.trie_seeks.add(stats.seeks);
+            for &s in &stats.per_pattern_seeks {
+                obs.pattern_seeks.observe(s);
             }
-            if ok {
-                recurse(store, patterns, used, bindings, results);
-            }
-            for v in added {
-                bindings.remove(v);
-            }
+            let qe = q_error(stats.estimated_rows, stats.rows as f64);
+            obs.estimate_qerror_x100.observe((qe * 100.0).ceil().min(1e15) as u64);
+            sols
         }
-        used[i] = false;
     }
-
-    recurse(store, &patterns, &mut used, &mut bindings, &mut results);
-    results
 }
 
 #[cfg(test)]
@@ -207,6 +249,21 @@ mod tests {
     }
 
     #[test]
+    fn select_star_has_columns_even_with_no_solutions() {
+        // Regression: the projection used to be derived from
+        // `solutions.first()`, so an empty solution set silently lost its
+        // column structure. It now comes from the query's variables.
+        let empty = TripleStore::new();
+        let q = parse("SELECT * WHERE { ?p graduatedFrom ?u . ?u type University }").unwrap();
+        assert_eq!(projection(&q), vec!["p".to_string(), "u".into()]);
+        let mut s = TripleStore::new();
+        s.insert("x", "unrelated", "y");
+        s.ensure_indexes();
+        assert!(evaluate(&s, &q).is_empty());
+        let _ = empty; // no indexes built: projection needs no store
+    }
+
+    #[test]
     fn results_are_deduplicated() {
         let mut s = TripleStore::new();
         s.insert("a", "p", "b");
@@ -214,5 +271,35 @@ mod tests {
         s.ensure_indexes();
         let q = parse("SELECT ?x WHERE { ?x p ?y . }").unwrap();
         assert_eq!(evaluate(&s, &q).len(), 1);
+    }
+
+    #[test]
+    fn both_evaluators_agree_through_the_dispatcher() {
+        let s = store();
+        let q = parse("SELECT * WHERE { ?p graduatedFrom ?u . ?u type University }").unwrap();
+        assert_eq!(evaluate_with(&s, &q, BgpEval::Lftj), evaluate_with(&s, &q, BgpEval::Reference));
+    }
+
+    #[test]
+    fn scoped_override_wins_then_restores() {
+        assert_eq!(current(), default_eval());
+        {
+            let _g = scoped(BgpEval::Reference);
+            assert_eq!(current(), BgpEval::Reference);
+            {
+                let _g2 = scoped(BgpEval::Lftj);
+                assert_eq!(current(), BgpEval::Lftj);
+            }
+            assert_eq!(current(), BgpEval::Reference);
+        }
+        assert_eq!(current(), default_eval());
+    }
+
+    #[test]
+    fn eval_labels_roundtrip() {
+        for e in [BgpEval::Lftj, BgpEval::Reference] {
+            assert_eq!(BgpEval::parse(e.label()), Some(e));
+        }
+        assert_eq!(BgpEval::parse("nope"), None);
     }
 }

@@ -1,0 +1,104 @@
+//! The original selectivity-ordered index-nested-loop BGP evaluator,
+//! retained verbatim as the differential-test oracle for
+//! [`crate::lftj`] — the same role `ged::reference` plays for the GED
+//! engine. Its per-step logic is small enough to audit by eye: pick the
+//! unused pattern with the fewest matches under current bindings, scan
+//! it, bind, recurse, backtrack.
+//!
+//! Do **not** optimize this module; its value is being obviously correct.
+
+use crate::bgp::Bindings;
+use crate::dict::TermId;
+use crate::store::TripleStore;
+use std::collections::HashMap;
+use uqsj_sparql::{SparqlQuery, Term};
+
+/// All variable bindings satisfying the pattern, by backtracking
+/// index-nested-loop joins. May contain duplicate bindings when the
+/// store holds duplicate triples.
+pub fn solutions(store: &TripleStore, query: &SparqlQuery) -> Vec<Bindings> {
+    // Resolve constant terms up front; a constant not in the dictionary
+    // means no results.
+    #[derive(Clone)]
+    enum Slot {
+        Const(TermId),
+        Var(String),
+    }
+    let resolve = |t: &Term| -> Option<Slot> {
+        match t {
+            Term::Var(v) => Some(Slot::Var(v.clone())),
+            Term::Iri(x) | Term::Literal(x) => store.dict.get(x).map(Slot::Const),
+        }
+    };
+    let mut patterns = Vec::with_capacity(query.triples.len());
+    for t in &query.triples {
+        match (resolve(&t.subject), resolve(&t.predicate), resolve(&t.object)) {
+            (Some(s), Some(p), Some(o)) => patterns.push([s, p, o]),
+            _ => return Vec::new(),
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut bindings: Bindings = HashMap::new();
+    let mut used = vec![false; patterns.len()];
+
+    fn bound(slot: &Slot, b: &Bindings) -> Option<TermId>
+    where
+        Slot: Sized,
+    {
+        match slot {
+            Slot::Const(id) => Some(*id),
+            Slot::Var(v) => b.get(v).copied(),
+        }
+    }
+
+    fn recurse(
+        store: &TripleStore,
+        patterns: &[[Slot; 3]],
+        used: &mut Vec<bool>,
+        bindings: &mut Bindings,
+        results: &mut Vec<Bindings>,
+    ) {
+        // Pick the most selective unused pattern.
+        let next = (0..patterns.len()).filter(|&i| !used[i]).min_by_key(|&i| {
+            let [s, p, o] = &patterns[i];
+            store.count(bound(s, bindings), bound(p, bindings), bound(o, bindings))
+        });
+        let Some(i) = next else {
+            results.push(bindings.clone());
+            return;
+        };
+        used[i] = true;
+        let [s, p, o] = &patterns[i];
+        let matches = store.scan(bound(s, bindings), bound(p, bindings), bound(o, bindings));
+        for (ms, mp, mo) in matches {
+            let mut added: Vec<&String> = Vec::new();
+            let mut ok = true;
+            for (slot, val) in [(s, ms), (p, mp), (o, mo)] {
+                if let Slot::Var(v) = slot {
+                    match bindings.get(v) {
+                        Some(&existing) if existing != val => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(v.clone(), val);
+                            added.push(v);
+                        }
+                    }
+                }
+            }
+            if ok {
+                recurse(store, patterns, used, bindings, results);
+            }
+            for v in added {
+                bindings.remove(v);
+            }
+        }
+        used[i] = false;
+    }
+
+    recurse(store, &patterns, &mut used, &mut bindings, &mut results);
+    results
+}

@@ -1,0 +1,442 @@
+//! Leapfrog-triejoin-style worst-case-optimal BGP evaluation.
+//!
+//! Instead of joining one pattern at a time (which materializes
+//! cross-products on cyclic patterns — a triangle's first two patterns
+//! alone enumerate every length-2 path), the join proceeds one
+//! **variable** at a time down the plan's elimination order. At each
+//! level, every pattern mentioning the variable contributes a trie
+//! cursor — a sorted index range over one of the store's six
+//! permutations, narrowed by the pattern's already-bound positions — and
+//! the cursors leapfrog to their intersection: repeatedly seek the
+//! laggards up to the current maximum until all agree. Each agreed value
+//! is bound and the join recurses; nothing outside the intersection is
+//! ever touched, which is what bounds intermediates by the fractional
+//! edge cover (the AGM bound) rather than by pairwise join sizes.
+//!
+//! Every cursor positioning is a binary search counted as a *seek* —
+//! the unit the planner-vs-greedy conformance check and the
+//! `uqsj_rdf_pattern_seeks` histogram measure.
+
+use crate::bgp::Bindings;
+use crate::dict::TermId;
+use crate::plan::{self, Plan};
+use crate::store::{self, TripleStore, PERMS};
+use uqsj_sparql::{SparqlQuery, Term};
+
+/// Per-run counters and plan echoes, for metrics and conformance.
+#[derive(Clone, Debug, Default)]
+pub struct LftjStats {
+    /// Total cursor positionings (binary searches) over all patterns.
+    pub seeks: u64,
+    /// Seeks attributed to each pattern, parallel to `query.triples`.
+    pub per_pattern_seeks: Vec<u64>,
+    /// The variable elimination order used.
+    pub order: Vec<String>,
+    /// Planner's estimated result rows (see [`plan::Plan`]).
+    pub estimated_rows: f64,
+    /// Exact per-pattern isolated cardinalities from the plan.
+    pub pattern_cards: Vec<f64>,
+    /// Actual result rows produced.
+    pub rows: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum PSlot {
+    Const(TermId),
+    Var(usize),
+}
+
+/// One pattern's trie cursor at the current join level: a sorted row
+/// range of one permutation, narrowed to the bound prefix, enumerating
+/// distinct values of the key component at `depth`.
+struct Cursor<'a> {
+    rows: &'a [store::Triple],
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    pattern: usize,
+}
+
+impl Cursor<'_> {
+    /// Smallest value ≥ `target` at this cursor's depth, or `None` when
+    /// the range is exhausted. One binary search — one seek.
+    fn seek(&mut self, target: TermId) -> Option<TermId> {
+        let key = |t: &store::Triple| match self.depth {
+            0 => t.0,
+            1 => t.1,
+            _ => t.2,
+        };
+        self.lo += self.rows[self.lo..self.hi].partition_point(|t| key(t) < target);
+        if self.lo < self.hi {
+            Some(key(&self.rows[self.lo]))
+        } else {
+            None
+        }
+    }
+}
+
+/// The permutation whose level order lists `bound` (in some order) as a
+/// prefix followed by `target`. With all six orderings present, one
+/// always exists.
+fn pick_perm(bound: &[usize], target: usize) -> usize {
+    (0..6)
+        .find(|&i| {
+            let perm = PERMS[i];
+            perm[bound.len()] == target && perm[..bound.len()].iter().all(|p| bound.contains(p))
+        })
+        .expect("six permutations cover every bound-set/target combination")
+}
+
+/// All variable bindings satisfying the pattern, under the summary-based
+/// plan's elimination order. Bindings are distinct by construction (the
+/// leapfrog enumerates distinct values per level).
+pub fn solutions(store: &TripleStore, query: &SparqlQuery) -> Vec<Bindings> {
+    solutions_stats(store, query).0
+}
+
+/// As [`solutions`], returning the run's [`LftjStats`] too.
+pub fn solutions_stats(store: &TripleStore, query: &SparqlQuery) -> (Vec<Bindings>, LftjStats) {
+    let p = plan::plan(store, query);
+    solutions_with_plan(store, query, &p)
+}
+
+/// Evaluate under an explicit variable order (every query variable
+/// exactly once) — the hook the conformance suite uses to compare the
+/// planner's order against the greedy baseline on equal footing.
+pub fn solutions_with_order(
+    store: &TripleStore,
+    query: &SparqlQuery,
+    order: &[String],
+) -> (Vec<Bindings>, LftjStats) {
+    let mut p = plan::plan(store, query);
+    p.order = order.to_vec();
+    solutions_with_plan(store, query, &p)
+}
+
+fn solutions_with_plan(
+    store: &TripleStore,
+    query: &SparqlQuery,
+    plan: &Plan,
+) -> (Vec<Bindings>, LftjStats) {
+    let mut stats = LftjStats {
+        per_pattern_seeks: vec![0; query.triples.len()],
+        order: plan.order.clone(),
+        estimated_rows: plan.estimated_rows,
+        pattern_cards: plan.pattern_cards.clone(),
+        ..LftjStats::default()
+    };
+
+    // Resolve terms; an unknown constant means no results.
+    let vars = query.variables();
+    debug_assert_eq!(
+        {
+            let mut o = plan.order.clone();
+            o.sort();
+            o
+        },
+        vars,
+        "plan order must cover exactly the query variables"
+    );
+    let var_idx = |name: &str| vars.iter().position(|v| v == name).unwrap();
+    let mut patterns: Vec<[PSlot; 3]> = Vec::with_capacity(query.triples.len());
+    for t in &query.triples {
+        let mut slots = [PSlot::Const(TermId(0)); 3];
+        for (i, term) in [&t.subject, &t.predicate, &t.object].into_iter().enumerate() {
+            match term {
+                Term::Var(v) => slots[i] = PSlot::Var(var_idx(v)),
+                Term::Iri(x) | Term::Literal(x) => match store.dict.get(x) {
+                    Some(id) => slots[i] = PSlot::Const(id),
+                    None => return (Vec::new(), stats),
+                },
+            }
+        }
+        patterns.push(slots);
+    }
+
+    // Constant-only patterns act as global guards: one membership check
+    // each, then they drop out of the per-variable leapfrog.
+    for (i, pat) in patterns.iter().enumerate() {
+        if pat.iter().all(|s| matches!(s, PSlot::Const(_))) {
+            let val = |s: &PSlot| match s {
+                PSlot::Const(id) => Some(*id),
+                PSlot::Var(_) => None,
+            };
+            stats.seeks += 1;
+            stats.per_pattern_seeks[i] += 1;
+            if store.count(val(&pat[0]), val(&pat[1]), val(&pat[2])) == 0 {
+                return (Vec::new(), stats);
+            }
+        }
+    }
+
+    let order: Vec<usize> = plan.order.iter().map(|v| var_idx(v)).collect();
+    let mut assignment: Vec<Option<TermId>> = vec![None; vars.len()];
+    let mut results = Vec::new();
+    join_level(store, &patterns, &order, 0, &mut assignment, &mut results, &mut stats);
+    let out: Vec<Bindings> = results
+        .into_iter()
+        .map(|vals: Vec<TermId>| vars.iter().cloned().zip(vals).collect::<Bindings>())
+        .collect();
+    stats.rows = out.len() as u64;
+    (out, stats)
+}
+
+/// Recursion over elimination levels: leapfrog-intersect the cursors of
+/// every pattern mentioning `order[level]`, binding each agreed value.
+fn join_level(
+    store: &TripleStore,
+    patterns: &[[PSlot; 3]],
+    order: &[usize],
+    level: usize,
+    assignment: &mut Vec<Option<TermId>>,
+    results: &mut Vec<Vec<TermId>>,
+    stats: &mut LftjStats,
+) {
+    if level == order.len() {
+        results.push(assignment.iter().map(|v| v.unwrap_or(TermId(0))).collect());
+        return;
+    }
+    let v = order[level];
+
+    // Build one cursor per pattern mentioning v, conditioned on the
+    // pattern's bound positions (constants and earlier variables).
+    let mut cursors: Vec<Cursor<'_>> = Vec::new();
+    // Patterns where v occurs more than once need a post-bind membership
+    // check once fully bound: the cursor constrains only the first
+    // occurrence.
+    let mut recheck: Vec<usize> = Vec::new();
+    for (i, pat) in patterns.iter().enumerate() {
+        let occurrences: Vec<usize> = (0..3).filter(|&j| pat[j] == PSlot::Var(v)).collect();
+        if occurrences.is_empty() {
+            continue;
+        }
+        let target = occurrences[0];
+        let mut bound_pos: Vec<usize> = Vec::new();
+        let mut bound_val: Vec<TermId> = Vec::new();
+        for (j, slot) in pat.iter().enumerate() {
+            match *slot {
+                PSlot::Const(id) => {
+                    bound_pos.push(j);
+                    bound_val.push(id);
+                }
+                PSlot::Var(u) => {
+                    if u != v {
+                        if let Some(val) = assignment[u] {
+                            bound_pos.push(j);
+                            bound_val.push(val);
+                        }
+                    }
+                }
+            }
+        }
+        if occurrences.len() > 1 {
+            recheck.push(i);
+        }
+        let perm_id = pick_perm(&bound_pos, target);
+        let perm = PERMS[perm_id];
+        // Prefix values in the permutation's level order.
+        let prefix: Vec<TermId> = (0..bound_pos.len())
+            .map(|k| {
+                let pos = perm[k];
+                let at = bound_pos.iter().position(|&p| p == pos).unwrap();
+                bound_val[at]
+            })
+            .collect();
+        let rows = store.perm(perm_id);
+        let (lo, hi) = store::prefix_range(rows, &prefix);
+        stats.seeks += 1;
+        stats.per_pattern_seeks[i] += 1;
+        cursors.push(Cursor { rows, lo, hi, depth: bound_pos.len(), pattern: i });
+    }
+    debug_assert!(!cursors.is_empty(), "every ordered variable occurs in some pattern");
+
+    // Leapfrog: position every cursor at its first value, then chase the
+    // maximum until all agree or any range empties.
+    let mut vals: Vec<TermId> = Vec::with_capacity(cursors.len());
+    for c in cursors.iter_mut() {
+        stats.seeks += 1;
+        stats.per_pattern_seeks[c.pattern] += 1;
+        match c.seek(TermId(0)) {
+            Some(val) => vals.push(val),
+            None => return,
+        }
+    }
+    loop {
+        let max = vals.iter().copied().max().unwrap();
+        let mut agreed = true;
+        for (c, val) in cursors.iter_mut().zip(vals.iter_mut()) {
+            if *val < max {
+                agreed = false;
+                stats.seeks += 1;
+                stats.per_pattern_seeks[c.pattern] += 1;
+                match c.seek(max) {
+                    Some(next) => *val = next,
+                    None => return,
+                }
+            }
+        }
+        if !agreed {
+            continue;
+        }
+        // All cursors agree on `max`: bind and recurse (after verifying
+        // repeated-occurrence patterns that are now fully bound).
+        assignment[v] = Some(max);
+        let ok = recheck.iter().all(|&i| {
+            let pat = &patterns[i];
+            let resolved: Vec<Option<TermId>> = pat
+                .iter()
+                .map(|s| match s {
+                    PSlot::Const(id) => Some(*id),
+                    PSlot::Var(u) => assignment[*u],
+                })
+                .collect();
+            if resolved.iter().any(|r| r.is_none()) {
+                // A later variable still free: its own level constrains
+                // both occurrences (they are bound prefix positions).
+                return true;
+            }
+            stats.seeks += 1;
+            stats.per_pattern_seeks[i] += 1;
+            store.count(resolved[0], resolved[1], resolved[2]) > 0
+        });
+        if ok {
+            join_level(store, patterns, order, level + 1, assignment, results, stats);
+        }
+        assignment[v] = None;
+        // Advance past `max` on the first cursor and continue.
+        let Some(next_target) = max.0.checked_add(1).map(TermId) else { return };
+        stats.seeks += 1;
+        stats.per_pattern_seeks[cursors[0].pattern] += 1;
+        match cursors[0].seek(next_target) {
+            Some(next) => vals[0] = next,
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::reference;
+    use std::collections::BTreeSet;
+    use uqsj_sparql::parse;
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("Alice", "type", "Artist");
+        s.insert("Alice", "graduatedFrom", "Harvard_University");
+        s.insert("Bob", "type", "Artist");
+        s.insert("Bob", "graduatedFrom", "MIT");
+        s.insert("Carol", "type", "Politician");
+        s.insert("Carol", "graduatedFrom", "Harvard_University");
+        s.insert("Harvard_University", "type", "University");
+        s.ensure_indexes();
+        s
+    }
+
+    fn canon(sols: Vec<Bindings>) -> BTreeSet<Vec<(String, u32)>> {
+        sols.into_iter()
+            .map(|b| {
+                let mut row: Vec<(String, u32)> = b.into_iter().map(|(k, v)| (k, v.0)).collect();
+                row.sort();
+                row
+            })
+            .collect()
+    }
+
+    fn agree(s: &TripleStore, q: &str) {
+        let q = parse(q).unwrap();
+        assert_eq!(canon(solutions(s, &q)), canon(reference::solutions(s, &q)), "{q}");
+    }
+
+    #[test]
+    fn agrees_with_reference_on_basic_shapes() {
+        let s = store();
+        agree(&s, "SELECT ?p WHERE { ?p type Artist . ?p graduatedFrom Harvard_University }");
+        agree(&s, "SELECT * WHERE { ?p graduatedFrom ?u . ?u type University }");
+        agree(&s, "SELECT ?x WHERE { ?x type Dragon }");
+        agree(&s, "SELECT * WHERE { ?s ?p ?o }");
+        agree(&s, "SELECT * WHERE { ?s ?p ?o . ?o type University }");
+    }
+
+    #[test]
+    fn triangle_intersection_is_exact() {
+        let mut s = TripleStore::new();
+        // One real triangle a→b→c→a plus dangling paths that a pairwise
+        // join would enumerate.
+        s.insert("a", "p", "b");
+        s.insert("b", "p", "c");
+        s.insert("c", "p", "a");
+        s.insert("a", "p", "x1");
+        s.insert("x1", "p", "x2");
+        s.insert("b", "p", "y1");
+        s.ensure_indexes();
+        let q = parse("SELECT * WHERE { ?x p ?y . ?y p ?z . ?z p ?x }").unwrap();
+        let got = canon(solutions(&s, &q));
+        assert_eq!(got, canon(reference::solutions(&s, &q)));
+        assert_eq!(got.len(), 3); // the triangle under rotation
+    }
+
+    #[test]
+    fn repeated_variable_membership_is_verified() {
+        let mut s = TripleStore::new();
+        s.insert("a", "knows", "a");
+        s.insert("a", "knows", "b");
+        s.insert("b", "knows", "a");
+        s.ensure_indexes();
+        // Self-loop: cursor intersection alone would accept b (it knows
+        // and is known), but only a has the (x, knows, x) triple.
+        let q = parse("SELECT ?x WHERE { ?x knows ?x }").unwrap();
+        let got = canon(solutions(&s, &q));
+        assert_eq!(got, canon(reference::solutions(&s, &q)));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn constant_only_pattern_guards() {
+        let s = store();
+        let q = parse("SELECT ?x WHERE { Alice type Artist . ?x type Politician }").unwrap();
+        agree(&s, "SELECT ?x WHERE { Alice type Artist . ?x type Politician }");
+        let (sols, stats) = solutions_stats(&s, &q);
+        assert_eq!(sols.len(), 1);
+        assert!(stats.seeks > 0);
+        // Unsatisfied guard empties the result.
+        agree(&s, "SELECT ?x WHERE { Alice type Politician . ?x type Artist }");
+    }
+
+    #[test]
+    fn empty_pattern_yields_single_empty_binding() {
+        let s = store();
+        let q = SparqlQuery { select: vec![], triples: vec![] };
+        let sols = solutions(&s, &q);
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn stats_report_order_and_seeks() {
+        let s = store();
+        let q = parse("SELECT ?p WHERE { ?p type Artist . ?p graduatedFrom Harvard_University }")
+            .unwrap();
+        let (sols, stats) = solutions_stats(&s, &q);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.order.len(), 1);
+        assert_eq!(stats.per_pattern_seeks.len(), 2);
+        assert_eq!(stats.seeks, stats.per_pattern_seeks.iter().sum::<u64>());
+        assert!(stats.estimated_rows >= 0.0);
+    }
+
+    #[test]
+    fn explicit_order_matches_planned_results() {
+        let s = store();
+        let q = parse("SELECT * WHERE { ?p graduatedFrom ?u . ?u type University }").unwrap();
+        let planned = canon(solutions(&s, &q));
+        for order in [["p", "u"], ["u", "p"]] {
+            let order: Vec<String> = order.iter().map(|s| s.to_string()).collect();
+            let (sols, stats) = solutions_with_order(&s, &q, &order);
+            assert_eq!(canon(sols), planned);
+            assert_eq!(stats.order, order);
+        }
+    }
+}

@@ -3,17 +3,24 @@
 //! SPARQL query engine can be used to answer the SPARQL query").
 //!
 //! * [`dict`] — dictionary encoding of terms to dense ids.
-//! * [`store`] — triple storage with SPO/POS/OSP sorted indexes and
-//!   single-pattern lookup.
-//! * [`bgp`] — basic-graph-pattern evaluation by selectivity-ordered
-//!   index nested-loop joins, answering the SPARQL subset.
+//! * [`store`] — triple storage with all six sorted permutation indexes,
+//!   single-pattern lookup, and the graph summary statistics.
+//! * [`plan`] — summary-based cardinality estimation and variable
+//!   elimination ordering.
+//! * [`lftj`] — leapfrog-triejoin worst-case-optimal multiway join over
+//!   the sorted index tries.
+//! * [`bgp`] — the evaluation entry point, dispatching between [`lftj`]
+//!   and the retained nested-loop oracle [`bgp::reference`].
 //! * [`ntriples`] — a line-based N-Triples-style loader.
 
 pub mod bgp;
 pub mod dict;
+pub mod lftj;
 pub mod ntriples;
+mod obs;
+pub mod plan;
 pub mod store;
 
-pub use bgp::Bindings;
+pub use bgp::{BgpEval, Bindings};
 pub use dict::{Dictionary, TermId};
 pub use store::TripleStore;

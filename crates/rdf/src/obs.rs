@@ -1,0 +1,60 @@
+//! Process-wide metric handles for BGP evaluation (`uqsj_rdf_*`).
+//!
+//! Registered on the global registry at first use, same pattern as the
+//! join cascade's handles: a serving process exposes its lifetime BGP
+//! profile without threading stats through call sites. The q-error
+//! histogram is the live counterpart of the estimator-accuracy
+//! conformance check — estimate-vs-actual drift shows up here first.
+
+use std::sync::OnceLock;
+
+pub(crate) struct RdfObs {
+    /// Queries answered by the leapfrog evaluator.
+    pub queries_lftj: uqsj_obs::Counter,
+    /// Queries answered by the nested-loop reference evaluator.
+    pub queries_reference: uqsj_obs::Counter,
+    /// Triple patterns across all evaluated queries.
+    pub patterns: uqsj_obs::Counter,
+    /// Trie cursor positionings (binary searches) in the leapfrog join.
+    pub trie_seeks: uqsj_obs::Counter,
+    /// Seeks attributed to a single pattern within one query.
+    pub pattern_seeks: uqsj_obs::Histogram,
+    /// Planner estimate vs. actual rows, as ⌈q-error × 100⌉ (so the
+    /// 1.0 floor lands in the 100 bucket and ratios keep two decimals).
+    pub estimate_qerror_x100: uqsj_obs::Histogram,
+}
+
+pub(crate) fn rdf_obs() -> &'static RdfObs {
+    static OBS: OnceLock<RdfObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = uqsj_obs::global();
+        RdfObs {
+            queries_lftj: r.counter_with(
+                "uqsj_rdf_bgp_queries_total",
+                &[("eval", "lftj")],
+                "BGP queries evaluated, by evaluator",
+            ),
+            queries_reference: r.counter_with(
+                "uqsj_rdf_bgp_queries_total",
+                &[("eval", "reference")],
+                "BGP queries evaluated, by evaluator",
+            ),
+            patterns: r.counter(
+                "uqsj_rdf_bgp_patterns_total",
+                "triple patterns across all evaluated BGP queries",
+            ),
+            trie_seeks: r.counter(
+                "uqsj_rdf_trie_seeks_total",
+                "trie cursor positionings (binary searches) in the leapfrog join",
+            ),
+            pattern_seeks: r.histogram(
+                "uqsj_rdf_pattern_seeks",
+                "seeks attributed to one triple pattern within one query",
+            ),
+            estimate_qerror_x100: r.histogram(
+                "uqsj_rdf_estimate_qerror_x100",
+                "cardinality-estimator q-error times 100 (100 = perfect)",
+            ),
+        }
+    })
+}

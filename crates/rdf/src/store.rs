@@ -1,14 +1,145 @@
-//! Triple storage with three sorted permutation indexes.
+//! Triple storage with six sorted permutation indexes and a graph
+//! summary.
 //!
 //! Every lookup pattern (any subset of S/P/O bound) is answered by a
-//! binary-searched range scan over the best of the SPO, POS and OSP
-//! orderings — the classical RDF-3x layout, reduced to the three
-//! permutations the BGP evaluator needs.
+//! binary-searched range scan over the best permutation ordering — the
+//! classical RDF-3x layout. All **six** permutations are kept (not just
+//! the three the nested-loop evaluator needed) because the leapfrog
+//! triejoin in [`crate::lftj`] must, for any global variable elimination
+//! order, find a trie whose level order presents a pattern's bound
+//! positions as a prefix followed by the variable being joined; with six
+//! orderings every (bound-set, target-position) combination has one.
+//!
+//! `ensure_indexes` additionally maintains the [`Summary`] — per-predicate
+//! triple/distinct-subject/distinct-object counts plus characteristic
+//! sets (the distinct predicate set of each subject, with multiplicity) —
+//! the statistics behind [`crate::plan`]'s cardinality estimates and join
+//! ordering.
 
 use crate::dict::{Dictionary, TermId};
+use std::collections::HashMap;
 
 /// A dictionary-encoded triple.
 pub type Triple = (TermId, TermId, TermId);
+
+/// The six index orderings, named by their level order. `PERMS[i][k]` is
+/// the triple component (0 = S, 1 = P, 2 = O) stored at trie level `k` of
+/// permutation `i`.
+pub(crate) const PERMS: [[usize; 3]; 6] = [
+    [0, 1, 2], // SPO
+    [0, 2, 1], // SOP
+    [1, 0, 2], // PSO
+    [1, 2, 0], // POS
+    [2, 0, 1], // OSP
+    [2, 1, 0], // OPS
+];
+
+pub(crate) const SPO: usize = 0;
+pub(crate) const SOP: usize = 1;
+pub(crate) const POS: usize = 3;
+pub(crate) const OSP: usize = 4;
+
+/// Component `i` of a triple.
+#[inline]
+pub(crate) fn at(t: Triple, i: usize) -> TermId {
+    match i {
+        0 => t.0,
+        1 => t.1,
+        _ => t.2,
+    }
+}
+
+/// Reorder a triple into permutation `perm`'s level order.
+#[inline]
+fn permute(t: Triple, perm: [usize; 3]) -> Triple {
+    (at(t, perm[0]), at(t, perm[1]), at(t, perm[2]))
+}
+
+/// Undo [`permute`]: map a permuted key back to `(s, p, o)`.
+#[inline]
+pub(crate) fn unpermute(k: Triple, perm: [usize; 3]) -> Triple {
+    let mut out = [TermId(0); 3];
+    out[perm[0]] = k.0;
+    out[perm[1]] = k.1;
+    out[perm[2]] = k.2;
+    (out[0], out[1], out[2])
+}
+
+/// Per-predicate statistics (one row of the graph summary).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PredStat {
+    /// Triples with this predicate (including duplicates).
+    pub triples: u64,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: u64,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: u64,
+}
+
+impl PredStat {
+    /// Mean objects per subject (`triples / distinct_subjects`), ≥ 1.
+    pub fn subject_fanout(&self) -> f64 {
+        if self.distinct_subjects == 0 {
+            0.0
+        } else {
+            (self.triples as f64 / self.distinct_subjects as f64).max(1.0)
+        }
+    }
+}
+
+/// Characteristic sets are only collected up to this many distinct sets;
+/// pathological stores beyond it fall back to per-predicate statistics.
+const MAX_CHAR_SETS: usize = 4096;
+
+/// The graph summary: the statistics [`crate::plan`] estimates
+/// cardinalities from. Maintained by [`TripleStore::ensure_indexes`] in
+/// one pass over the sorted indexes, so it is always consistent with
+/// what [`TripleStore::scan`] would return.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Stored triples (including duplicates).
+    pub triples: u64,
+    /// Distinct subjects / predicates / objects over the whole store.
+    pub distinct_subjects: u64,
+    /// Distinct predicates.
+    pub distinct_predicates: u64,
+    /// Distinct objects.
+    pub distinct_objects: u64,
+    /// Per-predicate statistics.
+    pub predicates: HashMap<TermId, PredStat>,
+    /// Characteristic sets: the sorted distinct predicate set of a
+    /// subject → how many subjects share exactly that set. Empty (with
+    /// `char_sets_complete == false`) when the store exceeds
+    /// `MAX_CHAR_SETS` (4096) distinct sets.
+    pub char_sets: HashMap<Vec<TermId>, u64>,
+    /// Whether `char_sets` covers every subject.
+    pub char_sets_complete: bool,
+}
+
+impl Summary {
+    /// Statistics for one predicate (zeros if absent).
+    pub fn pred(&self, p: TermId) -> PredStat {
+        self.predicates.get(&p).copied().unwrap_or_default()
+    }
+
+    /// How many subjects carry **all** of `preds` — exact when the
+    /// characteristic sets are complete (sum over supersets), otherwise
+    /// the per-predicate minimum (an upper bound).
+    pub fn subjects_with_all(&self, preds: &[TermId]) -> u64 {
+        if preds.is_empty() {
+            return self.distinct_subjects;
+        }
+        if self.char_sets_complete {
+            self.char_sets
+                .iter()
+                .filter(|(set, _)| preds.iter().all(|p| set.binary_search(p).is_ok()))
+                .map(|(_, n)| n)
+                .sum()
+        } else {
+            preds.iter().map(|&p| self.pred(p).distinct_subjects).min().unwrap_or(0)
+        }
+    }
+}
 
 /// The store: dictionary plus indexed triples. Indexes are rebuilt lazily
 /// after inserts.
@@ -16,9 +147,11 @@ pub struct TripleStore {
     /// Term dictionary.
     pub dict: Dictionary,
     triples: Vec<Triple>,
-    spo: Vec<Triple>,
-    pos: Vec<Triple>,
-    osp: Vec<Triple>,
+    /// Six sorted permutations, indexed by [`PERMS`]; rows are stored in
+    /// the permutation's own level order (use [`unpermute`] to recover
+    /// `(s, p, o)`).
+    perms: [Vec<Triple>; 6],
+    summary: Summary,
     dirty: bool,
 }
 
@@ -44,9 +177,8 @@ impl TripleStore {
         Self {
             dict: Dictionary::new(),
             triples: Vec::new(),
-            spo: Vec::new(),
-            pos: Vec::new(),
-            osp: Vec::new(),
+            perms: Default::default(),
+            summary: Summary::default(),
             dirty: false,
         }
     }
@@ -80,18 +212,91 @@ impl TripleStore {
         self.triples.is_empty()
     }
 
-    /// (Re)build indexes if needed.
+    /// (Re)build indexes and the graph summary if needed.
     pub fn ensure_indexes(&mut self) {
         if !self.dirty {
             return;
         }
-        self.spo = self.triples.clone();
-        self.spo.sort_unstable();
-        self.pos = self.triples.iter().map(|&(s, p, o)| (p, o, s)).collect();
-        self.pos.sort_unstable();
-        self.osp = self.triples.iter().map(|&(s, p, o)| (o, s, p)).collect();
-        self.osp.sort_unstable();
+        for (i, perm) in PERMS.iter().enumerate() {
+            self.perms[i] = self.triples.iter().map(|&t| permute(t, *perm)).collect();
+            self.perms[i].sort_unstable();
+        }
+        self.summary = self.build_summary();
         self.dirty = false;
+    }
+
+    /// One pass over the freshly sorted SPO / POS / OSP orderings.
+    fn build_summary(&self) -> Summary {
+        let mut summary = Summary {
+            triples: self.triples.len() as u64,
+            char_sets_complete: true,
+            ..Summary::default()
+        };
+        // SPO: grouped by subject — distinct subjects, per-subject
+        // characteristic set, per-predicate triple + distinct-subject
+        // counts.
+        let spo = &self.perms[SPO];
+        let mut i = 0usize;
+        while i < spo.len() {
+            let s = spo[i].0;
+            summary.distinct_subjects += 1;
+            let mut set: Vec<TermId> = Vec::new();
+            while i < spo.len() && spo[i].0 == s {
+                let p = spo[i].1;
+                let stat = summary.predicates.entry(p).or_default();
+                stat.triples += 1;
+                if set.last() != Some(&p) {
+                    set.push(p);
+                    stat.distinct_subjects += 1;
+                }
+                i += 1;
+            }
+            if summary.char_sets_complete {
+                if summary.char_sets.len() >= MAX_CHAR_SETS && !summary.char_sets.contains_key(&set)
+                {
+                    summary.char_sets.clear();
+                    summary.char_sets_complete = false;
+                } else {
+                    *summary.char_sets.entry(set).or_default() += 1;
+                }
+            }
+        }
+        // POS: grouped by (p, o) — distinct objects per predicate, and
+        // distinct predicates from the group starts.
+        let pos = &self.perms[POS];
+        for (j, &(p, o, _)) in pos.iter().enumerate() {
+            if j == 0 || pos[j - 1].0 != p {
+                summary.distinct_predicates += 1;
+            }
+            if j == 0 || (pos[j - 1].0, pos[j - 1].1) != (p, o) {
+                summary.predicates.entry(p).or_default().distinct_objects += 1;
+            }
+        }
+        // OSP: distinct objects overall.
+        let osp = &self.perms[OSP];
+        for (j, &(o, _, _)) in osp.iter().enumerate() {
+            if j == 0 || osp[j - 1].0 != o {
+                summary.distinct_objects += 1;
+            }
+        }
+        summary
+    }
+
+    /// The graph summary.
+    ///
+    /// # Panics
+    /// Panics if indexes are stale (insert since last
+    /// [`Self::ensure_indexes`]).
+    pub fn summary(&self) -> &Summary {
+        assert!(!self.dirty, "call ensure_indexes() after inserting");
+        &self.summary
+    }
+
+    /// The sorted rows of permutation `perm_id` (rows are in the
+    /// permutation's own level order).
+    pub(crate) fn perm(&self, perm_id: usize) -> &[Triple] {
+        assert!(!self.dirty, "call ensure_indexes() after inserting");
+        &self.perms[perm_id]
     }
 
     /// All triples matching the pattern (bound components are `Some`).
@@ -104,80 +309,66 @@ impl TripleStore {
     /// [`Self::ensure_indexes`]).
     pub fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         assert!(!self.dirty, "call ensure_indexes() after inserting");
-        match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                let t = (s, p, o);
-                if self.spo.binary_search(&t).is_ok() {
-                    vec![t]
-                } else {
-                    Vec::new()
-                }
-            }
-            (Some(s), Some(p), None) => range2(&self.spo, s, p),
-            (Some(s), None, None) => range1(&self.spo, s),
-            (Some(s), None, Some(o)) => {
-                range2(&self.osp, o, s).into_iter().map(|(o, s, p)| (s, p, o)).collect()
-            }
-            (None, Some(p), Some(o)) => {
-                range2(&self.pos, p, o).into_iter().map(|(p, o, s)| (s, p, o)).collect()
-            }
-            (None, Some(p), None) => {
-                range1(&self.pos, p).into_iter().map(|(p, o, s)| (s, p, o)).collect()
-            }
-            (None, None, Some(o)) => {
-                range1(&self.osp, o).into_iter().map(|(o, s, p)| (s, p, o)).collect()
-            }
-            (None, None, None) => self.spo.clone(),
+        let (perm_id, prefix) = route(s, p, o);
+        let rows = &self.perms[perm_id];
+        if prefix.len() == 3 {
+            let t = (prefix[0], prefix[1], prefix[2]);
+            return if rows.binary_search(&t).is_ok() { vec![t] } else { Vec::new() };
         }
+        let (lo, hi) = prefix_range(rows, &prefix);
+        let perm = PERMS[perm_id];
+        rows[lo..hi].iter().map(|&k| unpermute(k, perm)).collect()
     }
 
     /// Count matches for a pattern without materializing (used for join
     /// ordering by selectivity).
     pub fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         assert!(!self.dirty, "call ensure_indexes() after inserting");
-        match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => usize::from(self.spo.binary_search(&(s, p, o)).is_ok()),
-            (Some(s), Some(p), None) => range2_len(&self.spo, s, p),
-            (Some(s), None, None) => range1_len(&self.spo, s),
-            (Some(s), None, Some(o)) => range2_len(&self.osp, o, s),
-            (None, Some(p), Some(o)) => range2_len(&self.pos, p, o),
-            (None, Some(p), None) => range1_len(&self.pos, p),
-            (None, None, Some(o)) => range1_len(&self.osp, o),
-            (None, None, None) => self.spo.len(),
+        let (perm_id, prefix) = route(s, p, o);
+        let rows = &self.perms[perm_id];
+        if prefix.len() == 3 {
+            let t = (prefix[0], prefix[1], prefix[2]);
+            return usize::from(rows.binary_search(&t).is_ok());
         }
+        let (lo, hi) = prefix_range(rows, &prefix);
+        hi - lo
     }
 }
 
-fn bounds1(index: &[Triple], a: TermId) -> (usize, usize) {
-    let lo = index.partition_point(|&(x, _, _)| x < a);
-    let hi = index.partition_point(|&(x, _, _)| x <= a);
-    (lo, hi)
+/// Pick the permutation whose level order presents the bound components
+/// as a prefix, and that prefix in level order.
+fn route(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> (usize, Vec<TermId>) {
+    match (s, p, o) {
+        (Some(s), Some(p), Some(o)) => (SPO, vec![s, p, o]),
+        (Some(s), Some(p), None) => (SPO, vec![s, p]),
+        (Some(s), None, None) => (SPO, vec![s]),
+        (Some(s), None, Some(o)) => (SOP, vec![s, o]),
+        (None, Some(p), Some(o)) => (POS, vec![p, o]),
+        (None, Some(p), None) => (POS, vec![p]),
+        (None, None, Some(o)) => (OSP, vec![o]),
+        (None, None, None) => (SPO, Vec::new()),
+    }
 }
 
-fn bounds2(index: &[Triple], a: TermId, b: TermId) -> (usize, usize) {
-    let lo = index.partition_point(|&(x, y, _)| (x, y) < (a, b));
-    let hi = index.partition_point(|&(x, y, _)| (x, y) <= (a, b));
-    (lo, hi)
-}
-
-fn range1(index: &[Triple], a: TermId) -> Vec<Triple> {
-    let (lo, hi) = bounds1(index, a);
-    index[lo..hi].to_vec()
-}
-
-fn range1_len(index: &[Triple], a: TermId) -> usize {
-    let (lo, hi) = bounds1(index, a);
-    hi - lo
-}
-
-fn range2(index: &[Triple], a: TermId, b: TermId) -> Vec<Triple> {
-    let (lo, hi) = bounds2(index, a, b);
-    index[lo..hi].to_vec()
-}
-
-fn range2_len(index: &[Triple], a: TermId, b: TermId) -> usize {
-    let (lo, hi) = bounds2(index, a, b);
-    hi - lo
+/// Half-open row range whose keys start with `prefix` (in the rows' own
+/// level order). `prefix.len()` must be ≤ 2 for a non-degenerate range;
+/// an empty prefix spans everything.
+pub(crate) fn prefix_range(rows: &[Triple], prefix: &[TermId]) -> (usize, usize) {
+    match prefix.len() {
+        0 => (0, rows.len()),
+        1 => {
+            let a = prefix[0];
+            let lo = rows.partition_point(|&(x, _, _)| x < a);
+            let hi = rows.partition_point(|&(x, _, _)| x <= a);
+            (lo, hi)
+        }
+        _ => {
+            let (a, b) = (prefix[0], prefix[1]);
+            let lo = rows.partition_point(|&(x, y, _)| (x, y) < (a, b));
+            let hi = rows.partition_point(|&(x, y, _)| (x, y) <= (a, b));
+            (lo, hi)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +410,59 @@ mod tests {
         {
             assert_eq!(s.count(a, b, c), s.scan(a, b, c).len());
         }
+    }
+
+    #[test]
+    fn scans_return_spo_order_components() {
+        // Every routed permutation must unpermute back to (s, p, o).
+        let s = store();
+        let alice = s.dict.get("Alice").unwrap();
+        let harvard = s.dict.get("Harvard_University").unwrap();
+        let grad = s.dict.get("graduatedFrom").unwrap();
+        // (S, -, O) routes through SOP.
+        let hits = s.scan(Some(alice), None, Some(harvard));
+        assert_eq!(hits, vec![(alice, grad, harvard)]);
+        // (-, -, O) routes through OSP.
+        for (ts, _, to) in s.scan(None, None, Some(harvard)) {
+            assert_eq!(to, harvard);
+            assert_eq!(ts, alice);
+        }
+    }
+
+    #[test]
+    fn summary_counts_predicates_and_char_sets() {
+        let s = store();
+        let sum = s.summary();
+        assert_eq!(sum.triples, 5);
+        assert_eq!(sum.distinct_subjects, 3);
+        assert_eq!(sum.distinct_predicates, 2);
+        let ty = s.dict.get("type").unwrap();
+        let grad = s.dict.get("graduatedFrom").unwrap();
+        assert_eq!(sum.pred(ty).triples, 3);
+        assert_eq!(sum.pred(ty).distinct_subjects, 3);
+        assert_eq!(sum.pred(ty).distinct_objects, 2);
+        assert_eq!(sum.pred(grad).distinct_subjects, 2);
+        assert_eq!(sum.pred(grad).distinct_objects, 2);
+        // Alice and Bob share {type, graduatedFrom}; Carol has {type}.
+        assert!(sum.char_sets_complete);
+        assert_eq!(sum.subjects_with_all(&[ty, grad]), 2);
+        assert_eq!(sum.subjects_with_all(&[ty]), 3);
+        assert_eq!(sum.subjects_with_all(&[]), 3);
+    }
+
+    #[test]
+    fn summary_counts_duplicates_once_per_distinct_pair() {
+        let mut s = TripleStore::new();
+        s.insert("a", "p", "b");
+        s.insert("a", "p", "b");
+        s.insert("a", "p", "c");
+        s.ensure_indexes();
+        let p = s.dict.get("p").unwrap();
+        let stat = s.summary().pred(p);
+        assert_eq!(stat.triples, 3);
+        assert_eq!(stat.distinct_subjects, 1);
+        assert_eq!(stat.distinct_objects, 2);
+        assert!((stat.subject_fanout() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -109,4 +109,44 @@ proptest! {
         expected.dedup();
         prop_assert_eq!(got, expected);
     }
+
+    /// The leapfrog evaluator and the nested-loop oracle must agree as
+    /// solution sets on arbitrary three-pattern queries (variables,
+    /// constants, repeats — whatever the strategy produces).
+    #[test]
+    fn lftj_agrees_with_reference_on_random_patterns(
+        triples in store_strategy(),
+        pattern_picks in prop::collection::vec(
+            (0u8..6, 0u8..5, 0u8..6), 1..4),
+    ) {
+        let store = build(&triples);
+        let vars = ["x", "y", "z"];
+        let term = |pick: u8, consts: &[&str]| -> Term {
+            if pick < 3 {
+                Term::Var(vars[pick as usize].into())
+            } else {
+                Term::Iri(consts[(pick - 3) as usize].into())
+            }
+        };
+        let q = SparqlQuery {
+            select: vec![],
+            triples: pattern_picks
+                .iter()
+                .map(|&(s, p, o)| Triple {
+                    subject: term(s, &SUBJECTS[..3]),
+                    // Mostly constant predicates, occasionally ?x joining
+                    // across positions.
+                    predicate: if p == 0 {
+                        Term::Var("x".into())
+                    } else {
+                        Term::Iri(PREDICATES[((p - 1) % 3) as usize].into())
+                    },
+                    object: term(o, &OBJECTS[..3]),
+                })
+                .collect(),
+        };
+        let lftj = bgp::evaluate_with(&store, &q, bgp::BgpEval::Lftj);
+        let reference = bgp::evaluate_with(&store, &q, bgp::BgpEval::Reference);
+        prop_assert_eq!(lftj, reference);
+    }
 }

@@ -24,11 +24,14 @@ pub struct ServeConfig {
     pub min_phi: f64,
     /// Answer-cache capacity; 0 disables caching.
     pub cache_capacity: usize,
+    /// Which BGP evaluator answers SPARQL retrieval for this server;
+    /// `None` follows the process default (normally the leapfrog join).
+    pub bgp_eval: Option<uqsj_rdf::BgpEval>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { min_phi: 1.0, cache_capacity: 1024 }
+        Self { min_phi: 1.0, cache_capacity: 1024, bgp_eval: None }
     }
 }
 
@@ -129,6 +132,10 @@ impl QaServer {
             }
             cache.generation()
         };
+        // Per-server evaluator choice rides a thread-local scope so batch
+        // workers and co-located servers with different configs don't
+        // fight over a process global.
+        let _eval = self.config.bgp_eval.map(uqsj_rdf::bgp::scoped);
         let answered =
             self.store.read().answer(&self.lexicon, &self.triples, question, self.config.min_phi);
         self.metrics.record_miss(

@@ -48,7 +48,12 @@ fn server() -> QaServer {
     // The weak seed template queries a predicate the KB never uses, so it
     // "answers" with an empty result set (the fallback instantiation).
     store.insert(graduated_template("wrongPredicate", 0.5));
-    QaServer::new(store, lexicon, triples, ServeConfig { min_phi: 1.0, cache_capacity: 16 })
+    QaServer::new(
+        store,
+        lexicon,
+        triples,
+        ServeConfig { min_phi: 1.0, cache_capacity: 16, bgp_eval: None },
+    )
 }
 
 #[test]

@@ -65,7 +65,7 @@ fn restart_and_compaction_preserve_answers_on_testkit_dataset() {
     let library = batch_library(&dataset, seed, params);
     assert!(!library.is_empty(), "no templates generated from the testkit dataset");
     let lexicon = dataset.kb.lexicon.clone();
-    let config = ServeConfig { min_phi: 1.0, cache_capacity: 64 };
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 64, bgp_eval: None };
 
     let baseline =
         QaServer::new(store_of(&library), lexicon.clone(), dataset.kb.triple_store(), config);
@@ -142,4 +142,45 @@ fn restart_and_compaction_preserve_answers_on_testkit_dataset() {
 
     let _ = std::fs::remove_dir_all(&restart_dir);
     let _ = std::fs::remove_dir_all(&compact_dir);
+}
+
+/// A server pinned to the nested-loop reference evaluator must answer
+/// every question identically to one on the default leapfrog join — the
+/// serving-layer face of the lftj ≡ reference oracle.
+#[test]
+fn bgp_evaluator_choice_does_not_change_answers() {
+    let dataset = qa_dataset(77, 30, 20);
+    let params = JoinParams::simj(1, 0.5);
+    let library = batch_library(&dataset, dataset.pairs.len(), params);
+    assert!(!library.is_empty(), "no templates generated from the testkit dataset");
+    let lexicon = dataset.kb.lexicon.clone();
+
+    let lftj = QaServer::new(
+        store_of(&library),
+        lexicon.clone(),
+        dataset.kb.triple_store(),
+        ServeConfig { min_phi: 1.0, cache_capacity: 0, bgp_eval: Some(uqsj_rdf::BgpEval::Lftj) },
+    );
+    let reference = QaServer::new(
+        store_of(&library),
+        lexicon,
+        dataset.kb.triple_store(),
+        ServeConfig {
+            min_phi: 1.0,
+            cache_capacity: 0,
+            bgp_eval: Some(uqsj_rdf::BgpEval::Reference),
+        },
+    );
+
+    for (i, pair) in dataset.pairs.iter().enumerate() {
+        let want = lftj.answer(&pair.question);
+        assert_same_outcome(&reference.answer(&pair.question), &want, &format!("q{i}"));
+    }
+    // The batch path installs the scoped override per worker thread too.
+    let questions: Vec<String> = dataset.pairs.iter().map(|p| p.question.clone()).collect();
+    let a = lftj.answer_batch(&questions, 4);
+    let b = reference.answer_batch(&questions, 4);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_same_outcome(y, x, &format!("batch q{i}"));
+    }
 }

@@ -53,7 +53,7 @@ fn thousand_question_replay_matches_linear_scan() {
     assert!(!library.is_empty(), "no templates to serve");
     let lexicon = dataset.kb.lexicon.clone();
     let triples = dataset.kb.triple_store();
-    let config = ServeConfig { min_phi: 1.0, cache_capacity: 256 };
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 256, bgp_eval: None };
     let server = QaServer::new(
         TemplateStore::from_library(clone_library(&library)),
         lexicon.clone(),
@@ -98,7 +98,7 @@ fn partial_match_serving_matches_linear_scan() {
     let lexicon = dataset.kb.lexicon.clone();
     let triples = dataset.kb.triple_store();
     // Cache off so every question exercises the filtered ranking path.
-    let config = ServeConfig { min_phi: 0.5, cache_capacity: 0 };
+    let config = ServeConfig { min_phi: 0.5, cache_capacity: 0, bgp_eval: None };
     let server = QaServer::new(
         TemplateStore::from_library(clone_library(&library)),
         lexicon.clone(),

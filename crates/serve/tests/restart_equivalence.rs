@@ -64,7 +64,7 @@ fn reopened_server_replays_identically_to_uninterrupted_one() {
     let library = batch_library(&dataset, seed, params);
     assert!(!library.is_empty(), "no templates to seed the server");
     let lexicon = dataset.kb.lexicon.clone();
-    let config = ServeConfig { min_phi: 1.0, cache_capacity: 128 };
+    let config = ServeConfig { min_phi: 1.0, cache_capacity: 128, bgp_eval: None };
 
     // Two servers with the same seed state: one in-memory (never
     // restarted), one durable in the data directory.

@@ -67,6 +67,26 @@ pub struct SparqlQuery {
     pub triples: Vec<Triple>,
 }
 
+impl SparqlQuery {
+    /// All distinct variable names in the pattern (without `?`), sorted —
+    /// the projection a `SELECT *` query binds, whether or not the store
+    /// produces any solutions.
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars: Vec<String> = self
+            .triples
+            .iter()
+            .flat_map(|t| [&t.subject, &t.predicate, &t.object])
+            .filter_map(|term| match term {
+                Term::Var(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+}
+
 impl fmt::Display for SparqlQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SELECT ")?;
@@ -95,6 +115,17 @@ mod tests {
         assert_eq!(Term::Literal("NY".into()).label(), "NY");
         assert!(Term::Var("x".into()).is_var());
         assert!(!Term::Iri("a".into()).is_var());
+    }
+
+    #[test]
+    fn variables_are_sorted_and_distinct() {
+        let q = crate::parse(
+            "SELECT * WHERE { ?z type ?a . ?z graduatedFrom ?b . ?b type University }",
+        )
+        .unwrap();
+        assert_eq!(q.variables(), vec!["a".to_string(), "b".into(), "z".into()]);
+        let empty = SparqlQuery { select: vec![], triples: vec![] };
+        assert!(empty.variables().is_empty());
     }
 
     #[test]

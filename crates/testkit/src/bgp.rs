@@ -1,0 +1,412 @@
+//! Differential and metamorphic oracle for BGP evaluation: the leapfrog
+//! triejoin ([`uqsj_rdf::lftj`]) against the retained nested-loop
+//! reference ([`uqsj_rdf::bgp::reference`]) on seeded random patterns.
+//!
+//! The generator produces the shapes where worst-case-optimal and
+//! pairwise join strategies actually diverge — stars, paths, triangles,
+//! 4-cycles, and unconstrained random patterns (occasionally with
+//! predicate variables and repeated variables) over small synthetic KBs
+//! with hub skew. Every case is a pure function of its sub-seed, so a
+//! printed violation replays exactly.
+//!
+//! Beyond result equality, each case exercises the metamorphic relations
+//! (pattern-order permutation, variable renaming, monotonicity under
+//! triple insertion) for **both** evaluators, tracks the cardinality
+//! estimator's q-error, and accumulates planner-vs-greedy seek totals
+//! for the runner's aggregate ordering check.
+
+use crate::gen::rng_for;
+use crate::report::ConformanceReport;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use uqsj_rdf::bgp::{self, BgpEval};
+use uqsj_rdf::plan::{greedy_order, q_error};
+use uqsj_rdf::{lftj, Bindings, TripleStore};
+use uqsj_sparql::{SparqlQuery, Term, Triple};
+
+/// A q-error above this (×1, not ×100) is a violation even in the
+/// lenient conformance sanity check: on stores of a few hundred triples
+/// the estimator has no business being four orders of magnitude off.
+pub const QERROR_SANITY_BOUND: f64 = 4096.0;
+
+/// Shape and size of generated KBs and patterns.
+#[derive(Clone, Copy, Debug)]
+pub struct BgpGenConfig {
+    /// Entity pool size.
+    pub entities: usize,
+    /// Predicate pool size.
+    pub predicates: usize,
+    /// Triples per generated KB.
+    pub triples: usize,
+}
+
+impl BgpGenConfig {
+    /// The per-push quick profile.
+    pub fn quick() -> Self {
+        Self { entities: 24, predicates: 6, triples: 160 }
+    }
+
+    /// The scheduled deep profile.
+    pub fn deep() -> Self {
+        Self { entities: 60, predicates: 8, triples: 600 }
+    }
+}
+
+/// A generated KB as raw string triples — kept as data (not a built
+/// store) so the monotonicity relation can rebuild extended stores.
+pub type Kb = Vec<(String, String, String)>;
+
+/// Generate a synthetic KB: uniform subject/object picks with hub skew
+/// (a fifth of the triples attach to the first three entities), single
+/// shared relation `p0` overrepresented so cyclic patterns have matches.
+pub fn gen_kb(cfg: &BgpGenConfig, seed: u64) -> Kb {
+    let mut rng = rng_for(seed);
+    let mut kb = Vec::with_capacity(cfg.triples);
+    for i in 0..cfg.triples {
+        let hub = i % 5 == 0;
+        let s = if hub {
+            rng.gen_range(0..3.min(cfg.entities))
+        } else {
+            rng.gen_range(0..cfg.entities)
+        };
+        // p0 carries a third of the edges: enough density for triangles.
+        let p = if i % 3 == 0 { 0 } else { rng.gen_range(0..cfg.predicates) };
+        let o = rng.gen_range(0..cfg.entities);
+        kb.push((format!("e{s}"), format!("q{p}"), format!("e{o}")));
+    }
+    kb
+}
+
+/// Build an indexed store from a KB.
+pub fn build_store(kb: &Kb) -> TripleStore {
+    let mut store = TripleStore::new();
+    for (s, p, o) in kb {
+        store.insert(s, p, o);
+    }
+    store.ensure_indexes();
+    store
+}
+
+/// Generate one query over the KB. Shapes rotate star / path / triangle /
+/// 4-cycle / random with the case index folded into the seed.
+pub fn gen_query(kb: &Kb, seed: u64) -> SparqlQuery {
+    let mut rng = rng_for(seed);
+    let pick = |rng: &mut rand::rngs::SmallRng| kb[rng.gen_range(0..kb.len())].clone();
+    let var = |name: &str| Term::Var(name.to_string());
+    let iri = |name: &str| Term::Iri(name.to_string());
+    let triple = |s: Term, p: Term, o: Term| Triple { subject: s, predicate: p, object: o };
+
+    let shape = rng.gen_range(0..5u8);
+    let triples = match shape {
+        // Star: one center, 2–3 constant-predicate arms, objects mixed
+        // constant/variable.
+        0 => {
+            let arms = rng.gen_range(2..=3);
+            (0..arms)
+                .map(|i| {
+                    let (_, p, o) = pick(&mut rng);
+                    let obj = if rng.gen_bool(0.5) { iri(&o) } else { var(&format!("o{i}")) };
+                    triple(var("x"), iri(&p), obj)
+                })
+                .collect()
+        }
+        // Path: ?a p ?b . ?b q ?c (sometimes extended to length 3).
+        1 => {
+            let names = ["a", "b", "c", "d"];
+            let len = rng.gen_range(2..=3);
+            (0..len)
+                .map(|i| {
+                    let (_, p, _) = pick(&mut rng);
+                    triple(var(names[i]), iri(&p), var(names[i + 1]))
+                })
+                .collect()
+        }
+        // Triangle on the dense predicate.
+        2 => {
+            let (_, p, _) = pick(&mut rng);
+            let p = if rng.gen_bool(0.7) { "q0".to_string() } else { p };
+            vec![
+                triple(var("a"), iri(&p), var("b")),
+                triple(var("b"), iri(&p), var("c")),
+                triple(var("c"), iri(&p), var("a")),
+            ]
+        }
+        // 4-cycle with independent predicates.
+        3 => {
+            let names = ["a", "b", "c", "d", "a"];
+            (0..4)
+                .map(|i| {
+                    let (_, p, _) = pick(&mut rng);
+                    triple(var(names[i]), iri(&p), var(names[i + 1]))
+                })
+                .collect()
+        }
+        // Random: 1–3 patterns over {x, y, z}, constants sampled from
+        // real triples, occasional predicate variables and repeated
+        // variables within one triple.
+        _ => {
+            let vars = ["x", "y", "z"];
+            let n = rng.gen_range(1..=3);
+            (0..n)
+                .map(|_| {
+                    let (s, p, o) = pick(&mut rng);
+                    let subject = if rng.gen_bool(0.6) {
+                        var(vars[rng.gen_range(0..3usize)])
+                    } else {
+                        iri(&s)
+                    };
+                    let predicate = if rng.gen_bool(0.15) {
+                        var(vars[rng.gen_range(0..3usize)])
+                    } else {
+                        iri(&p)
+                    };
+                    let object = if rng.gen_bool(0.6) {
+                        var(vars[rng.gen_range(0..3usize)])
+                    } else {
+                        iri(&o)
+                    };
+                    triple(subject, predicate, object)
+                })
+                .collect()
+        }
+    };
+    SparqlQuery { select: vec![], triples }
+}
+
+/// Canonical form of a solution set: sorted (var, id) rows, deduplicated
+/// (the reference emits one binding per derivation; duplicate triples can
+/// make those repeat).
+fn canon(solutions: Vec<Bindings>) -> Vec<Vec<(String, u32)>> {
+    let mut rows: Vec<Vec<(String, u32)>> = solutions
+        .into_iter()
+        .map(|b| {
+            let mut row: Vec<(String, u32)> = b.into_iter().map(|(k, v)| (k, v.0)).collect();
+            row.sort();
+            row
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn rename_query(query: &SparqlQuery) -> SparqlQuery {
+    let rename = |t: &Term| match t {
+        Term::Var(v) => Term::Var(format!("{v}_rn")),
+        other => other.clone(),
+    };
+    SparqlQuery {
+        select: query.select.iter().map(|v| format!("{v}_rn")).collect(),
+        triples: query
+            .triples
+            .iter()
+            .map(|t| Triple {
+                subject: rename(&t.subject),
+                predicate: rename(&t.predicate),
+                object: rename(&t.object),
+            })
+            .collect(),
+    }
+}
+
+fn unrename(rows: Vec<Vec<(String, u32)>>) -> Vec<Vec<(String, u32)>> {
+    rows.into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|(k, v)| (k.strip_suffix("_rn").unwrap_or(&k).to_string(), v))
+                .collect()
+        })
+        .collect()
+}
+
+/// Run every BGP check for one generated case. `extension_seed` drives
+/// the monotonicity relation's extra triples.
+pub fn check_bgp_case(
+    kb: &Kb,
+    store: &TripleStore,
+    query: &SparqlQuery,
+    sub: u64,
+    report: &mut ConformanceReport,
+) {
+    report.bgp_patterns += 1;
+
+    // 1. Differential oracle: lftj ≡ reference as solution sets, and the
+    //    projected `evaluate` rows bit-for-bit.
+    let (lftj_sols, stats) = lftj::solutions_stats(store, query);
+    let reference_sols = bgp::reference::solutions(store, query);
+    let lftj_canon = canon(lftj_sols);
+    let reference_canon = canon(reference_sols);
+    report.bgp_rows += lftj_canon.len() as u64;
+    if lftj_canon != reference_canon {
+        report.violation(
+            "bgp_lftj_eq_reference",
+            sub,
+            format!(
+                "lftj returned {} rows, reference {} for {}",
+                lftj_canon.len(),
+                reference_canon.len(),
+                query
+            ),
+        );
+        return; // downstream relations would only repeat the disagreement
+    }
+    let rows_lftj = bgp::evaluate_with(store, query, BgpEval::Lftj);
+    let rows_reference = bgp::evaluate_with(store, query, BgpEval::Reference);
+    if rows_lftj != rows_reference {
+        report.violation(
+            "bgp_lftj_eq_reference",
+            sub,
+            format!(
+                "projected rows diverge ({} vs {}) for {}",
+                rows_lftj.len(),
+                rows_reference.len(),
+                query
+            ),
+        );
+        return;
+    }
+
+    // 2. Estimator sanity: the summary-based estimate must stay within a
+    //    generous multiplicative band of the true cardinality. Empty
+    //    results are exempt — no summary statistic can prove a join
+    //    empty, and overestimating one only makes the planner cautious.
+    let qe = q_error(stats.estimated_rows, stats.rows as f64);
+    if stats.rows > 0 {
+        report.bgp_qerror_x100_max = report.bgp_qerror_x100_max.max((qe * 100.0).ceil() as u64);
+    }
+    if stats.rows > 0 && qe > QERROR_SANITY_BOUND {
+        report.violation(
+            "bgp_estimator",
+            sub,
+            format!(
+                "q-error {qe:.1} (estimated {:.1}, actual {}) for {}",
+                stats.estimated_rows, stats.rows, query
+            ),
+        );
+    }
+
+    // 3. Planner-vs-greedy seeks, accumulated for the runner's aggregate
+    //    ordering check (per-query inversions are fine; a systematic
+    //    regression is not).
+    report.bgp_planner_seeks += stats.seeks;
+    let greedy = greedy_order(store, query);
+    let (greedy_sols, greedy_stats) = lftj::solutions_with_order(store, query, &greedy);
+    report.bgp_greedy_seeks += greedy_stats.seeks;
+    if canon(greedy_sols) != lftj_canon {
+        report.violation(
+            "bgp_order_independence",
+            sub,
+            format!("results change under the greedy order for {query}"),
+        );
+    }
+
+    // 4. Metamorphic: pattern-order permutation invariance.
+    let mut rng = rng_for(sub ^ 0x9e3779b97f4a7c15);
+    let mut permuted = query.clone();
+    permuted.triples.shuffle(&mut rng);
+    for eval in [BgpEval::Lftj, BgpEval::Reference] {
+        report.bgp_metamorphic += 1;
+        if canon(bgp::solutions_with(store, &permuted, eval)) != lftj_canon {
+            report.violation(
+                "bgp_permutation_invariance",
+                sub,
+                format!("{} results change under pattern reordering for {query}", eval.label()),
+            );
+        }
+    }
+
+    // 5. Metamorphic: variable renaming invariance (modulo the rename).
+    let renamed = rename_query(query);
+    for eval in [BgpEval::Lftj, BgpEval::Reference] {
+        report.bgp_metamorphic += 1;
+        if unrename(canon(bgp::solutions_with(store, &renamed, eval))) != lftj_canon {
+            report.violation(
+                "bgp_rename_invariance",
+                sub,
+                format!("{} results change under variable renaming for {query}", eval.label()),
+            );
+        }
+    }
+
+    // 6. Metamorphic: monotonicity — adding triples can only grow the
+    //    solution set (BGPs are monotone queries).
+    let mut extended_kb = kb.clone();
+    for _ in 0..8 {
+        let i = rng.gen_range(0..kb.len());
+        let j = rng.gen_range(0..kb.len());
+        extended_kb.push((kb[i].0.clone(), kb[j].1.clone(), kb[j].2.clone()));
+    }
+    let extended = build_store(&extended_kb);
+    for eval in [BgpEval::Lftj, BgpEval::Reference] {
+        report.bgp_metamorphic += 1;
+        let after = canon(bgp::solutions_with(&extended, query_in(&extended, query), eval));
+        let before = canon_in(&extended, store, &lftj_canon);
+        if !before.iter().all(|row| after.binary_search(row).is_ok()) {
+            report.violation(
+                "bgp_monotonicity",
+                sub,
+                format!("{} lost solutions after inserting triples for {query}", eval.label()),
+            );
+        }
+    }
+}
+
+/// The query itself is store-independent; this exists to keep call sites
+/// explicit that evaluation happens against the *extended* store.
+fn query_in<'q>(_store: &TripleStore, query: &'q SparqlQuery) -> &'q SparqlQuery {
+    query
+}
+
+/// Re-express canonical rows (term ids of `from`) in `to`'s dictionary.
+/// Terms present in `from` are always present in `to` (it was built from
+/// a superset KB).
+fn canon_in(
+    to: &TripleStore,
+    from: &TripleStore,
+    rows: &[Vec<(String, u32)>],
+) -> Vec<Vec<(String, u32)>> {
+    let mut out: Vec<Vec<(String, u32)>> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|(k, v)| {
+                    let term = from.dict.decode(uqsj_rdf::TermId(*v));
+                    (k.clone(), to.dict.get(term).expect("superset dictionary").0)
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = BgpGenConfig::quick();
+        let a = gen_kb(&cfg, 7);
+        let b = gen_kb(&cfg, 7);
+        assert_eq!(a, b);
+        let store = build_store(&a);
+        assert_eq!(gen_query(&a, 3), gen_query(&a, 3));
+        assert!(store.len() == cfg.triples);
+    }
+
+    #[test]
+    fn all_shapes_pass_on_a_seeded_store() {
+        let cfg = BgpGenConfig::quick();
+        let kb = gen_kb(&cfg, 11);
+        let store = build_store(&kb);
+        let mut report = ConformanceReport::default();
+        for i in 0..15u64 {
+            let q = gen_query(&kb, 1000 + i);
+            check_bgp_case(&kb, &store, &q, 1000 + i, &mut report);
+        }
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.bgp_patterns, 15);
+        assert!(report.bgp_metamorphic >= 15 * 6);
+    }
+}

@@ -22,6 +22,11 @@
 //!   budget and hard violations for its deterministic invariants.
 //! * [`metamorphic`] — invariance checks: label renaming, vertex/edge
 //!   insertion-order permutation, and monotonicity in τ and α.
+//! * [`bgp`] — the BGP evaluation oracle: seeded star/path/triangle/
+//!   cyclic patterns over synthetic KBs, leapfrog triejoin vs. the
+//!   nested-loop reference, metamorphic pattern/rename/monotonicity
+//!   relations, estimator q-error sanity, and planner-vs-greedy seek
+//!   accounting.
 //! * [`runner`] — the conformance runner behind `uqsj-cli conformance`
 //!   and the CI quick/deep profiles; [`report`] is its outcome type.
 //!
@@ -30,6 +35,7 @@
 //! vs. enumerated) on seeded workloads biased toward the τ/α decision
 //! boundaries where an unsound bound would actually flip an answer.
 
+pub mod bgp;
 pub mod gen;
 pub mod metamorphic;
 pub mod oracle;

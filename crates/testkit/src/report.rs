@@ -48,6 +48,21 @@ pub struct ConformanceReport {
     /// enumeration. Bounded by δ in aggregate (the runner enforces the
     /// budget); individual failures are expected noise, not violations.
     pub sample_failures: u64,
+    /// BGP patterns checked by the lftj ≡ reference oracle.
+    pub bgp_patterns: u64,
+    /// Distinct solution rows produced across all BGP cases.
+    pub bgp_rows: u64,
+    /// BGP metamorphic checks (permutation / rename / monotonicity ×
+    /// both evaluators).
+    pub bgp_metamorphic: u64,
+    /// Total trie seeks under the summary-based planner's order.
+    pub bgp_planner_seeks: u64,
+    /// Total trie seeks under the greedy one-step-lookahead order on the
+    /// same cases (the runner asserts the planner never systematically
+    /// degrades this).
+    pub bgp_greedy_seeks: u64,
+    /// Worst cardinality-estimator q-error observed, ×100.
+    pub bgp_qerror_x100_max: u64,
     /// All violations, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -79,6 +94,12 @@ impl ConformanceReport {
         self.metamorphic_checks += other.metamorphic_checks;
         self.sample_trials += other.sample_trials;
         self.sample_failures += other.sample_failures;
+        self.bgp_patterns += other.bgp_patterns;
+        self.bgp_rows += other.bgp_rows;
+        self.bgp_metamorphic += other.bgp_metamorphic;
+        self.bgp_planner_seeks += other.bgp_planner_seeks;
+        self.bgp_greedy_seeks += other.bgp_greedy_seeks;
+        self.bgp_qerror_x100_max = self.bgp_qerror_x100_max.max(other.bgp_qerror_x100_max);
         self.violations.extend(other.violations);
     }
 }
@@ -105,6 +126,17 @@ impl fmt::Display for ConformanceReport {
             f,
             "  sampler: trials={} guaranteed-failures={}",
             self.sample_trials, self.sample_failures
+        )?;
+        writeln!(
+            f,
+            "  bgp: patterns={} rows={} metamorphic={} seeks planner={} greedy={} \
+             qerror-max={:.2}",
+            self.bgp_patterns,
+            self.bgp_rows,
+            self.bgp_metamorphic,
+            self.bgp_planner_seeks,
+            self.bgp_greedy_seeks,
+            self.bgp_qerror_x100_max as f64 / 100.0
         )?;
         if self.violations.is_empty() {
             write!(f, "  PASS: zero violations")

@@ -11,6 +11,7 @@
 //! from the flight recorder with `events_for(sub_seed)` — the same
 //! introspection path the serving pipeline uses for `/debug/trace?id=`.
 
+use crate::bgp::{build_store, check_bgp_case, gen_kb, gen_query, BgpGenConfig};
 use crate::gen::{
     derive_seed, gen_certain, gen_uncertain, near_pair, rng_for, workload, GenConfig,
 };
@@ -143,6 +144,45 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
                 "{} guaranteed sampled decisions failed over {} trials; \
                  the δ={SAMPLE_DELTA} budget allows {allowed}",
                 report.sample_failures, report.sample_trials
+            ),
+        );
+    }
+
+    // Stage 5: the BGP evaluation oracle — leapfrog triejoin vs. the
+    // nested-loop reference on seeded star/path/triangle/cyclic patterns,
+    // plus the BGP metamorphic relations and estimator/planner tracking.
+    // The KB rotates every few cases so patterns hit many stores.
+    let (bgp_cases, bgp_cfg) = match cfg.profile {
+        Profile::Quick => (240usize, BgpGenConfig::quick()),
+        Profile::Deep => (960usize, BgpGenConfig::deep()),
+    };
+    let mut kb = Vec::new();
+    let mut store = uqsj_rdf::TripleStore::new();
+    for i in 0..bgp_cases {
+        let sub = derive_seed(cfg.seed, 3_000_000 + i as u64);
+        let _ctx = uqsj_obs::ctx::install(uqsj_obs::ctx::RequestCtx::with_trace_id(
+            uqsj_obs::ctx::TraceId(sub.max(1)),
+        ));
+        let _span = uqsj_obs::span("conformance.bgp");
+        if i % 12 == 0 {
+            kb = gen_kb(&bgp_cfg, derive_seed(sub, 1));
+            store = build_store(&kb);
+        }
+        let query = gen_query(&kb, derive_seed(sub, 2));
+        check_bgp_case(&kb, &store, &query, sub, &mut report);
+    }
+    // Aggregate ordering check: the summary-based planner may lose to the
+    // greedy order on individual patterns, but across the whole workload
+    // it must not burn meaningfully more trie seeks.
+    let slack = report.bgp_greedy_seeks / 4 + 2_000;
+    if report.bgp_planner_seeks > report.bgp_greedy_seeks + slack {
+        report.violation(
+            "bgp_planner_order",
+            cfg.seed,
+            format!(
+                "planner order cost {} seeks vs {} for the greedy order \
+                 (allowed slack {slack})",
+                report.bgp_planner_seeks, report.bgp_greedy_seeks
             ),
         );
     }
